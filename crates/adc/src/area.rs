@@ -1,0 +1,134 @@
+//! Silicon-area estimation (paper Fig. 10: "total active area of the
+//! circuit is 0.6 mm²" in 0.18 µm CMOS).
+//!
+//! A photomicrograph cannot be reproduced in software, but the number
+//! it documents can be estimated structurally: count every cell the
+//! converter instantiates and multiply by per-cell area figures typical
+//! of a 0.18 µm mixed-signal flow. The per-cell constants below are
+//! textbook-class (an STSCL cell is 4–6 devices plus a tail mirror;
+//! analog cells carry matching-sized devices and local wiring), and a
+//! routing/spacing overhead factor covers what layout always adds.
+
+use crate::config::AdcConfig;
+use crate::converter::FaiAdc;
+
+/// Per-cell area constants for a 0.18 µm-class mixed-signal flow, m².
+mod cell_area {
+    /// One STSCL gate: differential pair stack + loads + tail mirror,
+    /// wired. ~120 µm².
+    pub const STSCL_GATE: f64 = 120e-12;
+    /// One folding pair with its tail and routing. ~250 µm².
+    pub const FOLDER_PAIR: f64 = 250e-12;
+    /// One interpolation branch (ratioed mirror). ~150 µm².
+    pub const INTERP_BRANCH: f64 = 150e-12;
+    /// One comparator incl. the Fig. 6 pre-amplifier (4 µm × 4 µm input
+    /// pair plus latch). ~900 µm².
+    pub const COMPARATOR: f64 = 900e-12;
+    /// One fine zero-cross detector (smaller pre-amp + latch). ~500 µm².
+    pub const FINE_DETECTOR: f64 = 500e-12;
+    /// One ladder element with its programming devices. ~200 µm².
+    pub const LADDER_ELEMENT: f64 = 200e-12;
+    /// Bias generators, replica loops, clocking. ~0.02 mm² flat.
+    pub const BIAS_OVERHEAD: f64 = 0.02e-6;
+    /// Routing/spacing multiplier on the summed cell area.
+    pub const LAYOUT_OVERHEAD: f64 = 2.2;
+}
+
+/// Structural area estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaReport {
+    /// Analog signal chain, m².
+    pub analog: f64,
+    /// STSCL digital encoder, m².
+    pub digital: f64,
+    /// Bias/clock overhead, m².
+    pub overhead: f64,
+    /// Total active area (with layout overhead), m².
+    pub total: f64,
+}
+
+impl AreaReport {
+    /// Total in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.total * 1e6
+    }
+}
+
+/// Estimates the active area of a converter instance.
+///
+/// # Example
+///
+/// ```
+/// use ulp_adc::area::estimate_area;
+/// use ulp_adc::{AdcConfig, FaiAdc};
+///
+/// let adc = FaiAdc::ideal(&AdcConfig::default());
+/// let area = estimate_area(&adc);
+/// // Fraction-of-a-mm² class, like the paper's 0.6 mm² die.
+/// assert!(area.total_mm2() > 0.05 && area.total_mm2() < 0.6);
+/// ```
+pub fn estimate_area(adc: &FaiAdc) -> AreaReport {
+    let cfg: &AdcConfig = adc.config();
+    let folds = cfg.folds();
+    let folders = cfg.folders;
+    let levels = cfg.levels_per_fold();
+    // Folder pairs: folders × (folds + 4 guard taps).
+    let folder_area = (folders * (folds + 4)) as f64 * cell_area::FOLDER_PAIR;
+    // Interpolation branches: (folders + 1 − 1)·M + 1 signals.
+    let interp_branches = folders * cfg.interpolation + 1;
+    let interp_area = interp_branches as f64 * cell_area::INTERP_BRANCH;
+    let flash_area = (folds - 1) as f64 * cell_area::COMPARATOR;
+    let fine_area = levels as f64 * cell_area::FINE_DETECTOR;
+    let ladder_area = folds as f64 * cell_area::LADDER_ELEMENT;
+    let analog = folder_area + interp_area + flash_area + fine_area + ladder_area;
+    let digital = adc.encoder().gate_count() as f64 * cell_area::STSCL_GATE;
+    let overhead = cell_area::BIAS_OVERHEAD;
+    let total = (analog + digital) * cell_area::LAYOUT_OVERHEAD + overhead;
+    AreaReport {
+        analog,
+        digital,
+        overhead,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_lands_in_the_fig10_class() {
+        // Paper Fig. 10: 0.6 mm² active area. Structural estimate must
+        // land in the same fraction-of-a-square-millimetre class.
+        let adc = FaiAdc::ideal(&AdcConfig::default());
+        let area = estimate_area(&adc);
+        let mm2 = area.total_mm2();
+        assert!(
+            (0.05..0.6).contains(&mm2),
+            "estimated {mm2:.3} mm² vs measured 0.6 mm²"
+        );
+    }
+
+    #[test]
+    fn digital_is_the_smaller_partner() {
+        // Like the power split, the area split favours analog (196
+        // small gates vs big matched analog devices).
+        let adc = FaiAdc::ideal(&AdcConfig::default());
+        let area = estimate_area(&adc);
+        assert!(area.digital < area.analog, "digital {} vs analog {}", area.digital, area.analog);
+        assert!(area.total > area.analog + area.digital);
+    }
+
+    #[test]
+    fn area_scales_with_resolution() {
+        let small = FaiAdc::ideal(&AdcConfig {
+            resolution: 6,
+            coarse_bits: 2,
+            folders: 4,
+            interpolation: 4,
+            ..AdcConfig::default()
+        });
+        let big = FaiAdc::ideal(&AdcConfig::default());
+        assert!(estimate_area(&big).total > estimate_area(&small).total);
+    }
+}

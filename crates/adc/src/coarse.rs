@@ -1,0 +1,166 @@
+//! The coarse flash sub-ADC.
+//!
+//! `2^coarse − 1` comparators compare the input against the fold
+//! boundaries delivered by the reference ladder and output a
+//! thermometer code. Comparator offsets can produce *bubbles* (a 0
+//! above a 1) which the STSCL encoder's majority gates remove (paper
+//! §III-B); the model here produces the raw, possibly-bubbled
+//! thermometer bits.
+
+use ulp_analog::comparator::Comparator;
+use ulp_analog::ladder::ReferenceLadder;
+use ulp_device::mismatch::MismatchRng;
+use ulp_device::Technology;
+
+/// A bank of flash comparators on ladder taps.
+#[derive(Debug, Clone)]
+pub struct CoarseFlash {
+    comparators: Vec<Comparator>,
+    taps: Vec<f64>,
+}
+
+impl CoarseFlash {
+    /// Builds an ideal flash on the given ladder taps at comparator bias
+    /// `ic`.
+    pub fn ideal(ladder: &ReferenceLadder, ic: f64) -> Self {
+        let taps = ladder.taps();
+        CoarseFlash {
+            comparators: taps.iter().map(|_| Comparator::ideal(ic)).collect(),
+            taps,
+        }
+    }
+
+    /// Builds a flash with Pelgrom-drawn comparator offsets.
+    pub fn with_mismatch(
+        ladder: &ReferenceLadder,
+        tech: &Technology,
+        rng: &mut MismatchRng,
+        ic: f64,
+        pair_w: f64,
+        pair_l: f64,
+        noise_rms: f64,
+    ) -> Self {
+        let taps = ladder.taps();
+        CoarseFlash {
+            comparators: taps
+                .iter()
+                .map(|_| Comparator::with_mismatch(tech, rng, ic, pair_w, pair_l, noise_rms))
+                .collect(),
+            taps,
+        }
+    }
+
+    /// Number of comparators.
+    pub fn len(&self) -> usize {
+        self.comparators.len()
+    }
+
+    /// True when the bank is empty (degenerate 1-fold configuration).
+    pub fn is_empty(&self) -> bool {
+        self.comparators.is_empty()
+    }
+
+    /// Raw thermometer bits for one input sample (noiseless).
+    pub fn thermometer(&self, vin: f64) -> Vec<bool> {
+        self.comparators
+            .iter()
+            .zip(&self.taps)
+            .map(|(c, &t)| c.decide(vin, t))
+            .collect()
+    }
+
+    /// Raw thermometer bits with per-decision noise draws.
+    pub fn thermometer_noisy(&self, rng: &mut MismatchRng, vin: f64) -> Vec<bool> {
+        self.comparators
+            .iter()
+            .zip(&self.taps)
+            .map(|(c, &t)| c.decide_noisy(rng, vin, t))
+            .collect()
+    }
+
+    /// Fold index from a thermometer code (simple count; the encoder
+    /// does the real bubble-robust majority decode).
+    pub fn count_decode(bits: &[bool]) -> usize {
+        bits.iter().filter(|b| **b).count()
+    }
+
+    /// Total comparator power at supply `vdd`, W.
+    pub fn power(&self, vdd: f64) -> f64 {
+        self.comparators.iter().map(|c| c.power(vdd)).sum()
+    }
+
+    /// Rescales every comparator's bias (PMU knob).
+    pub fn set_bias(&mut self, ic: f64) {
+        for c in &mut self.comparators {
+            c.set_bias(ic);
+        }
+    }
+
+    /// The slowest comparator's safe clock, Hz.
+    pub fn max_clock(&self) -> f64 {
+        self.comparators
+            .iter()
+            .map(|c| c.max_clock())
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> ReferenceLadder {
+        ReferenceLadder::new(0.2, 1.0, 8, 1, 1e-9).unwrap()
+    }
+
+    #[test]
+    fn ideal_thermometer_monotone() {
+        let f = CoarseFlash::ideal(&ladder(), 1e-9);
+        assert_eq!(f.len(), 7);
+        assert!(!f.is_empty());
+        for (vin, want) in [(0.25, 0usize), (0.35, 1), (0.59, 3), (0.95, 7)] {
+            let bits = f.thermometer(vin);
+            assert_eq!(CoarseFlash::count_decode(&bits), want, "vin {vin}");
+            // No bubbles when ideal.
+            let mut seen_zero = false;
+            for b in bits {
+                if !b {
+                    seen_zero = true;
+                } else {
+                    assert!(!seen_zero, "bubble in ideal flash");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_can_create_bubbles_but_stay_bounded() {
+        let tech = Technology::default();
+        let mut rng = MismatchRng::seed_from(77);
+        // Tiny devices → offsets comparable to the 100 mV tap pitch.
+        let f = CoarseFlash::with_mismatch(&ladder(), &tech, &mut rng, 1e-9, 0.3e-6, 0.3e-6, 0.0);
+        let mut worst_err = 0i64;
+        for k in 0..64 {
+            let vin = 0.2 + 0.8 * (k as f64 + 0.5) / 64.0;
+            let got = CoarseFlash::count_decode(&f.thermometer(vin)) as i64;
+            let ideal = ((vin - 0.2) / 0.1).floor().min(7.0) as i64;
+            worst_err = worst_err.max((got - ideal).abs());
+        }
+        assert!(worst_err <= 1, "flash errors bounded by one fold: {worst_err}");
+    }
+
+    #[test]
+    fn power_scales_with_bias() {
+        let mut f = CoarseFlash::ideal(&ladder(), 1e-9);
+        let p1 = f.power(1.0);
+        f.set_bias(10e-9);
+        assert!((f.power(1.0) / p1 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_limit_finite() {
+        let f = CoarseFlash::ideal(&ladder(), 1e-9);
+        let fc = f.max_clock();
+        assert!(fc.is_finite() && fc > 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! ADC geometry and nonideality configuration.
+
+use std::fmt;
+
+/// Geometry and budget configuration of the folding-and-interpolating
+/// converter.
+///
+/// The invariants tie the paper's Fig. 4 together:
+/// `resolution = coarse_bits + fine_bits`, the fold count is
+/// `2^coarse_bits`, and the fine levels per fold are
+/// `folders × interpolation = 2^fine_bits`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcConfig {
+    /// Total resolution, bits.
+    pub resolution: u32,
+    /// Coarse flash resolution, bits (fold count = 2^coarse).
+    pub coarse_bits: u32,
+    /// Number of parallel phase-shifted folders.
+    pub folders: usize,
+    /// Current-mode interpolation factor.
+    pub interpolation: usize,
+    /// Bottom of the conversion range, V.
+    pub v_low: f64,
+    /// Top of the conversion range, V.
+    pub v_high: f64,
+    /// Comparator input pair geometry (w, l), m — sets the Pelgrom
+    /// offset scale.
+    pub pair_geometry: (f64, f64),
+    /// RMS input-referred comparator noise, V.
+    pub noise_rms: f64,
+    /// Digital tail-current reference as a fraction of the analog
+    /// master current (the paper's `I_C,DIG`).
+    pub digital_fraction: f64,
+}
+
+impl AdcConfig {
+    /// Validates the geometry invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any invariant is broken; called by the constructors
+    /// in [`crate::converter`].
+    pub fn validate(&self) {
+        assert!(self.resolution >= 4, "resolution too small");
+        assert!(
+            self.coarse_bits >= 1 && self.coarse_bits < self.resolution,
+            "coarse bits must split the resolution"
+        );
+        let fine_bits = self.resolution - self.coarse_bits;
+        assert_eq!(
+            self.folders * self.interpolation,
+            1usize << fine_bits,
+            "folders × interpolation must equal 2^fine_bits"
+        );
+        assert!(self.v_high > self.v_low, "conversion range must be positive");
+        assert!(
+            self.pair_geometry.0 > 0.0 && self.pair_geometry.1 > 0.0,
+            "pair geometry must be positive"
+        );
+        assert!(self.noise_rms >= 0.0, "noise must be non-negative");
+        assert!(
+            self.digital_fraction > 0.0 && self.digital_fraction < 1.0,
+            "digital fraction must be a proper fraction"
+        );
+    }
+
+    /// Fine resolution, bits.
+    pub fn fine_bits(&self) -> u32 {
+        self.resolution - self.coarse_bits
+    }
+
+    /// Number of folds (= 2^coarse_bits).
+    pub fn folds(&self) -> usize {
+        1usize << self.coarse_bits
+    }
+
+    /// Fine levels per fold (= 2^fine_bits).
+    pub fn levels_per_fold(&self) -> usize {
+        1usize << self.fine_bits()
+    }
+
+    /// Total code count (= 2^resolution).
+    pub fn codes(&self) -> usize {
+        1usize << self.resolution
+    }
+
+    /// One LSB in volts.
+    pub fn lsb(&self) -> f64 {
+        (self.v_high - self.v_low) / self.codes() as f64
+    }
+
+    /// Conversion-range midpoint, V.
+    pub fn mid_scale(&self) -> f64 {
+        0.5 * (self.v_low + self.v_high)
+    }
+}
+
+impl Default for AdcConfig {
+    /// The paper's prototype: 8 bits as 3 coarse + 5 fine
+    /// (4 folders × interpolation 8), 0.2–1.0 V range, 4 µm × 4 µm
+    /// comparator pairs, 0.3 mV noise, digital current 1/20 of analog.
+    fn default() -> Self {
+        AdcConfig {
+            resolution: 8,
+            coarse_bits: 3,
+            folders: 4,
+            interpolation: 8, // paper §III-A: interpolation factor 8
+            v_low: 0.2,
+            v_high: 1.0,
+            // "Large enough transistor sizes" (paper §III-B): σ(offset)
+            // ≈ 1.25 mV ≈ 0.4 LSB — what the measured INL/DNL implies.
+            pair_geometry: (4e-6, 4e-6),
+            noise_rms: 0.3e-3,
+            digital_fraction: 0.05,
+        }
+    }
+}
+
+impl fmt::Display for AdcConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-bit FAI ({} coarse + {} fine; {} folders × {} interp; {:.2}–{:.2} V)",
+            self.resolution,
+            self.coarse_bits,
+            self.fine_bits(),
+            self.folders,
+            self.interpolation,
+            self.v_low,
+            self.v_high
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_consistent() {
+        let c = AdcConfig::default();
+        c.validate();
+        assert_eq!(c.fine_bits(), 5);
+        assert_eq!(c.folds(), 8);
+        assert_eq!(c.levels_per_fold(), 32);
+        assert_eq!(c.codes(), 256);
+        assert!((c.lsb() - 0.8 / 256.0).abs() < 1e-15);
+        assert!((c.mid_scale() - 0.6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn six_bit_variant_validates() {
+        // The paper targets "6 to 8 bit" medium accuracy.
+        let c = AdcConfig {
+            resolution: 6,
+            coarse_bits: 2,
+            folders: 4,
+            interpolation: 4,
+            ..AdcConfig::default()
+        };
+        c.validate();
+        assert_eq!(c.codes(), 64);
+        assert_eq!(c.levels_per_fold(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "folders × interpolation")]
+    fn inconsistent_geometry_rejected() {
+        AdcConfig {
+            interpolation: 4, // 4 × 4 = 16 ≠ 32
+            ..AdcConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "proper fraction")]
+    fn bad_digital_fraction_rejected() {
+        AdcConfig {
+            digital_fraction: 1.5,
+            ..AdcConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn display_summarises() {
+        let s = AdcConfig::default().to_string();
+        assert!(s.contains("8-bit"));
+        assert!(s.contains("4 folders"));
+    }
+}

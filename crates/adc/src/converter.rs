@@ -1,0 +1,363 @@
+//! The end-to-end folding-and-interpolating converter.
+//!
+//! Glues the reference ladder, coarse flash, fine chain and STSCL
+//! encoder into a sampled converter with a single master bias current —
+//! the paper's Fig. 4 system. Two conversion paths are provided:
+//!
+//! * [`FaiAdc::convert`] — the production path: analog front end +
+//!   gate-level STSCL encoder;
+//! * [`FaiAdc::convert_behavioural`] — an arithmetic reference decode
+//!   used by the metrology loops for speed; an equivalence test pins it
+//!   to the gate-level path.
+
+use crate::coarse::CoarseFlash;
+use crate::config::AdcConfig;
+use crate::encoder::Encoder;
+use crate::fine::{decode_wheel, FineChain};
+use ulp_analog::ladder::ReferenceLadder;
+use ulp_device::mismatch::MismatchRng;
+use ulp_device::Technology;
+
+/// The complete converter.
+#[derive(Debug, Clone)]
+pub struct FaiAdc {
+    config: AdcConfig,
+    ladder: ReferenceLadder,
+    flash: CoarseFlash,
+    fine: FineChain,
+    encoder: Encoder,
+    /// Master analog control current `I_C`, A.
+    ic: f64,
+}
+
+impl FaiAdc {
+    /// Builds a nominal (mismatch-free, noise-free) converter at a
+    /// 1 nA-class unit bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is internally inconsistent.
+    pub fn ideal(config: &AdcConfig) -> Self {
+        Self::build(&Technology::default(), config, 1e-9, None)
+    }
+
+    /// Builds a converter with Pelgrom mismatch drawn everywhere the
+    /// real chip suffers it: ladder elements, coarse comparators,
+    /// folder pairs, interpolation mirrors and fine zero-cross
+    /// detectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is internally inconsistent.
+    pub fn with_mismatch(tech: &Technology, config: &AdcConfig, seed: u64) -> Self {
+        let mut rng = MismatchRng::seed_from(seed);
+        Self::build(tech, config, 1e-9, Some(&mut rng))
+    }
+
+    fn build(
+        tech: &Technology,
+        config: &AdcConfig,
+        i_unit: f64,
+        mut rng: Option<&mut MismatchRng>,
+    ) -> Self {
+        config.validate();
+        let folds = config.folds();
+        let mut ladder =
+            ReferenceLadder::new(config.v_low, config.v_high, folds, folds.min(8), i_unit)
+                .expect("validated ladder geometry");
+        if let Some(r) = rng.as_deref_mut() {
+            ladder = ladder.with_mismatch(tech, r, 2e-6, 2e-6);
+        }
+        let (pw, pl) = config.pair_geometry;
+        let flash = match rng.as_deref_mut() {
+            Some(r) => CoarseFlash::with_mismatch(
+                &ladder,
+                tech,
+                r,
+                i_unit,
+                pw,
+                pl,
+                config.noise_rms,
+            ),
+            None => CoarseFlash::ideal(&ladder, i_unit),
+        };
+        let fine = match rng {
+            Some(r) => FineChain::with_mismatch(tech, config, i_unit, r),
+            None => FineChain::ideal(tech, config, i_unit),
+        };
+        let encoder = Encoder::build(config);
+        FaiAdc {
+            config: *config,
+            ladder,
+            flash,
+            fine,
+            encoder,
+            ic: i_unit,
+        }
+    }
+
+    /// The converter geometry.
+    pub fn config(&self) -> &AdcConfig {
+        &self.config
+    }
+
+    /// The STSCL encoder (for gate-count and power analysis).
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// Master analog control current, A.
+    pub fn control_current(&self) -> f64 {
+        self.ic
+    }
+
+    /// Rescales the master control current — the single PMU knob that
+    /// retunes the whole converter (folders, interpolators, comparators,
+    /// ladder programming) together.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ic > 0`.
+    pub fn set_control_current(&mut self, ic: f64) {
+        assert!(ic > 0.0, "control current must be positive");
+        self.fine.set_i_unit(ic);
+        self.flash.set_bias(ic);
+        self.ladder
+            .set_control_current(ic)
+            .expect("positive control current");
+        self.ic = ic;
+    }
+
+    /// Converts one sample through the full signal chain and the
+    /// gate-level STSCL encoder.
+    pub fn convert(&self, vin: f64) -> u16 {
+        if let Some(code) = self.range_detect(vin) {
+            return code;
+        }
+        let signs = self.fine.signs(vin);
+        let therm = self.flash.thermometer(vin);
+        self.clamp(self.encoder.encode(&signs, &therm))
+    }
+
+    /// Ideal over/under-range detectors (real converters carry dedicated
+    /// range comparators; modelled offset-free).
+    fn range_detect(&self, vin: f64) -> Option<u16> {
+        if vin < self.config.v_low {
+            Some(0)
+        } else if vin >= self.config.v_high {
+            Some(self.config.codes() as u16 - 1)
+        } else {
+            None
+        }
+    }
+
+    /// Converts one sample with fresh comparator-noise draws on every
+    /// decision.
+    pub fn convert_noisy(&self, rng: &mut MismatchRng, vin: f64) -> u16 {
+        if let Some(code) = self.range_detect(vin) {
+            return code;
+        }
+        let signs = self
+            .fine
+            .signs_with_noise(rng, self.config.noise_rms, vin);
+        let therm = self.flash.thermometer_noisy(rng, vin);
+        self.clamp(self.encoder.encode(&signs, &therm))
+    }
+
+    /// Arithmetic reference decode (no gate netlist) — used by the
+    /// metrology loops; equivalent to [`FaiAdc::convert`] by test.
+    pub fn convert_behavioural(&self, vin: f64) -> u16 {
+        if let Some(code) = self.range_detect(vin) {
+            return code;
+        }
+        let signs = self.fine.signs(vin);
+        let therm = self.flash.thermometer(vin);
+        let p = decode_wheel(&signs);
+        let wheel = 2 * self.config.levels_per_fold();
+        let fold = CoarseFlash::count_decode(&therm);
+        // Nearest wheel-count d to the flash estimate.
+        let levels = self.config.levels_per_fold();
+        let estimate = (fold * levels + levels / 2) as i64;
+        let wheels = self.config.codes() / wheel;
+        // Candidates extend one wheel beyond each end: a wheel position
+        // just below 0 or just above full scale is an under/overflow
+        // that clamps (mirrors the encoder's wrap detectors).
+        let mut best = 0i64;
+        let mut best_d = f64::INFINITY;
+        for d in -1..=(wheels as i64) {
+            let cand = d * wheel as i64 + p as i64;
+            let dist = (cand - estimate).abs() as f64;
+            if dist < best_d {
+                best_d = dist;
+                best = cand;
+            }
+        }
+        self.clamp(best.clamp(0, self.config.codes() as i64 - 1) as u16)
+    }
+
+    fn clamp(&self, code: u16) -> u16 {
+        code.min(self.config.codes() as u16 - 1)
+    }
+
+    /// Samples a waveform `f(t)` at sampling rate `fs` for `n` samples,
+    /// converting each through the behavioural path.
+    pub fn sample_waveform<F: Fn(f64) -> f64>(&self, f: F, fs: f64, n: usize) -> Vec<u16> {
+        assert!(fs > 0.0, "sampling rate must be positive");
+        (0..n)
+            .map(|k| self.convert_behavioural(f(k as f64 / fs)))
+            .collect()
+    }
+
+    /// Samples with Gaussian aperture jitter of `jitter_rms` seconds on
+    /// every sampling instant — the dominant *dynamic* error mechanism
+    /// the static model otherwise omits (see EXPERIMENTS.md's ENOB
+    /// discussion).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fs > 0` and `jitter_rms >= 0`.
+    pub fn sample_waveform_jittered<F: Fn(f64) -> f64>(
+        &self,
+        rng: &mut MismatchRng,
+        f: F,
+        fs: f64,
+        n: usize,
+        jitter_rms: f64,
+    ) -> Vec<u16> {
+        assert!(fs > 0.0, "sampling rate must be positive");
+        assert!(jitter_rms >= 0.0, "jitter must be non-negative");
+        (0..n)
+            .map(|k| {
+                let t = k as f64 / fs + rng.standard_normal() * jitter_rms;
+                self.convert_behavioural(f(t))
+            })
+            .collect()
+    }
+
+    /// The highest sampling rate the analog front end supports at the
+    /// current bias (folder bandwidth / settling margin), Hz.
+    pub fn max_sampling_rate(&self, tech: &Technology) -> f64 {
+        // 50 fF node capacitance class, 3 settling constants per phase.
+        self.fine.bandwidth(tech, 50e-15) / 3.0
+    }
+
+    /// Total analog bias current (fine chain + flash at 2 tails per
+    /// comparator + ladder string and programming), A.
+    pub fn analog_current(&self, tech: &Technology) -> f64 {
+        let fine = self.fine.bias_current();
+        let flash = self.flash.power(1.0); // power at 1 V = current
+        let ladder = self.ladder.power(tech, 1.0).expect("valid ladder bias");
+        fine + flash + ladder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adc() -> FaiAdc {
+        FaiAdc::ideal(&AdcConfig::default())
+    }
+
+    #[test]
+    fn ideal_transfer_is_monotone_and_exact() {
+        let adc = adc();
+        let c = adc.config();
+        let lsb = c.lsb();
+        let mut last = 0u16;
+        let mut worst = 0i64;
+        for n in 0..256usize {
+            let vin = c.v_low + (n as f64 + 0.5) * lsb;
+            let code = adc.convert(vin);
+            worst = worst.max((code as i64 - n as i64).abs());
+            assert!(code >= last, "monotonicity broke at {n}: {code} < {last}");
+            last = code;
+        }
+        assert!(worst <= 1, "ideal transfer error = {worst} LSB");
+    }
+
+    #[test]
+    fn behavioural_path_matches_gate_level() {
+        let adc = adc();
+        let c = adc.config();
+        for k in 0..200 {
+            let vin = c.v_low + (c.v_high - c.v_low) * (k as f64 + 0.31) / 200.0;
+            assert_eq!(
+                adc.convert(vin),
+                adc.convert_behavioural(vin),
+                "paths diverge at {vin}"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatch_converter_still_close() {
+        let tech = Technology::default();
+        let adc = FaiAdc::with_mismatch(&tech, &AdcConfig::default(), 42);
+        let c = adc.config();
+        let lsb = c.lsb();
+        let mut worst = 0i64;
+        for n in 4..252usize {
+            let vin = c.v_low + (n as f64 + 0.5) * lsb;
+            let code = adc.convert(vin) as i64;
+            worst = worst.max((code - n as i64).abs());
+        }
+        assert!(worst >= 1, "mismatch must cost at least one code somewhere");
+        assert!(worst <= 4, "mismatch stays LSB-class: {worst}");
+    }
+
+    #[test]
+    fn bias_scaling_preserves_codes() {
+        let mut adc = adc();
+        let vin = 0.537;
+        let hi = adc.convert(vin);
+        adc.set_control_current(10e-12);
+        assert_eq!(adc.convert(vin), hi, "codes are bias-independent");
+        assert!((adc.control_current() - 10e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn sampling_rate_scales_with_bias() {
+        let tech = Technology::default();
+        let mut adc = adc();
+        let f1 = adc.max_sampling_rate(&tech);
+        adc.set_control_current(100e-9);
+        let f100 = adc.max_sampling_rate(&tech);
+        assert!((f100 / f1 - 100.0).abs() < 1.0, "{}", f100 / f1);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let adc = adc();
+        assert_eq!(adc.convert(0.0), 0);
+        assert_eq!(adc.convert(1.4), 255);
+    }
+
+    #[test]
+    fn sine_sampling_produces_full_range() {
+        let adc = adc();
+        let c = *adc.config();
+        let codes = adc.sample_waveform(
+            |t| c.mid_scale() + 0.49 * (c.v_high - c.v_low) * (2.0e3 * t).sin(),
+            80e3,
+            512,
+        );
+        let max = *codes.iter().max().unwrap();
+        let min = *codes.iter().min().unwrap();
+        assert!(max > 240 && min < 15, "range {min}..{max}");
+    }
+
+    #[test]
+    fn noisy_conversion_stays_close() {
+        let tech = Technology::default();
+        let adc = FaiAdc::with_mismatch(&tech, &AdcConfig::default(), 7);
+        let mut rng = MismatchRng::seed_from(99);
+        let c = adc.config();
+        let vin = c.mid_scale();
+        let reference = adc.convert(vin) as i64;
+        for _ in 0..50 {
+            let code = adc.convert_noisy(&mut rng, vin) as i64;
+            assert!((code - reference).abs() <= 2, "noise moved code too far");
+        }
+    }
+}

@@ -1,0 +1,513 @@
+//! The STSCL digital encoder (paper §III-B, Fig. 8).
+//!
+//! Converts the raw comparator outputs — 32 fine wheel signs plus the
+//! coarse flash thermometer — into the final binary code, built
+//! gate-by-gate from the [`ulp_stscl`] differential cell library with
+//! the paper's two power techniques:
+//!
+//! * **compound stacked cells**: bubble removal is one three-level
+//!   majority cell per signal (Fig. 8), thermometer encoding is MUX
+//!   trees, wheel-edge detection is one AND per position — each a
+//!   single tail current;
+//! * **pipelining**: every cell carries a merged output latch, so the
+//!   encoder's Eq.-1 logic depth is 1 regardless of its ~7-level
+//!   structure.
+//!
+//! Stages:
+//!
+//! 1. cyclic majority bubble correction on the wheel signals (free
+//!    differential complements extend the 32 signals to the 64-position
+//!    wheel);
+//! 2. wheel-edge one-hot: `oh[n] = w'[(n+L+1) mod 2L] ∧ w'[n]`;
+//! 3. OR-trees encode the one-hot to the wheel position `p`
+//!    (`fine_bits + 1` bits);
+//! 4. coarse thermometer: bubble majority + MUX-tree binary encode;
+//! 5. synchronisation: parity-compare the coarse LSB with the
+//!    half-wheel bit of `p` and conditionally increment/decrement the
+//!    coarse code (±1 fold tolerance — the "error correction" of
+//!    §III-B) before taking its top bits as the code MSBs.
+
+use crate::config::AdcConfig;
+use ulp_stscl::netlist::{GateNetlist, NetId, NetlistError};
+use ulp_stscl::sim::evaluate;
+use ulp_stscl::CellKind;
+
+/// A wheel signal reference: net + differential polarity.
+type Sig = (NetId, bool);
+
+/// The gate-level encoder.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    netlist: GateNetlist,
+    /// Cached combinational (unlatched) view for per-sample evaluation.
+    comb: GateNetlist,
+    n_fine: usize,
+    n_therm: usize,
+    /// Output code bits, MSB first.
+    out_bits: Vec<Sig>,
+}
+
+impl Encoder {
+    /// Builds the encoder for the given converter geometry, fully
+    /// pipelined (every cell latched).
+    ///
+    /// # Panics
+    ///
+    /// Panics for geometries with fewer than 2 coarse bits or fewer
+    /// than 4 fine levels (the wheel structure needs them), or on an
+    /// internal netlist inconsistency (a bug, not an input error).
+    pub fn build(config: &AdcConfig) -> Self {
+        config.validate();
+        assert!(config.coarse_bits >= 2, "encoder needs at least 2 coarse bits");
+        let levels = config.levels_per_fold();
+        assert!(levels >= 4, "encoder needs at least 4 fine levels");
+        Self::try_build(config).expect("encoder construction is internally consistent")
+    }
+
+    fn try_build(config: &AdcConfig) -> Result<Self, NetlistError> {
+        let levels = config.levels_per_fold(); // L
+        let wheel = 2 * levels; // 2L positions
+        let p_bits = (wheel as f64).log2() as usize; // fine_bits + 1
+        let cb = config.coarse_bits as usize;
+        let n_therm = config.folds() - 1;
+
+        let mut nl = GateNetlist::new();
+        let s_in: Vec<NetId> = (0..levels).map(|i| nl.input(&format!("s{i}"))).collect();
+        let t_in: Vec<NetId> = (0..n_therm).map(|i| nl.input(&format!("t{i}"))).collect();
+
+        // Wheel accessor over the raw inputs: w[i] = s[i] for i < L,
+        // else ¬s[i−L].
+        let w_raw = |i: usize| -> Sig {
+            let i = i % wheel;
+            if i < levels {
+                (s_in[i], false)
+            } else {
+                (s_in[i - levels], true)
+            }
+        };
+
+        // Stage 1: cyclic bubble correction, one MAJ3 per physical
+        // signal.
+        let mut w_corr: Vec<NetId> = Vec::with_capacity(levels);
+        for i in 0..levels {
+            let prev = w_raw((i + wheel - 1) % wheel);
+            let here = w_raw(i);
+            let next = w_raw(i + 1);
+            let out = nl.gate_inv(CellKind::Maj3, &[prev, here, next], &format!("w{i}"))?;
+            w_corr.push(out);
+        }
+        let w = |i: usize| -> Sig {
+            let i = i % wheel;
+            if i < levels {
+                (w_corr[i], false)
+            } else {
+                (w_corr[i - levels], true)
+            }
+        };
+
+        // Stage 2: wheel-edge one-hot.
+        let mut onehot: Vec<NetId> = Vec::with_capacity(wheel);
+        for n in 0..wheel {
+            let a = w((n + levels + 1) % wheel);
+            let b = w(n);
+            onehot.push(nl.gate_inv(CellKind::And2, &[a, b], &format!("oh{n}"))?);
+        }
+
+        // Stage 3: OR-trees → wheel position bits p[0..p_bits].
+        let mut p: Vec<NetId> = Vec::with_capacity(p_bits);
+        for b in 0..p_bits {
+            let leaves: Vec<Sig> = (0..wheel)
+                .filter(|n| (n >> b) & 1 == 1)
+                .map(|n| (onehot[n], false))
+                .collect();
+            p.push(or_tree(&mut nl, &leaves, &format!("p{b}"))?);
+        }
+
+        // Stage 4: coarse bubble correction + thermometer→binary.
+        let t_corr = bubble_correct(&mut nl, &t_in)?;
+        let c = thermometer_binary(&mut nl, &t_corr, cb)?;
+
+        // Stage 5: synchronisation. m = c0 XOR p_msb (parity mismatch);
+        // dir = p_{msb−1} (late in fold → decrement).
+        let p_msb = p[p_bits - 1];
+        let dir = p[p_bits - 2];
+        let m = nl.gate(CellKind::Xor2, &[c[0], p_msb], "sync_m")?;
+        let (d_bits, wrap_dec, wrap_inc) = sync_adjust(&mut nl, &c, m, dir)?;
+
+        // Output assembly, MSB first: d bits (top, already MSB-first),
+        // then p bits MSB-first — each bit clamped by the wrap
+        // detectors: a suppressed decrement at fold 0 means the wheel
+        // wrapped *below* the range (underflow → force 0), a suppressed
+        // increment at the top fold means overflow (→ force all-ones).
+        // One AO21 compound cell per bit: (bit ∧ ¬wrap_dec) ∨ wrap_inc.
+        let mut raw_bits: Vec<Sig> = d_bits.iter().map(|&n| (n, false)).collect();
+        for b in (0..p_bits).rev() {
+            raw_bits.push((p[b], false));
+        }
+        let mut out_bits: Vec<Sig> = Vec::with_capacity(raw_bits.len());
+        for (k, sig) in raw_bits.iter().enumerate() {
+            let clamped = nl.gate_inv(
+                CellKind::AndOr21,
+                &[*sig, (wrap_dec, true), (wrap_inc, false)],
+                &format!("out_clamp{k}"),
+            )?;
+            out_bits.push((clamped, false));
+        }
+        for &(n, _) in &out_bits {
+            nl.output(n);
+        }
+
+        // Fully pipeline: every cell gets the Fig. 8 merged latch; keep
+        // the combinational view cached for fast per-sample evaluation.
+        let comb = nl.clone();
+        let nl = ulp_stscl::pipeline::pipeline_fully(&nl);
+
+        Ok(Encoder {
+            netlist: nl,
+            comb,
+            n_fine: levels,
+            n_therm,
+            out_bits,
+        })
+    }
+
+    /// The encoder netlist (fully pipelined).
+    pub fn netlist(&self) -> &GateNetlist {
+        &self.netlist
+    }
+
+    /// Gate (tail-current) count.
+    pub fn gate_count(&self) -> usize {
+        self.netlist.gate_count()
+    }
+
+    /// Tail-current count a flat 2-input mapping would need (compound
+    /// ablation baseline).
+    pub fn flattened_gate_count(&self) -> usize {
+        self.netlist.flattened_gate_count()
+    }
+
+    /// Functionally encodes one sample: fine wheel signs + coarse
+    /// thermometer → binary code.
+    ///
+    /// Evaluation is combinational (the unpipelined netlist); the
+    /// pipelined netlist computes the same function with
+    /// [`Encoder::pipeline_latency`] cycles of latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input widths do not match the geometry.
+    pub fn encode(&self, signs: &[bool], therm: &[bool]) -> u16 {
+        assert_eq!(signs.len(), self.n_fine, "fine sign width mismatch");
+        assert_eq!(therm.len(), self.n_therm, "thermometer width mismatch");
+        let mut pi = Vec::with_capacity(self.n_fine + self.n_therm);
+        pi.extend_from_slice(signs);
+        pi.extend_from_slice(therm);
+        let values = evaluate(&self.comb, &pi, &[]).expect("encoder netlist is acyclic");
+        let mut code = 0u16;
+        for &(net, inv) in &self.out_bits {
+            code = (code << 1) | u16::from(values.get(net) ^ inv);
+        }
+        code
+    }
+
+    /// Pipeline latency in clock cycles (the structural depth of the
+    /// latched netlist).
+    pub fn pipeline_latency(&self) -> usize {
+        self.comb.logic_depth().expect("encoder netlist is acyclic")
+    }
+}
+
+/// Builds an OR tree over `leaves`, returning the root net.
+fn or_tree(
+    nl: &mut GateNetlist,
+    leaves: &[Sig],
+    name: &str,
+) -> Result<NetId, NetlistError> {
+    assert!(!leaves.is_empty(), "or tree needs leaves");
+    let mut layer: Vec<Sig> = leaves.to_vec();
+    let mut level = 0usize;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(3));
+        for (k, chunk) in layer.chunks(3).enumerate() {
+            let out_name = format!("{name}_l{level}_{k}");
+            let out = match chunk.len() {
+                3 => nl.gate_inv(CellKind::Or3, chunk, &out_name)?,
+                2 => nl.gate_inv(CellKind::Or2, chunk, &out_name)?,
+                _ => {
+                    next.push(chunk[0]);
+                    continue;
+                }
+            };
+            next.push((out, false));
+        }
+        layer = next;
+        level += 1;
+    }
+    match layer[0] {
+        (net, false) => Ok(net),
+        (net, true) => nl.gate_inv(CellKind::Buf, &[(net, true)], &format!("{name}_inv")),
+    }
+}
+
+/// Cyclic-free thermometer bubble correction: OR at the bottom, AND at
+/// the top, MAJ3 in the middle (boundary constants folded into the
+/// gates).
+fn bubble_correct(
+    nl: &mut GateNetlist,
+    t: &[NetId],
+) -> Result<Vec<NetId>, NetlistError> {
+    let n = t.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let name = format!("tc{i}");
+        let net = if n == 1 {
+            nl.gate(CellKind::Buf, &[t[0]], &name)?
+        } else if i == 0 {
+            nl.gate(CellKind::Or2, &[t[0], t[1]], &name)?
+        } else if i == n - 1 {
+            nl.gate(CellKind::And2, &[t[n - 2], t[n - 1]], &name)?
+        } else {
+            nl.gate(CellKind::Maj3, &[t[i - 1], t[i], t[i + 1]], &name)?
+        };
+        out.push(net);
+    }
+    Ok(out)
+}
+
+/// Thermometer (`2^bits − 1` lines, bubble-free) → binary via a
+/// recursive MUX tree. Returns bits LSB-first.
+fn thermometer_binary(
+    nl: &mut GateNetlist,
+    t: &[NetId],
+    bits: usize,
+) -> Result<Vec<NetId>, NetlistError> {
+    assert_eq!(t.len() + 1, 1 << bits, "thermometer width must be 2^bits − 1");
+    fn rec(
+        nl: &mut GateNetlist,
+        t: &[NetId],
+        bits: usize,
+        tag: &mut usize,
+    ) -> Result<Vec<NetId>, NetlistError> {
+        if bits == 1 {
+            // One line: it *is* the LSB; buffer to give it a driver of
+            // its own (a real encoder re-times it anyway).
+            let name = format!("cb_buf{tag}");
+            *tag += 1;
+            return Ok(vec![nl.gate(CellKind::Buf, &[t[0]], &name)?]);
+        }
+        let mid = t.len() / 2;
+        let msb = t[mid];
+        let lo = rec(nl, &t[..mid], bits - 1, tag)?;
+        let hi = rec(nl, &t[mid + 1..], bits - 1, tag)?;
+        let mut out = Vec::with_capacity(bits);
+        for (k, (l, h)) in lo.iter().zip(&hi).enumerate() {
+            let name = format!("cb_mux{tag}_{k}");
+            *tag += 1;
+            out.push(nl.gate(CellKind::Mux2, &[msb, *h, *l], &name)?);
+        }
+        // MSB itself, buffered for a dedicated driver.
+        let name = format!("cb_msb{tag}");
+        *tag += 1;
+        out.push(nl.gate(CellKind::Buf, &[msb], &name)?);
+        Ok(out)
+    }
+    let mut tag = 0usize;
+    rec(nl, t, bits, &mut tag)
+}
+
+/// The ±1-fold synchroniser: returns `(top bits MSB-first, wrap_dec,
+/// wrap_inc)` where the wrap signals flag a decrement requested at fold
+/// 0 (wheel underflow) or an increment at the top fold (overflow) —
+/// conditions that only arise just outside the conversion range and are
+/// clamped by the caller.
+fn sync_adjust(
+    nl: &mut GateNetlist,
+    c: &[NetId],
+    mismatch: NetId,
+    dir: NetId,
+) -> Result<(Vec<NetId>, NetId, NetId), NetlistError> {
+    let cb = c.len();
+    // Ripple carry/borrow chains (c is LSB-first).
+    // carry_k = c0 ∧ … ∧ c_{k−1};  borrow_k = ¬c0 ∧ … ∧ ¬c_{k−1}.
+    let mut carry: Vec<Sig> = vec![(c[0], false)];
+    let mut borrow: Vec<Sig> = vec![(c[0], true)];
+    for k in 1..cb {
+        let cnet = nl.gate_inv(
+            CellKind::And2,
+            &[carry[k - 1], (c[k], false)],
+            &format!("sync_c{k}"),
+        )?;
+        carry.push((cnet, false));
+        let bnet = nl.gate_inv(
+            CellKind::And2,
+            &[borrow[k - 1], (c[k], true)],
+            &format!("sync_b{k}"),
+        )?;
+        borrow.push((bnet, false));
+    }
+    // Wrap detection: carry[cb−1] = "c is all ones", borrow[cb−1] =
+    // "c is zero". A mismatch-driven decrement at zero is a wheel
+    // underflow; an increment at all-ones is an overflow. Either way
+    // the correction itself is suppressed and the caller clamps.
+    let dec_at_zero = nl.gate_inv(
+        CellKind::And2,
+        &[borrow[cb - 1], (dir, false)],
+        "sync_wrapd0",
+    )?;
+    let wrap_dec = nl.gate(CellKind::And2, &[mismatch, dec_at_zero], "sync_wrapd")?;
+    let inc_at_top = nl.gate_inv(
+        CellKind::And2,
+        &[carry[cb - 1], (dir, true)],
+        "sync_wrapi0",
+    )?;
+    let wrap_inc = nl.gate(CellKind::And2, &[mismatch, inc_at_top], "sync_wrapi")?;
+    let wrap = nl.gate(CellKind::Or2, &[wrap_dec, wrap_inc], "sync_wrap")?;
+    let m_eff = nl.gate_inv(
+        CellKind::And2,
+        &[(mismatch, false), (wrap, true)],
+        "sync_meff",
+    )?;
+    // For each output bit k (1..cb): inc_k = c_k ⊕ carry_k,
+    // dec_k = c_k ⊕ borrow_k, adjusted = dir ? dec : inc, final =
+    // m_eff ? adjusted : c_k. MSB first on return.
+    let mut out = Vec::with_capacity(cb - 1);
+    for k in (1..cb).rev() {
+        let inc = nl.gate_inv(
+            CellKind::Xor2,
+            &[(c[k], false), carry[k - 1]],
+            &format!("sync_inc{k}"),
+        )?;
+        let dec = nl.gate_inv(
+            CellKind::Xor2,
+            &[(c[k], false), borrow[k - 1]],
+            &format!("sync_dec{k}"),
+        )?;
+        let adj = nl.gate(CellKind::Mux2, &[dir, dec, inc], &format!("sync_adj{k}"))?;
+        let fin = nl.gate(
+            CellKind::Mux2,
+            &[m_eff, adj, c[k]],
+            &format!("sync_d{k}"),
+        )?;
+        out.push(fin);
+    }
+    Ok((out, wrap_dec, wrap_inc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encoder() -> Encoder {
+        Encoder::build(&AdcConfig::default())
+    }
+
+    /// Ideal stimulus for absolute code position `n` (bucket centre).
+    fn stimulus(n: usize) -> (Vec<bool>, Vec<bool>) {
+        let q = (n as f64 + 0.5) % 64.0;
+        let signs: Vec<bool> = (0..32)
+            .map(|i| {
+                // s_i > 0 iff q ∈ (i, i+32) mod 64.
+                let rel = (q - i as f64).rem_euclid(64.0);
+                rel > 0.0 && rel < 32.0
+            })
+            .collect();
+        let fold = n / 32;
+        let therm: Vec<bool> = (0..7).map(|k| fold > k).collect();
+        (signs, therm)
+    }
+
+    #[test]
+    fn encodes_every_code_exactly() {
+        let e = encoder();
+        for n in 0..256usize {
+            let (s, t) = stimulus(n);
+            assert_eq!(e.encode(&s, &t), n as u16, "code {n}");
+        }
+    }
+
+    #[test]
+    fn tolerates_flash_off_by_one() {
+        // The §III-B error correction: a coarse flash threshold that
+        // fires early or late near its own boundary must not corrupt the
+        // code. Physical flash errors point *toward* the nearby
+        // boundary: just above a fold boundary the flash can lag (−1),
+        // just below it can lead (+1).
+        let e = encoder();
+        for n in [32usize, 64, 96, 160, 224, 33, 65, 129] {
+            let (s, _) = stimulus(n);
+            let fold = (n / 32) as i64 - 1; // flash lagging
+            let therm: Vec<bool> = (0..7).map(|k| fold > k as i64).collect();
+            assert_eq!(e.encode(&s, &therm), n as u16, "code {n}, flash lags");
+        }
+        for n in [31usize, 63, 95, 159, 223, 30, 62, 126] {
+            let (s, _) = stimulus(n);
+            let fold = (n / 32) as i64 + 1; // flash leading
+            let therm: Vec<bool> = (0..7).map(|k| fold > k as i64).collect();
+            assert_eq!(e.encode(&s, &therm), n as u16, "code {n}, flash leads");
+        }
+    }
+
+    #[test]
+    fn clamps_instead_of_wrapping() {
+        // A wheel position one step below the range (p = 63 with the
+        // flash at fold 0) is an underflow — the only physically
+        // consistent reading — and must clamp to code 0, never wrap to
+        // the top of the range.
+        let (s, _) = stimulus(63); // wheel pattern for p = 63
+        let e = encoder();
+        let therm = vec![false; 7]; // flash: fold 0
+        assert_eq!(e.encode(&s, &therm), 0, "underflow clamps to 0");
+        // A wheel position one step above the range (p = 0 with the
+        // flash at fold 7) is an overflow and clamps to full scale.
+        let (s, _) = stimulus(256);
+        let therm: Vec<bool> = (0..7).map(|_| true).collect();
+        assert_eq!(e.encode(&s, &therm), 255, "overflow clamps to 255");
+    }
+
+    #[test]
+    fn tolerates_single_bubble_in_fine_code() {
+        let e = encoder();
+        for n in [10usize, 100, 200] {
+            let (mut s, t) = stimulus(n);
+            // Flip one sign deep inside a run (an isolated bubble).
+            let q = (n + 16) % 64;
+            let flip = if q < 32 { q } else { q - 32 };
+            s[flip] = !s[flip];
+            let got = e.encode(&s, &t);
+            let err = (got as i64 - n as i64).abs();
+            assert!(err <= 1, "code {n}: bubble gave {got}");
+        }
+    }
+
+    #[test]
+    fn gate_count_in_paper_class() {
+        // The paper's encoder: 196 STSCL gates. Ours lands in the same
+        // class (the exact structure differs).
+        let e = encoder();
+        let n = e.gate_count();
+        assert!(
+            (150..320).contains(&n),
+            "gate count {n} out of the expected class"
+        );
+        // Compound cells save real tails vs a flat mapping.
+        assert!(e.flattened_gate_count() > n + 50);
+    }
+
+    #[test]
+    fn fully_pipelined_depth_one() {
+        let e = encoder();
+        assert_eq!(e.netlist().logic_depth().unwrap(), 1);
+        assert!(e.netlist().latch_count() == e.gate_count());
+        // Structural latency is the unpipelined depth: ~7 stages.
+        let lat = e.pipeline_latency();
+        assert!((4..=12).contains(&lat), "latency = {lat}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_widths_rejected() {
+        let e = encoder();
+        let _ = e.encode(&[true; 3], &[false; 7]);
+    }
+}

@@ -1,0 +1,339 @@
+//! The fine signal chain: parallel phase-shifted folders, current-mode
+//! interpolation, and the cyclic wheel code.
+//!
+//! Geometry (default 8-bit converter): 4 folders, each with 8 folding
+//! pairs whose taps are spaced one *fold* (32 codes) apart, with folder
+//! `j` phase-shifted by `j·M = j·8` codes. Folding alternates direction
+//! every fold, so each folder output is periodic over a **double fold**
+//! = 64 codes (the "wheel"). Interpolating ×8 between adjacent folder
+//! phases — and between the last folder and the *inverted* first folder,
+//! which is the same signal one half-wheel later — yields 32 signals
+//! `s_0 … s_31` with `s_i > 0` exactly when the wheel position `q`
+//! lies in the half-wheel window `(i, i+32) mod 64`.
+//!
+//! That window structure makes the sign vector a **cyclic thermometer**
+//! decodable to the full 6-bit wheel position `p = q mod 64`
+//! ([`decode_wheel`]) — giving the coarse flash a ±16-code error budget
+//! for synchronisation, which is what makes the architecture robust to
+//! comparator offsets (paper §III-B's error-correction requirement).
+
+use crate::config::AdcConfig;
+use ulp_analog::folder::Folder;
+use ulp_analog::interp::Interpolator;
+use ulp_device::mismatch::MismatchRng;
+use ulp_device::Technology;
+
+/// The folding + interpolating fine signal chain.
+#[derive(Debug, Clone)]
+pub struct FineChain {
+    folders: Vec<Folder>,
+    interpolator: Interpolator,
+    /// Zero-cross detector offsets, referred to the input voltage, V
+    /// (one per interpolated signal).
+    detector_offsets: Vec<f64>,
+    /// Signal slope scale used to refer detector offsets into the
+    /// current domain, A/V.
+    slope: f64,
+    levels: usize,
+}
+
+impl FineChain {
+    /// Builds the nominal (mismatch-free) chain for `config` at folder
+    /// unit current `i_unit`.
+    pub fn ideal(tech: &Technology, config: &AdcConfig, i_unit: f64) -> Self {
+        Self::build(tech, config, i_unit, None)
+    }
+
+    /// Builds the chain with Pelgrom mismatch in the folder pairs, the
+    /// interpolation mirrors and the zero-cross detectors.
+    pub fn with_mismatch(
+        tech: &Technology,
+        config: &AdcConfig,
+        i_unit: f64,
+        rng: &mut MismatchRng,
+    ) -> Self {
+        Self::build(tech, config, i_unit, Some(rng))
+    }
+
+    fn build(
+        tech: &Technology,
+        config: &AdcConfig,
+        i_unit: f64,
+        mut rng: Option<&mut MismatchRng>,
+    ) -> Self {
+        config.validate();
+        let m = config.interpolation;
+        let nf = config.folders;
+        let folds = config.folds();
+        let lsb = config.lsb();
+        let wheel = 2 * config.levels_per_fold(); // codes per double fold
+        let levels = config.levels_per_fold();
+        let (pw, pl) = config.pair_geometry;
+        let mut folders = Vec::with_capacity(nf);
+        for j in 0..nf {
+            // Folder j: taps one fold apart, phase-shifted by j·M codes.
+            // Two guard taps extend the array beyond each end of the
+            // range (real folding arrays over-range their references so
+            // the edge folds keep the ideal shape); an even guard count
+            // below preserves the alternating fold polarity.
+            let refs: Vec<f64> = (-2i64..(folds as i64 + 2))
+                .map(|k| {
+                    config.v_low + ((j * m) as f64 + k as f64 * (wheel / 2) as f64) * lsb
+                })
+                .collect();
+            let mut f = Folder::new(tech, refs, i_unit);
+            if let Some(r) = rng.as_deref_mut() {
+                f = f.with_mismatch(tech, r, pw, pl);
+            }
+            folders.push(f);
+        }
+        let mut interpolator = Interpolator::new(m, i_unit);
+        if let Some(r) = rng.as_deref_mut() {
+            interpolator = interpolator.with_mismatch(tech, r, 4e-6, 2e-6, nf);
+        }
+        // Each zero-cross detector sits behind the Fig. 6
+        // double-differential pre-amplifier, whose gain
+        // A ≈ VSW/(2·n·UT) divides the latch offset when referred to
+        // the folding signal.
+        let preamp_gain = 0.2 / (2.0 * tech.nmos.n * tech.thermal_voltage());
+        let detector_offsets = match rng {
+            Some(r) => (0..levels)
+                .map(|_| r.draw_pair_offset(&tech.nmos, pw, pl) / preamp_gain)
+                .collect(),
+            None => vec![0.0; levels],
+        };
+        // Signal slope near a crossing ≈ (i_unit/2)/v_steer per volt of
+        // input; used only to refer detector offsets into current.
+        let v_steer = 2.0 * tech.nmos.n * tech.thermal_voltage();
+        FineChain {
+            folders,
+            interpolator,
+            detector_offsets,
+            slope: 0.5 * i_unit / v_steer,
+            levels,
+        }
+    }
+
+    /// Number of interpolated signals (fine levels per fold).
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The interpolated signal currents at input `vin`, A.
+    pub fn signals(&self, vin: f64) -> Vec<f64> {
+        let mut phases: Vec<f64> = self.folders.iter().map(|f| f.output_current(vin)).collect();
+        // The first folder, inverted, is the same phase one half-wheel
+        // later — closing the interpolation ring.
+        phases.push(-phases[0]);
+        let mut out = self.interpolator.interpolate(&phases);
+        out.truncate(self.levels);
+        out
+    }
+
+    /// Sign bits of the (offset-afflicted) zero-cross detectors at
+    /// `vin`.
+    pub fn signs(&self, vin: f64) -> Vec<bool> {
+        self.signals(vin)
+            .iter()
+            .zip(&self.detector_offsets)
+            .map(|(s, off)| s + off * self.slope > 0.0)
+            .collect()
+    }
+
+    /// Sign bits with detector offsets *and* a fresh Gaussian noise draw
+    /// of `noise_rms` volts (input-referred) per decision.
+    pub fn signs_with_noise(
+        &self,
+        rng: &mut MismatchRng,
+        noise_rms: f64,
+        vin: f64,
+    ) -> Vec<bool> {
+        self.signals(vin)
+            .iter()
+            .zip(&self.detector_offsets)
+            .map(|(s, off)| {
+                let disturb = off + rng.standard_normal() * noise_rms;
+                s + disturb * self.slope > 0.0
+            })
+            .collect()
+    }
+
+    /// Total fine-chain bias current, A (folders + interpolation
+    /// branches).
+    pub fn bias_current(&self) -> f64 {
+        let folders: f64 = self.folders.iter().map(|f| f.bias_current()).sum();
+        folders + self.interpolator.bias_current(self.folders.len() + 1)
+    }
+
+    /// Rescales every tail and branch current by programming a new unit
+    /// current (PMU knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `i_unit > 0`.
+    pub fn set_i_unit(&mut self, i_unit: f64) {
+        assert!(i_unit > 0.0, "unit current must be positive");
+        let old = self.folders[0].i_unit();
+        for f in &mut self.folders {
+            f.set_i_unit(i_unit);
+        }
+        self.interpolator.set_i_branch(i_unit);
+        // Detector offsets are voltage-referred; the current-domain
+        // slope tracks the new bias so the crossings stay put (the
+        // scalability property).
+        self.slope *= i_unit / old;
+    }
+
+    /// Bandwidth-limiting pole of the chain at node capacitance `c`,
+    /// Hz.
+    pub fn bandwidth(&self, tech: &Technology, c: f64) -> f64 {
+        self.folders
+            .iter()
+            .map(|f| f.bandwidth(tech, c))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Decodes a wheel sign vector (the cyclic thermometer) to the wheel
+/// position `p ∈ 0..2·levels`.
+///
+/// For `levels` signals the wheel has `2·levels` positions; the decode
+/// uses the prefix/suffix run structure of the half-wheel windows.
+///
+/// # Panics
+///
+/// Panics if `signs` is empty.
+pub fn decode_wheel(signs: &[bool]) -> usize {
+    assert!(!signs.is_empty(), "need at least one sign");
+    let n = signs.len();
+    let count = signs.iter().filter(|s| **s).count();
+    if count == 0 {
+        return 2 * n - 1;
+    }
+    if count == n {
+        return n - 1;
+    }
+    if signs[0] {
+        // Prefix run: positives are {0..count−1}.
+        count - 1
+    } else {
+        // Suffix run: position in the second half-wheel.
+        2 * n - 1 - count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::default()
+    }
+
+    fn config() -> AdcConfig {
+        AdcConfig::default()
+    }
+
+    #[test]
+    fn signal_count_matches_levels() {
+        let c = config();
+        let chain = FineChain::ideal(&tech(), &c, 1e-9);
+        assert_eq!(chain.levels(), 32);
+        assert_eq!(chain.signals(0.6).len(), 32);
+        assert_eq!(chain.signs(0.6).len(), 32);
+    }
+
+    #[test]
+    fn ideal_wheel_decode_tracks_input() {
+        let c = config();
+        let chain = FineChain::ideal(&tech(), &c, 1e-9);
+        let lsb = c.lsb();
+        let mut worst = 0i64;
+        // Stay away from the very edges of the range where the wheel
+        // wraps.
+        for n in 8..248usize {
+            let vin = c.v_low + (n as f64 + 0.5) * lsb;
+            let p = decode_wheel(&chain.signs(vin)) as i64;
+            let want = (n % 64) as i64;
+            let mut err = (p - want).abs();
+            err = err.min(64 - err); // cyclic distance
+            worst = worst.max(err);
+        }
+        assert!(worst <= 1, "wheel decode error = {worst}");
+    }
+
+    #[test]
+    fn decode_wheel_pure_patterns() {
+        // Prefix runs.
+        let mut s = vec![false; 32];
+        s[0] = true;
+        assert_eq!(decode_wheel(&s), 0);
+        s[1] = true;
+        s[2] = true;
+        assert_eq!(decode_wheel(&s), 2);
+        // All positive → end of the first half-wheel.
+        assert_eq!(decode_wheel(&[true; 32]), 31);
+        // All negative → end of the wheel.
+        assert_eq!(decode_wheel(&[false; 32]), 63);
+        // Suffix run of length 1 → position 62.
+        let mut s = vec![false; 32];
+        s[31] = true;
+        assert_eq!(decode_wheel(&s), 62);
+    }
+
+    #[test]
+    fn crossings_stay_put_when_bias_scales() {
+        let c = config();
+        let mut chain = FineChain::ideal(&tech(), &c, 100e-9);
+        let vin = 0.537;
+        let p_hi = decode_wheel(&chain.signs(vin));
+        chain.set_i_unit(100e-12);
+        let p_lo = decode_wheel(&chain.signs(vin));
+        assert_eq!(p_hi, p_lo, "decisions are bias-independent");
+    }
+
+    #[test]
+    fn mismatch_perturbs_but_preserves_structure() {
+        let c = config();
+        let mut rng = MismatchRng::seed_from(1234);
+        let chain = FineChain::with_mismatch(&tech(), &c, 1e-9, &mut rng);
+        let lsb = c.lsb();
+        let mut worst = 0i64;
+        for n in 8..248usize {
+            let vin = c.v_low + (n as f64 + 0.5) * lsb;
+            let p = decode_wheel(&chain.signs(vin)) as i64;
+            let want = (n % 64) as i64;
+            let mut err = (p - want).abs();
+            err = err.min(64 - err);
+            worst = worst.max(err);
+        }
+        assert!(worst >= 1, "mismatch must move some decision");
+        assert!(worst <= 4, "but stays LSB-class: {worst}");
+    }
+
+    #[test]
+    fn bias_current_accounting() {
+        let c = config();
+        let chain = FineChain::ideal(&tech(), &c, 1e-9);
+        // 4 folders × (8 + 4 guard) pairs + interpolator branches
+        // (4·8 + 1 = 33).
+        let expect = 48e-9 + 33e-9;
+        assert!((chain.bias_current() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bandwidth_scales() {
+        let c = config();
+        let t = tech();
+        let mut chain = FineChain::ideal(&t, &c, 1e-9);
+        let b1 = chain.bandwidth(&t, 50e-15);
+        chain.set_i_unit(10e-9);
+        assert!((chain.bandwidth(&t, 50e-15) / b1 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sign")]
+    fn empty_signs_rejected() {
+        let _ = decode_wheel(&[]);
+    }
+}

@@ -1,0 +1,660 @@
+//! ADC metrology: static linearity (INL/DNL) and dynamic performance
+//! (SNDR/ENOB/SFDR) — the measurements behind the paper's Fig. 11 and
+//! §III-C numbers.
+
+use crate::converter::FaiAdc;
+use ulp_num::fft;
+use ulp_num::stats::Histogram;
+use std::error::Error;
+use std::fmt;
+
+/// Metrology errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricsError {
+    /// The capture is too sparse for a meaningful histogram (average
+    /// hits per interior code below the reporting threshold). Genuinely
+    /// *missing codes* on a well-sampled ramp are not an error — they
+    /// are reported as DNL = −1.
+    InsufficientCoverage {
+        /// Average samples per interior code observed.
+        hits_per_code: usize,
+    },
+    /// The FFT record length was not a power of two.
+    BadRecordLength {
+        /// Offending length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsError::InsufficientCoverage { hits_per_code } => {
+                write!(
+                    f,
+                    "only {hits_per_code} samples per code on average — ramp too sparse"
+                )
+            }
+            MetricsError::BadRecordLength { len } => {
+                write!(f, "record length {len} is not a power of two")
+            }
+        }
+    }
+}
+
+impl Error for MetricsError {}
+
+/// Static-linearity result: per-code DNL and INL, in LSB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linearity {
+    /// DNL per code (length = codes − 2; the end codes are excluded as
+    /// is conventional).
+    pub dnl: Vec<f64>,
+    /// INL per code (running sum of DNL).
+    pub inl: Vec<f64>,
+    /// Peak |DNL|, LSB.
+    pub dnl_max: f64,
+    /// Peak |INL|, LSB.
+    pub inl_max: f64,
+}
+
+/// Measures INL/DNL with the slow-ramp code-density method: `steps`
+/// evenly spaced inputs across slightly beyond full range, histogram of
+/// output codes, deviations of bin widths from the average.
+///
+/// # Errors
+///
+/// [`MetricsError::InsufficientCoverage`] if any interior code receives
+/// no hits (increase `steps`).
+pub fn ramp_linearity(adc: &FaiAdc, steps: usize) -> Result<Linearity, MetricsError> {
+    let cfg = *adc.config();
+    let codes = cfg.codes();
+    let span = cfg.v_high - cfg.v_low;
+    // Overdrive the ramp slightly so the end codes saturate normally.
+    let v0 = cfg.v_low - 0.01 * span;
+    let v1 = cfg.v_high + 0.01 * span;
+    let mut hist = Histogram::new(codes);
+    for k in 0..steps {
+        let vin = v0 + (v1 - v0) * (k as f64 + 0.5) / steps as f64;
+        hist.record(adc.convert_behavioural(vin) as usize);
+    }
+    linearity_from_histogram(&hist)
+}
+
+/// [`ramp_linearity`] with per-decision comparator noise (fresh draws
+/// every sample). Noise acts as dither: each transition is crossed many
+/// times with scatter, so the histogram measures the *average* edge —
+/// sub-LSB noise typically smooths the measured DNL relative to the
+/// noiseless ramp.
+///
+/// # Errors
+///
+/// [`MetricsError::InsufficientCoverage`] for a too-sparse ramp.
+pub fn ramp_linearity_noisy(
+    adc: &FaiAdc,
+    rng: &mut ulp_device::mismatch::MismatchRng,
+    steps: usize,
+) -> Result<Linearity, MetricsError> {
+    let cfg = *adc.config();
+    let codes = cfg.codes();
+    let span = cfg.v_high - cfg.v_low;
+    let v0 = cfg.v_low - 0.01 * span;
+    let v1 = cfg.v_high + 0.01 * span;
+    let mut hist = Histogram::new(codes);
+    for k in 0..steps {
+        let vin = v0 + (v1 - v0) * (k as f64 + 0.5) / steps as f64;
+        hist.record(adc.convert_noisy(rng, vin) as usize);
+    }
+    linearity_from_histogram(&hist)
+}
+
+/// Computes INL/DNL from a code-density histogram (interior codes
+/// only). Empty interior codes are legitimate missing codes and appear
+/// as DNL = −1.
+///
+/// # Errors
+///
+/// [`MetricsError::InsufficientCoverage`] if the ramp was too sparse
+/// (fewer than 4 samples per interior code on average).
+pub fn linearity_from_histogram(hist: &Histogram) -> Result<Linearity, MetricsError> {
+    let codes = hist.bins();
+    let interior = &hist.counts()[1..codes - 1];
+    let avg = interior.iter().sum::<u64>() as f64 / interior.len() as f64;
+    if avg < 4.0 {
+        return Err(MetricsError::InsufficientCoverage {
+            hits_per_code: avg as usize,
+        });
+    }
+    let dnl: Vec<f64> = interior.iter().map(|&c| c as f64 / avg - 1.0).collect();
+    let mut inl = Vec::with_capacity(dnl.len());
+    let mut acc = 0.0;
+    for d in &dnl {
+        acc += d;
+        inl.push(acc);
+    }
+    // Endpoint-fit INL: remove the straight line through the ends.
+    let n = inl.len() as f64;
+    let last = *inl.last().expect("non-empty");
+    for (k, v) in inl.iter_mut().enumerate() {
+        *v -= last * (k as f64 + 1.0) / n;
+    }
+    let dnl_max = dnl.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    let inl_max = inl.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    Ok(Linearity {
+        dnl,
+        inl,
+        dnl_max,
+        inl_max,
+    })
+}
+
+/// Dynamic-performance result from a coherent sine capture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dynamics {
+    /// Signal-to-noise-and-distortion ratio, dB.
+    pub sndr_db: f64,
+    /// Effective number of bits, `ENOB = (SNDR − 1.76)/6.02`.
+    pub enob: f64,
+    /// Spurious-free dynamic range, dB.
+    pub sfdr_db: f64,
+}
+
+/// Runs the FFT sine test: a coherent full-scale(-ish) sine of
+/// `cycles` periods over `n` samples at sampling rate `fs`, converted
+/// through the behavioural path; SNDR integrates all non-signal,
+/// non-DC bins.
+///
+/// # Errors
+///
+/// [`MetricsError::BadRecordLength`] unless `n` is a power of two.
+///
+/// # Panics
+///
+/// Panics if `cycles` is 0 or not coprime-ish sensible (`cycles >=
+/// n/2`).
+pub fn sine_test(adc: &FaiAdc, n: usize, cycles: usize, fs: f64) -> Result<Dynamics, MetricsError> {
+    if !n.is_power_of_two() || n == 0 {
+        return Err(MetricsError::BadRecordLength { len: n });
+    }
+    assert!(cycles > 0 && cycles < n / 2, "bad cycle count");
+    let cfg = *adc.config();
+    let amp = 0.49 * (cfg.v_high - cfg.v_low);
+    let f_in = cycles as f64 * fs / n as f64;
+    let codes = adc.sample_waveform(
+        |t| cfg.mid_scale() + amp * (2.0 * std::f64::consts::PI * f_in * t).sin(),
+        fs,
+        n,
+    );
+    dynamics_from_codes(&codes, cycles)
+}
+
+/// Measures INL/DNL with the **sine-histogram** method — what a real
+/// bench (like the paper's) typically uses, since a spectrally pure
+/// sine is easier to generate than a 16-bit-linear ramp. The measured
+/// code density is corrected by the arcsine probability density of the
+/// sine before the deviations are computed.
+///
+/// `periods` must be chosen incommensurate with `samples` (odd counts
+/// work well) so the sine sweeps the codes uniformly in phase.
+///
+/// # Errors
+///
+/// [`MetricsError::InsufficientCoverage`] if the capture is too sparse.
+///
+/// # Panics
+///
+/// Panics if `periods` is zero.
+pub fn sine_histogram_linearity(
+    adc: &FaiAdc,
+    samples: usize,
+    periods: usize,
+) -> Result<Linearity, MetricsError> {
+    assert!(periods > 0, "need at least one period");
+    let cfg = *adc.config();
+    let codes = cfg.codes();
+    // Slight overdrive so the end codes saturate (standard practice).
+    let amp = 0.51 * (cfg.v_high - cfg.v_low);
+    let mid = cfg.mid_scale();
+    let mut hist = Histogram::new(codes);
+    for k in 0..samples {
+        let phase = 2.0 * std::f64::consts::PI * periods as f64 * k as f64 / samples as f64;
+        hist.record(adc.convert_behavioural(mid + amp * phase.sin()) as usize);
+    }
+    // Arcsine-pdf correction: the ideal occupancy of code c is
+    // p(c) ∝ asin(u_hi) − asin(u_lo) with u the code edges normalised
+    // to the sine amplitude.
+    let lsb = cfg.lsb();
+    let interior = &hist.counts()[1..codes - 1];
+    let avg = interior.iter().sum::<u64>() as f64 / interior.len() as f64;
+    if avg < 4.0 {
+        return Err(MetricsError::InsufficientCoverage {
+            hits_per_code: avg as usize,
+        });
+    }
+    let norm = |v: f64| ((v - mid) / amp).clamp(-1.0, 1.0);
+    let total: f64 = interior.iter().sum::<u64>() as f64;
+    let mut ideal_weights = Vec::with_capacity(interior.len());
+    for c in 1..codes - 1 {
+        let lo = cfg.v_low + c as f64 * lsb;
+        let hi = lo + lsb;
+        ideal_weights.push(norm(hi).asin() - norm(lo).asin());
+    }
+    let weight_sum: f64 = ideal_weights.iter().sum();
+    let dnl: Vec<f64> = interior
+        .iter()
+        .zip(&ideal_weights)
+        .map(|(&count, &w)| {
+            let expected = total * w / weight_sum;
+            if expected > 0.0 {
+                count as f64 / expected - 1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mut inl = Vec::with_capacity(dnl.len());
+    let mut acc = 0.0;
+    for d in &dnl {
+        acc += d;
+        inl.push(acc);
+    }
+    let n = inl.len() as f64;
+    let last = *inl.last().expect("non-empty");
+    for (k, v) in inl.iter_mut().enumerate() {
+        *v -= last * (k as f64 + 1.0) / n;
+    }
+    let dnl_max = dnl.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    let inl_max = inl.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    Ok(Linearity {
+        dnl,
+        inl,
+        dnl_max,
+        inl_max,
+    })
+}
+
+/// SFDR/SNDR versus input amplitude: sweeps the sine test from
+/// `db_from` to 0 dBFS in `steps` points and returns
+/// `(amplitude_dbfs, Dynamics)` pairs — the standard dynamic-range
+/// characterisation plot.
+///
+/// # Errors
+///
+/// Propagates [`MetricsError`] from the underlying captures.
+pub fn amplitude_sweep(
+    adc: &FaiAdc,
+    n: usize,
+    cycles: usize,
+    fs: f64,
+    db_from: f64,
+    steps: usize,
+) -> Result<Vec<(f64, Dynamics)>, MetricsError> {
+    let cfg = *adc.config();
+    let full = 0.49 * (cfg.v_high - cfg.v_low);
+    let mut out = Vec::with_capacity(steps);
+    for k in 0..steps {
+        let dbfs = db_from + (0.0 - db_from) * k as f64 / (steps.max(2) - 1) as f64;
+        let amp = full * 10f64.powf(dbfs / 20.0);
+        let f_in = cycles as f64 * fs / n as f64;
+        let codes = adc.sample_waveform(
+            |t| cfg.mid_scale() + amp * (2.0 * std::f64::consts::PI * f_in * t).sin(),
+            fs,
+            n,
+        );
+        out.push((dbfs, dynamics_from_codes(&codes, cycles)?));
+    }
+    Ok(out)
+}
+
+/// The sine test for a **non-coherent** input frequency: applies a Hann
+/// window before the FFT and excludes the leakage skirt (±3 bins around
+/// the signal) from the noise integral. Use when the stimulus cannot be
+/// phase-locked to the sampling clock — the usual situation on a real
+/// bench without a synthesiser lock.
+///
+/// # Errors
+///
+/// [`MetricsError::BadRecordLength`] unless `n` is a power of two.
+///
+/// # Panics
+///
+/// Panics unless `0 < f_in < fs/2`.
+pub fn sine_test_windowed(
+    adc: &FaiAdc,
+    n: usize,
+    f_in: f64,
+    fs: f64,
+) -> Result<Dynamics, MetricsError> {
+    if !n.is_power_of_two() || n == 0 {
+        return Err(MetricsError::BadRecordLength { len: n });
+    }
+    assert!(f_in > 0.0 && f_in < 0.5 * fs, "input must sit below Nyquist");
+    let cfg = *adc.config();
+    let amp = 0.49 * (cfg.v_high - cfg.v_low);
+    let codes = adc.sample_waveform(
+        |t| cfg.mid_scale() + amp * (2.0 * std::f64::consts::PI * f_in * t).sin(),
+        fs,
+        n,
+    );
+    let mean = codes.iter().map(|&c| c as f64).sum::<f64>() / n as f64;
+    let window = fft::hann_window(n);
+    let signal: Vec<f64> = codes
+        .iter()
+        .zip(&window)
+        .map(|(&c, &w)| (c as f64 - mean) * w)
+        .collect();
+    let power =
+        fft::power_spectrum(&signal).map_err(|_| MetricsError::BadRecordLength { len: n })?;
+    let signal_bin = (f_in / fs * n as f64).round() as usize;
+    let skirt = 3usize;
+    let lo = signal_bin.saturating_sub(skirt);
+    let hi = (signal_bin + skirt).min(power.len() - 1);
+    let p_sig: f64 = power[lo..=hi].iter().sum();
+    let mut p_noise = 0.0;
+    let mut worst_spur: f64 = 0.0;
+    // The window also leaks DC; skip its skirt too.
+    for (k, &p) in power.iter().enumerate() {
+        if k <= skirt || (lo..=hi).contains(&k) {
+            continue;
+        }
+        p_noise += p;
+        worst_spur = worst_spur.max(p);
+    }
+    let sndr_db = 10.0 * (p_sig / p_noise.max(1e-30)).log10();
+    Ok(Dynamics {
+        sndr_db,
+        enob: (sndr_db - 1.76) / 6.02,
+        sfdr_db: 10.0 * (p_sig / worst_spur.max(1e-30)).log10(),
+    })
+}
+
+/// The sine test with aperture jitter: like [`sine_test`] but each
+/// sampling instant carries Gaussian timing error `jitter_rms` seconds.
+/// Jitter-limited SNDR follows `−20·log10(2π·f_in·σ_t)`; at the paper's
+/// low input frequencies even µs-class jitter costs little, which is
+/// why the measured ENOB gap is attributed to residual dynamic effects
+/// (see EXPERIMENTS.md E5).
+///
+/// # Errors
+///
+/// [`MetricsError::BadRecordLength`] unless `n` is a power of two.
+///
+/// # Panics
+///
+/// Panics on invalid `cycles` (as [`sine_test`]) or negative jitter.
+pub fn sine_test_jittered(
+    adc: &FaiAdc,
+    rng: &mut ulp_device::mismatch::MismatchRng,
+    n: usize,
+    cycles: usize,
+    fs: f64,
+    jitter_rms: f64,
+) -> Result<Dynamics, MetricsError> {
+    if !n.is_power_of_two() || n == 0 {
+        return Err(MetricsError::BadRecordLength { len: n });
+    }
+    assert!(cycles > 0 && cycles < n / 2, "bad cycle count");
+    let cfg = *adc.config();
+    let amp = 0.49 * (cfg.v_high - cfg.v_low);
+    let f_in = cycles as f64 * fs / n as f64;
+    let codes = adc.sample_waveform_jittered(
+        rng,
+        |t| cfg.mid_scale() + amp * (2.0 * std::f64::consts::PI * f_in * t).sin(),
+        fs,
+        n,
+        jitter_rms,
+    );
+    dynamics_from_codes(&codes, cycles)
+}
+
+/// Computes SNDR/ENOB/SFDR from captured codes with the signal in bin
+/// `signal_bin`.
+///
+/// # Errors
+///
+/// [`MetricsError::BadRecordLength`] unless the record is a power of
+/// two.
+pub fn dynamics_from_codes(codes: &[u16], signal_bin: usize) -> Result<Dynamics, MetricsError> {
+    let n = codes.len();
+    if !n.is_power_of_two() || n == 0 {
+        return Err(MetricsError::BadRecordLength { len: n });
+    }
+    let mean = codes.iter().map(|&c| c as f64).sum::<f64>() / n as f64;
+    let signal: Vec<f64> = codes.iter().map(|&c| c as f64 - mean).collect();
+    let power = fft::power_spectrum(&signal).map_err(|_| MetricsError::BadRecordLength { len: n })?;
+    // Signal power: the bin ± 1 (coherent sampling keeps it tight).
+    let lo = signal_bin.saturating_sub(1);
+    let hi = (signal_bin + 1).min(power.len() - 1);
+    let p_sig: f64 = power[lo..=hi].iter().sum();
+    let mut p_noise = 0.0;
+    let mut worst_spur: f64 = 0.0;
+    for (k, &p) in power.iter().enumerate() {
+        if k == 0 || (lo..=hi).contains(&k) {
+            continue;
+        }
+        p_noise += p;
+        worst_spur = worst_spur.max(p);
+    }
+    let sndr_db = 10.0 * (p_sig / p_noise.max(1e-30)).log10();
+    let sfdr_db = 10.0 * (p_sig / worst_spur.max(1e-30)).log10();
+    Ok(Dynamics {
+        sndr_db,
+        enob: (sndr_db - 1.76) / 6.02,
+        sfdr_db,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AdcConfig;
+    use ulp_device::Technology;
+
+    #[test]
+    fn ideal_converter_is_nearly_ideal() {
+        let adc = FaiAdc::ideal(&AdcConfig::default());
+        let lin = ramp_linearity(&adc, 256 * 64).unwrap();
+        assert!(lin.dnl_max < 0.3, "ideal DNL = {}", lin.dnl_max);
+        assert!(lin.inl_max < 0.5, "ideal INL = {}", lin.inl_max);
+        let dyn_ = sine_test(&adc, 4096, 67, 80e3).unwrap();
+        assert!(dyn_.enob > 7.3, "ideal ENOB = {}", dyn_.enob);
+        assert!(dyn_.sfdr_db > dyn_.sndr_db);
+    }
+
+    #[test]
+    fn mismatch_degrades_to_paper_class() {
+        // Fig. 11 / §III-C: INL ≈ 1 LSB, DNL ≈ 0.4 LSB, ENOB ≈ 6.5.
+        let tech = Technology::default();
+        let adc = FaiAdc::with_mismatch(&tech, &AdcConfig::default(), 2026);
+        let lin = ramp_linearity(&adc, 256 * 64).unwrap();
+        assert!(lin.dnl_max > 0.1 && lin.dnl_max < 1.5, "DNL = {}", lin.dnl_max);
+        assert!(lin.inl_max > 0.2 && lin.inl_max < 3.0, "INL = {}", lin.inl_max);
+        let dyn_ = sine_test(&adc, 4096, 67, 80e3).unwrap();
+        assert!(
+            dyn_.enob > 5.5 && dyn_.enob < 8.0,
+            "mismatch ENOB = {}",
+            dyn_.enob
+        );
+    }
+
+    #[test]
+    fn insufficient_coverage_detected() {
+        let adc = FaiAdc::ideal(&AdcConfig::default());
+        // Far too few ramp steps to hit every code.
+        assert!(matches!(
+            ramp_linearity(&adc, 100),
+            Err(MetricsError::InsufficientCoverage { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_record_length_detected() {
+        let adc = FaiAdc::ideal(&AdcConfig::default());
+        assert!(matches!(
+            sine_test(&adc, 1000, 13, 80e3),
+            Err(MetricsError::BadRecordLength { len: 1000 })
+        ));
+        assert!(dynamics_from_codes(&[1, 2, 3], 1).is_err());
+    }
+
+    #[test]
+    fn dnl_inl_lengths() {
+        let adc = FaiAdc::ideal(&AdcConfig::default());
+        let lin = ramp_linearity(&adc, 256 * 40).unwrap();
+        assert_eq!(lin.dnl.len(), 254);
+        assert_eq!(lin.inl.len(), 254);
+        // Endpoint fit: INL returns to ~0 at the top end.
+        assert!(lin.inl.last().unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_quantiser_enob_is_resolution() {
+        // Synthesize codes from an ideal 8-bit quantiser and check the
+        // metric pipeline: ENOB ≈ 7.9–8.1.
+        let n = 4096usize;
+        let cycles = 67usize;
+        let codes: Vec<u16> = (0..n)
+            .map(|k| {
+                let x = (2.0 * std::f64::consts::PI * cycles as f64 * k as f64 / n as f64).sin();
+                let v = 127.5 + 127.49 * x;
+                v.round() as u16
+            })
+            .collect();
+        let d = dynamics_from_codes(&codes, cycles).unwrap();
+        assert!((d.enob - 8.0).abs() < 0.3, "ENOB = {}", d.enob);
+    }
+
+    #[test]
+    fn noisy_ramp_is_close_to_clean_ramp() {
+        use ulp_device::mismatch::MismatchRng;
+        let tech = Technology::default();
+        let adc = FaiAdc::with_mismatch(&tech, &AdcConfig::default(), 5);
+        let clean = ramp_linearity(&adc, 256 * 48).unwrap();
+        let mut rng = MismatchRng::seed_from(77);
+        let noisy = ramp_linearity_noisy(&adc, &mut rng, 256 * 48).unwrap();
+        // 0.3 mV noise ≈ 0.1 LSB: the measured linearity stays in the
+        // same class (dither may smooth DNL slightly).
+        assert!((noisy.inl_max - clean.inl_max).abs() < 0.4);
+        assert!(noisy.dnl_max < clean.dnl_max + 0.3);
+    }
+
+    #[test]
+    fn windowed_test_matches_coherent_class() {
+        // A deliberately non-coherent frequency: the Hann-windowed
+        // metric must land within half a bit of the coherent ENOB.
+        let adc = FaiAdc::ideal(&AdcConfig::default());
+        let coherent = sine_test(&adc, 4096, 67, 80e3).unwrap();
+        // 1.3093 kHz is incommensurate with 80 kHz / 4096.
+        let windowed = sine_test_windowed(&adc, 4096, 1309.3, 80e3).unwrap();
+        assert!(
+            (windowed.enob - coherent.enob).abs() < 0.6,
+            "windowed {} vs coherent {}",
+            windowed.enob,
+            coherent.enob
+        );
+    }
+
+    #[test]
+    fn windowed_test_rejects_bad_inputs() {
+        let adc = FaiAdc::ideal(&AdcConfig::default());
+        assert!(sine_test_windowed(&adc, 1000, 1e3, 80e3).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "below Nyquist")]
+    fn windowed_test_rejects_supernyquist() {
+        let adc = FaiAdc::ideal(&AdcConfig::default());
+        let _ = sine_test_windowed(&adc, 1024, 50e3, 80e3);
+    }
+
+    #[test]
+    fn jitter_degrades_enob_toward_paper_number() {
+        use ulp_device::mismatch::MismatchRng;
+        let tech = Technology::default();
+        let adc = FaiAdc::with_mismatch(&tech, &AdcConfig::default(), 2026);
+        let clean = sine_test(&adc, 4096, 67, 80e3).unwrap();
+        let mut rng = MismatchRng::seed_from(8);
+        // σ_t = 0.2 % of the input period — a sloppy sampling clock
+        // (jitter-limited SNR ≈ 38 dB).
+        let f_in = 67.0 * 80e3 / 4096.0;
+        let jitter = 0.002 / f_in;
+        let noisy = sine_test_jittered(&adc, &mut rng, 4096, 67, 80e3, jitter).unwrap();
+        assert!(
+            noisy.enob < clean.enob - 0.5,
+            "jitter must cost ENOB: {} vs {}",
+            noisy.enob,
+            clean.enob
+        );
+        assert!(noisy.enob > 4.0, "but not destroy the converter");
+    }
+
+    #[test]
+    fn zero_jitter_matches_clean_test() {
+        use ulp_device::mismatch::MismatchRng;
+        let adc = FaiAdc::ideal(&AdcConfig::default());
+        let clean = sine_test(&adc, 1024, 17, 80e3).unwrap();
+        let mut rng = MismatchRng::seed_from(1);
+        let jittered = sine_test_jittered(&adc, &mut rng, 1024, 17, 80e3, 0.0).unwrap();
+        assert!((clean.sndr_db - jittered.sndr_db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sine_histogram_agrees_with_ramp() {
+        let tech = Technology::default();
+        let adc = FaiAdc::with_mismatch(&tech, &AdcConfig::default(), 5);
+        let ramp = ramp_linearity(&adc, 256 * 64).unwrap();
+        let sine = sine_histogram_linearity(&adc, 256 * 256, 127).unwrap();
+        // The two standard methods must agree on the magnitude class.
+        assert!(
+            (sine.inl_max / ramp.inl_max - 1.0).abs() < 0.5,
+            "sine {} vs ramp {}",
+            sine.inl_max,
+            ramp.inl_max
+        );
+        assert!(
+            (sine.dnl_max / ramp.dnl_max - 1.0).abs() < 0.6,
+            "sine {} vs ramp {}",
+            sine.dnl_max,
+            ramp.dnl_max
+        );
+    }
+
+    #[test]
+    fn sine_histogram_of_ideal_converter_is_flat() {
+        let adc = FaiAdc::ideal(&AdcConfig::default());
+        let lin = sine_histogram_linearity(&adc, 256 * 256, 127).unwrap();
+        assert!(lin.dnl_max < 0.4, "ideal sine-hist DNL {}", lin.dnl_max);
+        assert!(lin.inl_max < 0.6, "ideal sine-hist INL {}", lin.inl_max);
+    }
+
+    #[test]
+    fn sine_histogram_sparse_capture_rejected() {
+        let adc = FaiAdc::ideal(&AdcConfig::default());
+        assert!(matches!(
+            sine_histogram_linearity(&adc, 300, 7),
+            Err(MetricsError::InsufficientCoverage { .. })
+        ));
+    }
+
+    #[test]
+    fn amplitude_sweep_monotone_sndr() {
+        let adc = FaiAdc::ideal(&AdcConfig::default());
+        let sweep = amplitude_sweep(&adc, 1024, 17, 80e3, -40.0, 5).unwrap();
+        assert_eq!(sweep.len(), 5);
+        // SNDR grows with amplitude (quantisation-noise floor fixed).
+        for w in sweep.windows(2) {
+            assert!(w[1].1.sndr_db > w[0].1.sndr_db - 1.0);
+        }
+        // Full scale beats −40 dBFS by roughly the amplitude ratio.
+        let gain = sweep[4].1.sndr_db - sweep[0].1.sndr_db;
+        assert!(gain > 25.0, "SNDR gain over 40 dB of drive: {gain}");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(MetricsError::InsufficientCoverage { hits_per_code: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(MetricsError::BadRecordLength { len: 7 }.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,157 @@
+//! Monte-Carlo yield analysis: the production question behind Fig. 11.
+//!
+//! The paper reports one die's INL/DNL; a product needs the fraction of
+//! dies meeting spec. This module runs a seeded ensemble of mismatch
+//! instances through the linearity metrology and reports parametric
+//! yield against an INL/DNL specification — the analysis that decides
+//! device sizing (bigger pairs = better yield = more area, the classic
+//! trade the paper's "large enough transistor sizes" remark compresses).
+
+use crate::config::AdcConfig;
+use crate::converter::FaiAdc;
+use crate::metrics::{ramp_linearity, MetricsError};
+use ulp_device::Technology;
+
+/// A parametric linearity specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearitySpec {
+    /// Maximum acceptable |INL|, LSB.
+    pub inl_max: f64,
+    /// Maximum acceptable |DNL|, LSB.
+    pub dnl_max: f64,
+}
+
+impl LinearitySpec {
+    /// The paper's measured die as a spec: INL ≤ 1.0, DNL ≤ 0.4 LSB.
+    pub fn paper_die() -> Self {
+        LinearitySpec {
+            inl_max: 1.0,
+            dnl_max: 0.4,
+        }
+    }
+
+    /// A relaxed "medium accuracy" spec: INL ≤ 1.5, DNL ≤ 1.0 LSB.
+    pub fn medium_accuracy() -> Self {
+        LinearitySpec {
+            inl_max: 1.5,
+            dnl_max: 1.0,
+        }
+    }
+}
+
+/// Result of a yield run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldReport {
+    /// Dies simulated.
+    pub dies: usize,
+    /// Dies meeting the spec.
+    pub passing: usize,
+    /// Per-die `(inl, dnl)` pairs, seed order.
+    pub linearities: Vec<(f64, f64)>,
+}
+
+impl YieldReport {
+    /// Parametric yield fraction.
+    pub fn yield_fraction(&self) -> f64 {
+        self.passing as f64 / self.dies as f64
+    }
+}
+
+/// Runs `dies` seeded mismatch instances against `spec` with
+/// `ramp_steps` histogram samples each.
+///
+/// # Errors
+///
+/// Propagates [`MetricsError`] from the linearity measurement.
+pub fn parametric_yield(
+    tech: &Technology,
+    config: &AdcConfig,
+    spec: LinearitySpec,
+    dies: usize,
+    ramp_steps: usize,
+) -> Result<YieldReport, MetricsError> {
+    let mut linearities = Vec::with_capacity(dies);
+    let mut passing = 0usize;
+    for seed in 0..dies as u64 {
+        let adc = FaiAdc::with_mismatch(tech, config, seed);
+        let lin = ramp_linearity(&adc, ramp_steps)?;
+        if lin.inl_max <= spec.inl_max && lin.dnl_max <= spec.dnl_max {
+            passing += 1;
+        }
+        linearities.push((lin.inl_max, lin.dnl_max));
+    }
+    Ok(YieldReport {
+        dies,
+        passing,
+        linearities,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medium_accuracy_yield_is_high() {
+        let tech = Technology::default();
+        let report = parametric_yield(
+            &tech,
+            &AdcConfig::default(),
+            LinearitySpec::medium_accuracy(),
+            12,
+            256 * 32,
+        )
+        .unwrap();
+        assert_eq!(report.dies, 12);
+        assert_eq!(report.linearities.len(), 12);
+        assert!(
+            report.yield_fraction() >= 0.5,
+            "medium-accuracy yield = {}",
+            report.yield_fraction()
+        );
+    }
+
+    #[test]
+    fn tight_spec_yields_less_than_loose_spec() {
+        let tech = Technology::default();
+        let cfg = AdcConfig::default();
+        let tight = parametric_yield(&tech, &cfg, LinearitySpec::paper_die(), 10, 256 * 32).unwrap();
+        let loose = parametric_yield(
+            &tech,
+            &cfg,
+            LinearitySpec {
+                inl_max: 3.0,
+                dnl_max: 2.0,
+            },
+            10,
+            256 * 32,
+        )
+        .unwrap();
+        assert!(tight.passing <= loose.passing);
+        assert_eq!(loose.passing, 10, "everything passes a 3-LSB spec");
+    }
+
+    #[test]
+    fn bigger_devices_buy_yield() {
+        // The paper's sizing remark, quantified: quadruple the pair area
+        // and the paper-die spec passes more often.
+        let tech = Technology::default();
+        let small = AdcConfig {
+            pair_geometry: (2e-6, 2e-6),
+            ..AdcConfig::default()
+        };
+        let large = AdcConfig {
+            pair_geometry: (8e-6, 4e-6),
+            ..AdcConfig::default()
+        };
+        let spec = LinearitySpec::medium_accuracy();
+        let y_small = parametric_yield(&tech, &small, spec, 10, 256 * 32).unwrap();
+        let y_large = parametric_yield(&tech, &large, spec, 10, 256 * 32).unwrap();
+        assert!(
+            y_large.passing >= y_small.passing,
+            "large {} vs small {}",
+            y_large.passing,
+            y_small.passing
+        );
+    }
+}

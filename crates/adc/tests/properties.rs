@@ -1,0 +1,149 @@
+//! Property-based tests of the converter architecture.
+
+use proptest::prelude::*;
+use ulp_adc::calibration::CalibrationTable;
+use ulp_adc::config::AdcConfig;
+use ulp_adc::converter::FaiAdc;
+use ulp_adc::encoder::Encoder;
+use ulp_adc::fine::decode_wheel;
+use ulp_adc::gray::{binary_from_gray, gray_from_binary};
+use ulp_adc::metrics::{dynamics_from_codes, linearity_from_histogram};
+use ulp_num::stats::Histogram;
+
+/// Ideal stimulus generator shared with the encoder unit tests.
+fn stimulus(n: usize, levels: usize, folds: usize) -> (Vec<bool>, Vec<bool>) {
+    let wheel = 2 * levels;
+    let q = (n as f64 + 0.5) % wheel as f64;
+    let signs: Vec<bool> = (0..levels)
+        .map(|i| {
+            let rel = (q - i as f64).rem_euclid(wheel as f64);
+            rel > 0.0 && rel < levels as f64
+        })
+        .collect();
+    let fold = n / levels;
+    let therm: Vec<bool> = (0..folds - 1).map(|k| fold > k).collect();
+    (signs, therm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The encoder inverts the ideal stimulus for every code of every
+    /// supported geometry.
+    #[test]
+    fn encoder_exact_for_any_geometry(res in 6u32..9, n_frac in 0.0f64..1.0) {
+        let cfg = match res {
+            6 => AdcConfig { resolution: 6, coarse_bits: 2, folders: 4, interpolation: 4, ..AdcConfig::default() },
+            7 => AdcConfig { resolution: 7, coarse_bits: 2, folders: 4, interpolation: 8, ..AdcConfig::default() },
+            _ => AdcConfig::default(),
+        };
+        cfg.validate();
+        let e = Encoder::build(&cfg);
+        let n = ((n_frac * cfg.codes() as f64) as usize).min(cfg.codes() - 1);
+        let (s, t) = stimulus(n, cfg.levels_per_fold(), cfg.folds());
+        prop_assert_eq!(e.encode(&s, &t), n as u16);
+    }
+
+    /// Single-bubble robustness everywhere: any lone flipped fine sign
+    /// costs at most 1 LSB, for any code and any bubble position away
+    /// from the active transition.
+    #[test]
+    fn any_isolated_bubble_is_absorbed(n in 0usize..256, flip in 0usize..32) {
+        let cfg = AdcConfig::default();
+        let e = Encoder::build(&cfg);
+        let (mut s, t) = stimulus(n, 32, 8);
+        // Only flip signs that are deep inside a run (≥2 positions from
+        // the wheel transition), otherwise the "bubble" is really a
+        // legitimate threshold dither.
+        let q = n % 64;
+        let rising = q % 64;
+        let falling = (q + 32) % 64;
+        let pos_a = flip;
+        let pos_b = flip + 32;
+        let dist = |x: usize, y: usize| {
+            let d = (x as i64 - y as i64).rem_euclid(64);
+            d.min(64 - d)
+        };
+        if dist(pos_a, rising) < 3 || dist(pos_a, falling) < 3 || dist(pos_b, rising) < 3 || dist(pos_b, falling) < 3 {
+            return Ok(()); // skip near-transition flips
+        }
+        s[flip] = !s[flip];
+        let got = e.encode(&s, &t) as i64;
+        prop_assert!((got - n as i64).abs() <= 1, "code {n}, flip {flip} -> {got}");
+    }
+
+    /// The wheel decode never panics and always returns a valid
+    /// position for arbitrary (even garbage) sign vectors.
+    #[test]
+    fn wheel_decode_total(bits in prop::collection::vec(any::<bool>(), 1..64)) {
+        let p = decode_wheel(&bits);
+        prop_assert!(p < 2 * bits.len());
+    }
+
+    /// Conversion is total over the reals: any finite input maps to a
+    /// valid code for any die.
+    #[test]
+    fn conversion_total(vin in -2.0f64..3.0, seed in 0u64..20) {
+        let tech = ulp_device::Technology::default();
+        let adc = FaiAdc::with_mismatch(&tech, &AdcConfig::default(), seed);
+        let code = adc.convert(vin);
+        prop_assert!(code <= 255);
+        let code_b = adc.convert_behavioural(vin);
+        prop_assert!(code_b <= 255);
+    }
+
+    /// A perfectly uniform histogram yields zero DNL/INL.
+    #[test]
+    fn uniform_histogram_zero_nonlinearity(hits in 4u64..100) {
+        let mut h = Histogram::new(64);
+        for code in 0..64usize {
+            for _ in 0..hits {
+                h.record(code);
+            }
+        }
+        let lin = linearity_from_histogram(&h).expect("dense");
+        prop_assert!(lin.dnl_max < 1e-12);
+        prop_assert!(lin.inl_max < 1e-12);
+    }
+
+    /// Gray coding round-trips and preserves the single-bit-change
+    /// property for every 16-bit word.
+    #[test]
+    fn gray_roundtrip_and_unit_distance(b in any::<u16>()) {
+        prop_assert_eq!(binary_from_gray(gray_from_binary(b)), b);
+        if b < u16::MAX {
+            let d = gray_from_binary(b) ^ gray_from_binary(b + 1);
+            prop_assert_eq!(d.count_ones(), 1);
+        }
+    }
+
+    /// Calibration tables are monotone and total for any die.
+    #[test]
+    fn calibration_table_monotone_total(seed in 0u64..30) {
+        let tech = ulp_device::Technology::default();
+        let adc = FaiAdc::with_mismatch(&tech, &AdcConfig::default(), seed);
+        let table = CalibrationTable::measure(&adc, 8);
+        let map = table.as_slice();
+        prop_assert_eq!(map.len(), 256);
+        for w in map.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+        prop_assert!(*map.last().expect("non-empty") <= 255);
+    }
+
+    /// The FFT metric pipeline reports ENOB ≈ N for an ideal N-bit
+    /// quantised sine, for any coherent cycle count.
+    #[test]
+    fn ideal_quantiser_enob(cycles_idx in 0usize..6) {
+        let cycles = [17usize, 33, 67, 129, 255, 511][cycles_idx];
+        let n = 2048;
+        let codes: Vec<u16> = (0..n)
+            .map(|k| {
+                let x = (2.0 * std::f64::consts::PI * cycles as f64 * k as f64 / n as f64).sin();
+                (127.5 + 127.49 * x).round() as u16
+            })
+            .collect();
+        let d = dynamics_from_codes(&codes, cycles).expect("power of two");
+        prop_assert!((d.enob - 8.0).abs() < 0.4, "cycles {cycles}: ENOB {}", d.enob);
+    }
+}

@@ -1,0 +1,175 @@
+//! The shared bias tree (paper Fig. 1 and §III-B).
+//!
+//! One master control current `I_C` feeds every analog block through
+//! fixed mirror ratios, and the digital encoder's tail-current reference
+//! `I_C,DIG` is itself a fraction of `I_C` — so a single knob scales the
+//! entire mixed-signal system and "a separate controlling unit is
+//! avoided". This module owns the ratios and the power roll-up.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named branch of the bias tree: `current = ratio · I_C`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiasBranch {
+    /// Mirror ratio from the master current.
+    pub ratio: f64,
+}
+
+/// The bias tree: master current plus named fractional branches.
+///
+/// # Example
+///
+/// ```
+/// use ulp_analog::biasgen::BiasTree;
+///
+/// let mut tree = BiasTree::new(100e-9);
+/// tree.branch("folder", 0.4);
+/// tree.branch("digital", 0.05);
+/// assert!((tree.current("folder").unwrap() - 40e-9).abs() < 1e-18);
+/// // Rescaling the master rescales every branch together — the
+/// // platform's single-knob property.
+/// let mut slow = tree.clone();
+/// slow.set_master(1e-9);
+/// assert!((slow.current("digital").unwrap() - 0.05e-9).abs() < 1e-21);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiasTree {
+    master: f64,
+    branches: BTreeMap<String, BiasBranch>,
+}
+
+impl BiasTree {
+    /// Creates a tree with the given master current.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `master > 0`.
+    pub fn new(master: f64) -> Self {
+        assert!(master > 0.0, "master current must be positive");
+        BiasTree {
+            master,
+            branches: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) a branch with mirror ratio `ratio`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ratio > 0`.
+    pub fn branch(&mut self, name: &str, ratio: f64) -> &mut Self {
+        assert!(ratio > 0.0, "mirror ratio must be positive");
+        self.branches.insert(name.to_string(), BiasBranch { ratio });
+        self
+    }
+
+    /// Master control current, A.
+    pub fn master(&self) -> f64 {
+        self.master
+    }
+
+    /// Rescales the master current — every branch follows.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `master > 0`.
+    pub fn set_master(&mut self, master: f64) {
+        assert!(master > 0.0, "master current must be positive");
+        self.master = master;
+    }
+
+    /// Current of a named branch, A.
+    pub fn current(&self, name: &str) -> Option<f64> {
+        self.branches.get(name).map(|b| b.ratio * self.master)
+    }
+
+    /// Iterates `(name, current)` over all branches, sorted by name.
+    pub fn currents(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.branches
+            .iter()
+            .map(|(n, b)| (n.as_str(), b.ratio * self.master))
+    }
+
+    /// Sum of all branch currents, A.
+    pub fn total_current(&self) -> f64 {
+        self.branches.values().map(|b| b.ratio * self.master).sum()
+    }
+
+    /// Total power at supply `vdd`, W.
+    pub fn total_power(&self, vdd: f64) -> f64 {
+        self.total_current() * vdd
+    }
+}
+
+impl fmt::Display for BiasTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "bias tree: master {:.3e} A", self.master)?;
+        for (name, i) in self.currents() {
+            writeln!(f, "  {name}: {i:.3e} A")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> BiasTree {
+        let mut t = BiasTree::new(100e-9);
+        t.branch("folder", 0.4)
+            .branch("interp", 0.25)
+            .branch("preamp", 0.2)
+            .branch("ladder", 0.1)
+            .branch("digital", 0.05);
+        t
+    }
+
+    #[test]
+    fn branch_currents_follow_ratios() {
+        let t = tree();
+        assert!((t.current("folder").unwrap() - 40e-9).abs() < 1e-18);
+        assert!((t.current("digital").unwrap() - 5e-9).abs() < 1e-18);
+        assert!(t.current("missing").is_none());
+    }
+
+    #[test]
+    fn single_knob_scales_everything() {
+        let mut t = tree();
+        let before: Vec<f64> = t.currents().map(|(_, i)| i).collect();
+        t.set_master(1e-9);
+        let after: Vec<f64> = t.currents().map(|(_, i)| i).collect();
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b / a - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let t = tree();
+        assert!((t.total_current() - 100e-9).abs() < 1e-18);
+        assert!((t.total_power(1.25) - 125e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn digital_is_small_fraction() {
+        // The paper's measured split: digital ≈ 5 % of the total.
+        let t = tree();
+        let frac = t.current("digital").unwrap() / t.total_current();
+        assert!((frac - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_lists_branches() {
+        let s = tree().to_string();
+        assert!(s.contains("folder"));
+        assert!(s.contains("digital"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_master_rejected() {
+        let _ = BiasTree::new(0.0);
+    }
+}

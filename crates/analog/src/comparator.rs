@@ -1,0 +1,159 @@
+//! Offset-afflicted regenerative comparator (paper §III-A2).
+//!
+//! The FAI ADC's comparators sit behind the pre-amplifier of Fig. 6;
+//! the pre-amp gain divides the latch offset, so the input-referred
+//! offset budget is dominated by the pre-amp input pair. The model here
+//! carries exactly the nonidealities the linearity experiment needs:
+//! a Pelgrom-drawn static offset, input-referred noise, and a
+//! bandwidth-limited decision (driven by the shared bias current).
+
+use crate::preamp::PreampDesign;
+use ulp_device::mismatch::MismatchRng;
+use ulp_device::Technology;
+
+/// A clocked comparator with pre-amplifier front end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparator {
+    /// Static input-referred offset, V.
+    pub offset: f64,
+    /// RMS input-referred noise, V.
+    pub noise_rms: f64,
+    /// Pre-amplifier design (sets bandwidth and power).
+    pub preamp: PreampDesign,
+}
+
+impl Comparator {
+    /// Creates an ideal (offset-free, noise-free) comparator at bias
+    /// `ic`.
+    pub fn ideal(ic: f64) -> Self {
+        Comparator {
+            offset: 0.0,
+            noise_rms: 0.0,
+            preamp: PreampDesign::new(ic, true),
+        }
+    }
+
+    /// Creates a comparator with a Pelgrom-drawn offset for an input
+    /// pair of geometry `w × l`, plus thermal noise floor `noise_rms`.
+    pub fn with_mismatch(
+        tech: &Technology,
+        rng: &mut MismatchRng,
+        ic: f64,
+        w: f64,
+        l: f64,
+        noise_rms: f64,
+    ) -> Self {
+        Comparator {
+            offset: rng.draw_pair_offset(&tech.nmos, w, l),
+            noise_rms,
+            preamp: PreampDesign::new(ic, true),
+        }
+    }
+
+    /// Noiseless decision: `v_p − v_n + offset > 0`.
+    pub fn decide(&self, v_p: f64, v_n: f64) -> bool {
+        v_p - v_n + self.offset > 0.0
+    }
+
+    /// Decision with one noise draw (Gaussian via the supplied mismatch
+    /// RNG's normal sampler).
+    pub fn decide_noisy(&self, rng: &mut MismatchRng, v_p: f64, v_n: f64) -> bool {
+        let noise = rng.standard_normal() * self.noise_rms;
+        v_p - v_n + self.offset + noise > 0.0
+    }
+
+    /// Maximum safe clock rate: the pre-amp must settle within half a
+    /// period, so `f_clk,max ≈ BW/settling_factor` (we use 3 time
+    /// constants → factor ≈ 3/(2π)·2π = 3... expressed directly as
+    /// `bandwidth/3`).
+    pub fn max_clock(&self) -> f64 {
+        self.preamp.bandwidth() / 3.0
+    }
+
+    /// Power at supply `vdd`, W (pre-amp plus an equal-budget latch, per
+    /// the paper's shared-bias scheme).
+    pub fn power(&self, vdd: f64) -> f64 {
+        2.0 * self.preamp.power(vdd)
+    }
+
+    /// Rescales the comparator bias (PMU knob); offset and noise are
+    /// bias-independent to first order.
+    pub fn set_bias(&mut self, ic: f64) {
+        self.preamp = PreampDesign::new(ic, self.preamp.decoupled);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_comparator_is_exact() {
+        let c = Comparator::ideal(1e-9);
+        assert!(c.decide(1e-9, 0.0));
+        assert!(!c.decide(-1e-9, 0.0));
+        assert!(!c.decide(0.0, 1e-9));
+    }
+
+    #[test]
+    fn offset_shifts_threshold() {
+        let mut c = Comparator::ideal(1e-9);
+        c.offset = 5e-3;
+        assert!(c.decide(-4e-3, 0.0)); // still high: offset dominates
+        assert!(!c.decide(-6e-3, 0.0));
+    }
+
+    #[test]
+    fn drawn_offsets_match_pelgrom_sigma() {
+        let tech = Technology::default();
+        let mut rng = MismatchRng::seed_from(21);
+        let n = 4000;
+        let sigma = MismatchRng::sigma_pair_offset(&tech.nmos, 2e-6, 1e-6);
+        let offsets: Vec<f64> = (0..n)
+            .map(|_| Comparator::with_mismatch(&tech, &mut rng, 1e-9, 2e-6, 1e-6, 0.0).offset)
+            .collect();
+        let rms = (offsets.iter().map(|o| o * o).sum::<f64>() / n as f64).sqrt();
+        assert!((rms / sigma - 1.0).abs() < 0.05, "rms {rms} vs sigma {sigma}");
+    }
+
+    #[test]
+    fn noise_makes_marginal_decisions_stochastic() {
+        let mut c = Comparator::ideal(1e-9);
+        c.noise_rms = 1e-3;
+        let mut rng = MismatchRng::seed_from(7);
+        let mut highs = 0;
+        let n = 2000;
+        for _ in 0..n {
+            if c.decide_noisy(&mut rng, 0.0, 0.0) {
+                highs += 1;
+            }
+        }
+        // Exactly at threshold: ~50/50.
+        let frac = highs as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "frac = {frac}");
+        // Far from threshold: deterministic.
+        let mut sure = 0;
+        for _ in 0..n {
+            if c.decide_noisy(&mut rng, 10e-3, 0.0) {
+                sure += 1;
+            }
+        }
+        assert_eq!(sure, n);
+    }
+
+    #[test]
+    fn clock_limit_scales_with_bias() {
+        let mut c = Comparator::ideal(1e-9);
+        let f1 = c.max_clock();
+        c.set_bias(10e-9);
+        let f10 = c.max_clock();
+        assert!((f10 / f1 - 10.0).abs() < 0.05 * 10.0, "{}", f10 / f1);
+    }
+
+    #[test]
+    fn power_accounting() {
+        let c = Comparator::ideal(2e-9);
+        // 2 × preamp power = 2 × (2·IC·VDD).
+        assert!((c.power(1.0) - 8e-9).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,213 @@
+//! Bias-scalable gm-C filters (paper §II-B, refs \[22\]\[23\]).
+//!
+//! The paper's §II-B names widely tunable filters as the canonical
+//! power-scalable analog blocks: "some parameters such as gain and
+//! phase margin should remain unchanged while unity gain bandwidth
+//! needs to be scaled with respect to the bias current". A gm-C biquad
+//! delivers exactly that: its pole frequency is `ω₀ = gm/C ∝ I_bias`
+//! while its quality factor is a *ratio* of transconductances — fixed
+//! under global bias scaling. This module provides the first-order
+//! section and the biquad, with analytic transfer functions for
+//! verification.
+
+use crate::scale;
+use ulp_device::Technology;
+use ulp_num::poly::{Poly, TransferFunction};
+
+/// A first-order gm-C low-pass section: `H(s) = 1/(1 + s·C/gm)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GmCFirstOrder {
+    /// Integrating capacitance, F.
+    pub c: f64,
+    /// Transconductor bias current, A.
+    pub bias: f64,
+}
+
+impl GmCFirstOrder {
+    /// Creates a section.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are positive.
+    pub fn new(c: f64, bias: f64) -> Self {
+        assert!(c > 0.0 && bias > 0.0, "filter parameters must be positive");
+        GmCFirstOrder { c, bias }
+    }
+
+    /// Cutoff frequency `gm/(2π·C)`, Hz.
+    pub fn cutoff(&self, tech: &Technology) -> f64 {
+        scale::bandwidth(scale::gm(tech, self.bias), self.c)
+    }
+
+    /// The transfer function.
+    pub fn transfer_function(&self, tech: &Technology) -> TransferFunction {
+        let w0 = 2.0 * std::f64::consts::PI * self.cutoff(tech);
+        TransferFunction::new(Poly::constant(1.0), Poly::new(vec![1.0, 1.0 / w0]))
+    }
+
+    /// Rescales the bias (PMU knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bias > 0`.
+    pub fn set_bias(&mut self, bias: f64) {
+        assert!(bias > 0.0, "bias must be positive");
+        self.bias = bias;
+    }
+
+    /// Static power at supply `vdd`, W.
+    pub fn power(&self, vdd: f64) -> f64 {
+        self.bias * vdd
+    }
+}
+
+/// A gm-C biquad low-pass:
+/// `H(s) = ω₀² / (s² + s·ω₀/Q + ω₀²)` with `ω₀ = gm/C` and
+/// `Q = √(gm1·gm2)/gm_q` — a pure transconductance *ratio*, so `Q` is
+/// invariant under global bias scaling while `ω₀` tracks it linearly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GmCBiquad {
+    /// Integrating capacitance (both integrators), F.
+    pub c: f64,
+    /// Main transconductor bias, A.
+    pub bias: f64,
+    /// Q-setting transconductor ratio `gm_q/gm` (Q = 1/ratio).
+    pub q_ratio: f64,
+}
+
+impl GmCBiquad {
+    /// Creates a biquad with quality factor `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all parameters are positive.
+    pub fn new(c: f64, bias: f64, q: f64) -> Self {
+        assert!(c > 0.0 && bias > 0.0 && q > 0.0, "biquad parameters must be positive");
+        GmCBiquad {
+            c,
+            bias,
+            q_ratio: 1.0 / q,
+        }
+    }
+
+    /// Pole frequency, Hz — linear in bias.
+    pub fn pole_frequency(&self, tech: &Technology) -> f64 {
+        scale::bandwidth(scale::gm(tech, self.bias), self.c)
+    }
+
+    /// Quality factor — bias-independent by construction.
+    pub fn q(&self) -> f64 {
+        1.0 / self.q_ratio
+    }
+
+    /// The transfer function.
+    pub fn transfer_function(&self, tech: &Technology) -> TransferFunction {
+        let w0 = 2.0 * std::f64::consts::PI * self.pole_frequency(tech);
+        let q = self.q();
+        TransferFunction::new(
+            Poly::constant(1.0),
+            Poly::new(vec![1.0, 1.0 / (q * w0), 1.0 / (w0 * w0)]),
+        )
+    }
+
+    /// Rescales the bias — `ω₀` follows, `Q` does not move.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bias > 0`.
+    pub fn set_bias(&mut self, bias: f64) {
+        assert!(bias > 0.0, "bias must be positive");
+        self.bias = bias;
+    }
+
+    /// Static power at supply `vdd` (three transconductors), W.
+    pub fn power(&self, vdd: f64) -> f64 {
+        (2.0 + self.q_ratio) * self.bias * vdd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::default()
+    }
+
+    #[test]
+    fn first_order_cutoff_linear_in_bias() {
+        let t = tech();
+        let mut f = GmCFirstOrder::new(10e-12, 1e-9);
+        let c1 = f.cutoff(&t);
+        f.set_bias(100e-9);
+        assert!((f.cutoff(&t) / c1 - 100.0).abs() < 1e-9);
+        // And the TF's −3 dB point agrees with the formula.
+        let bw = f.transfer_function(&t).bandwidth_3db(1e-2, 1e12).unwrap();
+        assert!((bw / f.cutoff(&t) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn biquad_q_is_bias_invariant() {
+        // The paper's §II-B requirement, verbatim: ω₀ scales, Q (and
+        // hence the response *shape*) does not.
+        let t = tech();
+        let mut b = GmCBiquad::new(10e-12, 1e-9, 0.707);
+        let f1 = b.pole_frequency(&t);
+        let q1 = b.q();
+        b.set_bias(1e-6);
+        assert!((b.pole_frequency(&t) / f1 - 1000.0).abs() < 1e-6);
+        assert_eq!(b.q(), q1);
+    }
+
+    #[test]
+    fn butterworth_biquad_has_flat_passband() {
+        // Q = 1/√2: maximally flat; no peaking anywhere.
+        let t = tech();
+        let b = GmCBiquad::new(10e-12, 10e-9, std::f64::consts::FRAC_1_SQRT_2);
+        let tf = b.transfer_function(&t);
+        let dc = tf.dc_gain().abs();
+        for f in ulp_num::interp::decade_sweep(1.0, 1e9, 20) {
+            assert!(tf.at_freq(f).abs() <= dc * (1.0 + 1e-9), "peaking at {f}");
+        }
+        // −3 dB lands at ω₀ for the Butterworth alignment.
+        let bw = tf.bandwidth_3db(1e-2, 1e12).unwrap();
+        assert!((bw / b.pole_frequency(&t) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn high_q_biquad_peaks_by_q() {
+        let t = tech();
+        let b = GmCBiquad::new(10e-12, 10e-9, 5.0);
+        let tf = b.transfer_function(&t);
+        let peak = tf.at_freq(b.pole_frequency(&t)).abs();
+        assert!((peak - 5.0).abs() < 0.01, "|H(jω₀)| = Q: {peak}");
+    }
+
+    #[test]
+    fn response_shape_identical_across_three_decades() {
+        // Normalised to ω/ω₀, the response curves at 1 nA and 1 µA must
+        // coincide — the "widely tunable, shape-preserving" claim of
+        // ref [23].
+        let t = tech();
+        let lo = GmCBiquad::new(10e-12, 1e-9, 1.0);
+        let hi = GmCBiquad::new(10e-12, 1e-6, 1.0);
+        let (f_lo, f_hi) = (lo.pole_frequency(&t), hi.pole_frequency(&t));
+        for x in [0.1, 0.5, 1.0, 2.0, 10.0] {
+            let m_lo = lo.transfer_function(&t).at_freq(x * f_lo).abs();
+            let m_hi = hi.transfer_function(&t).at_freq(x * f_hi).abs();
+            assert!((m_lo - m_hi).abs() < 1e-9, "shape differs at x={x}");
+        }
+    }
+
+    #[test]
+    fn power_linear_in_bias() {
+        let b = GmCBiquad::new(10e-12, 1e-9, 1.0);
+        assert!((b.power(1.0) - 3e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_parameters_rejected() {
+        let _ = GmCBiquad::new(10e-12, 1e-9, 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! The current-mode folding stage (paper Fig. 5a, after Flynn & Allstot
+//! \[14\]).
+//!
+//! A folder is a row of source-coupled differential pairs whose inputs
+//! compare `v_in` against consecutive reference-ladder taps and whose
+//! output currents are summed with alternating polarity. The result is a
+//! differential output current that zig-zags ("folds") as the input
+//! ramps: `F` folds compress the input range into a repeating segment,
+//! so the fine quantiser only needs to resolve one segment while the
+//! coarse flash identifies which fold the input is in.
+//!
+//! Each pair steers its tail current with the weak-inversion
+//! characteristic `tanh(Δv/(2·n·UT))`, which is exactly what source
+//! coupling gives — and because the shape is current-steering, the
+//! zero-crossing positions (all that matters for A/D conversion) depend
+//! only on the tap voltages and pair offsets, not on the bias level:
+//! this is the paper's wide power scalability.
+
+use ulp_device::mismatch::MismatchRng;
+use ulp_device::Technology;
+
+/// A current-mode folder with configurable fold count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Folder {
+    /// Reference tap voltages of the folding pairs (ascending), V.
+    refs: Vec<f64>,
+    /// Per-pair input-referred offsets (0 when nominal), V.
+    offsets: Vec<f64>,
+    /// Tail current of each pair, A.
+    i_unit: f64,
+    /// Pair steering scale `2·n·UT`, V.
+    v_steer: f64,
+}
+
+impl Folder {
+    /// Builds a nominal folder whose zero crossings sit at `refs`
+    /// (ascending tap voltages), each pair running `i_unit` of tail
+    /// current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refs` is empty or not strictly ascending, or if
+    /// `i_unit <= 0`.
+    pub fn new(tech: &Technology, refs: Vec<f64>, i_unit: f64) -> Self {
+        assert!(!refs.is_empty(), "folder needs at least one reference");
+        assert!(
+            refs.windows(2).all(|w| w[1] > w[0]),
+            "references must ascend"
+        );
+        assert!(i_unit > 0.0, "tail current must be positive");
+        let v_steer = 2.0 * tech.nmos.n * tech.thermal_voltage();
+        Folder {
+            offsets: vec![0.0; refs.len()],
+            refs,
+            i_unit,
+            v_steer,
+        }
+    }
+
+    /// Applies Pelgrom-distributed input-referred offsets to every
+    /// folding pair (device geometry `w × l`).
+    pub fn with_mismatch(
+        mut self,
+        tech: &Technology,
+        rng: &mut MismatchRng,
+        w: f64,
+        l: f64,
+    ) -> Self {
+        for off in &mut self.offsets {
+            *off = rng.draw_pair_offset(&tech.nmos, w, l);
+        }
+        self
+    }
+
+    /// Number of folding pairs (= number of zero crossings).
+    pub fn fold_count(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Tail current per pair, A.
+    pub fn i_unit(&self) -> f64 {
+        self.i_unit
+    }
+
+    /// Total bias current drawn by the folder, A.
+    pub fn bias_current(&self) -> f64 {
+        self.i_unit * self.refs.len() as f64
+    }
+
+    /// Rescales every tail current (the PMU power knob). Zero crossings
+    /// are untouched — only bandwidth and output amplitude scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `i_unit > 0`.
+    pub fn set_i_unit(&mut self, i_unit: f64) {
+        assert!(i_unit > 0.0, "tail current must be positive");
+        self.i_unit = i_unit;
+    }
+
+    /// Differential output current at input `vin`, A.
+    ///
+    /// The *terminated-array* folding characteristic: within each
+    /// segment the output follows the steering curve of the nearest
+    /// folding pair with alternating polarity, so it crosses zero once
+    /// at every (offset-shifted) tap and saturates to ±`i_unit`/2
+    /// between taps. Real arrays realise the termination with weighted
+    /// edge elements (the "two times more" element of paper Fig. 5a);
+    /// modelling the terminated characteristic directly avoids the
+    /// un-terminated array's dangling end lobes while keeping everything
+    /// the ADC cares about — tanh rounding, amplitude ∝ ISS, and
+    /// mismatch-displaced crossings.
+    pub fn output_current(&self, vin: f64) -> f64 {
+        // Nearest effective tap (nominal tap + pair offset). Offsets are
+        // Pelgrom-scale (mV) against a tap pitch of tens of mV, so
+        // nearest-by-nominal-tap is the same segment assignment.
+        let k = self.nearest_tap(vin);
+        let centre = self.refs[k] + self.offsets[k];
+        let steer = 0.5 * self.i_unit * ((vin - centre) / self.v_steer).tanh();
+        if k.is_multiple_of(2) {
+            steer
+        } else {
+            -steer
+        }
+    }
+
+    fn nearest_tap(&self, vin: f64) -> usize {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (k, &r) in self.refs.iter().enumerate() {
+            let d = (vin - r).abs();
+            if d < best_d {
+                best_d = d;
+                best = k;
+            }
+        }
+        best
+    }
+
+    /// The input voltages at which the output current crosses zero,
+    /// found by bisection between consecutive reference midpoints —
+    /// the quantities that set ADC linearity.
+    pub fn zero_crossings(&self) -> Vec<f64> {
+        let span = self.v_steer * 6.0;
+        let mut out = Vec::with_capacity(self.refs.len());
+        for (k, &r) in self.refs.iter().enumerate() {
+            // Bracket around the nominal tap.
+            let lo_bound = if k == 0 {
+                r - span
+            } else {
+                0.5 * (self.refs[k - 1] + r)
+            };
+            let hi_bound = if k == self.refs.len() - 1 {
+                r + span
+            } else {
+                0.5 * (r + self.refs[k + 1])
+            };
+            let (mut lo, mut hi) = (lo_bound, hi_bound);
+            let f_lo = self.output_current(lo);
+            for _ in 0..100 {
+                let mid = 0.5 * (lo + hi);
+                let f_mid = self.output_current(mid);
+                if (f_mid > 0.0) == (f_lo > 0.0) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            out.push(0.5 * (lo + hi));
+        }
+        out
+    }
+
+    /// Small-signal bandwidth of the folder at node capacitance `c`, Hz
+    /// (scales linearly with the tail current — the §II-B property).
+    pub fn bandwidth(&self, tech: &Technology, c: f64) -> f64 {
+        crate::scale::bandwidth(crate::scale::gm_pair(tech, self.i_unit), c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulp_num::interp;
+
+    fn tech() -> Technology {
+        Technology::default()
+    }
+
+    fn refs8() -> Vec<f64> {
+        interp::linspace(0.2, 0.9, 8)
+    }
+
+    #[test]
+    fn crossings_sit_on_taps_when_nominal() {
+        let f = Folder::new(&tech(), refs8(), 1e-9);
+        assert_eq!(f.fold_count(), 8);
+        let zc = f.zero_crossings();
+        for (z, r) in zc.iter().zip(refs8()) {
+            assert!((z - r).abs() < 1.5e-3, "crossing {z} vs tap {r}");
+        }
+    }
+
+    #[test]
+    fn output_alternates_sign_between_taps() {
+        let f = Folder::new(&tech(), refs8(), 1e-9);
+        let taps = refs8();
+        // Midpoints between consecutive taps alternate polarity.
+        let mut last_sign = 0.0;
+        for w in taps.windows(2) {
+            let mid = 0.5 * (w[0] + w[1]);
+            let i = f.output_current(mid);
+            assert!(i.abs() > 0.05e-9, "well-defined lobe at {mid}");
+            if last_sign != 0.0 {
+                assert!(i * last_sign < 0.0, "polarity must alternate");
+            }
+            last_sign = i;
+        }
+    }
+
+    #[test]
+    fn crossings_are_bias_independent() {
+        // The paper's scalability: power the folder down 1000× and the
+        // decision thresholds stay put.
+        let mut f = Folder::new(&tech(), refs8(), 1e-6);
+        let zc_hi = f.zero_crossings();
+        f.set_i_unit(1e-9);
+        let zc_lo = f.zero_crossings();
+        for (a, b) in zc_hi.iter().zip(&zc_lo) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+        assert!((f.bias_current() - 8e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn mismatch_moves_crossings_by_pelgrom_scale() {
+        let t = tech();
+        let mut rng = MismatchRng::seed_from(3);
+        let f = Folder::new(&t, refs8(), 1e-9).with_mismatch(&t, &mut rng, 2e-6, 1e-6);
+        let zc = f.zero_crossings();
+        let sigma = MismatchRng::sigma_pair_offset(&t.nmos, 2e-6, 1e-6);
+        let mut any_moved = false;
+        for (z, r) in zc.iter().zip(refs8()) {
+            let dev = (z - r).abs();
+            assert!(dev < 6.0 * sigma + 2e-3, "crossing {z} too far from {r}");
+            if dev > 0.1 * sigma {
+                any_moved = true;
+            }
+        }
+        assert!(any_moved, "mismatch should displace some crossing");
+    }
+
+    #[test]
+    fn bandwidth_linear_in_bias() {
+        let t = tech();
+        let mut f = Folder::new(&t, refs8(), 1e-9);
+        let b1 = f.bandwidth(&t, 50e-15);
+        f.set_i_unit(10e-9);
+        let b2 = f.bandwidth(&t, 50e-15);
+        assert!((b2 / b1 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn unsorted_refs_rejected() {
+        let _ = Folder::new(&tech(), vec![0.5, 0.3], 1e-9);
+    }
+}

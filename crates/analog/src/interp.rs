@@ -1,0 +1,244 @@
+//! The current-mode interpolator (paper Fig. 5b).
+//!
+//! Interpolation multiplies the number of fine zero crossings without
+//! multiplying folder pairs: between each pair of adjacent folder
+//! outputs `I_a`, `I_b`, ratioed current mirrors synthesise `M − 1`
+//! intermediate signals `I_k = ((M−k)·I_a + k·I_b)/M`. Where `I_a` and
+//! `I_b` cross zero at adjacent phases, the interpolated copies cross at
+//! evenly spaced points in between. In the paper the total interpolation
+//! factor is 8, built from a ×2 merged into the folder (the "third part
+//! two times more" of Fig. 5a) and two ×2 stages of Fig. 5b; we model
+//! the composite factor directly and expose per-stage power.
+//!
+//! Mirror mismatch perturbs the interpolation weights and therefore
+//! bends the interpolated crossings away from uniformity — one of the
+//! three mismatch inputs to the INL/DNL experiment (E6).
+
+use ulp_device::mismatch::MismatchRng;
+use ulp_device::Technology;
+
+/// A current-mode interpolator bank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interpolator {
+    /// Interpolation factor `M` (outputs per input interval).
+    factor: usize,
+    /// Relative gain error of each mirror weight, flattened
+    /// `[interval-independent; one per (k, a/b) weight]`; empty when
+    /// nominal.
+    weight_errors: Vec<f64>,
+    /// Bias current spent per interpolated output branch, A.
+    i_branch: f64,
+}
+
+impl Interpolator {
+    /// Creates a nominal interpolator of factor `m` spending `i_branch`
+    /// per output branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `m >= 1` and `i_branch > 0`.
+    pub fn new(m: usize, i_branch: f64) -> Self {
+        assert!(m >= 1, "interpolation factor must be at least 1");
+        assert!(i_branch > 0.0, "branch current must be positive");
+        Interpolator {
+            factor: m,
+            weight_errors: Vec::new(),
+            i_branch,
+        }
+    }
+
+    /// Applies Pelgrom-distributed mirror weight errors (mirror devices
+    /// of geometry `w × l`). In weak inversion a mirror's relative
+    /// current error is `ΔVT/(n·UT)`.
+    pub fn with_mismatch(
+        mut self,
+        tech: &Technology,
+        rng: &mut MismatchRng,
+        w: f64,
+        l: f64,
+        intervals: usize,
+    ) -> Self {
+        let n_ut = tech.nmos.n * tech.thermal_voltage();
+        let n_weights = intervals * (self.factor + 1) * 2;
+        self.weight_errors = (0..n_weights)
+            .map(|_| rng.draw_pair_offset(&tech.nmos, w, l) / n_ut)
+            .collect();
+        self
+    }
+
+    /// Interpolation factor `M`.
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+
+    /// Bias current per output branch, A.
+    pub fn i_branch(&self) -> f64 {
+        self.i_branch
+    }
+
+    /// Rescales the branch current (the PMU power knob). Weights — and
+    /// hence crossing positions — are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `i_branch > 0`.
+    pub fn set_i_branch(&mut self, i_branch: f64) {
+        assert!(i_branch > 0.0, "branch current must be positive");
+        self.i_branch = i_branch;
+    }
+
+    /// Interpolates a set of folder phase outputs: for `P` inputs,
+    /// produces `(P−1)·M + 1` outputs (the originals plus `M−1`
+    /// in-betweens per interval).
+    ///
+    /// Input and output values are *signal* currents (can be negative);
+    /// the branch bias current is the static cost, not the signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two phases are supplied.
+    pub fn interpolate(&self, phases: &[f64]) -> Vec<f64> {
+        assert!(phases.len() >= 2, "need at least two phases");
+        let m = self.factor;
+        let mut out = Vec::with_capacity((phases.len() - 1) * m + 1);
+        for (iv, w) in phases.windows(2).enumerate() {
+            let (a, b) = (w[0], w[1]);
+            for k in 0..m {
+                let wa = (m - k) as f64 / m as f64;
+                let wb = k as f64 / m as f64;
+                let (ea, eb) = self.weight_error(iv, k);
+                out.push(wa * (1.0 + ea) * a + wb * (1.0 + eb) * b);
+            }
+        }
+        let last = *phases.last().expect("non-empty phases");
+        out.push(last);
+        out
+    }
+
+    fn weight_error(&self, interval: usize, k: usize) -> (f64, f64) {
+        if self.weight_errors.is_empty() {
+            return (0.0, 0.0);
+        }
+        let base = (interval * (self.factor + 1) + k) * 2;
+        let ea = self.weight_errors.get(base).copied().unwrap_or(0.0);
+        let eb = self.weight_errors.get(base + 1).copied().unwrap_or(0.0);
+        (ea, eb)
+    }
+
+    /// Static bias current of the whole bank for `P` input phases, A.
+    pub fn bias_current(&self, phases: usize) -> f64 {
+        assert!(phases >= 2, "need at least two phases");
+        ((phases - 1) * self.factor + 1) as f64 * self.i_branch
+    }
+
+    /// Bandwidth of the mirror pole at node capacitance `c`, Hz —
+    /// linear in branch current like every block in the platform.
+    pub fn bandwidth(&self, tech: &Technology, c: f64) -> f64 {
+        crate::scale::bandwidth(crate::scale::gm(tech, self.i_branch), c)
+    }
+}
+
+/// The input positions (in fractional interval units) at which a
+/// linearly interpolated signal pair crosses zero, given the crossing
+/// positions of the endpoints — utility for linearity analysis of an
+/// interpolated bank.
+///
+/// For endpoint signals crossing at `x_a` and `x_b` (with `x_a < x_b`)
+/// and locally linear slopes, copy `k` of `m` crosses at
+/// `x_a + (x_b − x_a)·k/m` when nominal.
+pub fn ideal_interpolated_crossings(x_a: f64, x_b: f64, m: usize) -> Vec<f64> {
+    (0..=m)
+        .map(|k| x_a + (x_b - x_a) * k as f64 / m as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_interpolation_is_linear() {
+        let it = Interpolator::new(4, 1e-9);
+        let out = it.interpolate(&[-1.0, 1.0]);
+        assert_eq!(out.len(), 5);
+        let expect = [-1.0, -0.5, 0.0, 0.5, 1.0];
+        for (o, e) in out.iter().zip(expect) {
+            assert!((o - e).abs() < 1e-12, "{o} vs {e}");
+        }
+    }
+
+    #[test]
+    fn multi_interval_lengths() {
+        let it = Interpolator::new(8, 1e-9);
+        let out = it.interpolate(&[0.0, 1.0, 0.0, -1.0]);
+        assert_eq!(out.len(), 3 * 8 + 1);
+        // Original phases preserved at the interval boundaries.
+        assert_eq!(out[0], 0.0);
+        assert!((out[8] - 1.0).abs() < 1e-12);
+        assert!((out[16] - 0.0).abs() < 1e-12);
+        assert!((out[24] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factor_one_passthrough() {
+        let it = Interpolator::new(1, 1e-9);
+        let out = it.interpolate(&[0.25, -0.75]);
+        assert_eq!(out, vec![0.25, -0.75]);
+    }
+
+    #[test]
+    fn crossings_evenly_spaced_when_nominal() {
+        let xs = ideal_interpolated_crossings(0.0, 1.0, 8);
+        assert_eq!(xs.len(), 9);
+        for (k, x) in xs.iter().enumerate() {
+            assert!((x - k as f64 / 8.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mismatch_perturbs_interpolated_values() {
+        let tech = Technology::default();
+        let mut rng = MismatchRng::seed_from(11);
+        let nominal = Interpolator::new(8, 1e-9);
+        let skewed =
+            Interpolator::new(8, 1e-9).with_mismatch(&tech, &mut rng, 4e-6, 2e-6, 1);
+        let a = nominal.interpolate(&[-1.0, 1.0]);
+        let b = skewed.interpolate(&[-1.0, 1.0]);
+        let mut moved = 0;
+        for (x, y) in a.iter().zip(&b) {
+            if (x - y).abs() > 1e-5 {
+                moved += 1;
+            }
+        }
+        assert!(moved >= 4, "mismatch should perturb most weights: {moved}");
+        // …but only at the few-percent level for the 4 µm × 2 µm mirrors
+        // the ADC uses (σ per weight ≈ 5 %, 6σ bound below).
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 0.3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn bias_current_accounting() {
+        let it = Interpolator::new(8, 2e-9);
+        // 4 phases → 25 branches.
+        assert!((it.bias_current(4) - 50e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn bandwidth_scales_with_branch_current() {
+        let tech = Technology::default();
+        let mut it = Interpolator::new(8, 1e-9);
+        let b1 = it.bandwidth(&tech, 20e-15);
+        it.set_i_branch(5e-9);
+        let b5 = it.bandwidth(&tech, 20e-15);
+        assert!((b5 / b1 - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_phase_rejected() {
+        let it = Interpolator::new(2, 1e-9);
+        let _ = it.interpolate(&[1.0]);
+    }
+}

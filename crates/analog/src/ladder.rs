@@ -1,0 +1,258 @@
+//! The power-scalable reference ladder (paper Fig. 7).
+//!
+//! A flash/folding converter needs a string of equal resistors dividing
+//! the reference span into tap voltages. At sub-µW budgets the string
+//! current must shrink to nA, which needs GΩ-class elements — realised
+//! as subthreshold PMOS devices ([`ulp_device::hvres`]) whose
+//! resistivity is programmed by a control current and therefore *scales
+//! with the sampling rate* like every other block. Element mismatch
+//! makes the taps unequal: the classic resistor-string INL bowing that
+//! feeds experiment E6.
+
+use ulp_device::hvres::{LadderBias, LadderError, TunableResistor};
+use ulp_device::mismatch::MismatchRng;
+use ulp_device::Technology;
+
+/// A reference ladder design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceLadder {
+    /// Bottom reference voltage, V.
+    pub v_low: f64,
+    /// Top reference voltage, V.
+    pub v_high: f64,
+    /// Per-element relative resistance errors (empty when nominal).
+    errors: Vec<f64>,
+    /// Number of elements (taps = elements − 1 interior points).
+    elements: usize,
+    /// Element implementation.
+    resistor: TunableResistor,
+    /// Bias-sharing scheme for the programming branches.
+    bias: LadderBias,
+    /// Control current per programming branch, A.
+    ires: f64,
+}
+
+impl ReferenceLadder {
+    /// Creates a nominal ladder of `elements` equal segments spanning
+    /// `v_low..v_high`, with programming branches shared `sharing`-wide
+    /// (Fig. 7d) at control current `ires`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LadderError`] for a zero sharing factor or
+    /// non-positive control current.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `elements >= 2` and `v_high > v_low`.
+    pub fn new(
+        v_low: f64,
+        v_high: f64,
+        elements: usize,
+        sharing: usize,
+        ires: f64,
+    ) -> Result<Self, LadderError> {
+        assert!(elements >= 2, "ladder needs at least two elements");
+        assert!(v_high > v_low, "reference span must be positive");
+        if ires <= 0.0 {
+            return Err(LadderError::NonPositiveCurrent);
+        }
+        Ok(ReferenceLadder {
+            v_low,
+            v_high,
+            errors: vec![0.0; elements],
+            elements,
+            resistor: TunableResistor::new(1.0),
+            bias: LadderBias::new(elements, sharing)?,
+            ires,
+        })
+    }
+
+    /// Applies Pelgrom-class relative resistance errors: in weak
+    /// inversion the element resistance error is `ΔVT/(n·UT)` of the
+    /// programming pair (geometry `w × l`).
+    pub fn with_mismatch(
+        mut self,
+        tech: &Technology,
+        rng: &mut MismatchRng,
+        w: f64,
+        l: f64,
+    ) -> Self {
+        let n_ut = tech.nmos.n * tech.thermal_voltage();
+        for e in &mut self.errors {
+            *e = rng.draw_pair_offset(&tech.pmos, w, l) / n_ut;
+        }
+        self
+    }
+
+    /// Number of ladder elements.
+    pub fn elements(&self) -> usize {
+        self.elements
+    }
+
+    /// Interior tap voltages (between elements), ascending, V —
+    /// `elements − 1` of them. Mismatch bends these away from the ideal
+    /// uniform grid.
+    pub fn taps(&self) -> Vec<f64> {
+        let weights: Vec<f64> = self.errors.iter().map(|e| 1.0 + e).collect();
+        let total: f64 = weights.iter().sum();
+        let span = self.v_high - self.v_low;
+        let mut out = Vec::with_capacity(self.elements - 1);
+        let mut acc = 0.0;
+        for w in &weights[..self.elements - 1] {
+            acc += w;
+            out.push(self.v_low + span * acc / total);
+        }
+        out
+    }
+
+    /// Ideal (mismatch-free) tap positions, V.
+    pub fn ideal_taps(&self) -> Vec<f64> {
+        let span = self.v_high - self.v_low;
+        (1..self.elements)
+            .map(|k| self.v_low + span * k as f64 / self.elements as f64)
+            .collect()
+    }
+
+    /// Element resistance programmed by the current control current, Ω.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LadderError::NonPositiveCurrent`].
+    pub fn element_resistance(&self, tech: &Technology) -> Result<f64, LadderError> {
+        self.resistor.resistance(tech, self.ires)
+    }
+
+    /// String current through the ladder, A.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LadderError::NonPositiveCurrent`].
+    pub fn string_current(&self, tech: &Technology) -> Result<f64, LadderError> {
+        let r = self.element_resistance(tech)?;
+        Ok((self.v_high - self.v_low) / (r * self.elements as f64))
+    }
+
+    /// Total ladder power at supply `vdd`: string + programming
+    /// branches, W.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LadderError::NonPositiveCurrent`].
+    pub fn power(&self, tech: &Technology, vdd: f64) -> Result<f64, LadderError> {
+        let string = self.string_current(tech)? * vdd;
+        Ok(string + self.bias.control_power(self.ires, vdd))
+    }
+
+    /// Reprograms the control current (the PMU scaling knob): resistance
+    /// ∝ 1/ires so the string current — and the ladder's settling speed
+    /// — scales with it.
+    ///
+    /// # Errors
+    ///
+    /// [`LadderError::NonPositiveCurrent`] if `ires <= 0`.
+    pub fn set_control_current(&mut self, ires: f64) -> Result<(), LadderError> {
+        if ires <= 0.0 {
+            return Err(LadderError::NonPositiveCurrent);
+        }
+        self.ires = ires;
+        Ok(())
+    }
+
+    /// The bias-sharing scheme in use.
+    pub fn bias_scheme(&self) -> LadderBias {
+        self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::default()
+    }
+
+    #[test]
+    fn nominal_taps_uniform() {
+        let l = ReferenceLadder::new(0.2, 1.0, 8, 1, 1e-9).unwrap();
+        let taps = l.taps();
+        let ideal = l.ideal_taps();
+        assert_eq!(taps.len(), 7);
+        for (t, i) in taps.iter().zip(&ideal) {
+            assert!((t - i).abs() < 1e-12);
+        }
+        assert!((taps[0] - 0.3).abs() < 1e-12);
+        assert!((taps[6] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatch_bends_taps_within_bounds() {
+        let t = tech();
+        let mut rng = MismatchRng::seed_from(31);
+        let l = ReferenceLadder::new(0.2, 1.0, 64, 8, 1e-9)
+            .unwrap()
+            .with_mismatch(&t, &mut rng, 2e-6, 2e-6);
+        let taps = l.taps();
+        let ideal = l.ideal_taps();
+        let lsb = 0.8 / 64.0;
+        let mut worst: f64 = 0.0;
+        for (tap, id) in taps.iter().zip(&ideal) {
+            worst = worst.max((tap - id).abs());
+        }
+        assert!(worst > 0.0, "mismatch must move taps");
+        assert!(worst < lsb, "ladder INL stays sub-LSB for µm devices: {worst}");
+        // Taps remain monotone.
+        assert!(taps.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn power_scales_with_control_current() {
+        let t = tech();
+        let mut l = ReferenceLadder::new(0.2, 1.0, 256, 8, 1e-9).unwrap();
+        let p1 = l.power(&t, 1.0).unwrap();
+        l.set_control_current(10e-9).unwrap();
+        let p10 = l.power(&t, 1.0).unwrap();
+        assert!((p10 / p1 - 10.0).abs() < 1e-9, "{}", p10 / p1);
+    }
+
+    #[test]
+    fn sub_microwatt_at_nano_control() {
+        // The paper: conventional ladders can't go below ~1 µW; this one
+        // can.
+        let t = tech();
+        let l = ReferenceLadder::new(0.2, 1.0, 256, 8, 100e-12).unwrap();
+        let p = l.power(&t, 1.0).unwrap();
+        assert!(p < 1e-6, "power = {p}");
+        assert!(l.element_resistance(&t).unwrap() > 1e8);
+    }
+
+    #[test]
+    fn sharing_saves_control_power() {
+        let t = tech();
+        let dedicated = ReferenceLadder::new(0.2, 1.0, 256, 1, 1e-9).unwrap();
+        let shared = ReferenceLadder::new(0.2, 1.0, 256, 8, 1e-9).unwrap();
+        let pd = dedicated.power(&t, 1.0).unwrap();
+        let ps = shared.power(&t, 1.0).unwrap();
+        assert!(pd / ps > 4.0, "sharing gain = {}", pd / ps);
+        assert_eq!(shared.bias_scheme().control_branches(), 32);
+    }
+
+    #[test]
+    fn string_current_magnitude() {
+        let t = tech();
+        let l = ReferenceLadder::new(0.2, 1.0, 256, 8, 1e-9).unwrap();
+        // R_elem = UT/1nA ≈ 26 MΩ; 256 elements ≈ 6.6 GΩ; 0.8 V across →
+        // ≈ 120 pA.
+        let i = l.string_current(&t).unwrap();
+        assert!(i > 3e-11 && i < 3e-10, "string = {i:e}");
+    }
+
+    #[test]
+    fn errors_propagate() {
+        assert!(ReferenceLadder::new(0.2, 1.0, 8, 0, 1e-9).is_err());
+        assert!(ReferenceLadder::new(0.2, 1.0, 8, 1, 0.0).is_err());
+        let mut l = ReferenceLadder::new(0.2, 1.0, 8, 1, 1e-9).unwrap();
+        assert!(l.set_control_current(-1.0).is_err());
+    }
+}

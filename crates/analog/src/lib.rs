@@ -1,0 +1,46 @@
+//! Power-scalable subthreshold current-mode analog blocks (paper §II-B,
+//! §III-A).
+//!
+//! The analog half of the platform uses the same design primitive as the
+//! digital half — a source-coupled pair steered by a programmable bias
+//! current — so one control current scales the whole signal chain. In
+//! weak inversion `gm = I/(n·UT)` is linear in bias while node voltages
+//! move only logarithmically, giving the paper's key property: gain and
+//! swing stay fixed while bandwidth scales linearly over many decades
+//! ([`scale`]).
+//!
+//! Blocks:
+//!
+//! * [`folder`] — the current-mode folding stage of Fig. 5a;
+//! * [`interp`] — the current-mode interpolator of Fig. 5b (factor 8 in
+//!   the paper's ADC);
+//! * [`preamp`] — the double-differential pre-amplifier of Fig. 6 with
+//!   the well-capacitance decoupling resistor (the Fig. 6d bandwidth
+//!   trick);
+//! * [`comparator`] — offset-afflicted regenerative comparator;
+//! * [`ladder`] — the tunable MOS-resistor reference ladder of Fig. 7;
+//! * [`biasgen`] — the shared bias tree that slaves every block (and the
+//!   digital encoder) to one master control current.
+//!
+//! # Example
+//!
+//! Bandwidth scales with bias while gain stays put:
+//!
+//! ```
+//! use ulp_analog::preamp::PreampDesign;
+//!
+//! let lo = PreampDesign::new(1e-9, true);
+//! let hi = PreampDesign::new(100e-9, true);
+//! assert!((hi.dc_gain() / lo.dc_gain() - 1.0).abs() < 1e-9); // gain fixed
+//! assert!(hi.bandwidth() / lo.bandwidth() > 50.0);           // BW ∝ IC
+//! ```
+
+pub mod biasgen;
+pub mod comparator;
+pub mod filter;
+pub mod folder;
+pub mod interp;
+pub mod ladder;
+pub mod preamp;
+pub mod sample_hold;
+pub mod scale;

@@ -1,0 +1,224 @@
+//! The track-and-hold front end.
+//!
+//! The paper's ADC samples at `f_s`; upstream of the folders sits a
+//! track-and-hold whose acquisition bandwidth must follow the same
+//! bias-current scaling as every other block (a fixed-bandwidth T/H
+//! would break the platform's single-knob story). Modelled here:
+//!
+//! * **acquisition**: single-pole settling toward the input during the
+//!   track phase, with the pole at `gm/(2π·C_hold)` — `gm` from the
+//!   scaled bias;
+//! * **droop**: the held value decays through the switch's subthreshold
+//!   leakage during the hold phase;
+//! * **pedestal**: a fixed charge-injection step at the track→hold
+//!   transition.
+
+use crate::scale;
+use ulp_device::Technology;
+
+/// A bias-scalable track-and-hold.
+///
+/// # Example
+///
+/// ```
+/// use ulp_analog::sample_hold::SampleHold;
+/// use ulp_device::Technology;
+///
+/// let tech = Technology::default();
+/// let mut th = SampleHold::new(1e-12, 1e-9);
+/// // Bandwidth — and with it the supported sampling rate — scales
+/// // linearly with the bias, like every block in the platform.
+/// let b1 = th.bandwidth(&tech);
+/// th.set_bias(100e-9);
+/// assert!((th.bandwidth(&tech) / b1 - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleHold {
+    /// Hold capacitance, F.
+    pub c_hold: f64,
+    /// Track-phase bias current, A.
+    pub bias: f64,
+    /// Switch leakage during hold, A.
+    pub leakage: f64,
+    /// Charge-injection pedestal, V (signed).
+    pub pedestal: f64,
+}
+
+impl SampleHold {
+    /// Creates a T/H with the given hold capacitor at bias `bias`,
+    /// with pA-class switch leakage and a small pedestal.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `c_hold > 0` and `bias > 0`.
+    pub fn new(c_hold: f64, bias: f64) -> Self {
+        assert!(c_hold > 0.0 && bias > 0.0, "T/H parameters must be positive");
+        SampleHold {
+            c_hold,
+            bias,
+            leakage: 1e-13,
+            pedestal: 0.2e-3,
+        }
+    }
+
+    /// Acquisition bandwidth, Hz — linear in bias like every block in
+    /// the platform.
+    pub fn bandwidth(&self, tech: &Technology) -> f64 {
+        scale::bandwidth(scale::gm(tech, self.bias), self.c_hold)
+    }
+
+    /// Rescales the track bias (PMU knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bias > 0`.
+    pub fn set_bias(&mut self, bias: f64) {
+        assert!(bias > 0.0, "bias must be positive");
+        self.bias = bias;
+    }
+
+    /// Tracks `vin` for `t_track` seconds starting from the previously
+    /// held value, then holds: returns the held voltage including the
+    /// pedestal.
+    pub fn sample(&self, tech: &Technology, held_prev: f64, vin: f64, t_track: f64) -> f64 {
+        assert!(t_track > 0.0, "track time must be positive");
+        let tau = 1.0 / (2.0 * std::f64::consts::PI * self.bandwidth(tech));
+        let tracked = vin + (held_prev - vin) * (-t_track / tau).exp();
+        tracked + self.pedestal
+    }
+
+    /// Voltage droop after holding for `t_hold` seconds, V.
+    pub fn droop(&self, t_hold: f64) -> f64 {
+        assert!(t_hold >= 0.0, "hold time must be non-negative");
+        self.leakage * t_hold / self.c_hold
+    }
+
+    /// Worst-case sampling error at rate `fs` with a 50 % track duty:
+    /// residual settling (from a full-scale step `v_span`) + droop over
+    /// the hold half-period + pedestal, V.
+    pub fn worst_case_error(&self, tech: &Technology, fs: f64, v_span: f64) -> f64 {
+        assert!(fs > 0.0, "sampling rate must be positive");
+        let half = 0.5 / fs;
+        let tau = 1.0 / (2.0 * std::f64::consts::PI * self.bandwidth(tech));
+        let settle = v_span * (-half / tau).exp();
+        settle + self.droop(half) + self.pedestal.abs()
+    }
+
+    /// The minimum bias that keeps the worst-case error under
+    /// `err_target` volts at rate `fs`, found by doubling + bisection;
+    /// `None` if droop + pedestal alone already exceed the target.
+    pub fn bias_for_error(
+        tech: &Technology,
+        c_hold: f64,
+        fs: f64,
+        v_span: f64,
+        err_target: f64,
+    ) -> Option<f64> {
+        let floor = {
+            let sh = SampleHold::new(c_hold, 1.0);
+            sh.droop(0.5 / fs) + sh.pedestal.abs()
+        };
+        if floor >= err_target {
+            return None;
+        }
+        let err_at = |bias: f64| {
+            SampleHold::new(c_hold, bias).worst_case_error(tech, fs, v_span)
+        };
+        let mut hi = 1e-12;
+        while err_at(hi) > err_target {
+            hi *= 2.0;
+            if hi > 1.0 {
+                return None;
+            }
+        }
+        let mut lo = hi / 2.0;
+        for _ in 0..60 {
+            let mid = (lo * hi).sqrt();
+            if err_at(mid) > err_target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::default()
+    }
+
+    #[test]
+    fn bandwidth_linear_in_bias() {
+        let t = tech();
+        let mut sh = SampleHold::new(1e-12, 1e-9);
+        let b1 = sh.bandwidth(&t);
+        sh.set_bias(10e-9);
+        assert!((sh.bandwidth(&t) / b1 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracking_settles_exponentially() {
+        let t = tech();
+        let sh = SampleHold::new(1e-12, 10e-9);
+        let tau = 1.0 / (2.0 * std::f64::consts::PI * sh.bandwidth(&t));
+        // One time constant: 63 % of the way (plus pedestal).
+        let v = sh.sample(&t, 0.0, 1.0, tau) - sh.pedestal;
+        assert!((v - 0.632).abs() < 1e-3, "v = {v}");
+        // Ten time constants: fully settled.
+        let v = sh.sample(&t, 0.0, 1.0, 10.0 * tau) - sh.pedestal;
+        assert!((v - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn droop_linear_in_time() {
+        let sh = SampleHold::new(1e-12, 1e-9);
+        assert!((sh.droop(2e-3) / sh.droop(1e-3) - 2.0).abs() < 1e-12);
+        // 100 pF·s-class droop: 0.1 pA leak on 1 pF for 1 ms = 0.1 mV.
+        assert!((sh.droop(1e-3) - 0.1e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bias_for_error_meets_target() {
+        let t = tech();
+        let lsb = 0.8 / 256.0;
+        let bias = SampleHold::bias_for_error(&t, 1e-12, 80e3, 0.8, 0.5 * lsb).unwrap();
+        let sh = SampleHold::new(1e-12, bias);
+        assert!(sh.worst_case_error(&t, 80e3, 0.8) <= 0.5 * lsb * (1.0 + 1e-9));
+        // Shaving the bias 20 % breaks the target.
+        let sh_less = SampleHold::new(1e-12, 0.8 * bias);
+        assert!(sh_less.worst_case_error(&t, 80e3, 0.8) > 0.5 * lsb);
+    }
+
+    #[test]
+    fn required_bias_scales_with_rate() {
+        // The platform property: the T/H joins the single-knob scaling —
+        // its required bias is ∝ fs like every other block.
+        let t = tech();
+        let lsb = 0.8 / 256.0;
+        let b1 = SampleHold::bias_for_error(&t, 1e-12, 800.0, 0.8, 0.5 * lsb).unwrap();
+        let b100 = SampleHold::bias_for_error(&t, 1e-12, 80e3, 0.8, 0.5 * lsb).unwrap();
+        let ratio = b100 / b1;
+        assert!(
+            (ratio - 100.0).abs() < 20.0,
+            "bias ratio over 100x rate: {ratio}"
+        );
+    }
+
+    #[test]
+    fn impossible_targets_report_none() {
+        let t = tech();
+        // Pedestal alone (0.2 mV) exceeds a 0.1 mV target.
+        assert!(SampleHold::bias_for_error(&t, 1e-12, 1e3, 0.8, 0.1e-3).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cap_rejected() {
+        let _ = SampleHold::new(0.0, 1e-9);
+    }
+}

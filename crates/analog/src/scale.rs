@@ -1,0 +1,120 @@
+//! Weak-inversion bias-scaling laws (paper §II-B).
+//!
+//! These four identities are why subthreshold current-mode circuits are
+//! "widely scalable": over the entire weak-inversion range,
+//!
+//! * transconductance is linear in bias: `gm = I/(n·UT)`;
+//! * bandwidth at fixed capacitance is linear in bias:
+//!   `f_bw = gm/(2π·C)`;
+//! * DC gain of a replica-loaded stage is bias-independent:
+//!   `A = gm·R_L = (I/(n·UT))·(V_SW/I) = V_SW/(n·UT)`;
+//! * node voltages move only logarithmically: `ΔV = n·UT·ln(I₂/I₁)`.
+
+use ulp_device::Technology;
+
+/// Weak-inversion transconductance `gm = I/(n·UT)`, S.
+///
+/// # Panics
+///
+/// Panics unless `i > 0`.
+pub fn gm(tech: &Technology, i: f64) -> f64 {
+    assert!(i > 0.0, "bias current must be positive");
+    i / (tech.nmos.n * tech.thermal_voltage())
+}
+
+/// Transconductance of one side of a differential pair biased at total
+/// tail current `i` (each side carries `i/2`), S.
+pub fn gm_pair(tech: &Technology, i: f64) -> f64 {
+    gm(tech, 0.5 * i)
+}
+
+/// Bandwidth of a node with capacitance `c` driven at transconductance
+/// `g`, Hz: `f = g/(2π·C)`.
+pub fn bandwidth(g: f64, c: f64) -> f64 {
+    assert!(c > 0.0, "capacitance must be positive");
+    g / (2.0 * std::f64::consts::PI * c)
+}
+
+/// Unity-gain bandwidth of a single-stage amplifier with load `c` at
+/// tail current `i`, Hz.
+pub fn ugbw(tech: &Technology, i: f64, c: f64) -> f64 {
+    bandwidth(gm_pair(tech, i), c)
+}
+
+/// Gate-voltage shift needed to move a subthreshold device between two
+/// bias currents, V: `ΔV = n·UT·ln(i2/i1)`.
+///
+/// # Panics
+///
+/// Panics unless both currents are positive.
+pub fn bias_voltage_shift(tech: &Technology, i1: f64, i2: f64) -> f64 {
+    assert!(i1 > 0.0 && i2 > 0.0, "bias currents must be positive");
+    tech.nmos.n * tech.thermal_voltage() * (i2 / i1).ln()
+}
+
+/// The bias current that places a block's bandwidth at `f_target` with
+/// load `c`, A — the inverse scaling law the PMU applies.
+pub fn bias_for_bandwidth(tech: &Technology, f_target: f64, c: f64) -> f64 {
+    assert!(f_target > 0.0, "target bandwidth must be positive");
+    2.0 * std::f64::consts::PI * f_target * c * 2.0 * tech.nmos.n * tech.thermal_voltage()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::default()
+    }
+
+    #[test]
+    fn gm_linear_in_current() {
+        let t = tech();
+        assert!((gm(&t, 2e-9) / gm(&t, 1e-9) - 2.0).abs() < 1e-12);
+        // 1 nA → ~28.6 nS.
+        let g = gm(&t, 1e-9);
+        assert!(g > 2e-8 && g < 4e-8, "gm = {g}");
+    }
+
+    #[test]
+    fn pair_gm_is_half() {
+        let t = tech();
+        assert!((gm_pair(&t, 1e-9) / gm(&t, 1e-9) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_scales_over_five_decades() {
+        let t = tech();
+        let c = 50e-15;
+        let b_lo = ugbw(&t, 10e-12, c);
+        let b_hi = ugbw(&t, 1e-6, c);
+        assert!((b_hi / b_lo - 1e5).abs() / 1e5 < 1e-9);
+    }
+
+    #[test]
+    fn voltage_shift_logarithmic() {
+        let t = tech();
+        // One decade ≈ n·UT·ln10 ≈ 80 mV.
+        let dv = bias_voltage_shift(&t, 1e-9, 1e-8);
+        assert!(dv > 0.06 && dv < 0.1, "dv = {dv}");
+        // Five decades is still only ~0.4 V — the wide-tuning-range
+        // argument.
+        let dv5 = bias_voltage_shift(&t, 1e-12, 1e-7);
+        assert!(dv5 < 0.45, "dv5 = {dv5}");
+        assert!(bias_voltage_shift(&t, 1e-8, 1e-9) < 0.0);
+    }
+
+    #[test]
+    fn bias_for_bandwidth_roundtrip() {
+        let t = tech();
+        let c = 100e-15;
+        let i = bias_for_bandwidth(&t, 1e5, c);
+        assert!((ugbw(&t, i, c) / 1e5 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_current_rejected() {
+        let _ = gm(&tech(), 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests of the analog block library.
+
+use proptest::prelude::*;
+use ulp_analog::biasgen::BiasTree;
+use ulp_analog::filter::{GmCBiquad, GmCFirstOrder};
+use ulp_analog::folder::Folder;
+use ulp_analog::interp::Interpolator;
+use ulp_analog::preamp::PreampDesign;
+use ulp_analog::sample_hold::SampleHold;
+use ulp_device::Technology;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// DC gain of the pre-amplifier never depends on bias; bandwidth is
+    /// exactly linear in it.
+    #[test]
+    fn preamp_scaling_laws(ic1_exp in -10.0f64..-7.0, ratio in 1.5f64..50.0) {
+        let ic1 = 10f64.powf(ic1_exp);
+        let a = PreampDesign::new(ic1, true);
+        let b = PreampDesign::new(ic1 * ratio, true);
+        prop_assert!((a.dc_gain() - b.dc_gain()).abs() < 1e-9);
+        prop_assert!((b.bandwidth() / a.bandwidth() / ratio - 1.0).abs() < 0.02);
+    }
+
+    /// Folder zero crossings always coincide with (offset-shifted) taps,
+    /// for any tap grid and bias.
+    #[test]
+    fn folder_crossings_on_taps(
+        start in 0.2f64..0.4,
+        pitch in 0.05f64..0.2,
+        taps in 2usize..10,
+        iss_exp in -10.0f64..-6.0
+    ) {
+        let tech = Technology::default();
+        let refs: Vec<f64> = (0..taps).map(|k| start + k as f64 * pitch).collect();
+        let f = Folder::new(&tech, refs.clone(), 10f64.powf(iss_exp));
+        let zc = f.zero_crossings();
+        for (z, r) in zc.iter().zip(&refs) {
+            prop_assert!((z - r).abs() < 2e-3, "crossing {z} vs tap {r}");
+        }
+    }
+
+    /// Interpolation preserves the endpoints and stays inside the convex
+    /// hull of each interval for same-sign weights.
+    #[test]
+    fn interpolation_convexity(
+        a in -1.0f64..1.0, b in -1.0f64..1.0, m_idx in 0usize..3
+    ) {
+        let m = [2usize, 4, 8][m_idx];
+        let it = Interpolator::new(m, 1e-9);
+        let out = it.interpolate(&[a, b]);
+        prop_assert_eq!(out.len(), m + 1);
+        prop_assert!((out[0] - a).abs() < 1e-12);
+        prop_assert!((out[m] - b).abs() < 1e-12);
+        let (lo, hi) = (a.min(b), a.max(b));
+        for v in &out {
+            prop_assert!(*v >= lo - 1e-12 && *v <= hi + 1e-12);
+        }
+    }
+
+    /// The bias tree's single-knob law: every branch scales by exactly
+    /// the master's factor.
+    #[test]
+    fn bias_tree_single_knob(
+        master_exp in -9.0f64..-6.0, factor in 1.1f64..100.0,
+        r1 in 0.01f64..1.0, r2 in 0.01f64..1.0
+    ) {
+        let master = 10f64.powf(master_exp);
+        let mut t = BiasTree::new(master);
+        t.branch("a", r1).branch("b", r2);
+        let before = t.current("a").expect("branch exists");
+        t.set_master(master * factor);
+        let after = t.current("a").expect("branch exists");
+        prop_assert!((after / before / factor - 1.0).abs() < 1e-12);
+        prop_assert!((t.total_current() - (r1 + r2) * master * factor).abs()
+            < 1e-9 * t.total_current());
+    }
+
+    /// gm-C biquad: ω₀ linear in bias, Q untouched, |H(jω₀)| = Q for
+    /// any design point.
+    #[test]
+    fn biquad_invariants(
+        bias_exp in -10.0f64..-6.0, q in 0.5f64..10.0, scale in 2.0f64..1000.0
+    ) {
+        let tech = Technology::default();
+        let mut f = GmCBiquad::new(10e-12, 10f64.powf(bias_exp), q);
+        let w1 = f.pole_frequency(&tech);
+        let peak = f.transfer_function(&tech).at_freq(w1).abs();
+        prop_assert!((peak / q - 1.0).abs() < 1e-6);
+        f.set_bias(10f64.powf(bias_exp) * scale);
+        prop_assert!((f.pole_frequency(&tech) / w1 / scale - 1.0).abs() < 1e-9);
+        prop_assert!((f.q() - q).abs() < 1e-12);
+    }
+
+    /// First-order section: the −3 dB point equals gm/(2πC) for any
+    /// design point.
+    #[test]
+    fn first_order_cutoff_formula(c_exp in -13.0f64..-10.0, bias_exp in -10.0f64..-7.0) {
+        let tech = Technology::default();
+        let f = GmCFirstOrder::new(10f64.powf(c_exp), 10f64.powf(bias_exp));
+        let bw = f.transfer_function(&tech).bandwidth_3db(1e-3, 1e15).expect("rolls off");
+        prop_assert!((bw / f.cutoff(&tech) - 1.0).abs() < 1e-3);
+    }
+
+    /// Track-and-hold acquisition always converges toward the input and
+    /// never overshoots it (first-order settling).
+    #[test]
+    fn th_settling_monotone(
+        vin in 0.2f64..1.0, v0 in 0.2f64..1.0, n_tau in 0.1f64..8.0
+    ) {
+        let tech = Technology::default();
+        let th = SampleHold::new(1e-12, 1e-9);
+        let tau = 1.0 / (2.0 * std::f64::consts::PI * th.bandwidth(&tech));
+        let held = th.sample(&tech, v0, vin, n_tau * tau) - th.pedestal;
+        // The tracked value lies between the start and the target.
+        let (lo, hi) = (v0.min(vin), v0.max(vin));
+        prop_assert!(held >= lo - 1e-12 && held <= hi + 1e-12);
+        // More time, closer to the target.
+        let held2 = th.sample(&tech, v0, vin, 2.0 * n_tau * tau) - th.pedestal;
+        prop_assert!((held2 - vin).abs() <= (held - vin).abs() + 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! Criterion benchmarks: one group per paper figure/table, timing the
+//! computational core that regenerates it (see DESIGN.md's experiment
+//! index). These are *performance* benches for the library itself; the
+//! scientific outputs come from the `src/bin/` harnesses.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use ulp_adc::encoder::Encoder;
+use ulp_adc::metrics::{ramp_linearity, sine_test};
+use ulp_adc::{AdcConfig, FaiAdc};
+use ulp_analog::preamp::PreampDesign;
+use ulp_cmos::block::CmosBlock;
+use ulp_cmos::dvfs::min_vdd_for_frequency;
+use ulp_cmos::gate::CmosGate;
+use ulp_device::Technology;
+use ulp_num::interp::decade_sweep;
+use ulp_pmu::PlatformController;
+use ulp_spice::ac::AcResult;
+use ulp_spice::dcop::DcOperatingPoint;
+use ulp_spice::Waveform;
+use ulp_stscl::sim::max_frequency;
+use ulp_stscl::vtc::SclBufferCircuit;
+use ulp_stscl::SclParams;
+
+/// E3 (Fig. 9a): encoder fmax sweep over five decades of bias.
+fn bench_fig9a(c: &mut Criterion) {
+    let encoder = Encoder::build(&AdcConfig::default());
+    let params = SclParams::default();
+    let currents = decade_sweep(10e-12, 100e-9, 5);
+    c.bench_function("fig9a_fmax_sweep", |b| {
+        b.iter(|| {
+            for &iss in &currents {
+                black_box(max_frequency(encoder.netlist(), &params, iss).unwrap());
+            }
+        })
+    });
+}
+
+/// E4 (Fig. 9b): minimum-supply curve.
+fn bench_fig9b(c: &mut Criterion) {
+    let tech = Technology::default();
+    let params = SclParams::default();
+    let currents = decade_sweep(100e-12, 1e-6, 10);
+    c.bench_function("fig9b_vddmin_sweep", |b| {
+        b.iter(|| {
+            for &iss in &currents {
+                black_box(params.min_vdd(&tech, iss));
+            }
+        })
+    });
+}
+
+/// E5 (Table 1): one full PMU operating-point resolution.
+fn bench_table1(c: &mut Criterion) {
+    let pmu = PlatformController::paper_prototype();
+    c.bench_function("table1_operating_point", |b| {
+        b.iter(|| black_box(pmu.operating_point(black_box(80e3))))
+    });
+}
+
+/// E6 (Fig. 11): the ramp-linearity measurement (reduced ramp for the
+/// bench; the harness uses 64 hits/code).
+fn bench_fig11(c: &mut Criterion) {
+    let tech = Technology::default();
+    let adc = FaiAdc::with_mismatch(&tech, &AdcConfig::default(), 1);
+    c.bench_function("fig11_ramp_linearity", |b| {
+        b.iter(|| black_box(ramp_linearity(&adc, 256 * 8).unwrap()))
+    });
+    c.bench_function("fig11_sine_test_enob", |b| {
+        b.iter(|| black_box(sine_test(&adc, 1024, 17, 80e3).unwrap()))
+    });
+}
+
+/// E2 (Fig. 6d): transistor-level AC sweep of the pre-amplifier.
+fn bench_fig6d(c: &mut Criterion) {
+    let tech = Technology::default();
+    let design = PreampDesign::new(10e-9, true);
+    let (nl, out) = design.to_spice(&tech, 1.0);
+    let op = DcOperatingPoint::solve(&nl, &tech).unwrap();
+    let freqs = decade_sweep(1.0, 1e8, 10);
+    c.bench_function("fig6d_preamp_ac_sweep", |b| {
+        b.iter(|| {
+            let ac = AcResult::run(&nl, &tech, &op, &freqs).unwrap();
+            black_box(ac.bandwidth_3db(out))
+        })
+    });
+}
+
+/// E1 (Fig. 3) + E7: CMOS DVFS solve (the expensive baseline step).
+fn bench_dvfs(c: &mut Criterion) {
+    let tech = Technology::default();
+    let block = CmosBlock::new(CmosGate::default(), 196, 4, 0.2);
+    c.bench_function("fig3_dvfs_solve", |b| {
+        b.iter(|| black_box(min_vdd_for_frequency(&block, &tech, 1e5, 0.2, 1.0).unwrap()))
+    });
+}
+
+/// E10: transistor-level STSCL buffer — DC operating point and
+/// transient delay measurement.
+fn bench_circuit(c: &mut Criterion) {
+    let tech = Technology::default();
+    let params = SclParams::default();
+    c.bench_function("e10_buffer_dcop", |b| {
+        b.iter_batched(
+            || SclBufferCircuit::build(&tech, &params, 1e-9, 0.6, Waveform::Dc(0.0)),
+            |circuit| black_box(DcOperatingPoint::solve(&circuit.netlist, &tech).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("e10_buffer_transient_delay", |b| {
+        let circuit = SclBufferCircuit::build(&tech, &params, 1e-9, 0.6, Waveform::Dc(0.0));
+        b.iter(|| black_box(circuit.spice_delay(&tech).unwrap()))
+    });
+}
+
+/// Core conversion throughput (gate-level and behavioural paths).
+fn bench_conversion(c: &mut Criterion) {
+    let adc = FaiAdc::ideal(&AdcConfig::default());
+    c.bench_function("adc_convert_gate_level", |b| {
+        b.iter(|| black_box(adc.convert(black_box(0.537))))
+    });
+    c.bench_function("adc_convert_behavioural", |b| {
+        b.iter(|| black_box(adc.convert_behavioural(black_box(0.537))))
+    });
+}
+
+/// E11: the 32-bit adder — build cost and wave-pipelined streaming.
+fn bench_adder(c: &mut Criterion) {
+    use ulp_stscl::adder::{PipelinedAdder, RippleAdder};
+    c.bench_function("e11_adder_combinational_add", |b| {
+        let adder = RippleAdder::build(32, false);
+        b.iter(|| black_box(adder.add(black_box(0xDEAD_BEEF), black_box(0x1234_5678), false)))
+    });
+    c.bench_function("e11_adder_stream_16_words", |b| {
+        let adder = PipelinedAdder::build(16);
+        let pairs: Vec<(u64, u64)> = (0..16u64).map(|k| (k * 997 % 65536, k * 131 % 65536)).collect();
+        b.iter(|| black_box(adder.stream(&pairs)))
+    });
+}
+
+/// E15: transistor-level noise analysis of the pre-amplifier.
+fn bench_noise(c: &mut Criterion) {
+    let tech = Technology::default();
+    let design = PreampDesign::new(10e-9, true);
+    let (nl, out) = design.to_spice(&tech, 1.0);
+    let op = DcOperatingPoint::solve(&nl, &tech).unwrap();
+    let freqs = decade_sweep(1e3, 1e8, 8);
+    c.bench_function("e15_preamp_noise_analysis", |b| {
+        b.iter(|| {
+            black_box(
+                ulp_spice::noise::noise_analysis(&nl, &tech, &op, out, &freqs).unwrap(),
+            )
+        })
+    });
+}
+
+/// E13: the replica-biased buffer's DC solve (one PVT point).
+fn bench_replica(c: &mut Criterion) {
+    use ulp_stscl::replica::ReplicaBiasedBuffer;
+    let tech = Technology::default();
+    let buf = ReplicaBiasedBuffer::build(
+        &tech,
+        &SclParams::default(),
+        1e-9,
+        0.6,
+        Waveform::Dc(0.0),
+    );
+    c.bench_function("e13_replica_tail_solve", |b| {
+        b.iter(|| black_box(buf.tail_current(&tech).unwrap()))
+    });
+}
+
+criterion_group!(
+    name = experiments;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig9a,
+    bench_fig9b,
+    bench_table1,
+    bench_fig11,
+    bench_fig6d,
+    bench_dvfs,
+    bench_circuit,
+    bench_conversion,
+    bench_adder,
+    bench_noise,
+    bench_replica
+);
+criterion_main!(experiments);

@@ -1,0 +1,60 @@
+//! E9b / paper Fig. 7: reference-ladder ablations.
+//!
+//! Two claims: (1) the MOS high-value-resistor ladder reaches power
+//! levels a conventional (fixed, ~1 µW-floor) ladder cannot, and scales
+//! with the sampling rate; (2) sharing one programming branch across
+//! several elements (Fig. 7d) divides the control overhead.
+
+use ulp_analog::ladder::ReferenceLadder;
+use ulp_bench::{header, result, row, si};
+use ulp_device::Technology;
+
+fn main() {
+    header("E9b", "reference ladder: scalability + bias sharing (Fig. 7)");
+    let tech = Technology::default();
+
+    // (1) Power vs control current (∝ sampling rate) for a 256-element
+    // 8-bit ladder with 8-way sharing.
+    println!("--- ladder power vs programming current (256 elements, 8-way sharing) ---");
+    for ires in [10e-12, 100e-12, 1e-9, 10e-9] {
+        let mut ladder = ReferenceLadder::new(0.2, 1.0, 256, 8, 1e-9).expect("valid ladder");
+        ladder.set_control_current(ires).expect("positive current");
+        let p = ladder.power(&tech, 1.0).expect("valid bias");
+        let r = ladder.element_resistance(&tech).expect("valid bias");
+        row(
+            format!("{} A", si(ires)),
+            &[("R_elem_ohm", r), ("P_ladder_W", p)],
+        );
+    }
+    let mut slow = ReferenceLadder::new(0.2, 1.0, 256, 8, 1e-9).expect("valid ladder");
+    slow.set_control_current(10e-12).expect("positive current");
+    let p_slow = slow.power(&tech, 1.0).expect("valid bias");
+    result(
+        "ladder power at 10 pA programming",
+        p_slow,
+        "W (conventional floor: ~1e-6 W)",
+    );
+    assert!(p_slow < 1e-7, "must break the conventional 1 uW floor");
+
+    // (2) Sharing ablation at fixed programming current.
+    println!("--- control-power vs sharing factor (IRES = 1 nA) ---");
+    let mut p1 = 0.0;
+    for sharing in [1usize, 2, 4, 8] {
+        let ladder = ReferenceLadder::new(0.2, 1.0, 256, sharing, 1e-9).expect("valid ladder");
+        let p = ladder.power(&tech, 1.0).expect("valid bias");
+        if sharing == 1 {
+            p1 = p;
+        }
+        row(
+            format!("share x{sharing}"),
+            &[
+                ("branches", ladder.bias_scheme().control_branches() as f64),
+                ("P_total_W", p),
+                ("saving_x", p1 / p),
+            ],
+        );
+    }
+    let shared = ReferenceLadder::new(0.2, 1.0, 256, 8, 1e-9).expect("valid ladder");
+    let p8 = shared.power(&tech, 1.0).expect("valid bias");
+    assert!(p1 / p8 > 4.0, "8-way sharing must save most of the control power");
+}

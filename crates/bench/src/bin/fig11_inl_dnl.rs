@@ -1,0 +1,72 @@
+//! E6 / paper Fig. 11: measured INL and DNL of the FAI ADC.
+//!
+//! Paper: INL ≈ 1.0 LSB, DNL ≈ 0.4 LSB on the fabricated chip. We run
+//! a Monte-Carlo ensemble of mismatch instances (Pelgrom comparator
+//! offsets, ladder errors, folder/interpolator weight errors), report
+//! the ensemble statistics, and print the per-code INL/DNL profile of
+//! the median instance — the equivalent of the paper's single measured
+//! die.
+
+use ulp_adc::metrics::ramp_linearity;
+use ulp_adc::{AdcConfig, FaiAdc};
+use ulp_bench::{header, paper_check, result};
+use ulp_device::Technology;
+use ulp_num::stats::Ensemble;
+
+const SEEDS: u64 = 25;
+const RAMP_STEPS: usize = 256 * 64;
+
+fn main() {
+    header("E6 (Fig. 11)", "INL/DNL under Monte-Carlo mismatch");
+    let tech = Technology::default();
+    let cfg = AdcConfig::default();
+    let mut inls = Vec::new();
+    let mut dnls = Vec::new();
+    for seed in 0..SEEDS {
+        let adc = FaiAdc::with_mismatch(&tech, &cfg, seed);
+        let lin = ramp_linearity(&adc, RAMP_STEPS).expect("dense ramp");
+        inls.push(lin.inl_max);
+        dnls.push(lin.dnl_max);
+    }
+    let inl_stats = Ensemble::from_samples(&inls).expect("non-empty ensemble");
+    let dnl_stats = Ensemble::from_samples(&dnls).expect("non-empty ensemble");
+    println!("INL ensemble: {inl_stats}");
+    println!("DNL ensemble: {dnl_stats}");
+    paper_check("median INL", inl_stats.median, 1.0, "LSB");
+    paper_check("median DNL", dnl_stats.median, 0.4, "LSB");
+    assert!(inl_stats.median > 0.3 && inl_stats.median < 3.0);
+    assert!(dnl_stats.median > 0.15 && dnl_stats.median < 1.5);
+
+    // Per-code profile of the median-INL instance (the Fig. 11 curves).
+    let median_seed = (0..SEEDS)
+        .min_by(|&a, &b| {
+            let da = (inls[a as usize] - inl_stats.median).abs();
+            let db = (inls[b as usize] - inl_stats.median).abs();
+            da.partial_cmp(&db).expect("finite INL")
+        })
+        .expect("non-empty ensemble");
+    let adc = FaiAdc::with_mismatch(&tech, &cfg, median_seed);
+    let lin = ramp_linearity(&adc, RAMP_STEPS).expect("dense ramp");
+    println!("--- per-code profile, seed {median_seed} (every 8th code) ---");
+    println!(
+        "{:>6} {:>10} {:>10}  INL -2........0........+2 LSB",
+        "code", "DNL_LSB", "INL_LSB"
+    );
+    for (k, (d, i)) in lin.dnl.iter().zip(&lin.inl).enumerate() {
+        if k % 8 == 0 {
+            let pos = (((i + 2.0) / 4.0) * 28.0).clamp(0.0, 28.0) as usize;
+            let mut bar = vec![b'.'; 29];
+            bar[14] = b'|';
+            bar[pos] = b'*';
+            println!(
+                "{:>6} {:>10.3} {:>10.3}  {}",
+                k + 1,
+                d,
+                i,
+                String::from_utf8_lossy(&bar)
+            );
+        }
+    }
+    result("peak INL (median die)", lin.inl_max, "LSB (paper: 1.0)");
+    result("peak DNL (median die)", lin.dnl_max, "LSB (paper: 0.4)");
+}

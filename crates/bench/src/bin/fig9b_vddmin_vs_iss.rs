@@ -1,0 +1,34 @@
+//! E4 / paper Fig. 9(b): minimum supply voltage of the digital section
+//! versus tail bias current per gate.
+//!
+//! Paper anchors: below 10 nA the supply can drop under 0.5 V; below
+//! 1 nA it reaches 0.35 V while holding the 200 mV swing; the curve
+//! rises logarithmically with ISS (gate-drive headroom) and floors at
+//! `VSW + 4·UT`.
+
+use ulp_bench::{header, result, row};
+use ulp_device::Technology;
+use ulp_num::interp::decade_sweep;
+use ulp_stscl::SclParams;
+
+fn main() {
+    header("E4 (Fig. 9b)", "minimum supply voltage vs tail bias current");
+    let tech = Technology::default();
+    let params = SclParams::default();
+    let currents = decade_sweep(100e-12, 1e-6, 5);
+    for &iss in &currents {
+        row(
+            format!("{iss:.3e} A"),
+            &[("vdd_min_V", params.min_vdd(&tech, iss))],
+        );
+    }
+    let v_1na = params.min_vdd(&tech, 1e-9);
+    let v_10na = params.min_vdd(&tech, 10e-9);
+    result("VDDmin at 1 nA", v_1na, "V (paper: 0.35 V)");
+    result("VDDmin at 10 nA", v_10na, "V (paper: <0.5 V)");
+    assert!((v_1na - 0.35).abs() < 0.03, "1 nA anchor out of band");
+    assert!(v_10na < 0.52, "10 nA anchor out of band");
+    // Slope: ≈160 mV per decade from the two gate-drive terms.
+    let slope = v_10na - v_1na;
+    result("slope per decade", slope, "V (model: ~0.16 V)");
+}

@@ -1,0 +1,71 @@
+//! E15 (extension): the comparator noise budget derived from device
+//! physics, and its bias-independence.
+//!
+//! The converter model carries a 0.3 mV RMS comparator noise
+//! (`AdcConfig::noise_rms`). This experiment derives that number from
+//! the pre-amplifier's transistor-level noise analysis (channel shot
+//! noise + load thermal noise through the Fig. 6 circuit), then shows
+//! the platform's quiet scaling property: PSD ∝ 1/I_C and BW ∝ I_C, so
+//! integrated noise barely moves over two decades of power.
+
+use ulp_analog::preamp::PreampDesign;
+use ulp_bench::{header, paper_check, result, row};
+use ulp_device::Technology;
+use ulp_num::interp::decade_sweep;
+use ulp_spice::dcop::DcOperatingPoint;
+use ulp_spice::noise::noise_analysis;
+
+fn main() {
+    header("E15", "comparator noise budget from transistor-level noise analysis");
+    let tech = Technology::default();
+
+    println!("--- input-referred RMS noise vs bias current ---");
+    let mut values = Vec::new();
+    for ic in [1e-9, 10e-9, 100e-9] {
+        let d = PreampDesign::new(ic, true);
+        let noise = d.input_referred_noise(&tech, 1.0).expect("noise solves");
+        values.push(noise);
+        row(
+            format!("IC {ic:.0e} A"),
+            &[("vn_rms_V", noise), ("bandwidth_Hz", d.bandwidth())],
+        );
+    }
+    paper_check(
+        "derived noise at 10 nA",
+        values[1],
+        0.3e-3,
+        "V (the model's assumed AdcConfig::noise_rms)",
+    );
+    assert!(values[1] > 0.1e-3 && values[1] < 1.0e-3);
+    let spread = values.iter().cloned().fold(f64::MIN, f64::max)
+        / values.iter().cloned().fold(f64::MAX, f64::min);
+    result("noise spread over 100x bias", spread, "x (kT/C-like: ~1)");
+    assert!(spread < 1.5, "noise must not degrade when power scales down");
+
+    println!("--- who makes the noise (IC = 10 nA) ---");
+    let d = PreampDesign::new(10e-9, true);
+    let (nl, out) = d.to_spice(&tech, 1.0);
+    let op = DcOperatingPoint::solve(&nl, &tech).expect("biases");
+    let bw = d.bandwidth();
+    let freqs = decade_sweep(bw * 1e-3, bw * 1e2, 20);
+    let report = noise_analysis(&nl, &tech, &op, out, &freqs).expect("noise solves");
+    let total: f64 = report
+        .contributions
+        .iter()
+        .map(|c| c.output_power)
+        .sum();
+    for c in &report.contributions {
+        if c.output_power > 1e-3 * total {
+            row(
+                c.name.clone(),
+                &[("fraction", c.output_power / total)],
+            );
+        }
+    }
+    let worst = report.worst_offender().expect("has contributors");
+    result(
+        "dominant contributor share",
+        worst.output_power / total,
+        &format!("({})", worst.name),
+    );
+}

@@ -1,0 +1,64 @@
+//! E13 (extension of E1/E7) / paper Fig. 2 & §II-A: the replica-bias
+//! mechanism demonstrated at transistor level.
+//!
+//! E1 shows the *formula's* PVT zeros; this experiment shows the
+//! *circuit* delivering them: a real NMOS mirror fed by a
+//! diode-connected reference regenerates the programmed tail current at
+//! every process corner, temperature and supply, while the bias rail
+//! VBN moves to absorb the variation. This is "the tail bias current
+//! can be controlled very precisely using a current mirror and a
+//! replica bias generator" measured in circuit simulation.
+
+use ulp_bench::{header, result};
+use ulp_device::pvt::Corner;
+use ulp_device::Technology;
+use ulp_spice::Waveform;
+use ulp_stscl::replica::ReplicaBiasedBuffer;
+use ulp_stscl::SclParams;
+
+fn main() {
+    header("E13 (Fig. 2)", "replica bias at transistor level across PVT");
+    let nominal = Technology::default();
+    let iref = 1e-9;
+    let buf = ReplicaBiasedBuffer::build(
+        &nominal,
+        &SclParams::default(),
+        iref,
+        0.6,
+        Waveform::Dc(0.0),
+    );
+
+    println!("--- process corners (IREF = 1 nA) ---");
+    println!("{:>8} {:>14} {:>12} {:>12}", "corner", "tail_A", "err_%", "VBN_V");
+    let mut worst_err: f64 = 0.0;
+    for corner in Corner::all() {
+        let t = nominal.at_corner(corner);
+        let tail = buf.tail_current(&t).expect("replica solves");
+        let vbn = buf.bias_rail(&t).expect("replica solves");
+        let err = (tail / iref - 1.0) * 100.0;
+        worst_err = worst_err.max(err.abs());
+        println!("{corner:>8} {tail:>14.4e} {err:>12.2} {vbn:>12.4}");
+    }
+    result("worst corner current error", worst_err, "% (CMOS fmax spread: ~10x)");
+    assert!(worst_err < 10.0, "mirror must regenerate the current");
+
+    println!("--- temperature (TT corner) ---");
+    println!("{:>8} {:>14} {:>12}", "T_K", "tail_A", "err_%");
+    for t_k in [250.0, 275.0, 300.0, 330.0, 360.0] {
+        let t = nominal.at_temperature(t_k);
+        let tail = buf.tail_current(&t).expect("replica solves");
+        println!("{t_k:>8} {tail:>14.4e} {:>12.2}", (tail / iref - 1.0) * 100.0);
+    }
+
+    println!("--- supply 1.0 -> 1.25 V ---");
+    for vdd in [1.0, 1.1, 1.25] {
+        let p = SclParams::new(0.2, 10e-15, vdd);
+        let b = ReplicaBiasedBuffer::build(&nominal, &p, iref, 0.6, Waveform::Dc(0.0));
+        let tail = b.tail_current(&nominal).expect("replica solves");
+        println!("  VDD {vdd:>5.2} V: tail = {tail:.4e} A ({:+.2} %)", (tail / iref - 1.0) * 100.0);
+    }
+    let swing = buf.steered_swing(&nominal).expect("replica solves").abs();
+    result("steered output swing", swing, "V (design: 0.2 V)");
+    println!("the bias rail absorbs PVT; the current — and hence delay and power —");
+    println!("do not. This is the platform's Fig. 3(b) decoupling, in silicon terms.");
+}

@@ -1,0 +1,83 @@
+//! E14 (extension) / paper §III-A: "designed for medium accuracy (6 to
+//! 8b)" — the architecture across its resolution envelope.
+//!
+//! Sweeps the converter geometry from 6 to 8 bits, measuring ideal and
+//! mismatch-afflicted ENOB and the power cost at 80 kS/s. The folding
+//! architecture's economy: doubling the resolution costs folders ×
+//! interpolation, not 2^N comparators.
+
+use ulp_adc::metrics::{ramp_linearity, sine_test};
+use ulp_adc::{AdcConfig, FaiAdc};
+use ulp_bench::{header, si};
+use ulp_device::Technology;
+
+fn main() {
+    header("E14", "resolution envelope 6-8 bits (paper: 'medium accuracy 6 to 8b')");
+    let tech = Technology::default();
+    let configs = [
+        (
+            "6-bit",
+            AdcConfig {
+                resolution: 6,
+                coarse_bits: 2,
+                folders: 4,
+                interpolation: 4,
+                ..AdcConfig::default()
+            },
+        ),
+        (
+            "7-bit",
+            AdcConfig {
+                resolution: 7,
+                coarse_bits: 2,
+                folders: 4,
+                interpolation: 8,
+                ..AdcConfig::default()
+            },
+        ),
+        ("8-bit", AdcConfig::default()),
+    ];
+    println!(
+        "{:>7} {:>7} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "res", "gates", "ENOB_id", "ENOB_mm", "INL_LSB", "DNL_LSB", "comparators"
+    );
+    for (name, cfg) in configs {
+        cfg.validate();
+        let ideal = FaiAdc::ideal(&cfg);
+        let mm = FaiAdc::with_mismatch(&tech, &cfg, 2026);
+        let d_ideal = sine_test(&ideal, 4096, 67, 80e3).expect("coherent capture");
+        let d_mm = sine_test(&mm, 4096, 67, 80e3).expect("coherent capture");
+        let lin = ramp_linearity(&mm, cfg.codes() * 64).expect("dense ramp");
+        // Fine zero-cross detectors + coarse flash vs a full flash.
+        let comparators = cfg.levels_per_fold() + (cfg.folds() - 1);
+        let flash_equiv = cfg.codes() - 1;
+        println!(
+            "{:>7} {:>7} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>6} vs {:<4}",
+            name,
+            ideal.encoder().gate_count(),
+            d_ideal.enob,
+            d_mm.enob,
+            lin.inl_max,
+            lin.dnl_max,
+            comparators,
+            flash_equiv
+        );
+        assert!(d_ideal.enob > cfg.resolution as f64 - 1.0);
+        // Mismatch costs ≲1.5 bits anywhere in the envelope.
+        assert!(d_mm.enob > cfg.resolution as f64 - 2.0);
+    }
+    println!(
+        "comparator economy at 8 bits: {} vs {} for a flash — the Fig. 4 rationale",
+        32 + 7,
+        255
+    );
+    let p = ulp_adc::power::power_at_sampling_rate(
+        &FaiAdc::ideal(&AdcConfig::default()),
+        &tech,
+        80e3,
+        ulp_adc::power::ANALOG_SETTLING_MARGIN,
+        ulp_adc::power::DIGITAL_TIMING_MARGIN,
+        6.5,
+    );
+    println!("8-bit power at 80 kS/s: {} W (fom {} J/step)", si(p.total), si(p.fom));
+}

@@ -1,0 +1,87 @@
+//! E8 / paper §I & ref \[11\]: STSCL vs subthreshold-CMOS power
+//! crossover versus operating frequency and activity rate.
+//!
+//! The paper's argument for the platform: below the CMOS leakage floor
+//! — i.e. at low frequencies and low activity rates — STSCL's
+//! programmed tail currents beat CMOS's uncontrolled leakage. We sweep
+//! both blocks at iso-function (196 gates, pipelined depth 1 vs depth 4
+//! CMOS) and locate the crossover frequency at several activity rates.
+
+use ulp_bench::{header, result, si};
+use ulp_cmos::block::CmosBlock;
+use ulp_cmos::gate::CmosGate;
+use ulp_cmos::dvfs::min_vdd_for_frequency;
+use ulp_device::Technology;
+use ulp_num::interp::{crossing, decade_sweep};
+use ulp_stscl::SclParams;
+
+const GATES: usize = 196;
+
+fn main() {
+    header("E8", "STSCL vs subthreshold CMOS power crossover");
+    let tech = Technology::default();
+    let params = SclParams::default();
+    let freqs = decade_sweep(1.0, 1e7, 4);
+    for activity in [0.01, 0.1, 0.5] {
+        println!("--- activity rate α = {activity} ---");
+        let block = CmosBlock::new(CmosGate::default(), GATES, 4, activity);
+        let mut p_cmos = Vec::new();
+        let mut p_scl = Vec::new();
+        for &f in &freqs {
+            // CMOS runs DVFS to the minimum viable supply; STSCL sizes
+            // the tail current for the same clock at depth 1.
+            let cmos = match min_vdd_for_frequency(&block, &tech, f, 0.25, 1.0) {
+                Ok(pt) => pt.power.total,
+                Err(_) => f64::NAN,
+            };
+            let scl = GATES as f64 * params.eq1_power(f, 1);
+            p_cmos.push(cmos);
+            p_scl.push(scl);
+        }
+        println!("{:>12} {:>12} {:>12}", "f_Hz", "P_CMOS_W", "P_STSCL_W");
+        for ((f, c), s) in freqs.iter().zip(&p_cmos).zip(&p_scl) {
+            println!("{:>12} {:>12} {:>12}", si(*f), si(*c), si(*s));
+        }
+        // Crossover: where P_STSCL/P_CMOS crosses 1 (rising with f).
+        let ratio: Vec<f64> = p_scl
+            .iter()
+            .zip(&p_cmos)
+            .map(|(s, c)| if c.is_nan() { f64::NAN } else { s / c })
+            .collect();
+        let valid: Vec<(f64, f64)> = freqs
+            .iter()
+            .zip(&ratio)
+            .filter(|(_, r)| r.is_finite())
+            .map(|(f, r)| (*f, *r))
+            .collect();
+        let (fv, rv): (Vec<f64>, Vec<f64>) = valid.into_iter().unzip();
+        match crossing(&fv, &rv, 1.0).expect("enough sweep points") {
+            Some(fx) => {
+                result("crossover frequency", fx, "Hz (STSCL wins below)");
+                assert!(
+                    rv[0] < 1.0,
+                    "STSCL must win at the bottom of the sweep (leakage floor)"
+                );
+            }
+            None => {
+                // At very low activity STSCL may win everywhere in range.
+                result("crossover frequency", f64::INFINITY, "Hz (STSCL wins everywhere swept)");
+                assert!(rv.iter().all(|r| *r < 1.0));
+            }
+        }
+        // The win factor deep in the low-rate regime: CMOS is pinned to
+        // its leakage floor while STSCL keeps scaling down.
+        let f_low = 10.0;
+        let cmos_low = min_vdd_for_frequency(&block, &tech, f_low, 0.25, 1.0)
+            .expect("reachable clock")
+            .power
+            .total;
+        let scl_low = GATES as f64 * params.eq1_power(f_low, 1);
+        result("STSCL win factor at 10 Hz", cmos_low / scl_low, "x");
+        assert!(cmos_low / scl_low > 10.0, "leakage floor must dominate at 10 Hz");
+    }
+    println!("shape: the crossover pins to the CMOS leakage floor (~kHz for this block)");
+    println!("and the STSCL advantage below it grows as 1/f — the paper's");
+    println!("\"especially more pronounced in low activity rate systems\" regime,");
+    println!("where required clock rates sit far under the floor crossing.");
+}

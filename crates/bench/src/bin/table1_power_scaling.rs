@@ -1,0 +1,51 @@
+//! E5 / paper §III-C chip summary ("Table 1"): power versus sampling
+//! rate with the common power-management unit.
+//!
+//! Measured chip: fs scales 800 S/s → 80 kS/s with total power
+//! 44 nW → 4 µW (digital part 2 nW → 200 nW) at ENOB ≈ 6.5.
+
+use ulp_adc::metrics::sine_test;
+use ulp_adc::{AdcConfig, FaiAdc};
+use ulp_bench::{header, paper_check, row, si};
+use ulp_device::Technology;
+use ulp_pmu::PlatformController;
+
+fn main() {
+    header(
+        "E5 (Table 1)",
+        "power vs sampling rate, 800 S/s - 80 kS/s, shared PMU",
+    );
+    let pmu = PlatformController::paper_prototype();
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>12}",
+        "fs_S/s", "IC_A", "P_analog_W", "P_digital_W", "P_total_W"
+    );
+    for op in pmu.sweep(2) {
+        println!(
+            "{:>12} {:>12} {:>12} {:>12} {:>12}",
+            si(op.fs),
+            si(op.ic),
+            si(op.power.analog),
+            si(op.power.digital),
+            si(op.power.total)
+        );
+    }
+    let lo = pmu.operating_point(800.0);
+    let hi = pmu.operating_point(80e3);
+    println!("--- paper anchors ---");
+    paper_check("total at 80 kS/s", hi.power.total, 4e-6, "W");
+    paper_check("digital at 80 kS/s", hi.power.digital, 200e-9, "W");
+    paper_check("total at 800 S/s", lo.power.total, 44e-9, "W");
+    paper_check("digital at 800 S/s", lo.power.digital, 2e-9, "W");
+    let ratio = hi.power.total / lo.power.total;
+    row("scaling ratio", &[("P(80k)/P(800)", ratio)]);
+    assert!((ratio - 100.0).abs() < 10.0, "power must scale ~linearly with fs");
+
+    // ENOB at the top rate with a representative mismatch instance.
+    let tech = Technology::default();
+    let mut adc = FaiAdc::with_mismatch(&tech, &AdcConfig::default(), 2026);
+    pmu.apply(&mut adc, 80e3);
+    let dynamics = sine_test(&adc, 4096, 67, 80e3).expect("coherent capture");
+    paper_check("ENOB at 80 kS/s", dynamics.enob, 6.5, "bits");
+    assert!(dynamics.enob > 5.5, "ENOB must stay in the paper's class");
+}

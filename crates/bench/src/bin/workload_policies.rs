@@ -1,0 +1,57 @@
+//! E12 (extension) / paper Fig. 1: energy benefit of single-knob
+//! workload tracking over fixed-bias and duty-cycled alternatives.
+//!
+//! Integrates the platform's energy over a representative sensor-node
+//! trace under three policies. The tracking policy is what the shared
+//! PMU enables; the others are what a non-scalable design is stuck
+//! with.
+
+use ulp_bench::{header, result, si};
+use ulp_pmu::workload::{compare_policies, sensor_node_trace, Segment};
+use ulp_pmu::PlatformController;
+
+fn main() {
+    header("E12 (Fig. 1)", "workload-tracking energy vs fixed/duty-cycled bias");
+    let pmu = PlatformController::paper_prototype();
+
+    println!("--- sensor-node trace (monitoring-dominated) ---");
+    let trace = sensor_node_trace(&pmu);
+    let total_t: f64 = trace.iter().map(|s| s.duration).sum();
+    println!("  {} segments over {:.1} h", trace.len(), total_t / 3600.0);
+    let cmp = compare_policies(&pmu, &trace, 50e-6);
+    println!(
+        "  tracking {} J | worst-case {} J | duty-cycled {} J",
+        si(cmp.tracking),
+        si(cmp.worst_case),
+        si(cmp.duty_cycled)
+    );
+    result("saving vs worst-case bias", cmp.saving_vs_worst_case, "x");
+    result("saving vs duty cycling", cmp.saving_vs_duty_cycling, "x");
+    assert!(cmp.saving_vs_worst_case > 30.0);
+    assert!(cmp.saving_vs_duty_cycling > 30.0);
+
+    println!("--- burst-dominated trace (the honest limit) ---");
+    let bursty = vec![
+        Segment::idle(600.0),
+        Segment::new(80e3, 2.0),
+        Segment::idle(600.0),
+        Segment::new(80e3, 2.0),
+        Segment::idle(600.0),
+    ];
+    let cmp2 = compare_policies(&pmu, &bursty, 50e-6);
+    println!(
+        "  tracking {} J | worst-case {} J | duty-cycled {} J",
+        si(cmp2.tracking),
+        si(cmp2.worst_case),
+        si(cmp2.duty_cycled)
+    );
+    result("saving vs worst-case bias", cmp2.saving_vs_worst_case, "x");
+    result(
+        "saving vs duty cycling",
+        cmp2.saving_vs_duty_cycling,
+        "x (≈1: gating is competitive when true idle dominates)",
+    );
+    println!("tracking wins wherever *any* low-rate work is required — the");
+    println!("paper's sensor/biomedical monitoring regime; pure-burst loads");
+    println!("remain duty-cycling territory.");
+}

@@ -1,0 +1,60 @@
+//! Shared harness utilities for the figure-regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one figure or the implicit
+//! chip-summary table of the paper (see DESIGN.md's per-experiment
+//! index) and prints the series in a uniform, diff-friendly format; the
+//! Criterion benches in `benches/` time the computational core of each
+//! experiment.
+
+use std::fmt::Display;
+
+/// Prints an experiment header.
+pub fn header(id: &str, title: &str) {
+    println!("=== {id}: {title} ===");
+}
+
+/// Prints a series row: an x value and named y values.
+pub fn row<X: Display>(x: X, cols: &[(&str, f64)]) {
+    print!("{x:>14}");
+    for (name, v) in cols {
+        print!("  {name}={v:.6e}");
+    }
+    println!();
+}
+
+/// Prints a key-value result line.
+pub fn result(name: &str, value: f64, unit: &str) {
+    println!("  {name} = {value:.4e} {unit}");
+}
+
+/// Prints a comparison against the paper's reported number.
+pub fn paper_check(name: &str, ours: f64, paper: f64, unit: &str) {
+    let ratio = ours / paper;
+    println!("  {name}: ours = {ours:.3e} {unit}, paper = {paper:.3e} {unit} (ratio {ratio:.2})");
+}
+
+/// Formats an SI-engineering value for compact tables.
+pub fn si(value: f64) -> String {
+    let (scale, suffix) = match value.abs() {
+        v if v >= 1.0 => (1.0, ""),
+        v if v >= 1e-3 => (1e3, "m"),
+        v if v >= 1e-6 => (1e6, "u"),
+        v if v >= 1e-9 => (1e9, "n"),
+        v if v >= 1e-12 => (1e12, "p"),
+        _ => (1e15, "f"),
+    };
+    format!("{:.3}{}", value * scale, suffix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn si_scaling() {
+        assert_eq!(si(4e-6), "4.000u");
+        assert_eq!(si(44e-9), "44.000n");
+        assert_eq!(si(2.5), "2.500");
+        assert_eq!(si(10e-12), "10.000p");
+    }
+}

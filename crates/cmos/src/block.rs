@@ -1,0 +1,131 @@
+//! Block-level CMOS power accounting: dynamic + leakage.
+
+use crate::gate::CmosGate;
+use ulp_device::Technology;
+
+/// A block of identical CMOS gates with a switching-activity factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmosBlock {
+    /// Gate template.
+    pub gate: CmosGate,
+    /// Gate count.
+    pub gates: usize,
+    /// Critical-path logic depth.
+    pub depth: usize,
+    /// Activity factor α (average fraction of gates switching per
+    /// cycle).
+    pub activity: f64,
+}
+
+/// Power breakdown of a CMOS block at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmosPower {
+    /// Dynamic switching power, W.
+    pub dynamic: f64,
+    /// Static leakage power, W.
+    pub leakage: f64,
+    /// Sum, W.
+    pub total: f64,
+}
+
+impl CmosBlock {
+    /// Creates a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `gates > 0`, `depth > 0` and `0 < activity <= 1`.
+    pub fn new(gate: CmosGate, gates: usize, depth: usize, activity: f64) -> Self {
+        assert!(gates > 0 && depth > 0, "block must have gates and depth");
+        assert!(
+            activity > 0.0 && activity <= 1.0,
+            "activity factor must lie in (0, 1]"
+        );
+        CmosBlock {
+            gate,
+            gates,
+            depth,
+            activity,
+        }
+    }
+
+    /// Power at clock `f` and supply `vdd`, W:
+    /// `P = α·N·C_L·V_DD²·f + N·I_leak·V_DD`.
+    pub fn power(&self, tech: &Technology, vdd: f64, f: f64) -> CmosPower {
+        let n = self.gates as f64;
+        let dynamic = self.activity * n * self.gate.dynamic_energy(vdd) * f;
+        let leakage = n * self.gate.leakage_power(tech, vdd);
+        CmosPower {
+            dynamic,
+            leakage,
+            total: dynamic + leakage,
+        }
+    }
+
+    /// Maximum clock at supply `vdd`, Hz.
+    pub fn fmax(&self, tech: &Technology, vdd: f64) -> f64 {
+        self.gate.fmax(tech, vdd, self.depth)
+    }
+
+    /// True when the block can meet clock `f` at supply `vdd`.
+    pub fn meets_timing(&self, tech: &Technology, vdd: f64, f: f64) -> bool {
+        self.fmax(tech, vdd) >= f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(activity: f64) -> CmosBlock {
+        CmosBlock::new(CmosGate::default(), 196, 1, activity)
+    }
+
+    fn tech() -> Technology {
+        Technology::default()
+    }
+
+    #[test]
+    fn leakage_floor_independent_of_frequency() {
+        let b = block(0.1);
+        let t = tech();
+        let slow = b.power(&t, 0.4, 1.0);
+        let fast = b.power(&t, 0.4, 1e5);
+        assert_eq!(slow.leakage, fast.leakage);
+        assert!(slow.total < fast.total);
+        // At 1 Hz, leakage dominates utterly.
+        assert!(slow.leakage / slow.total > 0.99);
+    }
+
+    #[test]
+    fn dynamic_scales_with_activity_and_frequency() {
+        let t = tech();
+        let lo = block(0.05).power(&t, 0.4, 1e4);
+        let hi = block(0.5).power(&t, 0.4, 1e4);
+        assert!((hi.dynamic / lo.dynamic - 10.0).abs() < 1e-9);
+        let f2 = block(0.05).power(&t, 0.4, 2e4);
+        assert!((f2.dynamic / lo.dynamic - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_is_sum() {
+        let p = block(0.2).power(&tech(), 0.5, 1e4);
+        assert!((p.total - (p.dynamic + p.leakage)).abs() < 1e-20);
+    }
+
+    #[test]
+    fn timing_check() {
+        let b = block(0.2);
+        let t = tech();
+        let f_ok = b.fmax(&t, 0.4) * 0.5;
+        assert!(b.meets_timing(&t, 0.4, f_ok));
+        assert!(!b.meets_timing(&t, 0.4, b.fmax(&t, 0.4) * 2.0));
+        // Raising VDD always buys speed.
+        assert!(b.fmax(&t, 0.5) > b.fmax(&t, 0.4));
+    }
+
+    #[test]
+    #[should_panic(expected = "activity")]
+    fn bad_activity_rejected() {
+        let _ = CmosBlock::new(CmosGate::default(), 10, 1, 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Dynamic voltage–frequency scaling for the CMOS baseline.
+//!
+//! This is the machinery the paper says STSCL makes unnecessary: to run
+//! a subthreshold CMOS block at a workload-matched rate, the supply must
+//! be regulated to the *exact* voltage where timing closes — a few
+//! millivolts high wastes quadratic dynamic power, a few millivolts low
+//! breaks timing (refs \[7\], \[8\]). The STSCL equivalent is a single bias
+//! current knob with no supply regulation at all.
+
+use crate::block::{CmosBlock, CmosPower};
+use std::error::Error;
+use std::fmt;
+use ulp_device::Technology;
+
+/// Error from the DVFS solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DvfsError {
+    /// Requested frequency exceeds the block's speed even at `vdd_max`.
+    FrequencyUnreachable {
+        /// The requested clock, Hz.
+        f: f64,
+        /// The best achievable clock at `vdd_max`, Hz.
+        fmax: f64,
+    },
+}
+
+impl fmt::Display for DvfsError {
+    fn fmt(&self, f_: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DvfsError::FrequencyUnreachable { f, fmax } => write!(
+                f_,
+                "requested {f:.3e} Hz exceeds attainable {fmax:.3e} Hz at the maximum supply"
+            ),
+        }
+    }
+}
+
+impl Error for DvfsError {}
+
+/// The DVFS operating point chosen for a throughput target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsPoint {
+    /// Selected supply, V.
+    pub vdd: f64,
+    /// Clock, Hz.
+    pub f: f64,
+    /// Resulting power breakdown.
+    pub power: CmosPower,
+}
+
+/// Finds the minimum supply in `[vdd_min, vdd_max]` at which the block
+/// meets clock `f`, by bisection (the delay is monotone in `vdd`), and
+/// reports the power there.
+///
+/// # Errors
+///
+/// [`DvfsError::FrequencyUnreachable`] when even `vdd_max` is too slow.
+///
+/// # Panics
+///
+/// Panics unless `0 < vdd_min < vdd_max` and `f > 0`.
+pub fn min_vdd_for_frequency(
+    block: &CmosBlock,
+    tech: &Technology,
+    f: f64,
+    vdd_min: f64,
+    vdd_max: f64,
+) -> Result<DvfsPoint, DvfsError> {
+    assert!(f > 0.0, "frequency must be positive");
+    assert!(
+        vdd_min > 0.0 && vdd_min < vdd_max,
+        "invalid supply search range"
+    );
+    if !block.meets_timing(tech, vdd_max, f) {
+        return Err(DvfsError::FrequencyUnreachable {
+            f,
+            fmax: block.fmax(tech, vdd_max),
+        });
+    }
+    let (mut lo, mut hi) = (vdd_min, vdd_max);
+    if block.meets_timing(tech, lo, f) {
+        hi = lo; // already fast enough at the floor
+    } else {
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if block.meets_timing(tech, mid, f) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+    }
+    Ok(DvfsPoint {
+        vdd: hi,
+        f,
+        power: block.power(tech, hi, f),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::CmosGate;
+
+    fn block() -> CmosBlock {
+        CmosBlock::new(CmosGate::default(), 196, 4, 0.2)
+    }
+
+    fn tech() -> Technology {
+        Technology::default()
+    }
+
+    #[test]
+    fn selected_supply_just_meets_timing() {
+        let b = block();
+        let t = tech();
+        let pt = min_vdd_for_frequency(&b, &t, 2e6, 0.2, 1.0).unwrap();
+        assert!(b.meets_timing(&t, pt.vdd, 2e6));
+        // 2 mV lower breaks timing — the knife-edge the paper criticises.
+        assert!(!b.meets_timing(&t, pt.vdd - 2e-3, 2e6));
+    }
+
+    #[test]
+    fn faster_clocks_need_more_supply() {
+        let b = block();
+        let t = tech();
+        let p1 = min_vdd_for_frequency(&b, &t, 1e4, 0.2, 1.0).unwrap();
+        let p2 = min_vdd_for_frequency(&b, &t, 1e6, 0.2, 1.0).unwrap();
+        assert!(p2.vdd > p1.vdd);
+        assert!(p2.power.total > p1.power.total);
+    }
+
+    #[test]
+    fn unreachable_frequency_reported() {
+        let b = block();
+        let t = tech();
+        let err = min_vdd_for_frequency(&b, &t, 1e12, 0.2, 1.0).unwrap_err();
+        let DvfsError::FrequencyUnreachable { f, fmax } = err;
+        assert_eq!(f, 1e12);
+        assert!(fmax < 1e12);
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn floor_supply_used_when_slow_enough() {
+        let b = block();
+        let t = tech();
+        let pt = min_vdd_for_frequency(&b, &t, 1.0, 0.25, 1.0).unwrap();
+        assert_eq!(pt.vdd, 0.25);
+    }
+}

@@ -1,0 +1,181 @@
+//! Subthreshold static-CMOS gate model.
+//!
+//! One "gate" is an inverter-equivalent: an NMOS pull-down of the given
+//! strength driving a load `C_L`, with the complementary PMOS assumed
+//! symmetric. Currents come from the shared EKV device model, so the
+//! exponential supply/threshold dependences are physical, not fitted.
+
+use ulp_device::{Mosfet, Polarity, Technology};
+
+/// An inverter-equivalent subthreshold CMOS gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmosGate {
+    /// Load capacitance, F.
+    pub cl: f64,
+    /// Pull-down device (pull-up assumed strength-matched).
+    pub nmos: Mosfet,
+}
+
+impl CmosGate {
+    /// Creates a gate with the given load and pull-down geometry.
+    pub fn new(cl: f64, w: f64, l: f64) -> Self {
+        CmosGate {
+            cl,
+            nmos: Mosfet::new(Polarity::Nmos, w, l),
+        }
+    }
+
+    /// On-current with the input at the full supply, A.
+    pub fn on_current(&self, tech: &Technology, vdd: f64) -> f64 {
+        assert!(vdd > 0.0, "supply must be positive");
+        self.nmos.ids(tech, vdd, 0.0, vdd)
+    }
+
+    /// Off-state (leakage) current with the input at ground, A.
+    pub fn leakage_current(&self, tech: &Technology, vdd: f64) -> f64 {
+        assert!(vdd > 0.0, "supply must be positive");
+        self.nmos.ids(tech, 0.0, 0.0, vdd)
+    }
+
+    /// Propagation delay `t_d ≈ C_L·V_DD/(2·I_on)`, s.
+    pub fn delay(&self, tech: &Technology, vdd: f64) -> f64 {
+        self.cl * vdd / (2.0 * self.on_current(tech, vdd))
+    }
+
+    /// Maximum clock rate of a path of `nl` gates, Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nl == 0`.
+    pub fn fmax(&self, tech: &Technology, vdd: f64, nl: usize) -> f64 {
+        assert!(nl > 0, "logic depth must be at least 1");
+        1.0 / (2.0 * nl as f64 * self.delay(tech, vdd))
+    }
+
+    /// Dynamic switching energy per transition, `C_L·V_DD²`, J.
+    pub fn dynamic_energy(&self, vdd: f64) -> f64 {
+        self.cl * vdd * vdd
+    }
+
+    /// Static leakage power per gate, W.
+    pub fn leakage_power(&self, tech: &Technology, vdd: f64) -> f64 {
+        self.leakage_current(tech, vdd) * vdd
+    }
+
+    /// Normalised supply sensitivity of the delay,
+    /// `|d ln t_d / d V_DD|` in 1/V — tens per volt in subthreshold
+    /// (the Fig. 3 "tight coupling"), near zero for STSCL.
+    pub fn delay_supply_sensitivity(&self, tech: &Technology, vdd: f64) -> f64 {
+        let h = 1e-3;
+        let d0 = self.delay(tech, vdd - h);
+        let d1 = self.delay(tech, vdd + h);
+        ((d1.ln() - d0.ln()) / (2.0 * h)).abs()
+    }
+}
+
+impl Default for CmosGate {
+    fn default() -> Self {
+        // Same 10 fF load class as the STSCL calibration; 2 µm / 0.18 µm
+        // minimum-length pull-down.
+        CmosGate::new(10e-15, 2e-6, 0.18e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::default()
+    }
+
+    #[test]
+    fn on_off_ratio_is_large() {
+        let g = CmosGate::default();
+        let ratio = g.on_current(&tech(), 0.4) / g.leakage_current(&tech(), 0.4);
+        assert!(ratio > 1e3, "on/off = {ratio}");
+    }
+
+    #[test]
+    fn delay_exponential_in_supply() {
+        let g = CmosGate::default();
+        let t = tech();
+        // In deep subthreshold, delay scales ≈ e^{−ΔVDD/(n·UT)} (the VDD
+        // factor in the numerator is secondary).
+        let d30 = g.delay(&t, 0.30);
+        let d40 = g.delay(&t, 0.40);
+        assert!(d30 / d40 > 5.0, "ratio = {}", d30 / d40);
+    }
+
+    #[test]
+    fn supply_sensitivity_matches_subthreshold_slope() {
+        let g = CmosGate::default();
+        let t = tech();
+        let s = g.delay_supply_sensitivity(&t, 0.3);
+        // ≈ 1/(n·UT) − 1/VDD ≈ 25 /V at 0.3 V.
+        let expect = 1.0 / (t.nmos.n * t.thermal_voltage()) - 1.0 / 0.3;
+        assert!((s / expect - 1.0).abs() < 0.2, "s = {s}, expect {expect}");
+    }
+
+    #[test]
+    fn leakage_grows_with_supply() {
+        let g = CmosGate::default();
+        let t = tech();
+        assert!(g.leakage_power(&t, 0.5) > g.leakage_power(&t, 0.3));
+        // pW class per gate — the right order for 0.18 µm subthreshold.
+        let p = g.leakage_power(&t, 0.4);
+        assert!(p > 1e-13 && p < 1e-10, "leak = {p}");
+    }
+
+    #[test]
+    fn fmax_divides_by_depth() {
+        let g = CmosGate::default();
+        let t = tech();
+        let f1 = g.fmax(&t, 0.4, 1);
+        let f4 = g.fmax(&t, 0.4, 4);
+        assert!((f1 / f4 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_energy_quadratic() {
+        let g = CmosGate::default();
+        assert!((g.dynamic_energy(1.0) / g.dynamic_energy(0.5) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_supply_rejected() {
+        let _ = CmosGate::default().on_current(&tech(), 0.0);
+    }
+
+    #[test]
+    fn leakage_explodes_with_temperature() {
+        // The §I motivation: CMOS leakage is thermally uncontrolled.
+        let g = CmosGate::default();
+        let cold = Technology::default().at_temperature(273.0);
+        let hot = Technology::default().at_temperature(358.0);
+        let ratio = g.leakage_power(&hot, 0.4) / g.leakage_power(&cold, 0.4);
+        assert!(ratio > 10.0, "85C/0C leakage ratio = {ratio}");
+    }
+
+    #[test]
+    fn energy_per_op_has_a_minimum_energy_point() {
+        // The classic subthreshold E-vs-VDD bathtub (refs [7][8]): per
+        // operation, a gate pays its own switching energy plus its share
+        // of the whole block's leakage integrated over the cycle — i.e.
+        // leakage × delay × logic depth. Quadratic dynamic dominates
+        // high VDD; the leakage-delay product explodes at very low VDD.
+        let g = CmosGate::default();
+        let t = tech();
+        let depth = 100.0;
+        let energy_at = |vdd: f64| {
+            let delay = g.delay(&t, vdd);
+            0.2 * g.dynamic_energy(vdd) + g.leakage_power(&t, vdd) * delay * depth
+        };
+        let e_low = energy_at(0.10);
+        let e_mid = energy_at(0.25);
+        let e_high = energy_at(0.8);
+        assert!(e_mid < e_high, "dynamic term dominates high VDD");
+        assert!(e_mid < e_low, "leakage×delay dominates very low VDD");
+    }
+}

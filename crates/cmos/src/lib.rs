@@ -1,0 +1,37 @@
+//! Baseline: conventional static CMOS logic operating in subthreshold.
+//!
+//! The paper argues for STSCL *against* this baseline (§I, §II-A,
+//! Fig. 3): subthreshold CMOS is fast and cheap per gate, but
+//!
+//! * its delay depends **exponentially** on supply and threshold
+//!   (`I_on ∝ e^{(V_DD−V_T)/(n·U_T)}`), so speed control requires a
+//!   precisely regulated supply (DVFS) and tracks PVT badly;
+//! * its static power is set by **uncontrolled leakage**, which does not
+//!   scale down with the workload — at low activity rates the leakage
+//!   floor dominates and STSCL's programmed tail currents win.
+//!
+//! This crate models both effects quantitatively using the same EKV
+//! device physics as the rest of the workspace, so the STSCL-vs-CMOS
+//! comparisons (experiments E1, E7, E8) compare like against like.
+//!
+//! # Example
+//!
+//! ```
+//! use ulp_cmos::gate::CmosGate;
+//! use ulp_device::Technology;
+//!
+//! let tech = Technology::default();
+//! let gate = CmosGate::default();
+//! // 50 mV of supply change in subthreshold swings the delay by ~4×…
+//! let slow = gate.delay(&tech, 0.35);
+//! let fast = gate.delay(&tech, 0.40);
+//! assert!(slow / fast > 2.5);
+//! // …which is exactly why CMOS needs DVFS and STSCL does not.
+//! ```
+
+pub mod block;
+pub mod dvfs;
+pub mod gate;
+
+pub use block::{CmosBlock, CmosPower};
+pub use gate::CmosGate;

@@ -1,0 +1,219 @@
+//! Tunable very-high-value resistors (paper Fig. 7, ref \[17\]).
+//!
+//! The reference ladder of a power-scalable ADC must scale its
+//! resistivity with the sampling rate: at 800 S/s a conventional ladder
+//! would burn orders of magnitude more than the whole converter budget.
+//! The paper implements each ladder element as a subthreshold PMOS `MR`
+//! whose source-gate voltage — and hence resistivity — is programmed by a
+//! level-shifter device `MLS` carrying a control current `IRES`
+//! (Fig. 7c). A subthreshold MOS channel biased around zero VDS presents
+//! the channel conductance `g = I_prog/UT`, so
+//!
+//! ```text
+//! R(IRES) = UT / (m · IRES)
+//! ```
+//!
+//! with `m` the MLS→MR current-mirroring ratio. One control branch can be
+//! shared across several ladder elements (Fig. 7d), dividing the control
+//! power — the `shared` constructor models exactly that trade-off for
+//! experiment E9.
+
+use crate::tech::Technology;
+use std::error::Error;
+use std::fmt;
+
+/// Error from resistor-ladder configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LadderError {
+    /// The sharing factor must be at least 1.
+    ZeroSharing,
+    /// The control current must be strictly positive.
+    NonPositiveCurrent,
+}
+
+impl fmt::Display for LadderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LadderError::ZeroSharing => write!(f, "sharing factor must be at least 1"),
+            LadderError::NonPositiveCurrent => write!(f, "control current must be positive"),
+        }
+    }
+}
+
+impl Error for LadderError {}
+
+/// A single tunable high-value resistance element (Fig. 7b/7c).
+///
+/// # Example
+///
+/// ```
+/// use ulp_device::hvres::TunableResistor;
+/// use ulp_device::Technology;
+///
+/// let tech = Technology::default();
+/// let r = TunableResistor::new(1.0);
+/// // 1 nA of control current programs tens of MΩ.
+/// let ohms = r.resistance(&tech, 1e-9)?;
+/// assert!(ohms > 1e7 && ohms < 1e8);
+/// // Scaling the control current re-programs the resistivity linearly.
+/// assert!((r.resistance(&tech, 1e-10)? / ohms - 10.0).abs() < 1e-9);
+/// # Ok::<(), ulp_device::hvres::LadderError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunableResistor {
+    /// MLS→MR mirror ratio `m` (programmed channel current per unit
+    /// control current).
+    pub mirror_ratio: f64,
+}
+
+impl TunableResistor {
+    /// Creates an element with the given mirror ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mirror_ratio` is strictly positive.
+    pub fn new(mirror_ratio: f64) -> Self {
+        assert!(mirror_ratio > 0.0, "mirror ratio must be positive");
+        TunableResistor { mirror_ratio }
+    }
+
+    /// Programmed resistance at control current `ires`, Ω.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LadderError::NonPositiveCurrent`] if `ires ≤ 0`.
+    pub fn resistance(&self, tech: &Technology, ires: f64) -> Result<f64, LadderError> {
+        if ires <= 0.0 {
+            return Err(LadderError::NonPositiveCurrent);
+        }
+        Ok(tech.thermal_voltage() / (self.mirror_ratio * ires))
+    }
+
+    /// The control current needed to program resistance `r` Ω.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LadderError::NonPositiveCurrent`] if `r ≤ 0`.
+    pub fn control_current_for(&self, tech: &Technology, r: f64) -> Result<f64, LadderError> {
+        if r <= 0.0 {
+            return Err(LadderError::NonPositiveCurrent);
+        }
+        Ok(tech.thermal_voltage() / (self.mirror_ratio * r))
+    }
+}
+
+/// A ladder biasing scheme: `elements` resistors sharing one MLS+IRES
+/// control branch per `sharing` elements (Fig. 7d).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LadderBias {
+    /// Total resistor elements in the ladder (e.g. 256 for 8 bits).
+    pub elements: usize,
+    /// Elements per control branch (1 = Fig. 7c, >1 = Fig. 7d).
+    pub sharing: usize,
+}
+
+impl LadderBias {
+    /// Creates a biasing scheme.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LadderError::ZeroSharing`] if `sharing == 0`.
+    pub fn new(elements: usize, sharing: usize) -> Result<Self, LadderError> {
+        if sharing == 0 {
+            return Err(LadderError::ZeroSharing);
+        }
+        Ok(LadderBias { elements, sharing })
+    }
+
+    /// Number of control branches required.
+    pub fn control_branches(&self) -> usize {
+        self.elements.div_ceil(self.sharing)
+    }
+
+    /// Power burned by the control circuitry at control current `ires`
+    /// per branch and supply `vdd`, W.
+    pub fn control_power(&self, ires: f64, vdd: f64) -> f64 {
+        self.control_branches() as f64 * ires * vdd
+    }
+
+    /// Power saving factor of this scheme relative to one branch per
+    /// element.
+    pub fn sharing_gain(&self) -> f64 {
+        self.elements as f64 / self.control_branches() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::default()
+    }
+
+    #[test]
+    fn resistance_inverse_in_control_current() {
+        let r = TunableResistor::new(1.0);
+        let t = tech();
+        let r1 = r.resistance(&t, 1e-9).unwrap();
+        let r2 = r.resistance(&t, 2e-9).unwrap();
+        assert!((r1 / r2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gigaohm_class_at_picoamps() {
+        // The paper's point: sub-µW ladders need > GΩ elements, reachable
+        // only with active devices.
+        let r = TunableResistor::new(1.0);
+        let ohms = r.resistance(&tech(), 10e-12).unwrap();
+        assert!(ohms > 1e9, "expected GΩ class, got {ohms}");
+    }
+
+    #[test]
+    fn control_current_roundtrip() {
+        let r = TunableResistor::new(4.0);
+        let t = tech();
+        let target = 5e8;
+        let i = r.control_current_for(&t, target).unwrap();
+        assert!((r.resistance(&t, i).unwrap() / target - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let r = TunableResistor::new(1.0);
+        let t = tech();
+        assert_eq!(
+            r.resistance(&t, 0.0).unwrap_err(),
+            LadderError::NonPositiveCurrent
+        );
+        assert_eq!(
+            r.control_current_for(&t, -1.0).unwrap_err(),
+            LadderError::NonPositiveCurrent
+        );
+        assert_eq!(LadderBias::new(8, 0).unwrap_err(), LadderError::ZeroSharing);
+    }
+
+    #[test]
+    fn sharing_reduces_control_power() {
+        let dedicated = LadderBias::new(256, 1).unwrap();
+        let shared = LadderBias::new(256, 8).unwrap();
+        assert_eq!(dedicated.control_branches(), 256);
+        assert_eq!(shared.control_branches(), 32);
+        let p_d = dedicated.control_power(1e-9, 1.0);
+        let p_s = shared.control_power(1e-9, 1.0);
+        assert!((p_d / p_s - 8.0).abs() < 1e-12);
+        assert!((shared.sharing_gain() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uneven_sharing_rounds_up() {
+        let b = LadderBias::new(10, 4).unwrap();
+        assert_eq!(b.control_branches(), 3);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(LadderError::ZeroSharing.to_string().contains("sharing"));
+        assert!(LadderError::NonPositiveCurrent.to_string().contains("positive"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Pelgrom-law device mismatch generation for Monte-Carlo analysis.
+//!
+//! Matching of nominally identical transistors limits the linearity of
+//! the ADC (comparator offsets, folder current errors, ladder taps —
+//! paper Fig. 11) and the bias-current accuracy of STSCL gate arrays.
+//! Pelgrom's law gives the standard deviations of threshold and
+//! current-factor differences between two identically drawn devices:
+//!
+//! ```text
+//! σ(ΔVT) = A_VT / √(W·L),      σ(Δβ)/β = A_β / √(W·L)
+//! ```
+//!
+//! Draws use a deterministic, seedable RNG so every experiment is
+//! reproducible. Gaussian variates come from a Box–Muller transform over
+//! `rand`'s uniform source (the approved `rand` crate does not bundle a
+//! normal distribution).
+
+use crate::tech::MosModel;
+use crate::{Mosfet, Polarity};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seedable Gaussian sampler for mismatch draws.
+///
+/// # Example
+///
+/// ```
+/// use ulp_device::mismatch::MismatchRng;
+/// use ulp_device::Technology;
+///
+/// let tech = Technology::default();
+/// let mut rng = MismatchRng::seed_from(42);
+/// // σ(ΔVT) of a 1 µm × 1 µm pair is ~5 mV in this node.
+/// let sigma = MismatchRng::sigma_delta_vt(&tech.nmos, 1e-6, 1e-6);
+/// assert!((sigma - 5e-3).abs() < 1e-9);
+/// let dvt = rng.draw_delta_vt(&tech.nmos, 1e-6, 1e-6);
+/// assert!(dvt.abs() < 6.0 * sigma);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MismatchRng {
+    rng: StdRng,
+    spare: Option<f64>,
+}
+
+impl MismatchRng {
+    /// Creates a sampler from a 64-bit seed (deterministic).
+    pub fn seed_from(seed: u64) -> Self {
+        MismatchRng {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// One standard normal variate (Box–Muller, with caching of the
+    /// paired variate).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller on (0,1] uniforms; u1 > 0 guaranteed by 1−u.
+        let u1: f64 = 1.0 - self.rng.gen::<f64>();
+        let u2: f64 = self.rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Standard deviation of the threshold difference of a device pair
+    /// with the given geometry, V.
+    pub fn sigma_delta_vt(model: &MosModel, w: f64, l: f64) -> f64 {
+        model.avt / (w * l).sqrt()
+    }
+
+    /// Standard deviation of the relative current-factor difference of a
+    /// device pair with the given geometry (dimensionless).
+    pub fn sigma_delta_beta(model: &MosModel, w: f64, l: f64) -> f64 {
+        model.abeta / (w * l).sqrt()
+    }
+
+    /// Draws a threshold deviation for one device, V.
+    ///
+    /// Per-device σ is the pair σ divided by √2 (a pair difference sums
+    /// two independent per-device deviations).
+    pub fn draw_delta_vt(&mut self, model: &MosModel, w: f64, l: f64) -> f64 {
+        self.standard_normal() * Self::sigma_delta_vt(model, w, l) / std::f64::consts::SQRT_2
+    }
+
+    /// Draws a relative current-factor deviation for one device.
+    pub fn draw_delta_beta(&mut self, model: &MosModel, w: f64, l: f64) -> f64 {
+        self.standard_normal() * Self::sigma_delta_beta(model, w, l) / std::f64::consts::SQRT_2
+    }
+
+    /// Builds a device instance with freshly drawn mismatch.
+    pub fn draw_mosfet(
+        &mut self,
+        model: &MosModel,
+        polarity: Polarity,
+        w: f64,
+        l: f64,
+    ) -> Mosfet {
+        let dvt = self.draw_delta_vt(model, w, l);
+        let dbeta = self.draw_delta_beta(model, w, l);
+        Mosfet::with_mismatch(polarity, w, l, dvt, dbeta)
+    }
+
+    /// Input-referred offset σ of a differential pair with the given
+    /// geometry, V — in weak inversion the pair offset is dominated by
+    /// ΔVT (β mismatch enters divided by gm/ID and is second-order).
+    pub fn sigma_pair_offset(model: &MosModel, w: f64, l: f64) -> f64 {
+        Self::sigma_delta_vt(model, w, l)
+    }
+
+    /// Draws an input-referred differential-pair offset, V.
+    pub fn draw_pair_offset(&mut self, model: &MosModel, w: f64, l: f64) -> f64 {
+        self.standard_normal() * Self::sigma_pair_offset(model, w, l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Technology;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = Technology::default();
+        let a: Vec<f64> = {
+            let mut r = MismatchRng::seed_from(7);
+            (0..10).map(|_| r.draw_delta_vt(&t.nmos, 1e-6, 1e-6)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = MismatchRng::seed_from(7);
+            (0..10).map(|_| r.draw_delta_vt(&t.nmos, 1e-6, 1e-6)).collect()
+        };
+        assert_eq!(a, b);
+        let mut r2 = MismatchRng::seed_from(8);
+        let c: Vec<f64> = (0..10).map(|_| r2.draw_delta_vt(&t.nmos, 1e-6, 1e-6)).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pelgrom_scaling_with_area() {
+        let t = Technology::default();
+        let s1 = MismatchRng::sigma_delta_vt(&t.nmos, 1e-6, 1e-6);
+        let s4 = MismatchRng::sigma_delta_vt(&t.nmos, 2e-6, 2e-6);
+        assert!((s1 / s4 - 2.0).abs() < 1e-12, "4× area halves σ");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = MismatchRng::seed_from(1234);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.standard_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn drawn_offsets_have_requested_sigma() {
+        let t = Technology::default();
+        let mut r = MismatchRng::seed_from(99);
+        let n = 20_000;
+        let sigma = MismatchRng::sigma_pair_offset(&t.nmos, 1e-6, 2e-6);
+        let xs: Vec<f64> = (0..n).map(|_| r.draw_pair_offset(&t.nmos, 1e-6, 2e-6)).collect();
+        let var = xs.iter().map(|x| x * x).sum::<f64>() / n as f64;
+        assert!((var.sqrt() / sigma - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn drawn_mosfet_carries_mismatch() {
+        let t = Technology::default();
+        let mut r = MismatchRng::seed_from(5);
+        let m = r.draw_mosfet(&t.nmos, Polarity::Nmos, 1e-6, 1e-6);
+        assert!(m.delta_vt != 0.0 || m.delta_beta != 0.0);
+        assert_eq!(m.polarity, Polarity::Nmos);
+    }
+
+    #[test]
+    fn larger_devices_match_better_end_to_end() {
+        // The paper: "using large enough transistor sizes can minimize the
+        // effect of current mismatch".
+        let t = Technology::default();
+        let mut small_spread = Vec::new();
+        let mut large_spread = Vec::new();
+        let mut r = MismatchRng::seed_from(17);
+        for _ in 0..500 {
+            let ms = r.draw_mosfet(&t.nmos, Polarity::Nmos, 0.5e-6, 0.5e-6);
+            let ml = r.draw_mosfet(&t.nmos, Polarity::Nmos, 4e-6, 4e-6);
+            small_spread.push(ms.ids(&t, 0.3, 0.0, 0.5));
+            large_spread.push(ml.ids(&t, 0.3, 0.0, 0.5));
+        }
+        let rel_sd = |xs: &[f64]| {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt() / m
+        };
+        assert!(rel_sd(&small_spread) > 3.0 * rel_sd(&large_spread));
+    }
+}

@@ -1,0 +1,162 @@
+//! Process corners and PVT operating conditions.
+//!
+//! The paper's central robustness claim (§I, §II-A, Fig. 3) is that STSCL
+//! circuit dynamics are nearly decoupled from process parameters and
+//! supply voltage, in stark contrast to subthreshold CMOS. The
+//! sensitivity experiments (E1, E7) sweep the operating condition defined
+//! here across corners, temperature and supply.
+
+use std::fmt;
+
+/// Classic five-point digital process corners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Corner {
+    /// Typical NMOS, typical PMOS.
+    #[default]
+    Typical,
+    /// Fast NMOS, fast PMOS (low VT, high µCox).
+    FastFast,
+    /// Slow NMOS, slow PMOS.
+    SlowSlow,
+    /// Fast NMOS, slow PMOS.
+    FastSlow,
+    /// Slow NMOS, fast PMOS.
+    SlowFast,
+}
+
+impl Corner {
+    /// Signed unit shifts `(nmos, pmos)`: +1 = fast, −1 = slow.
+    pub fn shifts(self) -> (f64, f64) {
+        match self {
+            Corner::Typical => (0.0, 0.0),
+            Corner::FastFast => (1.0, 1.0),
+            Corner::SlowSlow => (-1.0, -1.0),
+            Corner::FastSlow => (1.0, -1.0),
+            Corner::SlowFast => (-1.0, 1.0),
+        }
+    }
+
+    /// All five corners, typical first.
+    pub fn all() -> [Corner; 5] {
+        [
+            Corner::Typical,
+            Corner::FastFast,
+            Corner::SlowSlow,
+            Corner::FastSlow,
+            Corner::SlowFast,
+        ]
+    }
+}
+
+impl fmt::Display for Corner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Corner::Typical => "TT",
+            Corner::FastFast => "FF",
+            Corner::SlowSlow => "SS",
+            Corner::FastSlow => "FS",
+            Corner::SlowFast => "SF",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One complete PVT operating condition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingCondition {
+    /// Process corner.
+    pub corner: Corner,
+    /// Junction temperature, K.
+    pub temperature: f64,
+    /// Supply voltage, V.
+    pub vdd: f64,
+}
+
+impl OperatingCondition {
+    /// Nominal condition: TT, 300 K, 1.0 V (the paper's lower supply
+    /// bound).
+    pub fn nominal() -> Self {
+        OperatingCondition {
+            corner: Corner::Typical,
+            temperature: 300.0,
+            vdd: 1.0,
+        }
+    }
+
+    /// The standard qualification grid: all corners × {−40 °C, 27 °C,
+    /// 85 °C} × {1.0 V, 1.25 V} (the paper's measured supply range).
+    pub fn qualification_grid() -> Vec<OperatingCondition> {
+        let mut grid = Vec::new();
+        for corner in Corner::all() {
+            for t in [233.15, 300.15, 358.15] {
+                for vdd in [1.0, 1.25] {
+                    grid.push(OperatingCondition {
+                        corner,
+                        temperature: t,
+                        vdd,
+                    });
+                }
+            }
+        }
+        grid
+    }
+}
+
+impl Default for OperatingCondition {
+    fn default() -> Self {
+        OperatingCondition::nominal()
+    }
+}
+
+impl fmt::Display for OperatingCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {:.1}K {:.2}V",
+            self.corner, self.temperature, self.vdd
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shifts_are_signed_units() {
+        assert_eq!(Corner::Typical.shifts(), (0.0, 0.0));
+        assert_eq!(Corner::FastSlow.shifts(), (1.0, -1.0));
+        assert_eq!(Corner::SlowFast.shifts(), (-1.0, 1.0));
+    }
+
+    #[test]
+    fn all_lists_five_unique() {
+        let all = Corner::all();
+        assert_eq!(all.len(), 5);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn display_abbreviations() {
+        assert_eq!(Corner::Typical.to_string(), "TT");
+        assert_eq!(Corner::FastFast.to_string(), "FF");
+    }
+
+    #[test]
+    fn qualification_grid_size() {
+        // 5 corners × 3 temperatures × 2 supplies.
+        assert_eq!(OperatingCondition::qualification_grid().len(), 30);
+    }
+
+    #[test]
+    fn nominal_defaults() {
+        let n = OperatingCondition::nominal();
+        assert_eq!(n, OperatingCondition::default());
+        assert_eq!(n.corner, Corner::Typical);
+        assert!(n.to_string().contains("TT"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Technology parameter cards for a 0.18 µm-class CMOS node.
+//!
+//! The paper's prototype ADC was fabricated in 0.18 µm CMOS; the values
+//! here are generic textbook figures for such a node (not any foundry's
+//! proprietary data), chosen so that the weak-inversion behaviour the
+//! paper exploits — ~60–90 mV/decade subthreshold slope, nA-class
+//! specific currents for µm-sized devices — comes out quantitatively
+//! right.
+
+use crate::pvt::Corner;
+
+/// Boltzmann constant over elementary charge, V/K.
+pub const K_OVER_Q: f64 = 8.617_333_262e-5;
+
+/// Reference temperature for the parameter card, kelvin.
+pub const T_REF: f64 = 300.0;
+
+/// Per-polarity MOS model card (long-channel EKV parameters).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosModel {
+    /// Zero-bias threshold voltage magnitude, V (positive for both
+    /// polarities; polarity handling lives in the instance evaluation).
+    pub vt0: f64,
+    /// Subthreshold slope factor `n` (dimensionless, > 1).
+    pub n: f64,
+    /// Transconductance parameter `µ·Cox` at `T_REF`, A/V².
+    pub kp: f64,
+    /// Channel-length modulation coefficient, 1/V (per unit channel
+    /// length of 1 µm; scaled by `1/L` in the instance).
+    pub lambda_per_um: f64,
+    /// Gate-oxide capacitance per area, F/m².
+    pub cox: f64,
+    /// Source/drain junction capacitance per area, F/m².
+    pub cj: f64,
+    /// Threshold-mismatch Pelgrom coefficient, V·m (σ(ΔVT) = avt/√(WL)).
+    pub avt: f64,
+    /// Current-factor mismatch Pelgrom coefficient, m (σ(Δβ)/β = abeta/√(WL)).
+    pub abeta: f64,
+    /// Threshold temperature coefficient, V/K (VT falls with T).
+    pub vt_tc: f64,
+}
+
+impl MosModel {
+    /// Specific current `I_S = 2·n·µCox·UT²` per square (W/L = 1) at
+    /// temperature `t` kelvin, including mobility degradation
+    /// `µ ∝ (T/T_REF)^-1.5`.
+    pub fn specific_current(&self, t: f64) -> f64 {
+        let ut = K_OVER_Q * t;
+        let kp_t = self.kp * (t / T_REF).powf(-1.5);
+        2.0 * self.n * kp_t * ut * ut
+    }
+
+    /// Threshold voltage magnitude at temperature `t` kelvin.
+    pub fn vt_at(&self, t: f64) -> f64 {
+        self.vt0 - self.vt_tc * (t - T_REF)
+    }
+}
+
+/// A complete technology card: NMOS + PMOS models, ambient temperature
+/// and process corner.
+///
+/// # Example
+///
+/// ```
+/// use ulp_device::Technology;
+///
+/// let tech = Technology::default();
+/// assert!((tech.thermal_voltage() - 0.025852).abs() < 1e-5);
+/// let hot = tech.at_temperature(400.0);
+/// assert!(hot.thermal_voltage() > tech.thermal_voltage());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Technology {
+    /// NMOS model card (corner-adjusted).
+    pub nmos: MosModel,
+    /// PMOS model card (corner-adjusted).
+    pub pmos: MosModel,
+    /// Junction (die) temperature, kelvin.
+    pub temperature: f64,
+    /// Process corner this card was generated for.
+    pub corner: Corner,
+    /// Minimum drawn channel length, m.
+    pub l_min: f64,
+    /// Well-to-substrate junction capacitance per area, F/m² (the DWell
+    /// parasitic of paper Fig. 6a).
+    pub cwell: f64,
+}
+
+impl Technology {
+    /// The nominal 0.18 µm-class card at 300 K, typical corner.
+    pub fn nominal() -> Self {
+        Technology {
+            nmos: MosModel {
+                vt0: 0.45,
+                n: 1.35,
+                kp: 300e-6,
+                lambda_per_um: 0.06,
+                cox: 8.5e-3, // 8.5 fF/µm²
+                cj: 1.0e-3,  // 1 fF/µm²
+                avt: 5.0e-9, // 5 mV·µm
+                abeta: 1.0e-8,
+                vt_tc: 1.0e-3,
+            },
+            pmos: MosModel {
+                vt0: 0.45,
+                n: 1.40,
+                kp: 70e-6,
+                lambda_per_um: 0.08,
+                cox: 8.5e-3,
+                cj: 1.1e-3,
+                avt: 5.5e-9,
+                abeta: 1.2e-8,
+                vt_tc: 1.2e-3,
+            },
+            temperature: T_REF,
+            corner: Corner::Typical,
+            l_min: 0.18e-6,
+            cwell: 0.15e-3, // 0.15 fF/µm² well-substrate junction
+        }
+    }
+
+    /// Thermal voltage `UT = kT/q` at the card temperature, V.
+    pub fn thermal_voltage(&self) -> f64 {
+        K_OVER_Q * self.temperature
+    }
+
+    /// Returns a copy of this card at junction temperature `t` kelvin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not strictly positive.
+    pub fn at_temperature(&self, t: f64) -> Self {
+        assert!(t > 0.0, "temperature must be positive kelvin");
+        Technology {
+            temperature: t,
+            ..*self
+        }
+    }
+
+    /// Returns a copy of this card shifted to the given process corner.
+    ///
+    /// Corners move threshold voltages by ±40 mV and transconductance by
+    /// ±10 %, the usual fast/slow digital definition.
+    pub fn at_corner(&self, corner: Corner) -> Self {
+        let mut t = *self;
+        let (dn, dp) = corner.shifts();
+        t.nmos.vt0 = Technology::nominal().nmos.vt0 - 0.040 * dn;
+        t.pmos.vt0 = Technology::nominal().pmos.vt0 - 0.040 * dp;
+        t.nmos.kp = Technology::nominal().nmos.kp * (1.0 + 0.10 * dn);
+        t.pmos.kp = Technology::nominal().pmos.kp * (1.0 + 0.10 * dp);
+        t.corner = corner;
+        t
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_voltage_at_room_temperature() {
+        let t = Technology::nominal();
+        assert!((t.thermal_voltage() - 0.02585).abs() < 1e-4);
+    }
+
+    #[test]
+    fn specific_current_magnitude() {
+        // IS = 2·1.35·300µ·UT² ≈ 0.54 µA per square — the right order for
+        // a 0.18 µm node.
+        let t = Technology::nominal();
+        let is = t.nmos.specific_current(T_REF);
+        assert!(is > 0.3e-6 && is < 0.8e-6, "IS = {is}");
+    }
+
+    #[test]
+    fn mobility_degrades_with_temperature() {
+        let m = Technology::nominal().nmos;
+        assert!(m.specific_current(400.0) * (400.0f64 / 300.0).powf(-0.5) > 0.0);
+        // kp falls as T^-1.5 but UT² rises as T²: IS grows ≈ T^0.5.
+        let ratio = m.specific_current(400.0) / m.specific_current(300.0);
+        assert!((ratio - (400.0f64 / 300.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_falls_with_temperature() {
+        let m = Technology::nominal().nmos;
+        assert!(m.vt_at(400.0) < m.vt_at(300.0));
+        assert!((m.vt_at(300.0) - m.vt0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn corner_shifts_thresholds() {
+        let nom = Technology::nominal();
+        let ff = nom.at_corner(Corner::FastFast);
+        let ss = nom.at_corner(Corner::SlowSlow);
+        assert!(ff.nmos.vt0 < nom.nmos.vt0);
+        assert!(ss.nmos.vt0 > nom.nmos.vt0);
+        assert!(ff.nmos.kp > ss.nmos.kp);
+        assert_eq!(ff.corner, Corner::FastFast);
+    }
+
+    #[test]
+    fn mixed_corners_split_polarities() {
+        let nom = Technology::nominal();
+        let fs = nom.at_corner(Corner::FastSlow);
+        assert!(fs.nmos.vt0 < nom.nmos.vt0);
+        assert!(fs.pmos.vt0 > nom.pmos.vt0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive kelvin")]
+    fn negative_temperature_panics() {
+        let _ = Technology::nominal().at_temperature(-1.0);
+    }
+
+    #[test]
+    fn default_is_nominal() {
+        assert_eq!(Technology::default(), Technology::nominal());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the device models.
+
+use proptest::prelude::*;
+use ulp_device::ekv::{interp, interp_deriv, interp_inverse};
+use ulp_device::load::PmosLoad;
+use ulp_device::mismatch::MismatchRng;
+use ulp_device::{Mosfet, Polarity, Technology};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ekv_interp_monotone_positive(v1 in -50.0f64..50.0, v2 in -50.0f64..50.0) {
+        prop_assert!(interp(v1) >= 0.0);
+        if v1 < v2 {
+            prop_assert!(interp(v1) < interp(v2));
+        }
+        prop_assert!(interp_deriv(v1) >= 0.0);
+    }
+
+    #[test]
+    fn ekv_inverse_roundtrip(i_exp in -8.0f64..4.0) {
+        let i = 10f64.powf(i_exp);
+        let v = interp_inverse(i);
+        prop_assert!((interp(v) / i - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn drain_current_monotone_in_gate_drive(
+        vg1 in 0.0f64..0.8, dv in 0.001f64..0.3, vd in 0.1f64..1.0
+    ) {
+        let t = Technology::default();
+        let m = Mosfet::new(Polarity::Nmos, 1e-6, 1e-6);
+        let i1 = m.ids(&t, vg1, 0.0, vd);
+        let i2 = m.ids(&t, vg1 + dv, 0.0, vd);
+        prop_assert!(i2 > i1, "more gate drive, more current");
+        prop_assert!(i1 >= 0.0);
+    }
+
+    #[test]
+    fn vgs_for_current_roundtrip_any_decade(i_exp in -13.0f64..-6.0) {
+        let t = Technology::default();
+        let m = Mosfet::new(Polarity::Nmos, 2e-6, 1e-6);
+        let id = 10f64.powf(i_exp);
+        let vgs = m.vgs_for_current(&t, id);
+        let got = m.ids(&t, vgs, 0.0, 0.8);
+        // CLM adds a few percent on top of the exact channel inversion.
+        prop_assert!((got / id - 1.0).abs() < 0.1, "target {id:e}, got {got:e}");
+    }
+
+    #[test]
+    fn pmos_nmos_duality(vg in 0.0f64..0.6, vd in 0.1f64..0.9) {
+        let t = Technology::default();
+        // Construct a PMOS card equal to the NMOS card so the reflected
+        // currents must match exactly.
+        let mut t2 = t;
+        t2.pmos = t.nmos;
+        let n = Mosfet::new(Polarity::Nmos, 1e-6, 1e-6);
+        let p = Mosfet::new(Polarity::Pmos, 1e-6, 1e-6);
+        let i_n = n.ids(&t2, vg, 0.0, vd);
+        let i_p = p.ids(&t2, -vg, 0.0, -vd);
+        prop_assert!((i_n - i_p).abs() <= 1e-12 * i_n.abs().max(1e-30));
+    }
+
+    #[test]
+    fn conductances_consistent_with_current(
+        vg in 0.2f64..0.6, vs in 0.0f64..0.1, vd in 0.2f64..0.9
+    ) {
+        let t = Technology::default();
+        let m = Mosfet::new(Polarity::Nmos, 1e-6, 1e-6);
+        let op = m.operating_point(&t, vg, vs, vd);
+        let h = 1e-6;
+        let fd_gm = (m.ids(&t, vg + h, vs, vd) - m.ids(&t, vg - h, vs, vd)) / (2.0 * h);
+        prop_assert!((fd_gm - op.gm).abs() <= 1e-3 * op.gm.abs().max(1e-18));
+    }
+
+    #[test]
+    fn load_monotone_and_endpoint_exact(
+        vsw in 0.1f64..0.4, iss_exp in -12.0f64..-7.0, v in -0.5f64..0.5
+    ) {
+        let iss = 10f64.powf(iss_exp);
+        let load = PmosLoad::new(vsw);
+        prop_assert!((load.current(vsw, iss) - iss).abs() < 1e-12 * iss);
+        prop_assert!(load.conductance(v, iss) > 0.0);
+        // Odd symmetry.
+        prop_assert!((load.current(v, iss) + load.current(-v, iss)).abs() < 1e-24);
+    }
+
+    #[test]
+    fn pelgrom_sigma_scales_inverse_sqrt_area(
+        w in 0.2f64..10.0, l in 0.2f64..10.0, scale in 1.5f64..4.0
+    ) {
+        let t = Technology::default();
+        let s1 = MismatchRng::sigma_delta_vt(&t.nmos, w * 1e-6, l * 1e-6);
+        let s2 = MismatchRng::sigma_delta_vt(&t.nmos, w * scale * 1e-6, l * scale * 1e-6);
+        prop_assert!((s1 / s2 - scale).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temperature_raises_subthreshold_current(
+        vg in 0.1f64..0.35, dt in 10.0f64..80.0
+    ) {
+        // In weak inversion, higher T lowers VT and raises UT:
+        // subthreshold current goes up (the classic leakage problem).
+        let t_cold = Technology::default();
+        let t_hot = t_cold.at_temperature(300.0 + dt);
+        let m = Mosfet::new(Polarity::Nmos, 1e-6, 1e-6);
+        prop_assert!(m.ids(&t_hot, vg, 0.0, 0.5) > m.ids(&t_cold, vg, 0.0, 0.5));
+    }
+}

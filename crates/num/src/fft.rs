@@ -1,0 +1,307 @@
+//! Radix-2 FFT and windowing for ADC spectral metrology.
+//!
+//! The ADC sine tests (SNDR/ENOB/SFDR, paper §III-C) analyse captured
+//! output codes in the frequency domain. Record lengths in this workspace
+//! are chosen as powers of two with coherent sampling, so an iterative
+//! in-place radix-2 Cooley–Tukey transform suffices.
+
+use crate::complex::Complex;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by FFT entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FftError {
+    /// The input length is not a power of two (or is zero).
+    LengthNotPowerOfTwo {
+        /// Offending length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for FftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FftError::LengthNotPowerOfTwo { len } => {
+                write!(f, "fft length {len} is not a nonzero power of two")
+            }
+        }
+    }
+}
+
+impl Error for FftError {}
+
+fn check_len(len: usize) -> Result<(), FftError> {
+    if len == 0 || !len.is_power_of_two() {
+        Err(FftError::LengthNotPowerOfTwo { len })
+    } else {
+        Ok(())
+    }
+}
+
+/// In-place forward FFT (decimation in time, radix-2).
+///
+/// # Errors
+///
+/// Returns [`FftError::LengthNotPowerOfTwo`] unless `data.len()` is a
+/// nonzero power of two.
+///
+/// # Example
+///
+/// ```
+/// use ulp_num::Complex;
+/// use ulp_num::fft::fft_in_place;
+///
+/// // The DC bin of a constant signal carries N × amplitude.
+/// let mut data = vec![Complex::ONE; 8];
+/// fft_in_place(&mut data)?;
+/// assert!((data[0].re - 8.0).abs() < 1e-12);
+/// assert!(data[1].abs() < 1e-12);
+/// # Ok::<(), ulp_num::fft::FftError>(())
+/// ```
+pub fn fft_in_place(data: &mut [Complex]) -> Result<(), FftError> {
+    check_len(data.len())?;
+    transform(data, false);
+    Ok(())
+}
+
+/// In-place inverse FFT, normalised by `1/N`.
+///
+/// # Errors
+///
+/// Returns [`FftError::LengthNotPowerOfTwo`] unless `data.len()` is a
+/// nonzero power of two.
+pub fn ifft_in_place(data: &mut [Complex]) -> Result<(), FftError> {
+    check_len(data.len())?;
+    transform(data, true);
+    let scale = 1.0 / data.len() as f64;
+    for v in data.iter_mut() {
+        *v = v.scale(scale);
+    }
+    Ok(())
+}
+
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_polar(1.0, ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a real signal; returns the full complex spectrum.
+///
+/// # Errors
+///
+/// Returns [`FftError::LengthNotPowerOfTwo`] unless `signal.len()` is a
+/// nonzero power of two.
+pub fn fft_real(signal: &[f64]) -> Result<Vec<Complex>, FftError> {
+    let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::from_re(x)).collect();
+    fft_in_place(&mut data)?;
+    Ok(data)
+}
+
+/// Single-sided power spectrum of a real signal (bins `0..=N/2`),
+/// normalised so a full-scale sine of amplitude `A` carries power `A²/2`
+/// in its bin under coherent sampling.
+///
+/// # Errors
+///
+/// Returns [`FftError::LengthNotPowerOfTwo`] unless `signal.len()` is a
+/// nonzero power of two.
+pub fn power_spectrum(signal: &[f64]) -> Result<Vec<f64>, FftError> {
+    let n = signal.len();
+    let spectrum = fft_real(signal)?;
+    let scale = 1.0 / n as f64;
+    let half = n / 2;
+    let mut power = Vec::with_capacity(half + 1);
+    for (k, bin) in spectrum.iter().take(half + 1).enumerate() {
+        let mag = bin.abs() * scale;
+        // Double the interior bins to fold the negative frequencies in.
+        let p = if k == 0 || k == half {
+            mag * mag
+        } else {
+            2.0 * mag * mag
+        };
+        power.push(p);
+    }
+    Ok(power)
+}
+
+/// A Hann window of length `n` (used when sampling cannot be coherent).
+pub fn hann_window(n: usize) -> Vec<f64> {
+    if n <= 1 {
+        return vec![1.0; n];
+    }
+    (0..n)
+        .map(|i| {
+            let x = std::f64::consts::PI * i as f64 / (n - 1) as f64;
+            let s = x.sin();
+            s * s
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_lengths() {
+        let mut d = vec![Complex::ZERO; 3];
+        assert_eq!(
+            fft_in_place(&mut d).unwrap_err(),
+            FftError::LengthNotPowerOfTwo { len: 3 }
+        );
+        let mut e: Vec<Complex> = vec![];
+        assert!(fft_in_place(&mut e).is_err());
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut d = vec![Complex::ZERO; 8];
+        d[0] = Complex::ONE;
+        fft_in_place(&mut d).unwrap();
+        for bin in &d {
+            assert!((bin.re - 1.0).abs() < 1e-12 && bin.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sine_lands_in_single_bin() {
+        let n = 64;
+        let k = 5;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64).sin())
+            .collect();
+        let spec = fft_real(&signal).unwrap();
+        // Peak at bin k with magnitude N/2.
+        assert!((spec[k].abs() - n as f64 / 2.0).abs() < 1e-9);
+        for (i, bin) in spec.iter().enumerate() {
+            if i != k && i != n - k {
+                assert!(bin.abs() < 1e-9, "leak at bin {i}: {}", bin.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let n = 32;
+        let original: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut data = original.clone();
+        fft_in_place(&mut data).unwrap();
+        ifft_in_place(&mut data).unwrap();
+        for (a, b) in data.iter().zip(&original) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 128;
+        let signal: Vec<f64> = (0..n).map(|i| ((i * i) as f64 * 0.013).sin()).collect();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let spec = fft_real(&signal).unwrap();
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    fn power_spectrum_of_sine_carries_half_amplitude_squared() {
+        let n = 256;
+        let k = 17;
+        let amp = 0.8;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| amp * (2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64).sin())
+            .collect();
+        let p = power_spectrum(&signal).unwrap();
+        assert!((p[k] - amp * amp / 2.0).abs() < 1e-12);
+        let rest: f64 = p
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != k)
+            .map(|(_, v)| v)
+            .sum();
+        assert!(rest < 1e-20);
+    }
+
+    #[test]
+    fn hann_window_shape() {
+        let w = hann_window(8);
+        assert_eq!(w.len(), 8);
+        assert!(w[0].abs() < 1e-15);
+        assert!(w[7].abs() < 1e-15);
+        assert!(w.iter().cloned().fold(0.0f64, f64::max) <= 1.0 + 1e-15);
+        assert_eq!(hann_window(1), vec![1.0]);
+        assert!(hann_window(0).is_empty());
+    }
+
+    #[test]
+    fn hann_window_contains_leakage() {
+        // A non-coherent sine leaks across the whole spectrum
+        // rectangular-windowed; the Hann window confines it to a narrow
+        // skirt.
+        let n = 256;
+        let f_frac = 10.37; // deliberately between bins
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f_frac * i as f64 / n as f64).sin())
+            .collect();
+        let w = hann_window(n);
+        let windowed: Vec<f64> = signal.iter().zip(&w).map(|(s, w)| s * w).collect();
+        let p_rect = power_spectrum(&signal).unwrap();
+        let p_hann = power_spectrum(&windowed).unwrap();
+        // Energy far from the tone (> 10 bins away), relative to the
+        // total, must drop by orders of magnitude with the window.
+        let far_fraction = |p: &[f64]| {
+            let total: f64 = p.iter().sum();
+            let far: f64 = p
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| (*k as f64 - f_frac).abs() > 10.0)
+                .map(|(_, v)| v)
+                .sum();
+            far / total
+        };
+        let rect = far_fraction(&p_rect);
+        let hann = far_fraction(&p_hann);
+        assert!(hann < rect / 100.0, "hann {hann:e} vs rect {rect:e}");
+    }
+
+    #[test]
+    fn dc_bin_of_offset_signal() {
+        let n = 16;
+        let signal = vec![0.25; n];
+        let p = power_spectrum(&signal).unwrap();
+        assert!((p[0] - 0.0625).abs() < 1e-15);
+    }
+}

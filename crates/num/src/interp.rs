@@ -1,0 +1,237 @@
+//! Sweep grids and 1-D interpolation.
+//!
+//! Every figure in the paper is a parameter sweep — bias current over
+//! decades (Figs. 9a/9b), frequency over decades (Fig. 6d), supply voltage
+//! linearly (§III-C). These helpers build the grids and read values back
+//! off tabulated curves.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error from interpolation routines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterpError {
+    /// Fewer than two points were supplied.
+    TooFewPoints,
+    /// The x-grid is not strictly increasing.
+    NotMonotonic,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::TooFewPoints => write!(f, "need at least two points"),
+            InterpError::NotMonotonic => write!(f, "x values must be strictly increasing"),
+        }
+    }
+}
+
+impl Error for InterpError {}
+
+/// `n` points linearly spaced over `[start, stop]`, inclusive.
+///
+/// Returns a single-element vector for `n == 1` and an empty vector for
+/// `n == 0`.
+pub fn linspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
+    match n {
+        0 => vec![],
+        1 => vec![start],
+        _ => {
+            let step = (stop - start) / (n - 1) as f64;
+            (0..n).map(|i| start + step * i as f64).collect()
+        }
+    }
+}
+
+/// `n` points logarithmically spaced over `[start, stop]`, inclusive.
+///
+/// # Panics
+///
+/// Panics if `start` or `stop` is not strictly positive.
+pub fn logspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
+    assert!(
+        start > 0.0 && stop > 0.0,
+        "logspace endpoints must be positive"
+    );
+    linspace(start.ln(), stop.ln(), n)
+        .into_iter()
+        .map(f64::exp)
+        .collect()
+}
+
+/// `n` points per decade between `start` and `stop` (inclusive
+/// endpoints), the conventional Bode-sweep grid.
+///
+/// # Panics
+///
+/// Panics if the endpoints are not positive or `stop <= start`.
+pub fn decade_sweep(start: f64, stop: f64, points_per_decade: usize) -> Vec<f64> {
+    assert!(start > 0.0 && stop > start, "invalid decade sweep range");
+    let decades = (stop / start).log10();
+    let n = ((decades * points_per_decade as f64).ceil() as usize).max(1) + 1;
+    logspace(start, stop, n)
+}
+
+/// Piecewise-linear interpolation of `y(x)` at `xq`, clamping outside the
+/// grid.
+///
+/// # Errors
+///
+/// Returns [`InterpError::TooFewPoints`] or [`InterpError::NotMonotonic`]
+/// for an unusable grid.
+pub fn lerp_at(xs: &[f64], ys: &[f64], xq: f64) -> Result<f64, InterpError> {
+    if xs.len() < 2 || xs.len() != ys.len() {
+        return Err(InterpError::TooFewPoints);
+    }
+    if xs.windows(2).any(|w| w[1] <= w[0]) {
+        return Err(InterpError::NotMonotonic);
+    }
+    if xq <= xs[0] {
+        return Ok(ys[0]);
+    }
+    if xq >= xs[xs.len() - 1] {
+        return Ok(ys[ys.len() - 1]);
+    }
+    let i = xs.partition_point(|&x| x < xq).max(1);
+    let (x0, x1) = (xs[i - 1], xs[i]);
+    let (y0, y1) = (ys[i - 1], ys[i]);
+    Ok(y0 + (y1 - y0) * (xq - x0) / (x1 - x0))
+}
+
+/// Inverse lookup: the `x` at which the monotonically *increasing* curve
+/// `y(x)` crosses `target`, by linear interpolation; `None` if the curve
+/// never reaches it.
+///
+/// # Errors
+///
+/// Returns [`InterpError::TooFewPoints`] for an unusable grid.
+pub fn crossing(xs: &[f64], ys: &[f64], target: f64) -> Result<Option<f64>, InterpError> {
+    if xs.len() < 2 || xs.len() != ys.len() {
+        return Err(InterpError::TooFewPoints);
+    }
+    for i in 1..xs.len() {
+        let (y0, y1) = (ys[i - 1], ys[i]);
+        if (y0 <= target && target <= y1) || (y1 <= target && target <= y0) {
+            if (y1 - y0).abs() < f64::MIN_POSITIVE {
+                return Ok(Some(xs[i - 1]));
+            }
+            let t = (target - y0) / (y1 - y0);
+            return Ok(Some(xs[i - 1] + t * (xs[i] - xs[i - 1])));
+        }
+    }
+    Ok(None)
+}
+
+/// Least-squares slope of `log10(y)` vs `log10(x)` — the scaling exponent
+/// of a power-law curve (used to verify e.g. fmax ∝ ISS¹ in Fig. 9a).
+///
+/// # Errors
+///
+/// Returns [`InterpError::TooFewPoints`] if fewer than two positive
+/// samples are available.
+pub fn loglog_slope(xs: &[f64], ys: &[f64]) -> Result<f64, InterpError> {
+    let pts: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, y)| **x > 0.0 && **y > 0.0)
+        .map(|(x, y)| (x.log10(), y.log10()))
+        .collect();
+    if pts.len() < 2 {
+        return Err(InterpError::TooFewPoints);
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    Ok((n * sxy - sx * sy) / (n * sxx - sx * sx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_basics() {
+        assert_eq!(linspace(0.0, 1.0, 3), vec![0.0, 0.5, 1.0]);
+        assert_eq!(linspace(1.0, 2.0, 1), vec![1.0]);
+        assert!(linspace(0.0, 1.0, 0).is_empty());
+    }
+
+    #[test]
+    fn logspace_is_geometric() {
+        let g = logspace(1.0, 100.0, 3);
+        assert!((g[0] - 1.0).abs() < 1e-12);
+        assert!((g[1] - 10.0).abs() < 1e-9);
+        assert!((g[2] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn logspace_rejects_nonpositive() {
+        let _ = logspace(0.0, 1.0, 4);
+    }
+
+    #[test]
+    fn decade_sweep_covers_range() {
+        let g = decade_sweep(1e-12, 1e-7, 5);
+        assert!((g[0] - 1e-12).abs() / 1e-12 < 1e-9);
+        assert!((g.last().unwrap() - 1e-7).abs() / 1e-7 < 1e-9);
+        assert!(g.len() >= 26); // 5 decades × 5 + 1
+        assert!(g.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn lerp_inside_and_clamped() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.0, 10.0, 40.0];
+        assert_eq!(lerp_at(&xs, &ys, 0.5).unwrap(), 5.0);
+        assert_eq!(lerp_at(&xs, &ys, 1.5).unwrap(), 25.0);
+        assert_eq!(lerp_at(&xs, &ys, -1.0).unwrap(), 0.0);
+        assert_eq!(lerp_at(&xs, &ys, 5.0).unwrap(), 40.0);
+    }
+
+    #[test]
+    fn lerp_errors() {
+        assert_eq!(
+            lerp_at(&[0.0], &[1.0], 0.0).unwrap_err(),
+            InterpError::TooFewPoints
+        );
+        assert_eq!(
+            lerp_at(&[0.0, 0.0], &[1.0, 2.0], 0.0).unwrap_err(),
+            InterpError::NotMonotonic
+        );
+    }
+
+    #[test]
+    fn crossing_finds_threshold() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.0, 1.0, 4.0];
+        assert_eq!(crossing(&xs, &ys, 2.5).unwrap(), Some(1.5));
+        assert_eq!(crossing(&xs, &ys, 10.0).unwrap(), None);
+    }
+
+    #[test]
+    fn crossing_handles_decreasing_segment() {
+        let xs = [0.0, 1.0];
+        let ys = [4.0, 0.0];
+        assert_eq!(crossing(&xs, &ys, 2.0).unwrap(), Some(0.5));
+    }
+
+    #[test]
+    fn loglog_slope_of_power_law() {
+        let xs = logspace(1e-12, 1e-8, 20);
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.powf(1.0)).collect();
+        assert!((loglog_slope(&xs, &ys).unwrap() - 1.0).abs() < 1e-9);
+        let ys2: Vec<f64> = xs.iter().map(|x| x.powf(-0.5)).collect();
+        assert!((loglog_slope(&xs, &ys2).unwrap() + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_slope_filters_nonpositive() {
+        assert_eq!(
+            loglog_slope(&[1.0, -1.0], &[1.0, 1.0]).unwrap_err(),
+            InterpError::TooFewPoints
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Self-contained numerics substrate for the ULP-SCL platform.
+//!
+//! The analog circuit simulator, the ADC metrology and the Monte-Carlo
+//! mismatch experiments in the workspace all need a small amount of
+//! numerical machinery: dense real and complex linear algebra with LU
+//! factorisation (for modified nodal analysis), a radix-2 FFT (for
+//! SNDR/ENOB sine tests), descriptive statistics and histogramming (for
+//! INL/DNL and Monte-Carlo summaries), and sweep-grid helpers. None of the
+//! approved offline dependencies provide these, so this crate implements
+//! them from scratch with no dependencies of its own.
+//!
+//! # Example
+//!
+//! Solve a 2×2 system with the LU solver used by the MNA engine:
+//!
+//! ```
+//! use ulp_num::matrix::Matrix;
+//! use ulp_num::lu::LuFactor;
+//!
+//! # fn main() -> Result<(), ulp_num::lu::SolveError> {
+//! let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+//! let lu = LuFactor::new(&a)?;
+//! let x = lu.solve(&[5.0, 10.0])?;
+//! assert!((x[0] - 1.0).abs() < 1e-12);
+//! assert!((x[1] - 3.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod complex;
+pub mod fft;
+pub mod interp;
+pub mod lu;
+pub mod matrix;
+pub mod poly;
+pub mod stats;
+
+pub use complex::Complex;
+pub use lu::{ComplexLuFactor, LuFactor, SolveError};
+pub use matrix::{ComplexMatrix, Matrix};

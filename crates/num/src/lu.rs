@@ -1,0 +1,436 @@
+//! LU factorisation with partial pivoting, real and complex.
+//!
+//! This is the linear-solver core of the circuit simulator: every Newton
+//! iteration of the DC operating-point solver and every transient timestep
+//! factors the (small, dense) MNA Jacobian once and back-substitutes.
+
+use crate::complex::Complex;
+use crate::matrix::{ComplexMatrix, Matrix};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a linear system cannot be solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The matrix is not square.
+    NotSquare,
+    /// A pivot smaller than the singularity threshold was encountered at
+    /// the contained elimination step — the matrix is singular (for MNA
+    /// this usually means a floating node or a loop of voltage sources).
+    Singular {
+        /// Elimination step at which the zero pivot appeared.
+        step: usize,
+    },
+    /// Right-hand-side length does not match the factored dimension.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NotSquare => write!(f, "matrix is not square"),
+            SolveError::Singular { step } => {
+                write!(f, "matrix is singular (zero pivot at elimination step {step})")
+            }
+            SolveError::DimensionMismatch { expected, actual } => write!(
+                f,
+                "right-hand side has length {actual}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+/// Pivot magnitudes below this are treated as singular.
+const PIVOT_EPS: f64 = 1e-300;
+
+/// LU factorisation of a real square matrix with partial (row) pivoting.
+///
+/// # Example
+///
+/// ```
+/// use ulp_num::matrix::Matrix;
+/// use ulp_num::lu::LuFactor;
+///
+/// # fn main() -> Result<(), ulp_num::lu::SolveError> {
+/// let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]); // needs pivoting
+/// let lu = LuFactor::new(&a)?;
+/// assert_eq!(lu.solve(&[2.0, 3.0])?, vec![3.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuFactor {
+    lu: Matrix,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl LuFactor {
+    /// Factors `a` as `P·A = L·U`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NotSquare`] for non-square input and
+    /// [`SolveError::Singular`] if a zero pivot is encountered.
+    pub fn new(a: &Matrix) -> Result<Self, SolveError> {
+        if !a.is_square() {
+            return Err(SolveError::NotSquare);
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Find the pivot row.
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max < PIVOT_EPS || !max.is_finite() {
+                return Err(SolveError::Singular { step: k });
+            }
+            if p != k {
+                lu.swap_rows(p, k);
+                perm.swap(p, k);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(LuFactor { lu, perm, sign })
+    }
+
+    /// Dimension of the factored system.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` using the stored factorisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] if `b` has the wrong
+    /// length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(SolveError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        // Apply permutation, then forward/backward substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                s -= self.lu[(i, j)] * xj;
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.lu[(i, j)] * xj;
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix (product of pivots × pivot
+    /// sign).
+    pub fn det(&self) -> f64 {
+        let n = self.dim();
+        (0..n).fold(self.sign, |acc, i| acc * self.lu[(i, i)])
+    }
+}
+
+/// Convenience: factor-and-solve `A·x = b` in one call.
+///
+/// # Errors
+///
+/// Propagates any [`SolveError`] from factorisation or substitution.
+///
+/// ```
+/// use ulp_num::matrix::Matrix;
+/// let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+/// let x = ulp_num::lu::solve(&a, &[1.0, 2.0])?;
+/// assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+/// # Ok::<(), ulp_num::lu::SolveError>(())
+/// ```
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    LuFactor::new(a)?.solve(b)
+}
+
+/// LU factorisation of a complex square matrix with partial pivoting,
+/// used by AC analysis.
+///
+/// # Example
+///
+/// ```
+/// use ulp_num::{Complex, ComplexMatrix};
+/// use ulp_num::lu::ComplexLuFactor;
+///
+/// # fn main() -> Result<(), ulp_num::lu::SolveError> {
+/// let mut a = ComplexMatrix::zeros(1, 1);
+/// a[(0, 0)] = Complex::new(0.0, 2.0);
+/// let lu = ComplexLuFactor::new(&a)?;
+/// let x = lu.solve(&[Complex::new(2.0, 0.0)])?;
+/// assert!((x[0] - Complex::new(0.0, -1.0)).abs() < 1e-15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComplexLuFactor {
+    lu: ComplexMatrix,
+    perm: Vec<usize>,
+}
+
+impl ComplexLuFactor {
+    /// Factors `a` as `P·A = L·U`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NotSquare`] for non-square input and
+    /// [`SolveError::Singular`] on a zero pivot.
+    pub fn new(a: &ComplexMatrix) -> Result<Self, SolveError> {
+        if a.rows() != a.cols() {
+            return Err(SolveError::NotSquare);
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            let mut p = k;
+            let mut max = lu[(k, k)].norm_sqr();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].norm_sqr();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max < PIVOT_EPS || !max.is_finite() {
+                return Err(SolveError::Singular { step: k });
+            }
+            if p != k {
+                lu.swap_rows(p, k);
+                perm.swap(p, k);
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(ComplexLuFactor { lu, perm })
+    }
+
+    /// Dimension of the factored system.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] if `b` has the wrong
+    /// length.
+    pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>, SolveError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(SolveError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        let mut x: Vec<Complex> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                s -= self.lu[(i, j)] * xj;
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.lu[(i, j)] * xj;
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]]);
+        let x = solve(&a, &[1.0, -2.0, 0.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - -2.0).abs() < 1e-12);
+        assert!((x[2] - -2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 0.0]]);
+        let x = solve(&a, &[4.0, 5.0]).unwrap();
+        assert!((x[0] - 5.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        match LuFactor::new(&a) {
+            Err(SolveError::Singular { step }) => assert_eq!(step, 1),
+            other => panic!("expected singular error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(LuFactor::new(&a).unwrap_err(), SolveError::NotSquare);
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = Matrix::identity(2);
+        let lu = LuFactor::new(&a).unwrap();
+        assert_eq!(
+            lu.solve(&[1.0]).unwrap_err(),
+            SolveError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            }
+        );
+    }
+
+    #[test]
+    fn determinant_sign_with_pivot() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = LuFactor::new(&a).unwrap();
+        assert!((lu.det() - -1.0).abs() < 1e-12);
+        let id = Matrix::identity(4);
+        assert!((LuFactor::new(&id).unwrap().det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reuse_factorisation_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]);
+        let lu = LuFactor::new(&a).unwrap();
+        assert_eq!(lu.solve(&[2.0, 4.0]).unwrap(), vec![1.0, 1.0]);
+        assert_eq!(lu.solve(&[4.0, 8.0]).unwrap(), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn residual_is_small_for_conditioned_system() {
+        // A diagonally dominant 6x6 system solved to near machine
+        // precision.
+        let n = 6;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = if i == j { 10.0 } else { 1.0 / (1.0 + (i + j) as f64) };
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 2.5).collect();
+        let x = solve(&a, &b).unwrap();
+        let r = a.mul_vec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn complex_solver_matches_real_on_real_input() {
+        let ar = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let mut ac = ComplexMatrix::zeros(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                ac[(i, j)] = Complex::from_re(ar[(i, j)]);
+            }
+        }
+        let xr = solve(&ar, &[1.0, 1.0]).unwrap();
+        let xc = ComplexLuFactor::new(&ac)
+            .unwrap()
+            .solve(&[Complex::ONE, Complex::ONE])
+            .unwrap();
+        for (r, c) in xr.iter().zip(&xc) {
+            assert!((r - c.re).abs() < 1e-12);
+            assert!(c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn complex_rc_divider() {
+        // Impedance divider: series R with shunt C driven by 1V.
+        // V_out = Zc / (R + Zc) with Zc = 1/(jωC).
+        let r = 1_000.0;
+        let c = 1e-6;
+        let omega = 2.0 * std::f64::consts::PI * 159.154_943; // ≈ 1/(2πRC)·τ scaling
+        let zc = Complex::new(0.0, -1.0 / (omega * c));
+        // Nodal: (1/R + jωC)·V = 1/R
+        let mut a = ComplexMatrix::zeros(1, 1);
+        a[(0, 0)] = Complex::from_re(1.0 / r) + Complex::new(0.0, omega * c);
+        let v = ComplexLuFactor::new(&a)
+            .unwrap()
+            .solve(&[Complex::from_re(1.0 / r)])
+            .unwrap();
+        let expect = zc / (Complex::from_re(r) + zc);
+        assert!((v[0] - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complex_singular_rejected() {
+        let a = ComplexMatrix::zeros(2, 2);
+        assert!(matches!(
+            ComplexLuFactor::new(&a),
+            Err(SolveError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert_eq!(SolveError::NotSquare.to_string(), "matrix is not square");
+        assert!(SolveError::Singular { step: 3 }.to_string().contains("step 3"));
+        assert!(SolveError::DimensionMismatch {
+            expected: 2,
+            actual: 1
+        }
+        .to_string()
+        .contains("expected 2"));
+    }
+}

@@ -1,0 +1,273 @@
+//! Real polynomials and rational transfer functions in `s`.
+//!
+//! Small-signal blocks in the analog library (pre-amplifier, folder) have
+//! closed-form transfer functions H(s) = N(s)/D(s); this module evaluates
+//! them on the jω axis so analytic responses can be compared against the
+//! `spice` AC engine (experiment E2 / Fig. 6d).
+
+use crate::complex::Complex;
+use std::fmt;
+
+/// A polynomial with real coefficients, lowest order first:
+/// `c[0] + c[1]·x + c[2]·x² + …`.
+///
+/// # Example
+///
+/// ```
+/// use ulp_num::poly::Poly;
+///
+/// let p = Poly::new(vec![1.0, 2.0, 1.0]); // (1 + x)²
+/// assert_eq!(p.eval(2.0), 9.0);
+/// assert_eq!(p.degree(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Poly {
+    coeffs: Vec<f64>,
+}
+
+impl Poly {
+    /// Creates a polynomial from coefficients, lowest order first.
+    /// Trailing zero coefficients are trimmed; the zero polynomial keeps a
+    /// single zero coefficient.
+    pub fn new(mut coeffs: Vec<f64>) -> Self {
+        while coeffs.len() > 1 && coeffs.last() == Some(&0.0) {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(0.0);
+        }
+        Poly { coeffs }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        Poly::new(vec![c])
+    }
+
+    /// Polynomial degree (0 for constants, including the zero
+    /// polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Borrows the coefficients, lowest order first.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Horner evaluation at a real point.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Horner evaluation at a complex point (e.g. `s = jω`).
+    pub fn eval_complex(&self, s: Complex) -> Complex {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Complex::ZERO, |acc, &c| acc * s + Complex::from_re(c))
+    }
+
+    /// Product of two polynomials.
+    pub fn mul(&self, other: &Poly) -> Poly {
+        let mut out = vec![0.0; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            for (j, b) in other.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Poly::new(out)
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let terms: Vec<String> = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| match i {
+                0 => format!("{c}"),
+                1 => format!("{c}·x"),
+                _ => format!("{c}·x^{i}"),
+            })
+            .collect();
+        write!(f, "{}", terms.join(" + "))
+    }
+}
+
+/// A rational transfer function `H(s) = num(s) / den(s)`.
+///
+/// # Example
+///
+/// A single-pole low-pass `H(s) = 1/(1 + s/ω₀)` is 3 dB down at ω₀:
+///
+/// ```
+/// use ulp_num::poly::{Poly, TransferFunction};
+///
+/// let w0 = 1e3;
+/// let h = TransferFunction::new(Poly::constant(1.0), Poly::new(vec![1.0, 1.0 / w0]));
+/// let mag_db = h.at_omega(w0).abs_db();
+/// assert!((mag_db + 3.0103).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferFunction {
+    num: Poly,
+    den: Poly,
+}
+
+impl TransferFunction {
+    /// Creates `H(s) = num/den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is the zero polynomial.
+    pub fn new(num: Poly, den: Poly) -> Self {
+        assert!(
+            den.coeffs().iter().any(|&c| c != 0.0),
+            "transfer function denominator must be nonzero"
+        );
+        TransferFunction { num, den }
+    }
+
+    /// Builds `H(s) = k·Π(1 + s/z_i) / Π(1 + s/p_i)` from real zero and
+    /// pole *frequencies* in rad/s (all assumed in the left half-plane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pole or zero frequency is not strictly positive.
+    pub fn from_poles_zeros(k: f64, zeros: &[f64], poles: &[f64]) -> Self {
+        let build = |roots: &[f64]| {
+            roots.iter().fold(Poly::constant(1.0), |acc, &w| {
+                assert!(w > 0.0, "pole/zero frequencies must be positive");
+                acc.mul(&Poly::new(vec![1.0, 1.0 / w]))
+            })
+        };
+        TransferFunction::new(build(zeros).mul(&Poly::constant(k)), build(poles))
+    }
+
+    /// Numerator polynomial.
+    pub fn num(&self) -> &Poly {
+        &self.num
+    }
+
+    /// Denominator polynomial.
+    pub fn den(&self) -> &Poly {
+        &self.den
+    }
+
+    /// Evaluates `H(jω)`.
+    pub fn at_omega(&self, omega: f64) -> Complex {
+        let s = Complex::new(0.0, omega);
+        self.num.eval_complex(s) / self.den.eval_complex(s)
+    }
+
+    /// Evaluates `H(j·2πf)`.
+    pub fn at_freq(&self, f_hz: f64) -> Complex {
+        self.at_omega(2.0 * std::f64::consts::PI * f_hz)
+    }
+
+    /// DC gain `H(0)`.
+    pub fn dc_gain(&self) -> f64 {
+        self.num.eval(0.0) / self.den.eval(0.0)
+    }
+
+    /// −3 dB bandwidth in Hz, found by bisection on `|H|` between
+    /// `f_lo` and `f_hi`; `None` if the response never falls below
+    /// `|H(0)|/√2` in that range.
+    pub fn bandwidth_3db(&self, f_lo: f64, f_hi: f64) -> Option<f64> {
+        let target = self.dc_gain().abs() / std::f64::consts::SQRT_2;
+        let drop = |f: f64| self.at_freq(f).abs() - target;
+        if drop(f_lo) <= 0.0 || drop(f_hi) >= 0.0 {
+            return None;
+        }
+        let (mut lo, mut hi) = (f_lo, f_hi);
+        for _ in 0..200 {
+            let mid = (lo * hi).sqrt(); // geometric bisection for log-scale
+            if drop(mid) > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some((lo * hi).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trims_trailing_zeros() {
+        let p = Poly::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+        let z = Poly::new(vec![]);
+        assert_eq!(z.degree(), 0);
+        assert_eq!(z.eval(5.0), 0.0);
+    }
+
+    #[test]
+    fn horner_evaluation() {
+        let p = Poly::new(vec![1.0, -3.0, 2.0]); // 1 - 3x + 2x²
+        assert_eq!(p.eval(0.0), 1.0);
+        assert_eq!(p.eval(1.0), 0.0);
+        assert_eq!(p.eval(2.0), 3.0);
+    }
+
+    #[test]
+    fn complex_eval_matches_real_on_axis() {
+        let p = Poly::new(vec![1.0, 2.0, 3.0]);
+        let z = p.eval_complex(Complex::from_re(1.5));
+        assert!((z.re - p.eval(1.5)).abs() < 1e-12);
+        assert_eq!(z.im, 0.0);
+    }
+
+    #[test]
+    fn multiplication() {
+        let a = Poly::new(vec![1.0, 1.0]); // 1 + x
+        let b = Poly::new(vec![1.0, -1.0]); // 1 - x
+        assert_eq!(a.mul(&b).coeffs(), &[1.0, 0.0, -1.0]); // 1 - x²
+    }
+
+    #[test]
+    fn single_pole_bandwidth() {
+        let w0 = 2.0 * std::f64::consts::PI * 1e6; // pole at 1 MHz
+        let h = TransferFunction::from_poles_zeros(10.0, &[], &[w0]);
+        assert!((h.dc_gain() - 10.0).abs() < 1e-12);
+        let bw = h.bandwidth_3db(1.0, 1e9).unwrap();
+        assert!((bw - 1e6).abs() / 1e6 < 1e-3);
+    }
+
+    #[test]
+    fn pole_zero_pair_extends_bandwidth() {
+        // The Fig. 6d mechanism: a pole–zero doublet (zero just above the
+        // first pole) keeps the dip under 3 dB and pushes the −3 dB point
+        // out to the second pole.
+        let p1 = 1e3;
+        let with_zero = TransferFunction::from_poles_zeros(1.0, &[1.2 * p1], &[p1, 1000.0 * p1]);
+        let without = TransferFunction::from_poles_zeros(1.0, &[], &[p1]);
+        let bw_z = with_zero.bandwidth_3db(1e-2, 1e9).unwrap();
+        let bw_n = without.bandwidth_3db(1e-2, 1e9).unwrap();
+        assert!(bw_z > 5.0 * bw_n, "zero should extend bandwidth: {bw_z} vs {bw_n}");
+    }
+
+    #[test]
+    fn bandwidth_none_when_flat() {
+        let h = TransferFunction::new(Poly::constant(1.0), Poly::constant(1.0));
+        assert_eq!(h.bandwidth_3db(1.0, 1e6), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be nonzero")]
+    fn zero_denominator_panics() {
+        let _ = TransferFunction::new(Poly::constant(1.0), Poly::constant(0.0));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Poly::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(p.to_string(), "1 + 2·x + 3·x^2");
+    }
+}

@@ -1,0 +1,379 @@
+//! Descriptive statistics and histograms for Monte-Carlo and linearity
+//! experiments.
+//!
+//! The INL/DNL extraction (paper Fig. 11) uses code-density histograms;
+//! the mismatch experiments summarise Monte-Carlo ensembles with means,
+//! standard deviations and percentiles.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by statistics helpers on unusable input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsError {
+    /// The input slice was empty.
+    EmptyInput,
+    /// A requested quantile was outside `[0, 1]`.
+    QuantileOutOfRange,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput => write!(f, "input slice is empty"),
+            StatsError::QuantileOutOfRange => write!(f, "quantile must lie in [0, 1]"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty slice.
+pub fn mean(xs: &[f64]) -> Result<f64, StatsError> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample standard deviation (unbiased, `n − 1` denominator).
+///
+/// Returns 0 for a single-element slice.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty slice.
+pub fn std_dev(xs: &[f64]) -> Result<f64, StatsError> {
+    let m = mean(xs)?;
+    if xs.len() == 1 {
+        return Ok(0.0);
+    }
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    Ok(var.sqrt())
+}
+
+/// Root-mean-square value.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty slice.
+pub fn rms(xs: &[f64]) -> Result<f64, StatsError> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    Ok((xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt())
+}
+
+/// Minimum and maximum of a slice.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty slice.
+pub fn min_max(xs: &[f64]) -> Result<(f64, f64), StatsError> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    Ok((lo, hi))
+}
+
+/// Maximum absolute value.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty slice.
+pub fn max_abs(xs: &[f64]) -> Result<f64, StatsError> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    Ok(xs.iter().fold(0.0f64, |m, x| m.max(x.abs())))
+}
+
+/// Linear-interpolated quantile, `q ∈ [0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty slice and
+/// [`StatsError::QuantileOutOfRange`] for `q` outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64, StatsError> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::QuantileOutOfRange);
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (50th percentile).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty slice.
+pub fn median(xs: &[f64]) -> Result<f64, StatsError> {
+    quantile(xs, 0.5)
+}
+
+/// The Gaussian tail probability `Q(x) = P(N(0,1) > x)`, computed from
+/// a 7.1.26-class Abramowitz–Stegun `erfc` approximation (absolute
+/// error < 1.5·10⁻⁷ — ample for noise-margin/BER budgeting).
+///
+/// # Example
+///
+/// ```
+/// use ulp_num::stats::q_function;
+/// assert!((q_function(0.0) - 0.5).abs() < 1e-7);
+/// assert!(q_function(6.0) < 1e-8); // six-sigma
+/// ```
+pub fn q_function(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (Abramowitz–Stegun 7.1.26 polynomial).
+pub fn erfc(x: f64) -> f64 {
+    let sign_neg = x < 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let e = poly * (-x * x).exp();
+    if sign_neg {
+        2.0 - e
+    } else {
+        e
+    }
+}
+
+/// An integer-bin histogram over code indices `0..bins`, as used by the
+/// code-density linearity test.
+///
+/// # Example
+///
+/// ```
+/// use ulp_num::stats::Histogram;
+///
+/// let mut h = Histogram::new(4);
+/// for code in [0usize, 1, 1, 2, 3, 3, 3] {
+///     h.record(code);
+/// }
+/// assert_eq!(h.count(3), 3);
+/// assert_eq!(h.total(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    out_of_range: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn new(bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            counts: vec![0; bins],
+            out_of_range: 0,
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Records one sample of bin `code`. Samples outside the bin range are
+    /// tallied separately and reported by [`Histogram::out_of_range`].
+    pub fn record(&mut self, code: usize) {
+        match self.counts.get_mut(code) {
+            Some(c) => *c += 1,
+            None => self.out_of_range += 1,
+        }
+    }
+
+    /// Count in bin `code` (0 if out of range).
+    pub fn count(&self, code: usize) -> u64 {
+        self.counts.get(code).copied().unwrap_or(0)
+    }
+
+    /// Total in-range samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Samples that fell outside the bin range.
+    pub fn out_of_range(&self) -> u64 {
+        self.out_of_range
+    }
+
+    /// Borrows the raw counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// Summary of a Monte-Carlo ensemble of scalar outcomes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ensemble {
+    /// Ensemble mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+    /// Median.
+    pub median: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Ensemble {
+    /// Summarises `xs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for an empty slice.
+    pub fn from_samples(xs: &[f64]) -> Result<Self, StatsError> {
+        let (min, max) = min_max(xs)?;
+        Ok(Ensemble {
+            mean: mean(xs)?,
+            std_dev: std_dev(xs)?,
+            min,
+            max,
+            median: median(xs)?,
+            n: xs.len(),
+        })
+    }
+}
+
+impl fmt::Display for Ensemble {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4e} sd={:.4e} min={:.4e} med={:.4e} max={:.4e}",
+            self.n, self.mean, self.std_dev, self.min, self.median, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs).unwrap(), 5.0);
+        // Sample sd of this classic set is sqrt(32/7).
+        assert!((std_dev(&xs).unwrap() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert_eq!(mean(&[]).unwrap_err(), StatsError::EmptyInput);
+        assert_eq!(std_dev(&[]).unwrap_err(), StatsError::EmptyInput);
+        assert_eq!(rms(&[]).unwrap_err(), StatsError::EmptyInput);
+        assert_eq!(min_max(&[]).unwrap_err(), StatsError::EmptyInput);
+        assert_eq!(quantile(&[], 0.5).unwrap_err(), StatsError::EmptyInput);
+    }
+
+    #[test]
+    fn single_element_std_is_zero() {
+        assert_eq!(std_dev(&[3.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rms_of_square_wave() {
+        assert!((rms(&[1.0, -1.0, 1.0, -1.0]).unwrap() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert_eq!(median(&xs).unwrap(), 2.5);
+        assert_eq!(
+            quantile(&xs, 1.5).unwrap_err(),
+            StatsError::QuantileOutOfRange
+        );
+    }
+
+    #[test]
+    fn min_max_and_max_abs() {
+        let xs = [-3.0, 1.0, 2.0];
+        assert_eq!(min_max(&xs).unwrap(), (-3.0, 2.0));
+        assert_eq!(max_abs(&xs).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_overflow() {
+        let mut h = Histogram::new(3);
+        for c in [0usize, 1, 2, 2, 7] {
+            h.record(c);
+        }
+        assert_eq!(h.counts(), &[1, 1, 2]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.out_of_range(), 1);
+        assert_eq!(h.count(9), 0);
+        assert_eq!(h.bins(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bin_histogram_panics() {
+        let _ = Histogram::new(0);
+    }
+
+    #[test]
+    fn q_function_anchors() {
+        assert!((q_function(0.0) - 0.5).abs() < 1e-7);
+        assert!((q_function(1.0) - 0.158_655).abs() < 1e-5);
+        assert!((q_function(3.0) - 1.349_9e-3).abs() < 1e-6);
+        // Symmetry: Q(−x) = 1 − Q(x).
+        for x in [0.3, 1.1, 2.7] {
+            assert!((q_function(-x) - (1.0 - q_function(x))).abs() < 1e-6);
+        }
+        // Monotone decreasing.
+        assert!(q_function(2.0) < q_function(1.0));
+    }
+
+    #[test]
+    fn erfc_matches_known_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
+        assert!(erfc(5.0) < 2e-11);
+    }
+
+    #[test]
+    fn ensemble_summary() {
+        let e = Ensemble::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(e.mean, 2.0);
+        assert_eq!(e.min, 1.0);
+        assert_eq!(e.max, 3.0);
+        assert_eq!(e.median, 2.0);
+        assert_eq!(e.n, 3);
+        assert!(e.to_string().contains("n=3"));
+    }
+}

@@ -1,0 +1,170 @@
+//! The sampling-rate → bias-current controller.
+//!
+//! Implements the paper's single-knob scheme: the requested sampling
+//! rate fixes the master analog control current (through the analog
+//! settling requirement), and the digital tail-current reference is a
+//! fixed fraction of it — "therefore, a separate controlling unit is
+//! avoided" (§III-C).
+
+use ulp_adc::power::{power_at_sampling_rate, AdcPowerReport, ANALOG_SETTLING_MARGIN, DIGITAL_TIMING_MARGIN};
+use ulp_adc::{AdcConfig, FaiAdc};
+use ulp_device::Technology;
+
+/// One resolved platform operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Sampling rate, S/s.
+    pub fs: f64,
+    /// Master analog control current, A.
+    pub ic: f64,
+    /// Digital tail-current reference `I_C,DIG`, A.
+    pub ic_dig: f64,
+    /// Full power breakdown.
+    pub power: AdcPowerReport,
+}
+
+/// The platform controller: converter template + margins + digital
+/// fraction.
+#[derive(Debug, Clone)]
+pub struct PlatformController {
+    adc: FaiAdc,
+    tech: Technology,
+    /// Analog settling margin (bandwidth over fs).
+    pub settling_margin: f64,
+    /// Digital timing slack factor.
+    pub timing_margin: f64,
+    /// ENOB used in the figure-of-merit report.
+    pub enob_for_fom: f64,
+    /// Minimum sampling rate the controller will accept, S/s.
+    pub fs_min: f64,
+    /// Maximum sampling rate, S/s.
+    pub fs_max: f64,
+}
+
+impl PlatformController {
+    /// The paper's prototype operating envelope: 800 S/s – 80 kS/s with
+    /// the DESIGN.md calibration margins.
+    pub fn paper_prototype() -> Self {
+        let config = AdcConfig::default();
+        PlatformController {
+            adc: FaiAdc::ideal(&config),
+            tech: Technology::default(),
+            settling_margin: ANALOG_SETTLING_MARGIN,
+            timing_margin: DIGITAL_TIMING_MARGIN,
+            enob_for_fom: 6.5,
+            fs_min: 800.0,
+            fs_max: 80e3,
+        }
+    }
+
+    /// Builds a controller around an explicit converter and technology.
+    pub fn new(adc: FaiAdc, tech: Technology) -> Self {
+        PlatformController {
+            adc,
+            tech,
+            ..PlatformController::paper_prototype()
+        }
+    }
+
+    /// The converter template.
+    pub fn adc(&self) -> &FaiAdc {
+        &self.adc
+    }
+
+    /// Resolves the operating point for sampling rate `fs` (clamped to
+    /// the controller envelope).
+    pub fn operating_point(&self, fs: f64) -> OperatingPoint {
+        let fs = fs.clamp(self.fs_min, self.fs_max);
+        let power = power_at_sampling_rate(
+            &self.adc,
+            &self.tech,
+            fs,
+            self.settling_margin,
+            self.timing_margin,
+            self.enob_for_fom,
+        );
+        OperatingPoint {
+            fs,
+            ic: power.ic,
+            ic_dig: power.iss_per_gate,
+            power,
+        }
+    }
+
+    /// Sweeps the operating envelope at `points_per_decade` log-spaced
+    /// rates.
+    pub fn sweep(&self, points_per_decade: usize) -> Vec<OperatingPoint> {
+        ulp_num::interp::decade_sweep(self.fs_min, self.fs_max, points_per_decade)
+            .into_iter()
+            .map(|fs| self.operating_point(fs))
+            .collect()
+    }
+
+    /// Retunes a mutable converter instance to the resolved bias for
+    /// `fs` — what the on-chip controller actually *does*.
+    pub fn apply(&self, adc: &mut FaiAdc, fs: f64) -> OperatingPoint {
+        let op = self.operating_point(fs);
+        adc.set_control_current(op.ic);
+        op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_scaling_matches_paper_shape() {
+        let pmu = PlatformController::paper_prototype();
+        let lo = pmu.operating_point(800.0);
+        let hi = pmu.operating_point(80e3);
+        // 100× rate → 100× power (the paper's linear scaling).
+        let ratio = hi.power.total / lo.power.total;
+        assert!((ratio - 100.0).abs() < 10.0, "ratio = {ratio}");
+        // Absolute class: 4 µW-decade at the top, 44 nW-decade at the
+        // bottom.
+        assert!(hi.power.total > 1e-6 && hi.power.total < 16e-6);
+        assert!(lo.power.total > 10e-9 && lo.power.total < 160e-9);
+        // Digital split: a few percent, as measured.
+        let frac = hi.power.digital / hi.power.total;
+        assert!(frac > 0.01 && frac < 0.15, "digital fraction {frac}");
+    }
+
+    #[test]
+    fn envelope_clamps() {
+        let pmu = PlatformController::paper_prototype();
+        assert_eq!(pmu.operating_point(1.0).fs, 800.0);
+        assert_eq!(pmu.operating_point(1e9).fs, 80e3);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_power() {
+        let pmu = PlatformController::paper_prototype();
+        let pts = pmu.sweep(5);
+        assert!(pts.len() > 8);
+        for w in pts.windows(2) {
+            assert!(w[1].power.total > w[0].power.total);
+            assert!(w[1].ic > w[0].ic);
+        }
+    }
+
+    #[test]
+    fn apply_retunes_converter() {
+        let pmu = PlatformController::paper_prototype();
+        let mut adc = pmu.adc().clone();
+        let op = pmu.apply(&mut adc, 8e3);
+        assert!((adc.control_current() - op.ic).abs() < 1e-18);
+        // Conversion still works at the retuned bias.
+        let code = adc.convert(0.6);
+        assert!((code as i32 - 128).abs() <= 1);
+    }
+
+    #[test]
+    fn digital_reference_tracks_master() {
+        let pmu = PlatformController::paper_prototype();
+        let a = pmu.operating_point(2e3);
+        let b = pmu.operating_point(20e3);
+        assert!((b.ic_dig / a.ic_dig - 10.0).abs() < 0.1);
+        assert!((b.ic / a.ic - 10.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Behavioural frequency-locked bias loop.
+//!
+//! The paper's Fig. 1 shows a PLL tuning the bias current so the system
+//! clock tracks the workload. The essential mechanism is a replica
+//! STSCL ring whose oscillation frequency `f_ring ∝ ISS` is compared
+//! against a reference clock; the error steers the bias up or down.
+//! This module implements that loop behaviourally — a first-order
+//! integrating controller over the exact STSCL delay physics — so the
+//! platform experiments can demonstrate closed-loop frequency
+//! acquisition and its immunity to supply steps (contrast the
+//! supply-regulation loops CMOS DVFS needs, refs \[7\]\[8\]).
+
+use ulp_stscl::gate::SclParams;
+
+/// A replica-ring frequency-locked loop.
+#[derive(Debug, Clone)]
+pub struct FrequencyLockedLoop {
+    params: SclParams,
+    /// Ring length (odd number of STSCL stages).
+    stages: usize,
+    /// Loop gain per update (fractional bias correction per unit
+    /// relative frequency error).
+    gain: f64,
+    /// Current bias estimate, A.
+    iss: f64,
+}
+
+impl FrequencyLockedLoop {
+    /// Creates a loop around a ring of `stages` cells starting from
+    /// bias `iss0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `stages` is odd and ≥ 3, `iss0 > 0` and
+    /// `0 < gain <= 1`.
+    pub fn new(params: SclParams, stages: usize, iss0: f64, gain: f64) -> Self {
+        assert!(stages >= 3 && stages % 2 == 1, "ring needs an odd stage count ≥ 3");
+        assert!(iss0 > 0.0, "initial bias must be positive");
+        assert!(gain > 0.0 && gain <= 1.0, "gain must lie in (0, 1]");
+        FrequencyLockedLoop {
+            params,
+            stages,
+            gain,
+            iss: iss0,
+        }
+    }
+
+    /// Ring oscillation frequency at the current bias, Hz:
+    /// `f = 1/(2·N·t_d)`.
+    pub fn ring_frequency(&self) -> f64 {
+        1.0 / (2.0 * self.stages as f64 * self.params.delay(self.iss))
+    }
+
+    /// Current bias estimate, A.
+    pub fn bias(&self) -> f64 {
+        self.iss
+    }
+
+    /// One control update toward reference frequency `f_ref`; returns
+    /// the relative frequency error *before* the update.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `f_ref > 0`.
+    pub fn update(&mut self, f_ref: f64) -> f64 {
+        assert!(f_ref > 0.0, "reference frequency must be positive");
+        let err = (f_ref - self.ring_frequency()) / f_ref;
+        // Multiplicative correction, slew-limited to an octave per
+        // update (as a charge-pump actuator would be) — this keeps the
+        // bias positive even when the ring starts decades too fast.
+        let factor = (1.0 + self.gain * err).clamp(0.5, 2.0);
+        self.iss *= factor;
+        err
+    }
+
+    /// Runs updates until the relative error falls below `tol` or
+    /// `max_iter` is exhausted; returns the number of updates used, or
+    /// `None` if it never settled.
+    pub fn acquire(&mut self, f_ref: f64, tol: f64, max_iter: usize) -> Option<usize> {
+        for k in 0..max_iter {
+            let err = self.update(f_ref);
+            if err.abs() < tol {
+                return Some(k + 1);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loop_at(iss0: f64) -> FrequencyLockedLoop {
+        FrequencyLockedLoop::new(SclParams::default(), 5, iss0, 0.5)
+    }
+
+    #[test]
+    fn acquires_from_three_decades_away() {
+        let mut fll = loop_at(1e-12);
+        let f_ref = 50e3;
+        let steps = fll.acquire(f_ref, 1e-4, 200).expect("loop must lock");
+        assert!(steps < 100, "took {steps} updates");
+        assert!((fll.ring_frequency() / f_ref - 1.0).abs() < 1e-3);
+        // The acquired bias matches the analytic inverse of the delay
+        // model.
+        let expect = SclParams::default().iss_for_frequency(f_ref, 5);
+        assert!((fll.bias() / expect - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn tracks_reference_changes() {
+        let mut fll = loop_at(1e-9);
+        fll.acquire(10e3, 1e-6, 500).unwrap();
+        let i_10k = fll.bias();
+        fll.acquire(20e3, 1e-6, 500).unwrap();
+        assert!((fll.bias() / i_10k - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn lock_is_supply_independent() {
+        // The STSCL ring frequency does not involve VDD, so the lock
+        // point is identical at 1.0 V and 1.25 V — the paper's
+        // energy-harvesting argument.
+        let p10 = SclParams::new(0.2, 10e-15, 1.0);
+        let p125 = SclParams::new(0.2, 10e-15, 1.25);
+        let mut a = FrequencyLockedLoop::new(p10, 5, 1e-10, 0.5);
+        let mut b = FrequencyLockedLoop::new(p125, 5, 1e-10, 0.5);
+        a.acquire(5e3, 1e-6, 500).unwrap();
+        b.acquire(5e3, 1e-6, 500).unwrap();
+        assert!((a.bias() / b.bias() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_locking_reports_none() {
+        let mut fll = FrequencyLockedLoop::new(SclParams::default(), 5, 1e-12, 0.01);
+        assert!(fll.acquire(1e6, 1e-9, 3).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "odd stage count")]
+    fn even_ring_rejected() {
+        let _ = FrequencyLockedLoop::new(SclParams::default(), 4, 1e-9, 0.5);
+    }
+}

@@ -1,0 +1,38 @@
+//! The common power-management unit of the mixed-signal platform
+//! (paper Fig. 1).
+//!
+//! Because every block — analog folders, interpolators, comparators,
+//! reference ladder *and* the STSCL encoder — is biased from one master
+//! control current, power management degenerates to a single mapping
+//! `f_s → I_C` plus fixed mirror ratios. This crate owns that mapping
+//! and the machinery around it:
+//!
+//! * [`controller`] — the sampling-rate→bias controller with the
+//!   digital fraction `I_C,DIG = k·I_C`;
+//! * [`fll`] — a behavioural frequency-locked loop standing in for the
+//!   paper's PLL actuator (the loop that servos `I_C` until a replica
+//!   gate's delay matches the reference clock);
+//! * [`sensitivity`] — PVT and supply sensitivity analysis comparing the
+//!   STSCL platform against the DVFS-regulated CMOS baseline
+//!   (experiments E1 and E7).
+//!
+//! # Example
+//!
+//! ```
+//! use ulp_pmu::controller::PlatformController;
+//!
+//! let pmu = PlatformController::paper_prototype();
+//! let op = pmu.operating_point(80e3);
+//! // One knob: analog and digital currents both scale 100× between the
+//! // paper's sampling-rate endpoints.
+//! let lo = pmu.operating_point(800.0);
+//! assert!((op.ic / lo.ic - 100.0).abs() < 1e-6);
+//! assert!((op.ic_dig / lo.ic_dig - 100.0).abs() < 1e-6);
+//! ```
+
+pub mod controller;
+pub mod fll;
+pub mod sensitivity;
+pub mod workload;
+
+pub use controller::{OperatingPoint, PlatformController};

@@ -1,0 +1,212 @@
+//! PVT and supply sensitivity analysis (experiments E1 and E7).
+//!
+//! Quantifies the paper's Fig. 3 claim: in the CMOS topology the
+//! performance parameters are tightly coupled to process (`V_T`,
+//! `µC_ox`), supply and temperature, while in STSCL the tail current is
+//! the only knob and everything else decouples. The functions here
+//! evaluate both topologies' speed and power across perturbations of
+//! each parameter and report normalised sensitivities.
+
+use ulp_cmos::gate::CmosGate;
+use ulp_device::pvt::Corner;
+use ulp_device::Technology;
+use ulp_stscl::gate::SclParams;
+
+/// Normalised sensitivity record: relative change of a metric per
+/// relative change of a parameter (dimensionless, ~1 means proportional
+/// coupling).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sensitivity {
+    /// d(ln f_max)/d(ln parameter).
+    pub speed: f64,
+    /// d(ln P)/d(ln parameter).
+    pub power: f64,
+}
+
+/// The parameters the Fig. 3 diagram couples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignParameter {
+    /// Supply voltage.
+    Vdd,
+    /// Threshold voltage.
+    Vt,
+    /// Transconductance factor µ·Cox (process strength / tox).
+    Kp,
+    /// Junction temperature.
+    Temperature,
+}
+
+impl DesignParameter {
+    /// All four parameters, in Fig. 3 order.
+    pub fn all() -> [DesignParameter; 4] {
+        [
+            DesignParameter::Vdd,
+            DesignParameter::Vt,
+            DesignParameter::Kp,
+            DesignParameter::Temperature,
+        ]
+    }
+}
+
+fn perturbed(tech: &Technology, p: DesignParameter, rel: f64) -> (Technology, f64, f64) {
+    // Returns (tech', vdd_factor, param_base) — vdd handled separately.
+    let mut t = *tech;
+    match p {
+        DesignParameter::Vdd => (t, 1.0 + rel, 1.0),
+        DesignParameter::Vt => {
+            t.nmos.vt0 *= 1.0 + rel;
+            t.pmos.vt0 *= 1.0 + rel;
+            (t, 1.0, 1.0)
+        }
+        DesignParameter::Kp => {
+            t.nmos.kp *= 1.0 + rel;
+            t.pmos.kp *= 1.0 + rel;
+            (t, 1.0, 1.0)
+        }
+        DesignParameter::Temperature => {
+            let t2 = t.at_temperature(t.temperature * (1.0 + rel));
+            (t2, 1.0, 1.0)
+        }
+    }
+}
+
+/// Sensitivity of a subthreshold CMOS gate at supply `vdd` and clock
+/// `f` (activity 0.2) to parameter `p` (central difference at ±2 %).
+pub fn cmos_sensitivity(
+    tech: &Technology,
+    gate: &CmosGate,
+    vdd: f64,
+    f: f64,
+    p: DesignParameter,
+) -> Sensitivity {
+    let h = 0.02;
+    let eval = |rel: f64| -> (f64, f64) {
+        let (t, vf, _) = perturbed(tech, p, rel);
+        let v = vdd * vf;
+        let speed = gate.fmax(&t, v, 1);
+        let power = 0.2 * gate.dynamic_energy(v) * f + gate.leakage_power(&t, v);
+        (speed, power)
+    };
+    let (s_lo, p_lo) = eval(-h);
+    let (s_hi, p_hi) = eval(h);
+    Sensitivity {
+        speed: (s_hi.ln() - s_lo.ln()) / (2.0 * h),
+        power: (p_hi.ln() - p_lo.ln()) / (2.0 * h),
+    }
+}
+
+/// Sensitivity of an STSCL gate at tail current `iss` to parameter `p`.
+///
+/// Speed is `f_max = ISS/(2·ln2·VSW·CL)` — the device parameters do not
+/// appear, so only the (replica-stabilised) swing could couple; power is
+/// `ISS·VDD`.
+pub fn stscl_sensitivity(
+    params: &SclParams,
+    iss: f64,
+    p: DesignParameter,
+) -> Sensitivity {
+    let h = 0.02;
+    let eval = |rel: f64| -> (f64, f64) {
+        let vdd = match p {
+            DesignParameter::Vdd => params.vdd * (1.0 + rel),
+            _ => params.vdd,
+        };
+        // The replica bias holds VSW and ISS against VT/KP/T changes —
+        // that is its entire job — so speed is untouched by them.
+        let speed = params.fmax(iss, 1);
+        let power = iss * vdd;
+        (speed, power)
+    };
+    let (s_lo, p_lo) = eval(-h);
+    let (s_hi, p_hi) = eval(h);
+    Sensitivity {
+        speed: (s_hi.ln() - s_lo.ln()) / (2.0 * h),
+        power: (p_hi.ln() - p_lo.ln()) / (2.0 * h),
+    }
+}
+
+/// Worst-case spread of CMOS gate speed across the five process corners
+/// at supply `vdd` (max/min f_max ratio).
+pub fn cmos_corner_spread(tech: &Technology, gate: &CmosGate, vdd: f64) -> f64 {
+    let speeds: Vec<f64> = Corner::all()
+        .iter()
+        .map(|&c| gate.fmax(&tech.at_corner(c), vdd, 1))
+        .collect();
+    let max = speeds.iter().cloned().fold(f64::MIN, f64::max);
+    let min = speeds.iter().cloned().fold(f64::MAX, f64::min);
+    max / min
+}
+
+/// STSCL corner spread: the replica bias regenerates `ISS` and `VSW`
+/// at every corner, so the speed spread collapses to the mirror
+/// mismatch residue (≈1). Returned as the ratio form for direct
+/// comparison with [`cmos_corner_spread`].
+pub fn stscl_corner_spread(params: &SclParams, iss: f64) -> f64 {
+    // fmax does not read the corner, so evaluating it per corner (the
+    // same way cmos_corner_spread does) yields identical speeds.
+    let speeds: Vec<f64> = Corner::all().iter().map(|_| params.fmax(iss, 1)).collect();
+    let max = speeds.iter().cloned().fold(f64::MIN, f64::max);
+    let min = speeds.iter().cloned().fold(f64::MAX, f64::min);
+    max / min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmos_supply_sensitivity_is_enormous() {
+        let t = Technology::default();
+        let g = CmosGate::default();
+        let s = cmos_sensitivity(&t, &g, 0.35, 1e4, DesignParameter::Vdd);
+        // d(ln f)/d(ln VDD) = VDD/(n·UT) − 1 ≈ 9 at 0.35 V.
+        assert!(s.speed > 5.0, "speed sensitivity = {}", s.speed);
+    }
+
+    #[test]
+    fn cmos_vt_sensitivity_is_enormous() {
+        let t = Technology::default();
+        let g = CmosGate::default();
+        let s = cmos_sensitivity(&t, &g, 0.35, 1e4, DesignParameter::Vt);
+        // d(ln f)/d(ln VT) = −VT/(n·UT) ≈ −13.
+        assert!(s.speed < -5.0, "vt sensitivity = {}", s.speed);
+    }
+
+    #[test]
+    fn stscl_decoupled_from_everything_but_bias() {
+        let p = SclParams::default();
+        for param in DesignParameter::all() {
+            let s = stscl_sensitivity(&p, 1e-9, param);
+            assert!(
+                s.speed.abs() < 1e-9,
+                "STSCL speed must not couple to {param:?}"
+            );
+            match param {
+                DesignParameter::Vdd => {
+                    // Central log-difference of a linear function ≈ 1
+                    // with an O(h²) bias.
+                    assert!((s.power - 1.0).abs() < 1e-3, "P = ISS·VDD is linear in VDD")
+                }
+                _ => assert!(s.power.abs() < 1e-9),
+            }
+        }
+    }
+
+    #[test]
+    fn corner_spread_contrast() {
+        let t = Technology::default();
+        let g = CmosGate::default();
+        let cmos = cmos_corner_spread(&t, &g, 0.35);
+        let scl = stscl_corner_spread(&SclParams::default(), 1e-9);
+        assert!(cmos > 3.0, "CMOS corners spread {cmos}×");
+        assert!((scl - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmos_temperature_couples_speed() {
+        let t = Technology::default();
+        let g = CmosGate::default();
+        let s = cmos_sensitivity(&t, &g, 0.35, 1e4, DesignParameter::Temperature);
+        assert!(s.speed.abs() > 1.0, "temperature sensitivity = {}", s.speed);
+    }
+}

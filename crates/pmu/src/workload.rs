@@ -1,0 +1,239 @@
+//! Workload-trace energy accounting: what the single-knob power
+//! management actually buys.
+//!
+//! The paper's Fig. 1 system exists to track a varying workload. This
+//! module integrates the platform's energy over a sampling-rate trace
+//! under three policies and reports the savings:
+//!
+//! * **tracking** — the PMU retunes `I_C` to each segment's rate (the
+//!   paper's scheme);
+//! * **worst-case** — bias fixed for the trace's peak rate (what a
+//!   non-scalable design must do);
+//! * **duty-cycled** — worst-case bias, but hard power gating between
+//!   bursts (the conventional alternative; modelled with a wake-up
+//!   overhead per transition).
+
+use crate::controller::PlatformController;
+
+/// One segment of a workload trace. `fs = 0` marks an idle segment
+/// (no conversions required).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Required sampling rate during the segment, S/s (0 = idle).
+    pub fs: f64,
+    /// Segment duration, s.
+    pub duration: f64,
+}
+
+impl Segment {
+    /// Creates an active segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both fields are positive.
+    pub fn new(fs: f64, duration: f64) -> Self {
+        assert!(fs > 0.0 && duration > 0.0, "segment fields must be positive");
+        Segment { fs, duration }
+    }
+
+    /// Creates an idle segment (no required work).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `duration > 0`.
+    pub fn idle(duration: f64) -> Self {
+        assert!(duration > 0.0, "duration must be positive");
+        Segment { fs: 0.0, duration }
+    }
+
+    /// True when no conversions are required.
+    pub fn is_idle(self) -> bool {
+        self.fs == 0.0
+    }
+}
+
+/// Energy totals for the three policies over one trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyComparison {
+    /// Energy with workload-tracking bias, J.
+    pub tracking: f64,
+    /// Energy with the bias pinned at the trace peak, J.
+    pub worst_case: f64,
+    /// Energy with peak bias + power gating (incl. wake-up overhead), J.
+    pub duty_cycled: f64,
+    /// `worst_case / tracking`.
+    pub saving_vs_worst_case: f64,
+    /// `duty_cycled / tracking`.
+    pub saving_vs_duty_cycling: f64,
+}
+
+/// Integrates the three policies over `trace`.
+///
+/// `wakeup_energy` is charged once per gated→active transition in the
+/// duty-cycled policy (bias settling, reference recharge — typically
+/// µJ-class in real systems; the replica-biased platform needs none
+/// because it never powers down, it *scales* down).
+///
+/// # Example
+///
+/// ```
+/// use ulp_pmu::workload::{compare_policies, Segment};
+/// use ulp_pmu::PlatformController;
+///
+/// let pmu = PlatformController::paper_prototype();
+/// let trace = [Segment::new(800.0, 100.0), Segment::new(80e3, 1.0)];
+/// let cmp = compare_policies(&pmu, &trace, 0.0);
+/// // Pinning the bias at the burst rate wastes most of the energy.
+/// assert!(cmp.saving_vs_worst_case > 10.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the trace is empty or contains no work.
+pub fn compare_policies(
+    pmu: &PlatformController,
+    trace: &[Segment],
+    wakeup_energy: f64,
+) -> EnergyComparison {
+    assert!(!trace.is_empty(), "trace must have at least one segment");
+    let peak_fs = trace.iter().map(|s| s.fs).fold(0.0f64, f64::max);
+    assert!(peak_fs > 0.0, "trace must contain some work");
+    let p_peak = pmu.operating_point(peak_fs).power.total;
+    // Tracking scales down but never gates off: during idle it parks at
+    // the envelope floor. Duty cycling can gate fully off during idle —
+    // but only then; any required rate forces peak bias + a wake-up.
+    let p_floor = pmu.operating_point(pmu.fs_min).power.total;
+    let mut tracking = 0.0;
+    let mut worst_case = 0.0;
+    let mut duty_cycled = 0.0;
+    let mut was_sleeping = true;
+    for seg in trace {
+        worst_case += p_peak * seg.duration;
+        if seg.is_idle() {
+            tracking += p_floor * seg.duration;
+            was_sleeping = true;
+        } else {
+            tracking += pmu.operating_point(seg.fs).power.total * seg.duration;
+            if was_sleeping {
+                duty_cycled += wakeup_energy;
+            }
+            duty_cycled += p_peak * seg.duration;
+            was_sleeping = false;
+        }
+    }
+    EnergyComparison {
+        tracking,
+        worst_case,
+        duty_cycled,
+        saving_vs_worst_case: worst_case / tracking,
+        saving_vs_duty_cycling: duty_cycled / tracking,
+    }
+}
+
+/// A representative sensor-node day: long low-rate monitoring with
+/// sparse high-rate bursts (fractions of the controller envelope).
+pub fn sensor_node_trace(pmu: &PlatformController) -> Vec<Segment> {
+    let lo = pmu.fs_min;
+    let hi = pmu.fs_max;
+    vec![
+        Segment::new(lo, 3600.0),
+        Segment::new(hi, 5.0),
+        Segment::new(lo, 7200.0),
+        Segment::new(hi * 0.25, 30.0),
+        Segment::new(lo, 3600.0),
+        Segment::new(hi, 2.0),
+        Segment::new(lo * 2.0, 1800.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pmu() -> PlatformController {
+        PlatformController::paper_prototype()
+    }
+
+    #[test]
+    fn tracking_beats_worst_case_by_rate_ratio_class() {
+        let pmu = pmu();
+        let trace = sensor_node_trace(&pmu);
+        let cmp = compare_policies(&pmu, &trace, 0.0);
+        // The trace is dominated by 800 S/s segments; pinning at
+        // 80 kS/s wastes ~100×.
+        assert!(
+            cmp.saving_vs_worst_case > 30.0,
+            "saving = {}",
+            cmp.saving_vs_worst_case
+        );
+        assert!(cmp.tracking < cmp.worst_case);
+    }
+
+    #[test]
+    fn duty_cycling_cannot_sleep_through_low_rate_work() {
+        // The monitoring segments *require* 800 S/s — the gated design
+        // must stay awake at peak bias for them, so tracking still wins
+        // big.
+        let pmu = pmu();
+        let trace = sensor_node_trace(&pmu);
+        let cmp = compare_policies(&pmu, &trace, 1e-6);
+        assert!(
+            cmp.saving_vs_duty_cycling > 30.0,
+            "saving = {}",
+            cmp.saving_vs_duty_cycling
+        );
+    }
+
+    #[test]
+    fn duty_cycling_competitive_on_idle_heavy_traces() {
+        // When the workload is genuinely bursty with true idle gaps,
+        // gating approaches (and with zero wake cost can beat) the
+        // tracking floor — an honest limit of the scaling approach.
+        let pmu = pmu();
+        let trace = vec![
+            Segment::idle(1000.0),
+            Segment::new(80e3, 1.0),
+            Segment::idle(1000.0),
+        ];
+        let cmp = compare_policies(&pmu, &trace, 0.0);
+        assert!(
+            cmp.saving_vs_duty_cycling < 1.0,
+            "gating should win on pure-burst traces: {}",
+            cmp.saving_vs_duty_cycling
+        );
+        // But with a realistic wake-up cost the gap narrows.
+        let cmp_wake = compare_policies(&pmu, &trace, 50e-6);
+        assert!(cmp_wake.duty_cycled > cmp.duty_cycled);
+    }
+
+    #[test]
+    fn constant_trace_all_policies_equal() {
+        let pmu = pmu();
+        let trace = vec![Segment::new(80e3, 10.0)];
+        let cmp = compare_policies(&pmu, &trace, 0.0);
+        assert!((cmp.saving_vs_worst_case - 1.0).abs() < 1e-9);
+        assert!((cmp.saving_vs_duty_cycling - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wakeup_energy_charged_per_burst() {
+        let pmu = pmu();
+        // Idle (below threshold is impossible here since fs clamps to
+        // fs_min > 1% of peak… construct with explicit sub-threshold
+        // segments by using a tiny fs relative to a large peak).
+        let trace = vec![
+            Segment::new(80e3, 1.0),
+            Segment::new(800.0, 1.0), // active (1% of peak = 800)… just at threshold
+            Segment::new(80e3, 1.0),
+        ];
+        let no_wake = compare_policies(&pmu, &trace, 0.0);
+        let with_wake = compare_policies(&pmu, &trace, 1e-3);
+        assert!(with_wake.duty_cycled >= no_wake.duty_cycled);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn empty_trace_rejected() {
+        let _ = compare_policies(&pmu(), &[], 0.0);
+    }
+}

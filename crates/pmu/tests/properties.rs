@@ -1,0 +1,69 @@
+//! Property-based tests of the power-management layer.
+
+use proptest::prelude::*;
+use ulp_pmu::workload::{compare_policies, Segment};
+use ulp_pmu::PlatformController;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Operating-point resolution is monotone: more rate never costs
+    /// less power or less bias.
+    #[test]
+    fn operating_point_monotone(f1 in 800.0f64..80e3, f2 in 800.0f64..80e3) {
+        let pmu = PlatformController::paper_prototype();
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let a = pmu.operating_point(lo);
+        let b = pmu.operating_point(hi);
+        prop_assert!(b.power.total >= a.power.total - 1e-18);
+        prop_assert!(b.ic >= a.ic - 1e-21);
+        prop_assert!(b.ic_dig >= a.ic_dig - 1e-21);
+    }
+
+    /// Power is (near-exactly) linear in rate across the envelope.
+    #[test]
+    fn power_linear_in_rate(f in 1600.0f64..40e3, k in 1.5f64..2.0) {
+        let pmu = PlatformController::paper_prototype();
+        let a = pmu.operating_point(f);
+        let b = pmu.operating_point(f * k);
+        prop_assert!((b.power.total / a.power.total / k - 1.0).abs() < 0.02);
+    }
+
+    /// Tracking never loses to the fixed-peak policy, for any trace.
+    #[test]
+    fn tracking_never_worse_than_peak(
+        rates in prop::collection::vec(800.0f64..80e3, 1..8),
+        durations in prop::collection::vec(0.1f64..100.0, 8)
+    ) {
+        let pmu = PlatformController::paper_prototype();
+        let trace: Vec<Segment> = rates
+            .iter()
+            .zip(&durations)
+            .map(|(&f, &d)| Segment::new(f, d))
+            .collect();
+        let cmp = compare_policies(&pmu, &trace, 0.0);
+        prop_assert!(cmp.tracking <= cmp.worst_case * (1.0 + 1e-9));
+        // Duty cycling with zero wake cost can never beat worst-case on
+        // an all-active trace either (it IS worst-case then).
+        prop_assert!((cmp.duty_cycled - cmp.worst_case).abs() < 1e-9 * cmp.worst_case);
+    }
+
+    /// Wake-up energy only ever increases the duty-cycled total.
+    #[test]
+    fn wakeup_cost_monotone(w1 in 0.0f64..1e-3, w2 in 0.0f64..1e-3) {
+        let pmu = PlatformController::paper_prototype();
+        let trace = [
+            Segment::idle(10.0),
+            Segment::new(80e3, 1.0),
+            Segment::idle(10.0),
+            Segment::new(800.0, 5.0),
+        ];
+        let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        let a = compare_policies(&pmu, &trace, lo);
+        let b = compare_policies(&pmu, &trace, hi);
+        prop_assert!(b.duty_cycled >= a.duty_cycled - 1e-18);
+        // Tracking and worst-case don't involve wake-ups at all.
+        prop_assert!((a.tracking - b.tracking).abs() < 1e-18);
+        prop_assert!((a.worst_case - b.worst_case).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,343 @@
+//! DC operating point: damped Newton–Raphson with gmin stepping.
+
+use crate::error::SimError;
+use crate::mna::{assemble, branch_index, voltage_of, AssembleMode};
+use crate::netlist::{Netlist, Node};
+use ulp_device::Technology;
+use ulp_num::lu::LuFactor;
+
+/// Newton iteration controls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOptions {
+    /// Maximum iterations per attempt.
+    pub max_iter: usize,
+    /// Absolute convergence tolerance on node voltages, V.
+    pub vtol: f64,
+    /// Maximum node-voltage change applied per iteration (damping), V.
+    pub max_step: f64,
+    /// Final gmin left in the system, S.
+    pub gmin: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            max_iter: 300,
+            vtol: 1e-9,
+            max_step: 0.5,
+            gmin: 1e-12,
+        }
+    }
+}
+
+/// Runs damped Newton iteration at a fixed gmin from initial guess
+/// `x0`.
+///
+/// Used by the operating-point, sweep and transient drivers.
+///
+/// # Errors
+///
+/// [`SimError::LinearSolve`] if the Jacobian is singular;
+/// [`SimError::NoConvergence`] if the iteration stalls.
+pub fn newton_solve(
+    nl: &Netlist,
+    tech: &Technology,
+    mode: AssembleMode<'_>,
+    x0: &[f64],
+    gmin: f64,
+    opts: &NewtonOptions,
+) -> Result<Vec<f64>, SimError> {
+    let nn = nl.node_count() - 1;
+    let mut x = x0.to_vec();
+    let mut last_update = f64::INFINITY;
+    for _ in 0..opts.max_iter {
+        let sys = assemble(nl, tech, &x, mode, gmin);
+        let lu = LuFactor::new(&sys.matrix)?;
+        let x_new = lu.solve(&sys.rhs)?;
+        // Damping: limit the voltage part of the update.
+        let mut dv_max = 0.0f64;
+        for i in 0..nn {
+            dv_max = dv_max.max((x_new[i] - x[i]).abs());
+        }
+        let scale = if dv_max > opts.max_step {
+            opts.max_step / dv_max
+        } else {
+            1.0
+        };
+        for (xi, xn) in x.iter_mut().zip(&x_new) {
+            *xi += scale * (*xn - *xi);
+        }
+        last_update = dv_max * scale;
+        if dv_max <= opts.vtol {
+            return Ok(x);
+        }
+    }
+    Err(SimError::NoConvergence {
+        iterations: opts.max_iter,
+        residual: last_update,
+    })
+}
+
+/// Newton solve with gmin stepping: attempt the target gmin first and,
+/// on failure, walk a conductance ladder from heavy damping down,
+/// re-using each stage's solution as the next stage's guess.
+pub fn newton_solve_gmin_stepping(
+    nl: &Netlist,
+    tech: &Technology,
+    mode: AssembleMode<'_>,
+    x0: &[f64],
+    opts: &NewtonOptions,
+) -> Result<Vec<f64>, SimError> {
+    if let Ok(x) = newton_solve(nl, tech, mode, x0, opts.gmin, opts) {
+        return Ok(x);
+    }
+    let ladder = [1e-3, 1e-5, 1e-7, 1e-9, 1e-11];
+    let mut x = x0.to_vec();
+    for g in ladder {
+        x = newton_solve(nl, tech, mode, &x, g, opts)?;
+    }
+    newton_solve(nl, tech, mode, &x, opts.gmin, opts)
+}
+
+/// A solved DC operating point.
+///
+/// # Example
+///
+/// A subthreshold NMOS diode-connected against a current source settles
+/// at the gate voltage predicted by the EKV inverse:
+///
+/// ```
+/// use ulp_spice::netlist::Netlist;
+/// use ulp_spice::dcop::DcOperatingPoint;
+/// use ulp_device::{Mosfet, Polarity, Technology};
+///
+/// # fn main() -> Result<(), ulp_spice::SimError> {
+/// let tech = Technology::default();
+/// let mut nl = Netlist::new();
+/// let d = nl.node("d");
+/// let dev = Mosfet::new(Polarity::Nmos, 4e-6, 1e-6);
+/// nl.isource("IB", Netlist::GROUND, d, 1e-9); // 1 nA into the drain
+/// nl.mosfet("M1", d, d, Netlist::GROUND, Netlist::GROUND, dev);
+/// let op = DcOperatingPoint::solve(&nl, &tech)?;
+/// let expect = dev.vgs_for_current(&tech, 1e-9);
+/// assert!((op.voltage(d) - expect).abs() < 0.02);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DcOperatingPoint {
+    x: Vec<f64>,
+}
+
+impl DcOperatingPoint {
+    /// Solves the DC operating point with default Newton options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the Newton driver.
+    pub fn solve(nl: &Netlist, tech: &Technology) -> Result<Self, SimError> {
+        Self::solve_with(nl, tech, &NewtonOptions::default())
+    }
+
+    /// Solves with explicit Newton options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the Newton driver.
+    pub fn solve_with(
+        nl: &Netlist,
+        tech: &Technology,
+        opts: &NewtonOptions,
+    ) -> Result<Self, SimError> {
+        let x0 = vec![0.0; nl.unknown_count()];
+        let x = newton_solve_gmin_stepping(nl, tech, AssembleMode::Dc, &x0, opts)?;
+        Ok(DcOperatingPoint { x })
+    }
+
+    /// Solves starting from a previous solution (continuation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the Newton driver.
+    pub fn solve_from(
+        nl: &Netlist,
+        tech: &Technology,
+        guess: &[f64],
+        opts: &NewtonOptions,
+    ) -> Result<Self, SimError> {
+        let x = newton_solve_gmin_stepping(nl, tech, AssembleMode::Dc, guess, opts)?;
+        Ok(DcOperatingPoint { x })
+    }
+
+    /// Node voltage, V.
+    pub fn voltage(&self, node: Node) -> f64 {
+        voltage_of(&self.x, node)
+    }
+
+    /// Branch current of a named voltage-defined element, A.
+    ///
+    /// The sign convention: positive current flows *into* the positive
+    /// terminal from the external circuit (so a source delivering power
+    /// reads negative).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotFound`] if no such voltage-defined element exists.
+    pub fn branch_current(&self, nl: &Netlist, name: &str) -> Result<f64, SimError> {
+        branch_index(nl, name)
+            .map(|i| self.x[i])
+            .ok_or_else(|| SimError::NotFound(name.to_string()))
+    }
+
+    /// Borrows the raw solution vector.
+    pub fn solution(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulp_device::load::PmosLoad;
+    use ulp_device::{Mosfet, Polarity};
+
+    fn tech() -> Technology {
+        Technology::default()
+    }
+
+    #[test]
+    fn linear_circuit_one_iteration() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V1", a, Netlist::GROUND, 1.5);
+        nl.resistor("R1", a, Netlist::GROUND, 1e3);
+        let op = DcOperatingPoint::solve(&nl, &tech()).unwrap();
+        assert!((op.voltage(a) - 1.5).abs() < 1e-12);
+        let i = op.branch_current(&nl, "V1").unwrap();
+        assert!((i + 1.5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diode_forward_drop() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.isource("I1", Netlist::GROUND, a, 1e-6);
+        nl.diode("D1", a, Netlist::GROUND, 1e-15, 1.0);
+        let op = DcOperatingPoint::solve(&nl, &tech()).unwrap();
+        // V = n·UT·ln(I/Is) ≈ 0.0259·ln(1e9) ≈ 0.536 V.
+        let expect = tech().thermal_voltage() * (1e-6f64 / 1e-15).ln();
+        assert!((op.voltage(a) - expect).abs() < 1e-3, "v = {}", op.voltage(a));
+    }
+
+    #[test]
+    fn mos_diode_connected_tracks_ekv_inverse() {
+        let t = tech();
+        let mut nl = Netlist::new();
+        let d = nl.node("d");
+        let dev = Mosfet::new(Polarity::Nmos, 4e-6, 1e-6);
+        nl.isource("IB", Netlist::GROUND, d, 10e-9);
+        nl.mosfet("M1", d, d, Netlist::GROUND, Netlist::GROUND, dev);
+        let op = DcOperatingPoint::solve(&nl, &t).unwrap();
+        let expect = dev.vgs_for_current(&t, 10e-9);
+        assert!(
+            (op.voltage(d) - expect).abs() < 0.02,
+            "v = {} expect {}",
+            op.voltage(d),
+            expect
+        );
+    }
+
+    #[test]
+    fn nmos_common_source_amplifier_biases() {
+        let t = tech();
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let g = nl.node("g");
+        let d = nl.node("d");
+        nl.vsource("VDD", vdd, Netlist::GROUND, 1.0);
+        nl.vsource("VG", g, Netlist::GROUND, 0.35);
+        nl.resistor("RD", vdd, d, 5e6);
+        nl.mosfet(
+            "M1",
+            d,
+            g,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            Mosfet::new(Polarity::Nmos, 2e-6, 1e-6),
+        );
+        let op = DcOperatingPoint::solve(&nl, &t).unwrap();
+        let vd = op.voltage(d);
+        assert!(vd > 0.0 && vd < 1.0, "drain must bias inside the rails: {vd}");
+    }
+
+    #[test]
+    fn pmos_current_mirror() {
+        let t = tech();
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let ref_n = nl.node("ref");
+        let out = nl.node("out");
+        nl.vsource("VDD", vdd, Netlist::GROUND, 1.2);
+        // 10 nA drawn out of the diode-connected PMOS reference leg.
+        nl.isource("IREF", ref_n, Netlist::GROUND, 10e-9);
+        let p = Mosfet::new(Polarity::Pmos, 4e-6, 2e-6);
+        nl.mosfet("MP1", ref_n, ref_n, vdd, vdd, p);
+        nl.mosfet("MP2", out, ref_n, vdd, vdd, p);
+        nl.resistor("RL", out, Netlist::GROUND, 1e6);
+        let op = DcOperatingPoint::solve(&nl, &t).unwrap();
+        // Mirror output ≈ 10 nA through 1 MΩ = 10 mV.
+        let vout = op.voltage(out);
+        assert!((vout - 10e-3).abs() < 3e-3, "vout = {vout}");
+    }
+
+    #[test]
+    fn scl_load_develops_swing() {
+        let t = tech();
+        let load = PmosLoad::new(0.2);
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let out = nl.node("out");
+        nl.vsource("VDD", vdd, Netlist::GROUND, 1.0);
+        nl.scl_load("RL", vdd, out, load, 1e-9);
+        nl.isource("ITAIL", out, Netlist::GROUND, 1e-9);
+        let op = DcOperatingPoint::solve(&nl, &t).unwrap();
+        // Full tail current through the calibrated load → full swing.
+        assert!((op.voltage(out) - 0.8).abs() < 1e-3, "vout = {}", op.voltage(out));
+    }
+
+    #[test]
+    fn missing_branch_reports_not_found() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V1", a, Netlist::GROUND, 1.0);
+        nl.resistor("R1", a, Netlist::GROUND, 1.0);
+        let op = DcOperatingPoint::solve(&nl, &tech()).unwrap();
+        assert!(matches!(
+            op.branch_current(&nl, "VX"),
+            Err(SimError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn floating_node_is_singular_or_gmin_pinned() {
+        // A node with no DC path to ground is held near 0 by gmin rather
+        // than crashing.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vsource("V1", a, Netlist::GROUND, 1.0);
+        nl.capacitor("C1", a, b, 1e-12);
+        nl.resistor("R1", b, b, 1.0); // degenerate self-loop, no path
+        let op = DcOperatingPoint::solve(&nl, &tech());
+        if let Ok(op) = op {
+            assert!(op.voltage(b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn default_options_sane() {
+        let o = NewtonOptions::default();
+        assert!(o.max_iter >= 100);
+        assert!(o.gmin <= 1e-9);
+    }
+}

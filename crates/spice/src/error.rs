@@ -1,0 +1,76 @@
+//! Simulator error type.
+
+use std::error::Error;
+use std::fmt;
+use ulp_num::lu::SolveError;
+
+/// Errors produced by the circuit simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The MNA system could not be solved (singular matrix — usually a
+    /// floating node or a voltage-source loop).
+    LinearSolve(SolveError),
+    /// Newton iteration failed to converge within the iteration budget,
+    /// even after gmin stepping.
+    NoConvergence {
+        /// Iterations used in the final attempt.
+        iterations: usize,
+        /// Final maximum voltage update, V.
+        residual: f64,
+    },
+    /// An analysis parameter was invalid (message explains which).
+    BadParameter(String),
+    /// A named element or node was not found in the netlist.
+    NotFound(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::LinearSolve(e) => write!(f, "linear solve failed: {e}"),
+            SimError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "newton iteration did not converge after {iterations} iterations (last update {residual:.3e} V)"
+            ),
+            SimError::BadParameter(msg) => write!(f, "bad analysis parameter: {msg}"),
+            SimError::NotFound(what) => write!(f, "not found in netlist: {what}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::LinearSolve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for SimError {
+    fn from(e: SolveError) -> Self {
+        SimError::LinearSolve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SimError::from(SolveError::NotSquare);
+        assert!(e.to_string().contains("linear solve"));
+        assert!(e.source().is_some());
+        let n = SimError::NoConvergence {
+            iterations: 100,
+            residual: 1e-3,
+        };
+        assert!(n.to_string().contains("100"));
+        assert!(SimError::BadParameter("dt".into()).to_string().contains("dt"));
+        assert!(SimError::NotFound("V1".into()).to_string().contains("V1"));
+    }
+}

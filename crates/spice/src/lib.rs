@@ -1,0 +1,62 @@
+//! A small SPICE-class analog circuit simulator for the ULP-SCL
+//! platform.
+//!
+//! The paper's circuits (STSCL gates, current-mode folders, the
+//! decoupled-load pre-amplifier of Fig. 6) were designed and verified
+//! with commercial SPICE and foundry models. No analog simulation
+//! tooling exists in the Rust ecosystem, so this crate implements the
+//! required subset from scratch:
+//!
+//! * [`netlist`] — circuit description: named nodes, two-terminal and
+//!   controlled elements, EKV MOS devices ([`ulp_device::Mosfet`]) with
+//!   explicit bulk terminals (required for the bulk-drain-shorted STSCL
+//!   load), and the replica-calibrated [`ulp_device::load::PmosLoad`];
+//! * [`dcop`] — DC operating point via damped Newton–Raphson over the
+//!   modified nodal analysis (MNA) equations, with gmin stepping for
+//!   robustness;
+//! * [`sweep`] — DC transfer sweeps with solution continuation;
+//! * [`tran`] — fixed-step transient analysis (backward Euler or
+//!   trapezoidal companion models) with a full Newton solve per step;
+//! * [`ac`] — complex-valued small-signal analysis around the DC
+//!   operating point.
+//!
+//! Deliberate scope limits, documented here so users are not surprised:
+//! no inductors (none appear in the paper's circuits), no implicit MOS
+//! capacitances (attach explicit [`netlist::Netlist::capacitor`]s — the
+//! Fig. 6 experiment models the well diode capacitance explicitly), and
+//! dense linear algebra (circuit sizes here are tens of nodes).
+//!
+//! # Example
+//!
+//! A resistive divider:
+//!
+//! ```
+//! use ulp_spice::netlist::Netlist;
+//! use ulp_spice::dcop::DcOperatingPoint;
+//! use ulp_device::Technology;
+//!
+//! # fn main() -> Result<(), ulp_spice::SimError> {
+//! let mut nl = Netlist::new();
+//! let vin = nl.node("in");
+//! let mid = nl.node("mid");
+//! nl.vsource("V1", vin, Netlist::GROUND, 1.0);
+//! nl.resistor("R1", vin, mid, 10_000.0);
+//! nl.resistor("R2", mid, Netlist::GROUND, 10_000.0);
+//! let op = DcOperatingPoint::solve(&nl, &Technology::default())?;
+//! assert!((op.voltage(mid) - 0.5).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ac;
+pub mod dcop;
+pub mod error;
+pub mod mna;
+pub mod netlist;
+pub mod noise;
+pub mod report;
+pub mod sweep;
+pub mod tran;
+
+pub use error::SimError;
+pub use netlist::{Netlist, Node, Waveform};

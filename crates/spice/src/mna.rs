@@ -1,0 +1,431 @@
+//! Modified nodal analysis: system assembly and element stamping.
+//!
+//! The unknown vector is `x = [v₁ … v_N, i_b1 … i_bM]`: the voltages of
+//! all non-ground nodes followed by one branch current per
+//! voltage-defined element (independent voltage sources and VCVS), in
+//! element order.
+//!
+//! Nonlinear elements (diode, MOS, STSCL load) are stamped as their
+//! Newton companion models linearised about the current iterate, so the
+//! assembled system reads `A(x_k)·x_{k+1} = b(x_k)` and a fixed point is
+//! an exact solution of the nonlinear KCL equations.
+
+use crate::netlist::{Element, Netlist, Node};
+use ulp_num::Matrix;
+use ulp_device::Technology;
+
+/// Integration method for transient companion models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// Backward Euler: robust, first order, slightly lossy.
+    #[default]
+    BackwardEuler,
+    /// Trapezoidal: second order, energy-preserving.
+    Trapezoidal,
+}
+
+/// What the assembler is being asked to build.
+#[derive(Debug, Clone, Copy)]
+pub enum AssembleMode<'a> {
+    /// DC: capacitors open, sources at their `t = 0` values.
+    Dc,
+    /// One transient step ending at `time`, of length `dt`, integrating
+    /// from the previous solution `prev` (and, for trapezoidal, the
+    /// previous per-capacitor currents `cap_currents`).
+    Transient {
+        /// End time of the step, s.
+        time: f64,
+        /// Step length, s.
+        dt: f64,
+        /// Solution vector at the previous timepoint.
+        prev: &'a [f64],
+        /// Capacitor currents at the previous timepoint (same order as
+        /// capacitors appear in the netlist); required for
+        /// [`Integrator::Trapezoidal`].
+        cap_currents: &'a [f64],
+        /// Companion-model integrator.
+        method: Integrator,
+    },
+}
+
+/// Assembled real MNA system `A·x = b`.
+#[derive(Debug, Clone)]
+pub struct MnaSystem {
+    /// System matrix.
+    pub matrix: Matrix,
+    /// Right-hand side.
+    pub rhs: Vec<f64>,
+}
+
+/// Voltage of `node` in solution vector `x` (ground = 0).
+pub fn voltage_of(x: &[f64], node: Node) -> f64 {
+    if node.is_ground() {
+        0.0
+    } else {
+        x[node.index() - 1]
+    }
+}
+
+/// Row/column index of a node in the MNA system (`None` for ground).
+fn idx(node: Node) -> Option<usize> {
+    if node.is_ground() {
+        None
+    } else {
+        Some(node.index() - 1)
+    }
+}
+
+struct Stamper<'m> {
+    a: &'m mut Matrix,
+    b: &'m mut Vec<f64>,
+}
+
+impl Stamper<'_> {
+    fn conductance(&mut self, p: Node, n: Node, g: f64) {
+        if let Some(i) = idx(p) {
+            self.a[(i, i)] += g;
+            if let Some(j) = idx(n) {
+                self.a[(i, j)] -= g;
+            }
+        }
+        if let Some(j) = idx(n) {
+            self.a[(j, j)] += g;
+            if let Some(i) = idx(p) {
+                self.a[(j, i)] -= g;
+            }
+        }
+    }
+
+    /// Transconductance: current `gm·(V(cp) − V(cn))` leaves `p`, enters
+    /// `n`.
+    fn transconductance(&mut self, p: Node, n: Node, cp: Node, cn: Node, gm: f64) {
+        for (out, sign) in [(p, 1.0), (n, -1.0)] {
+            if let Some(r) = idx(out) {
+                if let Some(c) = idx(cp) {
+                    self.a[(r, c)] += sign * gm;
+                }
+                if let Some(c) = idx(cn) {
+                    self.a[(r, c)] -= sign * gm;
+                }
+            }
+        }
+    }
+
+    /// Constant current `i` leaving node `p` and entering node `n`.
+    fn current(&mut self, p: Node, n: Node, i: f64) {
+        if let Some(r) = idx(p) {
+            self.b[r] -= i;
+        }
+        if let Some(r) = idx(n) {
+            self.b[r] += i;
+        }
+    }
+}
+
+/// Assembles the real MNA system for the given candidate solution `x`.
+///
+/// `gmin` siemens are added from every non-ground node to ground
+/// (convergence aid, SPICE-standard).
+///
+/// # Panics
+///
+/// Panics if `x.len()` differs from [`Netlist::unknown_count`], or if a
+/// transient mode is supplied with mismatched state-vector lengths.
+pub fn assemble(
+    nl: &Netlist,
+    tech: &Technology,
+    x: &[f64],
+    mode: AssembleMode<'_>,
+    gmin: f64,
+) -> MnaSystem {
+    let nn = nl.node_count() - 1;
+    let dim = nl.unknown_count();
+    assert_eq!(x.len(), dim, "candidate solution has wrong dimension");
+    let mut matrix = Matrix::zeros(dim, dim);
+    let mut rhs = vec![0.0; dim];
+    let mut st = Stamper {
+        a: &mut matrix,
+        b: &mut rhs,
+    };
+
+    // gmin from every node to ground.
+    for i in 0..nn {
+        st.a[(i, i)] += gmin;
+    }
+
+    let mut branch = nn; // next branch row
+    let mut cap_index = 0usize;
+    let time = match mode {
+        AssembleMode::Dc => 0.0,
+        AssembleMode::Transient { time, .. } => time,
+    };
+
+    for e in nl.elements() {
+        match e {
+            Element::Resistor { a, b, ohms, .. } => st.conductance(*a, *b, 1.0 / ohms),
+            Element::Capacitor { a, b, farads, .. } => {
+                if let AssembleMode::Transient {
+                    dt,
+                    prev,
+                    cap_currents,
+                    method,
+                    ..
+                } = mode
+                {
+                    let v_prev = voltage_of(prev, *a) - voltage_of(prev, *b);
+                    match method {
+                        Integrator::BackwardEuler => {
+                            let geq = farads / dt;
+                            st.conductance(*a, *b, geq);
+                            // i = geq·v − geq·v_prev ⇒ constant part −geq·v_prev
+                            st.current(*a, *b, -geq * v_prev);
+                        }
+                        Integrator::Trapezoidal => {
+                            let geq = 2.0 * farads / dt;
+                            let i_prev = cap_currents[cap_index];
+                            st.conductance(*a, *b, geq);
+                            st.current(*a, *b, -(geq * v_prev + i_prev));
+                        }
+                    }
+                }
+                cap_index += 1;
+            }
+            Element::Vsource { p, n, wave, .. } => {
+                let rb = branch;
+                branch += 1;
+                if let Some(i) = idx(*p) {
+                    st.a[(i, rb)] += 1.0;
+                    st.a[(rb, i)] += 1.0;
+                }
+                if let Some(j) = idx(*n) {
+                    st.a[(j, rb)] -= 1.0;
+                    st.a[(rb, j)] -= 1.0;
+                }
+                st.b[rb] = wave.at(time);
+            }
+            Element::Isource { p, n, wave, .. } => {
+                st.current(*p, *n, wave.at(time));
+            }
+            Element::Vcvs {
+                p, n, cp, cn, gain, ..
+            } => {
+                let rb = branch;
+                branch += 1;
+                if let Some(i) = idx(*p) {
+                    st.a[(i, rb)] += 1.0;
+                    st.a[(rb, i)] += 1.0;
+                }
+                if let Some(j) = idx(*n) {
+                    st.a[(j, rb)] -= 1.0;
+                    st.a[(rb, j)] -= 1.0;
+                }
+                if let Some(c) = idx(*cp) {
+                    st.a[(rb, c)] -= gain;
+                }
+                if let Some(c) = idx(*cn) {
+                    st.a[(rb, c)] += gain;
+                }
+            }
+            Element::Vccs {
+                p, n, cp, cn, gm, ..
+            } => st.transconductance(*p, *n, *cp, *cn, *gm),
+            Element::Diode {
+                p, n, is_sat, n_id, ..
+            } => {
+                let v = voltage_of(x, *p) - voltage_of(x, *n);
+                let vt = n_id * tech.thermal_voltage();
+                // Clamp the exponent to keep the companion model finite;
+                // Newton's voltage limiting does the rest.
+                let arg = (v / vt).min(40.0);
+                let ex = arg.exp();
+                let i = is_sat * (ex - 1.0);
+                let g = (is_sat / vt * ex).max(1e-18);
+                st.conductance(*p, *n, g);
+                st.current(*p, *n, i - g * v);
+            }
+            Element::Mos { d, g, s, b, dev, .. } => {
+                let vb = voltage_of(x, *b);
+                let vg = voltage_of(x, *g) - vb;
+                let vs = voltage_of(x, *s) - vb;
+                let vd = voltage_of(x, *d) - vb;
+                let op = dev.operating_point(tech, vg, vs, vd);
+                // Signed drain-terminal current (leaving node d through
+                // the channel): +id for NMOS, −id for PMOS. In both
+                // cases its derivatives w.r.t. the *physical*
+                // bulk-referred voltages equal the reflected-model
+                // values (two sign flips cancel).
+                let i_dt = match dev.polarity {
+                    ulp_device::Polarity::Nmos => op.id,
+                    ulp_device::Polarity::Pmos => -op.id,
+                };
+                let (gm, gms, gds) = (op.gm, op.gms, op.gds);
+                // Stamp ∂I/∂V terms: row d positive, row s negative.
+                st.transconductance(*d, *s, *g, *b, gm);
+                st.transconductance(*d, *s, *s, *b, gms);
+                st.transconductance(*d, *s, *d, *b, gds);
+                let i_eq = i_dt - gm * vg - gms * vs - gds * vd;
+                st.current(*d, *s, i_eq);
+            }
+            Element::SclLoad { a, b, load, iss, .. } => {
+                let v = voltage_of(x, *a) - voltage_of(x, *b);
+                let i = load.current(v, *iss);
+                let g = load.conductance(v, *iss).max(1e-18);
+                st.conductance(*a, *b, g);
+                st.current(*a, *b, i - g * v);
+            }
+        }
+    }
+
+    MnaSystem { matrix, rhs }
+}
+
+/// Recovers the capacitor currents implied by a solved transient step —
+/// needed to carry trapezoidal state forward.
+///
+/// Returns one entry per capacitor in netlist order.
+pub fn capacitor_currents(
+    nl: &Netlist,
+    x: &[f64],
+    prev: &[f64],
+    prev_currents: &[f64],
+    dt: f64,
+    method: Integrator,
+) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut k = 0usize;
+    for e in nl.elements() {
+        if let Element::Capacitor { a, b, farads, .. } = e {
+            let v_new = voltage_of(x, *a) - voltage_of(x, *b);
+            let v_old = voltage_of(prev, *a) - voltage_of(prev, *b);
+            let i = match method {
+                Integrator::BackwardEuler => farads / dt * (v_new - v_old),
+                Integrator::Trapezoidal => {
+                    2.0 * farads / dt * (v_new - v_old) - prev_currents[k]
+                }
+            };
+            out.push(i);
+            k += 1;
+        }
+    }
+    out
+}
+
+/// The branch-current index (within the solution vector) of the named
+/// voltage-defined element, if present.
+pub fn branch_index(nl: &Netlist, name: &str) -> Option<usize> {
+    let nn = nl.node_count() - 1;
+    let mut b = 0usize;
+    for e in nl.elements() {
+        if e.has_branch() {
+            if e.name() == name {
+                return Some(nn + b);
+            }
+            b += 1;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulp_num::lu;
+
+    fn solve_linear(nl: &Netlist, tech: &Technology) -> Vec<f64> {
+        let x0 = vec![0.0; nl.unknown_count()];
+        let sys = assemble(nl, tech, &x0, AssembleMode::Dc, 1e-12);
+        lu::solve(&sys.matrix, &sys.rhs).expect("linear solve")
+    }
+
+    #[test]
+    fn divider_solves() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let m = nl.node("m");
+        nl.vsource("V1", a, Netlist::GROUND, 2.0);
+        nl.resistor("R1", a, m, 1e3);
+        nl.resistor("R2", m, Netlist::GROUND, 1e3);
+        let x = solve_linear(&nl, &Technology::default());
+        assert!((voltage_of(&x, m) - 1.0).abs() < 1e-9);
+        assert!((voltage_of(&x, a) - 2.0).abs() < 1e-12);
+        // Branch current of V1: 2V across 2kΩ = 1 mA drawn from the + node.
+        let ib = x[branch_index(&nl, "V1").unwrap()];
+        assert!((ib - (-1e-3)).abs() < 1e-9, "ib = {ib}");
+    }
+
+    #[test]
+    fn isource_into_resistor() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        // 1 µA injected into node a (drawn from ground).
+        nl.isource("I1", Netlist::GROUND, a, 1e-6);
+        nl.resistor("R1", a, Netlist::GROUND, 1e6);
+        let x = solve_linear(&nl, &Technology::default());
+        assert!((voltage_of(&x, a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vcvs_amplifies() {
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("V1", inp, Netlist::GROUND, 0.1);
+        nl.vcvs("E1", out, Netlist::GROUND, inp, Netlist::GROUND, 10.0);
+        nl.resistor("RL", out, Netlist::GROUND, 1e3);
+        let x = solve_linear(&nl, &Technology::default());
+        assert!((voltage_of(&x, out) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vccs_injects() {
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("V1", inp, Netlist::GROUND, 1.0);
+        // gm = 1 mS drawn from ground, injected into out → current into
+        // out = 1 mA.
+        nl.vccs("G1", Netlist::GROUND, out, inp, Netlist::GROUND, 1e-3);
+        nl.resistor("RL", out, Netlist::GROUND, 1e3);
+        let x = solve_linear(&nl, &Technology::default());
+        assert!((voltage_of(&x, out) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ground_stamps_are_dropped() {
+        // An element entirely to ground must not corrupt the system.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.resistor("Rg", Netlist::GROUND, Netlist::GROUND, 1e3);
+        nl.vsource("V1", a, Netlist::GROUND, 1.0);
+        nl.resistor("R1", a, Netlist::GROUND, 1e3);
+        let x = solve_linear(&nl, &Technology::default());
+        assert!((voltage_of(&x, a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branch_index_ordering() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vsource("V1", a, Netlist::GROUND, 1.0);
+        nl.resistor("R1", a, b, 1.0);
+        nl.vsource("V2", b, Netlist::GROUND, 0.5);
+        assert_eq!(branch_index(&nl, "V1"), Some(2));
+        assert_eq!(branch_index(&nl, "V2"), Some(3));
+        assert_eq!(branch_index(&nl, "R1"), None);
+        assert_eq!(branch_index(&nl, "nope"), None);
+    }
+
+    #[test]
+    fn capacitor_open_in_dc() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vsource("V1", a, Netlist::GROUND, 1.0);
+        nl.resistor("R1", a, b, 1e3);
+        nl.capacitor("C1", b, Netlist::GROUND, 1e-9);
+        let x = solve_linear(&nl, &Technology::default());
+        // No DC path through C: node b floats to the source value via R.
+        assert!((voltage_of(&x, b) - 1.0).abs() < 1e-6);
+    }
+}

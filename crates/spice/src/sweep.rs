@@ -1,0 +1,186 @@
+//! DC transfer sweeps with solution continuation.
+//!
+//! Sweeps re-solve the operating point at each stimulus value, seeding
+//! Newton with the previous solution so the solver tracks the circuit's
+//! operating branch — essential for the STSCL gate VTC (experiment E10)
+//! whose differential stages otherwise offer two symmetric solutions.
+
+use crate::dcop::{newton_solve_gmin_stepping, NewtonOptions};
+use crate::error::SimError;
+use crate::mna::{voltage_of, AssembleMode};
+use crate::netlist::{Element, Netlist, Node, Waveform};
+use ulp_device::Technology;
+
+/// Result of a DC sweep.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    values: Vec<f64>,
+    solutions: Vec<Vec<f64>>,
+}
+
+impl SweepResult {
+    /// The swept stimulus values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Voltage of `node` at every sweep point.
+    pub fn voltage_trace(&self, node: Node) -> Vec<f64> {
+        self.solutions.iter().map(|x| voltage_of(x, node)).collect()
+    }
+
+    /// Voltage of `node` at sweep point `i`.
+    pub fn voltage_at(&self, node: Node, i: usize) -> f64 {
+        voltage_of(&self.solutions[i], node)
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Replaces the DC value of the named independent source.
+///
+/// # Errors
+///
+/// [`SimError::NotFound`] if the netlist has no independent source with
+/// that name.
+pub fn set_source_value(nl: &mut Netlist, name: &str, value: f64) -> Result<(), SimError> {
+    // Netlist stores elements privately; work through a rebuild of the
+    // element in place via interior access.
+    nl.set_source(name, value)
+}
+
+impl Netlist {
+    /// Sets the DC value of the named independent V or I source.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotFound`] if there is no such source.
+    pub fn set_source(&mut self, name: &str, value: f64) -> Result<(), SimError> {
+        for e in self.elements_mut() {
+            match e {
+                Element::Vsource { name: n, wave, .. } if n == name => {
+                    *wave = Waveform::Dc(value);
+                    return Ok(());
+                }
+                Element::Isource { name: n, wave, .. } if n == name => {
+                    *wave = Waveform::Dc(value);
+                    return Ok(());
+                }
+                _ => {}
+            }
+        }
+        Err(SimError::NotFound(name.to_string()))
+    }
+}
+
+/// Sweeps the named independent source over `values`, returning the full
+/// solution at each point.
+///
+/// # Errors
+///
+/// [`SimError::NotFound`] for an unknown source; otherwise any Newton
+/// failure at a sweep point.
+pub fn dc_sweep(
+    nl: &Netlist,
+    tech: &Technology,
+    source: &str,
+    values: &[f64],
+) -> Result<SweepResult, SimError> {
+    dc_sweep_with(nl, tech, source, values, &NewtonOptions::default())
+}
+
+/// [`dc_sweep`] with explicit Newton options.
+///
+/// # Errors
+///
+/// As for [`dc_sweep`].
+pub fn dc_sweep_with(
+    nl: &Netlist,
+    tech: &Technology,
+    source: &str,
+    values: &[f64],
+    opts: &NewtonOptions,
+) -> Result<SweepResult, SimError> {
+    let mut work = nl.clone();
+    // Validate the source exists up front.
+    work.set_source(source, values.first().copied().unwrap_or(0.0))?;
+    let mut solutions = Vec::with_capacity(values.len());
+    let mut guess = vec![0.0; work.unknown_count()];
+    for &v in values {
+        work.set_source(source, v)?;
+        let x = newton_solve_gmin_stepping(&work, tech, AssembleMode::Dc, &guess, opts)?;
+        guess = x.clone();
+        solutions.push(x);
+    }
+    Ok(SweepResult {
+        values: values.to_vec(),
+        solutions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulp_num::interp;
+
+    #[test]
+    fn sweep_linear_divider() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let m = nl.node("m");
+        nl.vsource("V1", a, Netlist::GROUND, 0.0);
+        nl.resistor("R1", a, m, 1e3);
+        nl.resistor("R2", m, Netlist::GROUND, 3e3);
+        let vals = interp::linspace(0.0, 2.0, 5);
+        let s = dc_sweep(&nl, &Technology::default(), "V1", &vals).unwrap();
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        let trace = s.voltage_trace(m);
+        // gmin (1e-12 S to ground) perturbs the divider at the ppb level.
+        for (vin, vm) in vals.iter().zip(&trace) {
+            assert!((vm - 0.75 * vin).abs() < 1e-7);
+        }
+        assert!((s.voltage_at(m, 4) - 1.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn unknown_source_errors() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V1", a, Netlist::GROUND, 1.0);
+        nl.resistor("R1", a, Netlist::GROUND, 1.0);
+        assert!(matches!(
+            dc_sweep(&nl, &Technology::default(), "VX", &[0.0]),
+            Err(SimError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn set_source_value_on_isource() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.isource("I1", Netlist::GROUND, a, 1e-6);
+        nl.resistor("R1", a, Netlist::GROUND, 1e3);
+        set_source_value(&mut nl, "I1", 2e-6).unwrap();
+        let op = crate::dcop::DcOperatingPoint::solve(&nl, &Technology::default()).unwrap();
+        assert!((op.voltage(a) - 2e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sweep_ok() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V1", a, Netlist::GROUND, 1.0);
+        nl.resistor("R1", a, Netlist::GROUND, 1.0);
+        let s = dc_sweep(&nl, &Technology::default(), "V1", &[]).unwrap();
+        assert!(s.is_empty());
+    }
+}

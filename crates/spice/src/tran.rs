@@ -1,0 +1,381 @@
+//! Fixed-step transient analysis.
+//!
+//! Each timestep replaces capacitors by their companion models
+//! ([`Integrator`]) and runs a full Newton solve seeded with the previous
+//! timepoint. Step size is caller-chosen (the STSCL experiments know
+//! their time constants — `Vsw·CL/ISS` — so a fixed grid of ~50 points
+//! per time constant is both simple and accurate); a helper suggests a
+//! step from the fastest RC in the netlist.
+
+use crate::dcop::{newton_solve_gmin_stepping, DcOperatingPoint, NewtonOptions};
+use crate::error::SimError;
+use crate::mna::{capacitor_currents, voltage_of, AssembleMode, Integrator};
+use crate::netlist::{Netlist, Node};
+use ulp_device::Technology;
+
+/// Transient analysis controls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TranOptions {
+    /// Simulation end time, s.
+    pub t_stop: f64,
+    /// Fixed step size, s.
+    pub dt: f64,
+    /// Companion-model integrator.
+    pub method: Integrator,
+    /// Newton controls for each step.
+    pub newton: NewtonOptions,
+}
+
+impl TranOptions {
+    /// Creates options for a `t_stop` run at step `dt`, backward Euler.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < dt <= t_stop`.
+    pub fn new(t_stop: f64, dt: f64) -> Self {
+        assert!(dt > 0.0 && dt <= t_stop, "invalid transient step/stop");
+        TranOptions {
+            t_stop,
+            dt,
+            method: Integrator::BackwardEuler,
+            newton: NewtonOptions::default(),
+        }
+    }
+
+    /// Switches to trapezoidal integration.
+    pub fn trapezoidal(mut self) -> Self {
+        self.method = Integrator::Trapezoidal;
+        self
+    }
+}
+
+/// A recorded transient waveform set.
+#[derive(Debug, Clone)]
+pub struct Transient {
+    time: Vec<f64>,
+    solutions: Vec<Vec<f64>>,
+}
+
+impl Transient {
+    /// Runs a transient analysis. The initial condition is the DC
+    /// operating point with all sources at their `t = 0` values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Newton/solver failures from any timestep (the error is
+    /// tagged with the iteration budget, not the time — inspect
+    /// [`Transient::run`] inputs when this happens).
+    pub fn run(nl: &Netlist, tech: &Technology, opts: &TranOptions) -> Result<Self, SimError> {
+        if opts.dt <= 0.0 || opts.t_stop < opts.dt {
+            return Err(SimError::BadParameter(format!(
+                "dt {} / t_stop {}",
+                opts.dt, opts.t_stop
+            )));
+        }
+        let op = DcOperatingPoint::solve_with(nl, tech, &opts.newton)?;
+        let mut x = op.solution().to_vec();
+        let n_caps = nl
+            .elements()
+            .iter()
+            .filter(|e| matches!(e, crate::netlist::Element::Capacitor { .. }))
+            .count();
+        let mut cap_i = vec![0.0; n_caps];
+        let steps = (opts.t_stop / opts.dt).round() as usize;
+        let mut time = Vec::with_capacity(steps + 1);
+        let mut solutions = Vec::with_capacity(steps + 1);
+        time.push(0.0);
+        solutions.push(x.clone());
+        for k in 1..=steps {
+            let t = k as f64 * opts.dt;
+            let prev = x.clone();
+            let mode = AssembleMode::Transient {
+                time: t,
+                dt: opts.dt,
+                prev: &prev,
+                cap_currents: &cap_i,
+                method: opts.method,
+            };
+            x = newton_solve_gmin_stepping(nl, tech, mode, &prev, &opts.newton)?;
+            cap_i = capacitor_currents(nl, &x, &prev, &cap_i, opts.dt, opts.method);
+            time.push(t);
+            solutions.push(x.clone());
+        }
+        Ok(Transient { time, solutions })
+    }
+
+    /// The timepoints, s.
+    pub fn time(&self) -> &[f64] {
+        &self.time
+    }
+
+    /// Waveform of one node, V.
+    pub fn voltage(&self, node: Node) -> Vec<f64> {
+        self.solutions.iter().map(|x| voltage_of(x, node)).collect()
+    }
+
+    /// Node voltage at the final timepoint, V.
+    pub fn final_voltage(&self, node: Node) -> f64 {
+        voltage_of(self.solutions.last().expect("non-empty transient"), node)
+    }
+
+    /// First time at which `node` crosses `level` in the given direction
+    /// (linear interpolation between timepoints), ignoring everything
+    /// before `after`.
+    pub fn crossing_time(&self, node: Node, level: f64, rising: bool, after: f64) -> Option<f64> {
+        let v = self.voltage(node);
+        for i in 1..v.len() {
+            if self.time[i] <= after {
+                continue;
+            }
+            let (v0, v1) = (v[i - 1], v[i]);
+            let crossed = if rising {
+                v0 < level && v1 >= level
+            } else {
+                v0 > level && v1 <= level
+            };
+            if crossed {
+                let frac = (level - v0) / (v1 - v0);
+                return Some(self.time[i - 1] + frac * (self.time[i] - self.time[i - 1]));
+            }
+        }
+        None
+    }
+}
+
+/// Suggests a timestep resolving the fastest explicit RC in the netlist
+/// by `points_per_tau` samples; falls back to `t_stop/1000` if the
+/// netlist has no R–C pairs.
+pub fn suggest_dt(nl: &Netlist, t_stop: f64, points_per_tau: usize) -> f64 {
+    use crate::netlist::Element;
+    let mut r_min = f64::INFINITY;
+    let mut c_min = f64::INFINITY;
+    for e in nl.elements() {
+        match e {
+            Element::Resistor { ohms, .. } => r_min = r_min.min(*ohms),
+            Element::Capacitor { farads, .. } => c_min = c_min.min(*farads),
+            _ => {}
+        }
+    }
+    if r_min.is_finite() && c_min.is_finite() {
+        (r_min * c_min / points_per_tau as f64).min(t_stop / 10.0)
+    } else {
+        t_stop / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Waveform;
+
+    fn tech() -> Technology {
+        Technology::default()
+    }
+
+    #[test]
+    fn rc_step_response_backward_euler() {
+        // 1 kΩ · 1 µF = 1 ms time constant driven by a step.
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource_wave(
+            "V1",
+            inp,
+            Netlist::GROUND,
+            Waveform::Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 0.0,
+                rise: 1e-6,
+                fall: 1e-6,
+                width: 1.0,
+                period: 0.0,
+            },
+        );
+        nl.resistor("R1", inp, out, 1e3);
+        nl.capacitor("C1", out, Netlist::GROUND, 1e-6);
+        let tr = Transient::run(&nl, &tech(), &TranOptions::new(5e-3, 5e-6)).unwrap();
+        // After 1 τ: 63.2 %; after 5 τ: ~99.3 %.
+        let v_tau = tr.voltage(out)[(1e-3 / 5e-6) as usize];
+        assert!((v_tau - 0.632).abs() < 0.01, "v(τ) = {v_tau}");
+        assert!((tr.final_voltage(out) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn rc_trapezoidal_is_more_accurate() {
+        let build = || {
+            let mut nl = Netlist::new();
+            let inp = nl.node("in");
+            let out = nl.node("out");
+            nl.vsource_wave(
+                "V1",
+                inp,
+                Netlist::GROUND,
+                Waveform::Pwl(vec![(0.0, 0.0), (1e-9, 1.0)]),
+            );
+            nl.resistor("R1", inp, out, 1e3);
+            nl.capacitor("C1", out, Netlist::GROUND, 1e-6);
+            (nl, out)
+        };
+        // Deliberately coarse step: τ/10.
+        let (nl, out) = build();
+        let be = Transient::run(&nl, &tech(), &TranOptions::new(2e-3, 1e-4)).unwrap();
+        let tr = Transient::run(&nl, &tech(), &TranOptions::new(2e-3, 1e-4).trapezoidal()).unwrap();
+        let exact = 1.0 - (-2.0f64).exp();
+        let err_be = (be.final_voltage(out) - exact).abs();
+        let err_tr = (tr.final_voltage(out) - exact).abs();
+        assert!(err_tr < err_be, "trap {err_tr} vs BE {err_be}");
+    }
+
+    #[test]
+    fn crossing_time_interpolates() {
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource_wave(
+            "V1",
+            inp,
+            Netlist::GROUND,
+            Waveform::Pwl(vec![(0.0, 0.0), (1e-9, 1.0)]),
+        );
+        nl.resistor("R1", inp, out, 1e3);
+        nl.capacitor("C1", out, Netlist::GROUND, 1e-6);
+        let tr = Transient::run(&nl, &tech(), &TranOptions::new(5e-3, 1e-5)).unwrap();
+        // v(t) = 1 − e^{−t/τ} crosses 0.5 at τ·ln2 ≈ 0.693 ms.
+        let t50 = tr.crossing_time(out, 0.5, true, 0.0).unwrap();
+        assert!((t50 - 0.693e-3).abs() < 0.02e-3, "t50 = {t50}");
+        assert!(tr.crossing_time(out, 0.5, false, 0.0).is_none());
+        assert!(tr.crossing_time(out, 2.0, true, 0.0).is_none());
+    }
+
+    #[test]
+    fn sine_source_propagates() {
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        nl.vsource_wave(
+            "V1",
+            inp,
+            Netlist::GROUND,
+            Waveform::Sine {
+                offset: 0.0,
+                amp: 1.0,
+                freq: 1e3,
+                delay: 0.0,
+            },
+        );
+        nl.resistor("R1", inp, Netlist::GROUND, 1e3);
+        let tr = Transient::run(&nl, &tech(), &TranOptions::new(1e-3, 1e-6)).unwrap();
+        let v = tr.voltage(inp);
+        // Quarter period = 0.25 ms → peak.
+        assert!((v[250] - 1.0).abs() < 1e-3);
+        // Full period → back near zero.
+        assert!(v[1000].abs() < 1e-2);
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V1", a, Netlist::GROUND, 1.0);
+        nl.resistor("R1", a, Netlist::GROUND, 1.0);
+        let bad = TranOptions {
+            t_stop: 1.0,
+            dt: -1.0,
+            method: Integrator::BackwardEuler,
+            newton: NewtonOptions::default(),
+        };
+        assert!(matches!(
+            Transient::run(&nl, &tech(), &bad),
+            Err(SimError::BadParameter(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid transient")]
+    fn options_constructor_validates() {
+        let _ = TranOptions::new(1.0, 2.0);
+    }
+
+    #[test]
+    fn delayed_sine_holds_offset_then_oscillates() {
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        nl.vsource_wave(
+            "V1",
+            inp,
+            Netlist::GROUND,
+            Waveform::Sine {
+                offset: 0.5,
+                amp: 0.3,
+                freq: 1e3,
+                delay: 2e-3,
+            },
+        );
+        nl.resistor("R1", inp, Netlist::GROUND, 1e3);
+        let tr = Transient::run(&nl, &tech(), &TranOptions::new(3e-3, 1e-6)).unwrap();
+        let v = tr.voltage(inp);
+        // Before the delay: pinned at the offset.
+        assert!((v[1000] - 0.5).abs() < 1e-9);
+        // Quarter period after the delay: at the positive peak.
+        assert!((v[2250] - 0.8).abs() < 1e-3);
+    }
+
+    #[test]
+    fn stscl_gate_transient_through_real_devices() {
+        // An STSCL load + tail current step: the output settles with the
+        // VSW·CL/ISS time constant — the gate-model time base observed
+        // in a raw spice netlist (not through the vtc helper).
+        use ulp_device::load::PmosLoad;
+        let t = tech();
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let out = nl.node("out");
+        nl.vsource("VDD", vdd, Netlist::GROUND, 1.0);
+        nl.scl_load("RL", vdd, out, PmosLoad::new(0.2), 1e-9);
+        nl.capacitor("CL", out, Netlist::GROUND, 10e-15);
+        // Tail current switches on after 1 µs.
+        nl.isource_wave(
+            "IT",
+            out,
+            Netlist::GROUND,
+            Waveform::Pulse {
+                v0: 0.0,
+                v1: 1e-9,
+                delay: 1e-6,
+                rise: 1e-8,
+                fall: 1e-8,
+                width: 1.0,
+                period: 0.0,
+            },
+        );
+        let tr = Transient::run(&nl, &t, &TranOptions::new(2e-5, 2e-8)).unwrap();
+        // Starts at VDD (no drop), ends near VDD − VSW.
+        let v = tr.voltage(out);
+        assert!((v[0] - 1.0).abs() < 1e-3);
+        assert!((tr.final_voltage(out) - 0.8).abs() < 0.01);
+        // 50 % crossing ≈ delay + ln2·(VSW/ISS)·CL — the STSCL gate
+        // delay law. The tanh load's compression toward full swing
+        // stretches the tail a little beyond the linearised value.
+        let t50 = tr.crossing_time(out, 0.9, false, 0.0).unwrap();
+        let expect = 1e-6 + std::f64::consts::LN_2 * (0.2 / 1e-9) * 10e-15;
+        assert!(
+            (t50 - expect).abs() / expect < 0.25,
+            "t50 {t50:e} vs {expect:e}"
+        );
+    }
+
+    #[test]
+    fn suggest_dt_resolves_fastest_rc() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.resistor("R1", a, b, 1e3);
+        nl.capacitor("C1", b, Netlist::GROUND, 1e-9);
+        let dt = suggest_dt(&nl, 1.0, 50);
+        assert!((dt - 1e-6 / 50.0).abs() < 1e-12);
+        let mut empty = Netlist::new();
+        let c = empty.node("c");
+        empty.resistor("R1", c, Netlist::GROUND, 1.0);
+        assert!((suggest_dt(&empty, 1.0, 50) - 1e-3).abs() < 1e-12);
+    }
+}

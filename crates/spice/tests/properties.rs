@@ -1,0 +1,123 @@
+//! Property-based tests of the circuit simulator: conservation laws and
+//! linear-circuit theorems must hold for arbitrary element values.
+
+use proptest::prelude::*;
+use ulp_device::Technology;
+use ulp_spice::dcop::DcOperatingPoint;
+use ulp_spice::tran::{TranOptions, Transient};
+use ulp_spice::{Netlist, Waveform};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any resistive ladder driven by a source satisfies KCL: the
+    /// source branch current equals the sum of currents into the
+    /// resistor tree (checked via the voltage drops).
+    #[test]
+    fn resistor_chain_kcl(
+        rs in prop::collection::vec(10.0f64..1e6, 2..8),
+        v in 0.1f64..10.0
+    ) {
+        let mut nl = Netlist::new();
+        let mut prev = nl.node("n0");
+        nl.vsource("V1", prev, Netlist::GROUND, v);
+        for (k, &r) in rs.iter().enumerate() {
+            let next = nl.node(&format!("n{}", k + 1));
+            nl.resistor(&format!("R{k}"), prev, next, r);
+            prev = next;
+        }
+        // Terminate to ground so current flows.
+        nl.resistor("Rend", prev, Netlist::GROUND, 1e3);
+        let op = DcOperatingPoint::solve(&nl, &Technology::default()).expect("linear solves");
+        let total_r: f64 = rs.iter().sum::<f64>() + 1e3;
+        let i_expected = v / total_r;
+        let i_source = -op.branch_current(&nl, "V1").expect("branch exists");
+        // gmin (1e-12 S per node) shunts a little current around
+        // high-impedance chains; tolerate its ppm-level contribution.
+        prop_assert!((i_source / i_expected - 1.0).abs() < 1e-4);
+        // Voltages decrease monotonically down the chain.
+        let mut last = v;
+        for k in 1..=rs.len() {
+            let node = nl.clone().node(&format!("n{k}"));
+            let vn = op.voltage(node);
+            prop_assert!(vn <= last + 1e-12);
+            last = vn;
+        }
+    }
+
+    /// Superposition: the response to two sources equals the sum of the
+    /// responses to each alone (linear network).
+    #[test]
+    fn superposition_holds(
+        v1 in -5.0f64..5.0, v2 in -5.0f64..5.0,
+        r1 in 100.0f64..1e5, r2 in 100.0f64..1e5, r3 in 100.0f64..1e5
+    ) {
+        let build = |va: f64, vb: f64| {
+            let mut nl = Netlist::new();
+            let a = nl.node("a");
+            let b = nl.node("b");
+            let m = nl.node("m");
+            nl.vsource("VA", a, Netlist::GROUND, va);
+            nl.vsource("VB", b, Netlist::GROUND, vb);
+            nl.resistor("R1", a, m, r1);
+            nl.resistor("R2", b, m, r2);
+            nl.resistor("R3", m, Netlist::GROUND, r3);
+            let op = DcOperatingPoint::solve(&nl, &Technology::default()).expect("linear");
+            op.voltage(m)
+        };
+        let both = build(v1, v2);
+        let only1 = build(v1, 0.0);
+        let only2 = build(0.0, v2);
+        prop_assert!((both - (only1 + only2)).abs() < 1e-7);
+    }
+
+    /// The RC step response always lands on the source value and never
+    /// overshoots (first-order system).
+    #[test]
+    fn rc_step_no_overshoot(
+        r_exp in 2.0f64..6.0, c_exp in -9.0f64..-5.0, v in 0.1f64..5.0
+    ) {
+        let r = 10f64.powf(r_exp);
+        let c = 10f64.powf(c_exp);
+        let tau = r * c;
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource_wave(
+            "V1",
+            inp,
+            Netlist::GROUND,
+            Waveform::Pwl(vec![(0.0, 0.0), (tau * 1e-3, v)]),
+        );
+        nl.resistor("R1", inp, out, r);
+        nl.capacitor("C1", out, Netlist::GROUND, c);
+        let opts = TranOptions::new(6.0 * tau, tau / 100.0);
+        let tr = Transient::run(&nl, &Technology::default(), &opts).expect("transient");
+        let wave = tr.voltage(out);
+        for &w in &wave {
+            prop_assert!(w <= v * (1.0 + 1e-6), "overshoot: {w} > {v}");
+            prop_assert!(w >= -1e-9);
+        }
+        prop_assert!((tr.final_voltage(out) / v - 1.0).abs() < 0.01);
+    }
+
+    /// VCCS gain composes linearly: doubling gm doubles the output.
+    #[test]
+    fn vccs_linear_in_gm(gm_exp in -6.0f64..-3.0, vin in 0.1f64..2.0) {
+        let gm = 10f64.powf(gm_exp);
+        let build = |g: f64| {
+            let mut nl = Netlist::new();
+            let a = nl.node("a");
+            let o = nl.node("o");
+            nl.vsource("V1", a, Netlist::GROUND, vin);
+            nl.vccs("G1", Netlist::GROUND, o, a, Netlist::GROUND, g);
+            nl.resistor("RL", o, Netlist::GROUND, 1e3);
+            DcOperatingPoint::solve(&nl, &Technology::default())
+                .expect("linear")
+                .voltage(o)
+        };
+        let v1 = build(gm);
+        let v2 = build(2.0 * gm);
+        prop_assert!((v2 / v1 - 2.0).abs() < 1e-6);
+    }
+}

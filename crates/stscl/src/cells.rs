@@ -1,0 +1,308 @@
+//! The differential STSCL cell library.
+//!
+//! Because every STSCL cell is fully differential, complement outputs
+//! are free (swap the output wires) and inversion costs nothing — so the
+//! library carries AND/NAND, OR/NOR etc. as the *same* cell. Stacked
+//! NMOS differential pairs implement compound functions in a single
+//! cell (one tail current): the paper's §III-B uses a three-level stack
+//! for the majority detector of Fig. 8, merged with an output latch for
+//! pipelining.
+//!
+//! Each cell reports its **stack depth** (differential pair levels).
+//! The supply headroom allows at most [`MAX_STACK`] levels — the same
+//! constraint that bounds how much function can be merged into one tail
+//! current.
+
+use std::fmt;
+
+/// Maximum NMOS stack levels that fit under the supply (paper uses 3 in
+/// Fig. 8).
+pub const MAX_STACK: usize = 3;
+
+/// One differential STSCL cell function.
+///
+/// Arity and stack depth are intrinsic to the function; power is *not* —
+/// every cell burns exactly one tail current.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Buffer (also the inverter — complement output is free).
+    Buf,
+    /// 2-input AND (NAND/AND-with-inverted-inputs come free).
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR (one stacked level: the classic SCL XOR uses a
+    /// two-level series-gated pair).
+    Xor2,
+    /// 2-input XNOR — in differential logic the same cell as
+    /// [`CellKind::Xor2`] with the output wires swapped (free
+    /// inversion), kept distinct for netlist readability.
+    Xnor2,
+    /// `a ∧ ¬b` — an AND2 with one input's differential wires swapped.
+    AndNot2,
+    /// 2-input NOR — an AND2 with inputs and output swapped.
+    Nor2,
+    /// 2:1 multiplexer: `s ? a : b` — two stacked levels (select on the
+    /// lower level).
+    Mux2,
+    /// 3-input AND, three stacked levels.
+    And3,
+    /// 3-input OR.
+    Or3,
+    /// 3-input majority (the Fig. 8 bubble-removal cell), three stacked
+    /// levels.
+    Maj3,
+    /// 3-input XOR (full-adder sum) in one three-level stack — the
+    /// compound cell behind the 5 fJ/stage pipelined adder of ref \[13\].
+    Xor3,
+    /// Compound AND-OR `a·b + c` (two stacked levels) — the paper's
+    /// "compound logic operations" merging two gates into one tail.
+    AndOr21,
+    /// Level-sensitive latch: transparent while the clock is high,
+    /// holding while low (the Fig. 8 pipelining latch).
+    Latch,
+}
+
+impl CellKind {
+    /// Number of data inputs (the latch's clock is *not* counted — it is
+    /// routed separately in the netlist).
+    pub fn arity(self) -> usize {
+        match self {
+            CellKind::Buf | CellKind::Latch => 1,
+            CellKind::And2
+            | CellKind::Or2
+            | CellKind::Xor2
+            | CellKind::Xnor2
+            | CellKind::AndNot2
+            | CellKind::Nor2 => 2,
+            CellKind::Mux2
+            | CellKind::And3
+            | CellKind::Or3
+            | CellKind::Maj3
+            | CellKind::Xor3
+            | CellKind::AndOr21 => 3,
+        }
+    }
+
+    /// Differential-pair stack levels used by the switching network.
+    pub fn stack_depth(self) -> usize {
+        match self {
+            CellKind::Buf | CellKind::And2 | CellKind::Or2 | CellKind::And3 | CellKind::Or3 => {
+                // Series gating implements n-input AND/OR in n levels for
+                // AND3/OR3, 2 for the 2-input forms, 1 for the buffer.
+                match self {
+                    CellKind::Buf => 1,
+                    CellKind::And2 | CellKind::Or2 => 2,
+                    _ => 3,
+                }
+            }
+            CellKind::Xor2 | CellKind::Xnor2 => 2,
+            CellKind::AndNot2 | CellKind::Nor2 => 2,
+            CellKind::Mux2 => 2,
+            CellKind::Maj3 | CellKind::Xor3 => 3,
+            CellKind::AndOr21 => 2,
+            CellKind::Latch => 2, // data pair over clock pair
+        }
+    }
+
+    /// True for sequential (state-holding) cells.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CellKind::Latch)
+    }
+
+    /// Evaluates the combinational function.
+    ///
+    /// For [`CellKind::Latch`] this returns the *transparent* value
+    /// (input passed through); the hold behaviour lives in the
+    /// simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `inputs.len() == self.arity()`.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert_eq!(
+            inputs.len(),
+            self.arity(),
+            "cell {self} expects {} inputs",
+            self.arity()
+        );
+        match self {
+            CellKind::Buf | CellKind::Latch => inputs[0],
+            CellKind::And2 => inputs[0] && inputs[1],
+            CellKind::Or2 => inputs[0] || inputs[1],
+            CellKind::Xor2 => inputs[0] ^ inputs[1],
+            CellKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellKind::AndNot2 => inputs[0] && !inputs[1],
+            CellKind::Nor2 => !(inputs[0] || inputs[1]),
+            CellKind::Mux2 => {
+                // inputs = [s, a, b]: s ? a : b
+                if inputs[0] {
+                    inputs[1]
+                } else {
+                    inputs[2]
+                }
+            }
+            CellKind::And3 => inputs[0] && inputs[1] && inputs[2],
+            CellKind::Or3 => inputs[0] || inputs[1] || inputs[2],
+            CellKind::Maj3 => {
+                (inputs[0] as u8 + inputs[1] as u8 + inputs[2] as u8) >= 2
+            }
+            CellKind::Xor3 => inputs[0] ^ inputs[1] ^ inputs[2],
+            CellKind::AndOr21 => (inputs[0] && inputs[1]) || inputs[2],
+        }
+    }
+
+    /// The number of simple 2-input cells this compound function would
+    /// cost if it were *not* merged into one stacked cell — the
+    /// denominator of the compound-gate power saving (ablation E9b).
+    pub fn equivalent_simple_cells(self) -> usize {
+        match self {
+            CellKind::Buf
+            | CellKind::And2
+            | CellKind::Or2
+            | CellKind::Xor2
+            | CellKind::Xnor2
+            | CellKind::AndNot2
+            | CellKind::Nor2
+            | CellKind::Latch => 1,
+            CellKind::Mux2 | CellKind::AndOr21 => 2,
+            CellKind::And3 | CellKind::Or3 => 2,
+            // MAJ3 = ab + bc + ca: three ANDs + two ORs when flattened.
+            CellKind::Maj3 => 5,
+            // XOR3 = two cascaded 2-input XORs.
+            CellKind::Xor3 => 2,
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CellKind::Buf => "BUF",
+            CellKind::And2 => "AND2",
+            CellKind::Or2 => "OR2",
+            CellKind::Xor2 => "XOR2",
+            CellKind::Xnor2 => "XNOR2",
+            CellKind::AndNot2 => "ANDN2",
+            CellKind::Nor2 => "NOR2",
+            CellKind::Mux2 => "MUX2",
+            CellKind::And3 => "AND3",
+            CellKind::Or3 => "OR3",
+            CellKind::Maj3 => "MAJ3",
+            CellKind::Xor3 => "XOR3",
+            CellKind::AndOr21 => "AO21",
+            CellKind::Latch => "LATCH",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Every library cell, for iteration in tests and reports.
+pub const ALL_CELLS: [CellKind; 14] = [
+    CellKind::Buf,
+    CellKind::And2,
+    CellKind::Or2,
+    CellKind::Xor2,
+    CellKind::Xnor2,
+    CellKind::AndNot2,
+    CellKind::Nor2,
+    CellKind::Mux2,
+    CellKind::And3,
+    CellKind::Or3,
+    CellKind::Maj3,
+    CellKind::Xor3,
+    CellKind::AndOr21,
+    CellKind::Latch,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_eval_expectations() {
+        for cell in ALL_CELLS {
+            let inputs = vec![false; cell.arity()];
+            let _ = cell.eval(&inputs); // must not panic
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn wrong_arity_panics() {
+        CellKind::And2.eval(&[true]);
+    }
+
+    #[test]
+    fn truth_tables() {
+        assert!(CellKind::And2.eval(&[true, true]));
+        assert!(!CellKind::And2.eval(&[true, false]));
+        assert!(CellKind::Or2.eval(&[false, true]));
+        assert!(CellKind::Xor2.eval(&[true, false]));
+        assert!(!CellKind::Xor2.eval(&[true, true]));
+        assert!(CellKind::Mux2.eval(&[true, true, false])); // s=1 → a
+        assert!(!CellKind::Mux2.eval(&[false, true, false])); // s=0 → b
+        assert!(CellKind::And3.eval(&[true, true, true]));
+        assert!(!CellKind::And3.eval(&[true, true, false]));
+        assert!(CellKind::Or3.eval(&[false, false, true]));
+        assert!(CellKind::AndOr21.eval(&[true, true, false]));
+        assert!(CellKind::AndOr21.eval(&[false, false, true]));
+        assert!(!CellKind::AndOr21.eval(&[true, false, false]));
+    }
+
+    #[test]
+    fn majority_truth_table() {
+        // MAJ3 is the bubble-correction cell of Fig. 8: 2-of-3 vote.
+        let cases = [
+            ([false, false, false], false),
+            ([true, false, false], false),
+            ([false, true, false], false),
+            ([true, true, false], true),
+            ([true, false, true], true),
+            ([false, true, true], true),
+            ([true, true, true], true),
+        ];
+        for (inp, want) in cases {
+            assert_eq!(CellKind::Maj3.eval(&inp), want, "maj{inp:?}");
+        }
+    }
+
+    #[test]
+    fn stack_depths_respect_headroom() {
+        for cell in ALL_CELLS {
+            assert!(cell.stack_depth() >= 1);
+            assert!(
+                cell.stack_depth() <= MAX_STACK,
+                "{cell} exceeds stack headroom"
+            );
+        }
+        assert_eq!(CellKind::Maj3.stack_depth(), 3);
+        assert_eq!(CellKind::Buf.stack_depth(), 1);
+    }
+
+    #[test]
+    fn compound_cells_save_tails() {
+        // The whole point of stacking: MAJ3 does 5 simple cells' work on
+        // one tail current.
+        assert_eq!(CellKind::Maj3.equivalent_simple_cells(), 5);
+        assert!(CellKind::AndOr21.equivalent_simple_cells() > 1);
+        assert_eq!(CellKind::Buf.equivalent_simple_cells(), 1);
+    }
+
+    #[test]
+    fn only_latch_is_sequential() {
+        for cell in ALL_CELLS {
+            assert_eq!(cell.is_sequential(), cell == CellKind::Latch);
+        }
+    }
+
+    #[test]
+    fn display_names_unique() {
+        let names: Vec<String> = ALL_CELLS.iter().map(|c| c.to_string()).collect();
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

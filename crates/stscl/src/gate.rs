@@ -1,0 +1,320 @@
+//! STSCL cell physics: delay, power, minimum supply, noise margin.
+//!
+//! Everything in this module is the paper's §II-A in executable form.
+//! The cell charges/discharges its differential output through the
+//! replica-calibrated load resistance `R_L = VSW/ISS`, so the output
+//! time constant is `τ = R_L·C_L = VSW·C_L/ISS` and the 50 %-swing
+//! propagation delay is `t_d = ln2·τ`. Power is the tail current times
+//! the supply, full stop — there is no dynamic/leakage split to manage.
+
+use ulp_device::Technology;
+use ulp_num::stats::q_function;
+
+/// Design parameters of an STSCL cell family (shared by every gate in a
+/// block; the tail current is the per-gate/per-block tuning knob).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SclParams {
+    /// Differential output voltage swing `VSW`, V.
+    pub vsw: f64,
+    /// Load capacitance per output `C_L` (self + wire + fan-in), F.
+    pub cl: f64,
+    /// Supply voltage `VDD`, V.
+    pub vdd: f64,
+}
+
+impl SclParams {
+    /// The workspace-wide nominal cell: 200 mV swing, 10 fF load, 1 V
+    /// supply — the calibration that reproduces the paper's measured
+    /// digital power split (see DESIGN.md).
+    pub fn new(vsw: f64, cl: f64, vdd: f64) -> Self {
+        assert!(
+            vsw > 0.0 && cl > 0.0 && vdd > 0.0,
+            "STSCL parameters must be positive"
+        );
+        SclParams { vsw, cl, vdd }
+    }
+
+    /// Propagation delay of one cell at tail current `iss`, s:
+    /// `t_d = ln2·VSW·C_L/ISS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `iss` is strictly positive.
+    pub fn delay(&self, iss: f64) -> f64 {
+        assert!(iss > 0.0, "tail current must be positive");
+        std::f64::consts::LN_2 * self.vsw * self.cl / iss
+    }
+
+    /// Static power of one cell at tail current `iss`, W: `P = ISS·VDD`.
+    pub fn gate_power(&self, iss: f64) -> f64 {
+        iss * self.vdd
+    }
+
+    /// Power-delay product (energy per transition), J — independent of
+    /// `ISS`: `PDP = ln2·VSW·C_L·VDD`.
+    pub fn pdp(&self) -> f64 {
+        std::f64::consts::LN_2 * self.vsw * self.cl * self.vdd
+    }
+
+    /// Maximum clock frequency of a path of `nl` cells, Hz:
+    /// `f_max = ISS/(2·ln2·VSW·C_L·N_L)` (each phase must settle the
+    /// whole path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nl == 0` or `iss <= 0`.
+    pub fn fmax(&self, iss: f64, nl: usize) -> f64 {
+        assert!(nl > 0, "logic depth must be at least 1");
+        1.0 / (2.0 * self.delay(iss) * nl as f64)
+    }
+
+    /// The tail current required to clock a path of `nl` cells at
+    /// `fop` Hz, A — the inversion of the paper's Eq. (1):
+    /// `ISS = 2·ln2·VSW·C_L·N_L·f_op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nl == 0` or `fop <= 0`.
+    pub fn iss_for_frequency(&self, fop: f64, nl: usize) -> f64 {
+        assert!(nl > 0 && fop > 0.0, "invalid operating point");
+        2.0 * std::f64::consts::LN_2 * self.vsw * self.cl * nl as f64 * fop
+    }
+
+    /// Eq. (1) directly: power of one critical-path cell when a path of
+    /// `nl` cells runs at `fop`, W: `P = 2·ln2·VSW·C_L·N_L·f_op·VDD`.
+    pub fn eq1_power(&self, fop: f64, nl: usize) -> f64 {
+        self.gate_power(self.iss_for_frequency(fop, nl))
+    }
+
+    /// Small-signal gain of the cell, `A = VSW/(n·UT)` — note: no VDD,
+    /// no ISS. This is the supply- and bias-independence the paper
+    /// builds the platform on.
+    pub fn gain(&self, tech: &Technology) -> f64 {
+        self.vsw / (tech.nmos.n * tech.thermal_voltage())
+    }
+
+    /// First-order static noise margin, V: `NM = (VSW/2)·(1 − 2/A)`.
+    /// Independent of both `VDD` and `ISS`.
+    pub fn noise_margin(&self, tech: &Technology) -> f64 {
+        let a = self.gain(tech);
+        0.5 * self.vsw * (1.0 - 2.0 / a)
+    }
+
+    /// Static bit-error probability of one cell against Gaussian
+    /// differential noise of RMS `sigma_noise` volts:
+    /// `BER = Q(NM/σ)`.
+    ///
+    /// Because the noise margin involves neither `VDD` nor `ISS`, so
+    /// does the error rate — the paper's "decoupling of the power
+    /// dissipation from voltage swing, and thus, from noise margins" in
+    /// its most operational form: you buy reliability with `VSW` alone
+    /// and speed with `ISS` alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sigma_noise > 0`.
+    pub fn bit_error_rate(&self, tech: &Technology, sigma_noise: f64) -> f64 {
+        assert!(sigma_noise > 0.0, "noise sigma must be positive");
+        q_function(self.noise_margin(tech) / sigma_noise)
+    }
+
+    /// The smallest swing that keeps the static error rate under
+    /// `ber_target` against noise `sigma_noise`, found by bisection, V.
+    /// Returns `None` if even a 1 V swing cannot reach the target.
+    pub fn min_swing_for_ber(
+        tech: &Technology,
+        cl: f64,
+        vdd: f64,
+        sigma_noise: f64,
+        ber_target: f64,
+    ) -> Option<f64> {
+        let ber_at = |vsw: f64| SclParams::new(vsw, cl, vdd).bit_error_rate(tech, sigma_noise);
+        if ber_at(1.0) > ber_target {
+            return None;
+        }
+        let (mut lo, mut hi) = (1e-3, 1.0);
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if ber_at(mid) > ber_target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(hi)
+    }
+
+    /// Minimum supply voltage at tail current `iss`, V (paper Fig. 9b).
+    ///
+    /// The stack must fit the output swing, the tail-source saturation
+    /// (~4·UT), and the gate-drive headroom of the tail NMOS mirror and
+    /// PMOS load bias, both of which rise by `n·UT` per e-fold of
+    /// current. Referenced so that `VDDmin(1 nA) ≈ 0.35 V` with a
+    /// 200 mV swing, rising ≈ (n_n + n_p)·UT·ln10 ≈ 160 mV per decade,
+    /// and floored at `VSW + 4·UT` when the logarithmic terms fall away
+    /// — matching the measured shape of Fig. 9b.
+    pub fn min_vdd(&self, tech: &Technology, iss: f64) -> f64 {
+        assert!(iss > 0.0, "tail current must be positive");
+        let ut = tech.thermal_voltage();
+        let floor = self.vsw + 4.0 * ut;
+        let i_ref = 0.5e-9; // A, anchors VDDmin(1 nA) = 0.35 V at VSW = 0.2 V
+        let headroom = (tech.nmos.n + tech.pmos.n) * ut * (iss / i_ref).ln();
+        (floor + headroom.max(0.0)).max(floor)
+    }
+
+    /// True when the cell still has working noise margins at supply
+    /// `vdd` and tail current `iss`.
+    pub fn operates_at(&self, tech: &Technology, vdd: f64, iss: f64) -> bool {
+        vdd >= self.min_vdd(tech, iss)
+    }
+}
+
+impl Default for SclParams {
+    fn default() -> Self {
+        SclParams::new(0.2, 10e-15, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> SclParams {
+        SclParams::default()
+    }
+
+    #[test]
+    fn delay_inverse_in_current() {
+        let d1 = p().delay(1e-9);
+        let d10 = p().delay(10e-9);
+        assert!((d1 / d10 - 10.0).abs() < 1e-12);
+        // Magnitude check: ≈1.39 µs at 1 nA with 200 mV / 10 fF.
+        assert!((d1 - 1.386e-6).abs() / 1.386e-6 < 1e-3);
+    }
+
+    #[test]
+    fn pdp_is_bias_independent() {
+        let params = p();
+        let e1 = params.gate_power(1e-9) * 2.0 * params.delay(1e-9);
+        let e2 = params.gate_power(1e-6) * 2.0 * params.delay(1e-6);
+        assert!((e1 / e2 - 1.0).abs() < 1e-12);
+        assert!((params.pdp() - std::f64::consts::LN_2 * 0.2 * 10e-15 * 1.0).abs() < 1e-30);
+    }
+
+    #[test]
+    fn fmax_magnitude_calibration() {
+        // DESIGN.md calibration: fmax(1 nA, NL = 1) ≈ 360 kHz.
+        let f = p().fmax(1e-9, 1);
+        assert!(f > 3.0e5 && f < 4.2e5, "fmax = {f}");
+    }
+
+    #[test]
+    fn eq1_roundtrip() {
+        let params = p();
+        let fop = 80e3;
+        let nl = 3;
+        let iss = params.iss_for_frequency(fop, nl);
+        assert!((params.fmax(iss, nl) / fop - 1.0).abs() < 1e-12);
+        assert!((params.eq1_power(fop, nl) - iss * params.vdd).abs() < 1e-24);
+    }
+
+    #[test]
+    fn eq1_linear_in_frequency_and_depth() {
+        let params = p();
+        assert!(
+            (params.eq1_power(2e4, 1) / params.eq1_power(1e4, 1) - 2.0).abs() < 1e-12,
+            "linear in f"
+        );
+        assert!(
+            (params.eq1_power(1e4, 4) / params.eq1_power(1e4, 1) - 4.0).abs() < 1e-12,
+            "linear in NL"
+        );
+    }
+
+    #[test]
+    fn gain_and_noise_margin_supply_independent() {
+        let tech = Technology::default();
+        let lo = SclParams::new(0.2, 10e-15, 0.5);
+        let hi = SclParams::new(0.2, 10e-15, 1.25);
+        assert_eq!(lo.gain(&tech), hi.gain(&tech));
+        assert_eq!(lo.noise_margin(&tech), hi.noise_margin(&tech));
+        // A ≈ 0.2/(1.35·0.0259) ≈ 5.7; NM ≈ 65 mV.
+        let a = lo.gain(&tech);
+        assert!(a > 5.0 && a < 6.5, "gain = {a}");
+        let nm = lo.noise_margin(&tech);
+        assert!(nm > 0.05 && nm < 0.08, "nm = {nm}");
+    }
+
+    #[test]
+    fn ber_decoupled_from_power_knobs() {
+        let tech = Technology::default();
+        let lo_vdd = SclParams::new(0.2, 10e-15, 0.5);
+        let hi_vdd = SclParams::new(0.2, 10e-15, 1.25);
+        let sigma = 10e-3;
+        assert_eq!(
+            lo_vdd.bit_error_rate(&tech, sigma),
+            hi_vdd.bit_error_rate(&tech, sigma)
+        );
+        // 200 mV swing vs 10 mV noise: NM/σ ≈ 6.5 → essentially
+        // error-free.
+        assert!(lo_vdd.bit_error_rate(&tech, sigma) < 1e-9);
+        // Halving the swing costs orders of magnitude of reliability.
+        let half = SclParams::new(0.1, 10e-15, 1.0);
+        assert!(half.bit_error_rate(&tech, sigma) > 1e3 * lo_vdd.bit_error_rate(&tech, sigma));
+    }
+
+    #[test]
+    fn min_swing_for_ber_bisection() {
+        let tech = Technology::default();
+        let vsw = SclParams::min_swing_for_ber(&tech, 10e-15, 1.0, 10e-3, 1e-12).unwrap();
+        // The found swing actually meets the target, and shaving 10 %
+        // off breaks it.
+        let p = SclParams::new(vsw, 10e-15, 1.0);
+        assert!(p.bit_error_rate(&tech, 10e-3) <= 1e-12);
+        let p_less = SclParams::new(0.9 * vsw, 10e-15, 1.0);
+        assert!(p_less.bit_error_rate(&tech, 10e-3) > 1e-12);
+        // An impossible target reports None.
+        assert!(SclParams::min_swing_for_ber(&tech, 10e-15, 1.0, 0.5, 1e-30).is_none());
+    }
+
+    #[test]
+    fn min_vdd_anchors() {
+        let tech = Technology::default();
+        let params = p();
+        // Paper Fig. 9b: ≈0.35 V at 1 nA…
+        let v1n = params.min_vdd(&tech, 1e-9);
+        assert!((v1n - 0.35).abs() < 0.03, "VDDmin(1nA) = {v1n}");
+        // …below 0.5 V for anything under 10 nA…
+        assert!(params.min_vdd(&tech, 9e-9) < 0.52);
+        // …monotone non-decreasing in ISS and floored at VSW + 4UT.
+        let floor = params.vsw + 4.0 * tech.thermal_voltage();
+        assert!((params.min_vdd(&tech, 1e-12) - floor).abs() < 1e-12);
+        let grid = [1e-12, 1e-11, 1e-10, 1e-9, 1e-8, 1e-7];
+        for w in grid.windows(2) {
+            assert!(params.min_vdd(&tech, w[1]) >= params.min_vdd(&tech, w[0]));
+        }
+    }
+
+    #[test]
+    fn operates_at_respects_min_vdd() {
+        let tech = Technology::default();
+        let params = p();
+        assert!(params.operates_at(&tech, 1.0, 1e-9));
+        assert!(!params.operates_at(&tech, 0.3, 1e-9));
+        // Bigger tail current needs more supply.
+        assert!(params.operates_at(&tech, 0.55, 10e-9));
+        assert!(!params.operates_at(&tech, 0.45, 100e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_current_rejected() {
+        let _ = p().delay(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_depth_rejected() {
+        let _ = p().fmax(1e-9, 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Subthreshold source-coupled logic (STSCL) — the digital half of the
+//! paper's mixed-signal platform.
+//!
+//! An STSCL cell (paper Fig. 2) is an NMOS differential switching
+//! network steered by a replica-controlled tail current `ISS`, loaded by
+//! bulk-drain-shorted PMOS resistances that convert the current back to
+//! a differential voltage of swing `VSW`. Its defining properties, all
+//! modelled here:
+//!
+//! * **Delay** `t_d = ln2·VSW·CL/ISS` — set *only* by the tail current;
+//! * **Power** `P = ISS·VDD` per cell, constant and activity-independent;
+//!   for a critical path of `NL` cells clocked at `f_op` this gives the
+//!   paper's Eq. (1): `P = 2·ln2·VSW·CL·NL·f_op·VDD`;
+//! * **Supply independence**: gain `A = VSW/(n·UT)` and noise margins do
+//!   not involve `VDD` at all;
+//! * **Stacking**: up to three differential levels implement compound
+//!   gates (e.g. the Fig. 8 majority cell) for one cell's power;
+//! * **Pipelining**: output latches cut `NL` to ~1 (paper §III-B).
+//!
+//! Modules: [`gate`] (cell physics), [`cells`] (differential cell
+//! library), [`netlist`] (gate graphs + depth analysis), [`sim`]
+//! (functional + timing simulation), [`pipeline`] (latch insertion),
+//! [`power`] (Eq. 1 roll-ups), [`bias`] (replica-bias distribution),
+//! [`vtc`] (transistor-level export to [`ulp_spice`] for verification).
+//!
+//! # Example
+//!
+//! ```
+//! use ulp_stscl::gate::SclParams;
+//!
+//! let p = SclParams::default(); // VSW = 200 mV, CL = 10 fF, VDD = 1 V
+//! // One decade of tail current buys exactly one decade of speed…
+//! let f1 = p.fmax(1e-9, 1);
+//! let f2 = p.fmax(10e-9, 1);
+//! assert!((f2 / f1 - 10.0).abs() < 1e-9);
+//! // …at exactly one decade of power (Eq. 1).
+//! assert!((p.gate_power(10e-9) / p.gate_power(1e-9) - 10.0).abs() < 1e-9);
+//! ```
+
+pub mod adder;
+pub mod bias;
+pub mod cells;
+pub mod gate;
+pub mod netlist;
+pub mod pipeline;
+pub mod power;
+pub mod replica;
+pub mod sim;
+pub mod vtc;
+
+pub use cells::CellKind;
+pub use gate::SclParams;
+pub use netlist::{GateId, GateNetlist, NetId};

@@ -1,0 +1,571 @@
+//! Gate-level netlists of STSCL cells, with logic-depth analysis.
+//!
+//! Nets are single-driver boolean signals (differential in hardware —
+//! the complement wire is implicit). Any gate can be *latched*: the
+//! paper's Fig. 8 merges a clocked latch into the output of a compound
+//! cell, turning it into a pipeline stage boundary at no extra tail
+//! current. Logic depth `N_L` — the quantity that multiplies power in
+//! Eq. (1) — is the longest run of unlatched gates between stage
+//! boundaries (primary inputs and latched-gate outputs) and the next
+//! boundary (latched gate or primary output), counting every gate on the
+//! way including the terminating latched gate.
+
+use crate::cells::CellKind;
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Handle to a net (a named boolean signal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) usize);
+
+/// Handle to a gate instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub(crate) usize);
+
+impl NetId {
+    /// Index into the netlist's net table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl GateId {
+    /// Index into the netlist's gate table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One gate instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    /// Cell function.
+    pub kind: CellKind,
+    /// Input nets, in [`CellKind::arity`] order.
+    pub inputs: Vec<NetId>,
+    /// Per-input inversion flags. STSCL is fully differential, so an
+    /// inverted input is a free wire swap — no extra cell, no extra
+    /// tail current.
+    pub inverted: Vec<bool>,
+    /// Output net (single driver).
+    pub output: NetId,
+    /// True when a pipeline latch is merged into this cell's output
+    /// (paper Fig. 8) — the output becomes a stage boundary.
+    pub latched: bool,
+}
+
+impl Gate {
+    /// Evaluates this gate's function on already-resolved net values.
+    pub fn eval_on(&self, values: &[bool]) -> bool {
+        let ins: Vec<bool> = self
+            .inputs
+            .iter()
+            .zip(&self.inverted)
+            .map(|(n, inv)| values[n.index()] ^ inv)
+            .collect();
+        self.kind.eval(&ins)
+    }
+}
+
+/// Netlist construction/analysis errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A net would acquire a second driver.
+    MultipleDrivers(String),
+    /// The unlatched gates contain a combinational cycle through the
+    /// named net.
+    CombinationalCycle(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::MultipleDrivers(n) => write!(f, "net {n} has multiple drivers"),
+            NetlistError::CombinationalCycle(n) => {
+                write!(f, "combinational cycle through net {n}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+/// A gate-level STSCL netlist.
+///
+/// # Example
+///
+/// A full adder's carry via one majority cell:
+///
+/// ```
+/// use ulp_stscl::{CellKind, GateNetlist};
+///
+/// # fn main() -> Result<(), ulp_stscl::netlist::NetlistError> {
+/// let mut nl = GateNetlist::new();
+/// let a = nl.input("a");
+/// let b = nl.input("b");
+/// let cin = nl.input("cin");
+/// let cout = nl.gate(CellKind::Maj3, &[a, b, cin], "cout")?;
+/// nl.output(cout);
+/// assert_eq!(nl.gate_count(), 1);
+/// assert_eq!(nl.logic_depth()?, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GateNetlist {
+    net_names: Vec<String>,
+    driver: Vec<Option<GateId>>, // per net
+    gates: Vec<Gate>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+}
+
+impl GateNetlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        GateNetlist::default()
+    }
+
+    /// Creates a fresh named net with no driver.
+    pub fn net(&mut self, name: &str) -> NetId {
+        self.net_names.push(name.to_string());
+        self.driver.push(None);
+        NetId(self.net_names.len() - 1)
+    }
+
+    /// Creates a primary input net.
+    pub fn input(&mut self, name: &str) -> NetId {
+        let n = self.net(name);
+        self.inputs.push(n);
+        n
+    }
+
+    /// Marks a net as a primary output.
+    pub fn output(&mut self, net: NetId) {
+        self.outputs.push(net);
+    }
+
+    /// Adds a combinational gate driving a new net named `out_name`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a fresh output net; the `Result` mirrors
+    /// [`GateNetlist::gate_onto`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` does not match the cell arity.
+    pub fn gate(
+        &mut self,
+        kind: CellKind,
+        inputs: &[NetId],
+        out_name: &str,
+    ) -> Result<NetId, NetlistError> {
+        let out = self.net(out_name);
+        self.gate_onto(kind, inputs, out)?;
+        Ok(out)
+    }
+
+    /// Adds a combinational gate driving an existing net.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::MultipleDrivers`] if `out` is already driven.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` does not match the cell arity.
+    pub fn gate_onto(
+        &mut self,
+        kind: CellKind,
+        inputs: &[NetId],
+        out: NetId,
+    ) -> Result<GateId, NetlistError> {
+        let signed: Vec<(NetId, bool)> = inputs.iter().map(|&n| (n, false)).collect();
+        self.gate_inv_onto(kind, &signed, out)
+    }
+
+    /// Adds a gate with per-input inversion flags (free differential
+    /// complements) driving a new net.
+    ///
+    /// # Errors
+    ///
+    /// As for [`GateNetlist::gate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` does not match the cell arity.
+    pub fn gate_inv(
+        &mut self,
+        kind: CellKind,
+        inputs: &[(NetId, bool)],
+        out_name: &str,
+    ) -> Result<NetId, NetlistError> {
+        let out = self.net(out_name);
+        self.gate_inv_onto(kind, inputs, out)?;
+        Ok(out)
+    }
+
+    /// Adds a gate with per-input inversion flags driving an existing
+    /// net.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::MultipleDrivers`] if `out` is already driven.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` does not match the cell arity.
+    pub fn gate_inv_onto(
+        &mut self,
+        kind: CellKind,
+        inputs: &[(NetId, bool)],
+        out: NetId,
+    ) -> Result<GateId, NetlistError> {
+        assert_eq!(
+            inputs.len(),
+            kind.arity(),
+            "cell {kind} expects {} inputs",
+            kind.arity()
+        );
+        if self.driver[out.0].is_some() {
+            return Err(NetlistError::MultipleDrivers(self.net_names[out.0].clone()));
+        }
+        let id = GateId(self.gates.len());
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.iter().map(|(n, _)| *n).collect(),
+            inverted: inputs.iter().map(|(_, i)| *i).collect(),
+            output: out,
+            latched: false,
+        });
+        self.driver[out.0] = Some(id);
+        Ok(id)
+    }
+
+    /// Adds a gate with a merged output latch (a pipeline stage
+    /// boundary, Fig. 8 style).
+    ///
+    /// # Errors
+    ///
+    /// As for [`GateNetlist::gate`].
+    pub fn latched_gate(
+        &mut self,
+        kind: CellKind,
+        inputs: &[NetId],
+        out_name: &str,
+    ) -> Result<NetId, NetlistError> {
+        let out = self.net(out_name);
+        let id = self.gate_onto(kind, inputs, out)?;
+        self.gates[id.0].latched = true;
+        Ok(out)
+    }
+
+    /// Marks an existing gate as latched (used by the pipelining
+    /// transform).
+    pub fn set_latched(&mut self, gate: GateId, latched: bool) {
+        self.gates[gate.0].latched = latched;
+    }
+
+    /// Number of gate instances (each burns one tail current).
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of latched gates (pipeline boundaries).
+    pub fn latch_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.latched).count()
+    }
+
+    /// Borrows the gate list.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Total nets.
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Name of a net.
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.net_names[net.0]
+    }
+
+    /// The gate driving `net`, if any.
+    pub fn driver(&self, net: NetId) -> Option<GateId> {
+        self.driver[net.0]
+    }
+
+    /// Topological order of the *unlatched* combinational gates; latched
+    /// gates are included but treated as sinks (their outputs are stage
+    /// sources and break the ordering constraint).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::CombinationalCycle`] if unlatched gates form a
+    /// loop.
+    pub fn levelize(&self) -> Result<Vec<GateId>, NetlistError> {
+        // Kahn's algorithm over gate→gate edges that cross an unlatched
+        // net (edges out of latched gates are cut).
+        let n = self.gates.len();
+        let mut indegree = vec![0usize; n];
+        let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (gi, g) in self.gates.iter().enumerate() {
+            for &inp in &g.inputs {
+                if let Some(d) = self.driver[inp.0] {
+                    if !self.gates[d.0].latched {
+                        indegree[gi] += 1;
+                        fanout[d.0].push(gi);
+                    }
+                }
+            }
+        }
+        let mut queue: VecDeque<usize> =
+            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(g) = queue.pop_front() {
+            order.push(GateId(g));
+            if self.gates[g].latched {
+                continue; // outputs of latched gates do not propagate depth
+            }
+            for &f in &fanout[g] {
+                indegree[f] -= 1;
+                if indegree[f] == 0 {
+                    queue.push_back(f);
+                }
+            }
+        }
+        if order.len() != n {
+            let culprit = (0..n)
+                .find(|&i| indegree[i] > 0)
+                .map(|i| self.net_names[self.gates[i].output.0].clone())
+                .unwrap_or_default();
+            return Err(NetlistError::CombinationalCycle(culprit));
+        }
+        Ok(order)
+    }
+
+    /// Per-gate combinational arrival depth (gates since the last stage
+    /// boundary, counting this gate).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError::CombinationalCycle`].
+    pub fn arrival_depths(&self) -> Result<Vec<usize>, NetlistError> {
+        let order = self.levelize()?;
+        let mut depth = vec![0usize; self.gates.len()];
+        for gid in order {
+            let g = &self.gates[gid.0];
+            let mut max_in = 0usize;
+            for &inp in &g.inputs {
+                if let Some(d) = self.driver[inp.0] {
+                    if !self.gates[d.0].latched {
+                        max_in = max_in.max(depth[d.0]);
+                    }
+                }
+            }
+            depth[gid.0] = max_in + 1;
+        }
+        Ok(depth)
+    }
+
+    /// Logic depth `N_L`: the longest run of gates between pipeline
+    /// boundaries — the multiplier in Eq. (1). Returns 0 for an empty
+    /// netlist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError::CombinationalCycle`].
+    pub fn logic_depth(&self) -> Result<usize, NetlistError> {
+        Ok(self.arrival_depths()?.into_iter().max().unwrap_or(0))
+    }
+
+    /// The gates on one longest path, source to sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError::CombinationalCycle`].
+    pub fn critical_path(&self) -> Result<Vec<GateId>, NetlistError> {
+        let depth = self.arrival_depths()?;
+        let Some((mut gi, _)) = depth.iter().enumerate().max_by_key(|(_, d)| **d) else {
+            return Ok(Vec::new());
+        };
+        let mut path = vec![GateId(gi)];
+        loop {
+            let g = &self.gates[gi];
+            let mut pred = None;
+            for &inp in &g.inputs {
+                if let Some(d) = self.driver[inp.0] {
+                    if !self.gates[d.0].latched && depth[d.0] + 1 == depth[gi] {
+                        pred = Some(d.0);
+                        break;
+                    }
+                }
+            }
+            match pred {
+                Some(p) => {
+                    path.push(GateId(p));
+                    gi = p;
+                }
+                None => break,
+            }
+        }
+        path.reverse();
+        Ok(path)
+    }
+
+    /// Tail-current cost if every compound cell were flattened to simple
+    /// 2-input cells — the baseline for the compound-gate ablation.
+    pub fn flattened_gate_count(&self) -> usize {
+        self.gates
+            .iter()
+            .map(|g| g.kind.equivalent_simple_cells())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> GateNetlist {
+        let mut nl = GateNetlist::new();
+        let mut prev = nl.input("in");
+        for i in 0..n {
+            prev = nl.gate(CellKind::Buf, &[prev], &format!("n{i}")).unwrap();
+        }
+        nl.output(prev);
+        nl
+    }
+
+    #[test]
+    fn chain_depth_equals_length() {
+        let nl = chain(5);
+        assert_eq!(nl.gate_count(), 5);
+        assert_eq!(nl.logic_depth().unwrap(), 5);
+        assert_eq!(nl.critical_path().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn latch_resets_depth() {
+        let mut nl = GateNetlist::new();
+        let a = nl.input("a");
+        let x = nl.gate(CellKind::Buf, &[a], "x").unwrap();
+        let y = nl.latched_gate(CellKind::Buf, &[x], "y").unwrap();
+        let z = nl.gate(CellKind::Buf, &[y], "z").unwrap();
+        nl.output(z);
+        // Two stages of depth 2 and 1 → NL = 2.
+        assert_eq!(nl.logic_depth().unwrap(), 2);
+        assert_eq!(nl.latch_count(), 1);
+    }
+
+    #[test]
+    fn fully_pipelined_depth_is_one() {
+        let mut nl = GateNetlist::new();
+        let mut prev = nl.input("in");
+        for i in 0..6 {
+            prev = nl
+                .latched_gate(CellKind::Buf, &[prev], &format!("s{i}"))
+                .unwrap();
+        }
+        nl.output(prev);
+        assert_eq!(nl.logic_depth().unwrap(), 1);
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let mut nl = GateNetlist::new();
+        let a = nl.input("a");
+        let x = nl.gate(CellKind::Buf, &[a], "x").unwrap();
+        let err = nl.gate_onto(CellKind::Buf, &[a], x).unwrap_err();
+        assert!(matches!(err, NetlistError::MultipleDrivers(_)));
+        assert!(err.to_string().contains('x'));
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut nl = GateNetlist::new();
+        let a = nl.net("a");
+        let b = nl.net("b");
+        nl.gate_onto(CellKind::Buf, &[b], a).unwrap();
+        nl.gate_onto(CellKind::Buf, &[a], b).unwrap();
+        assert!(matches!(
+            nl.logic_depth(),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn latched_feedback_is_legal() {
+        // A latched gate may feed back (state element) without creating
+        // a combinational cycle.
+        let mut nl = GateNetlist::new();
+        let a = nl.input("a");
+        let q = nl.net("q");
+        let d = nl.gate(CellKind::Xor2, &[a, q], "d").unwrap();
+        let id = nl.gate_onto(CellKind::Buf, &[d], q).unwrap();
+        nl.set_latched(id, true);
+        nl.output(q);
+        assert_eq!(nl.logic_depth().unwrap(), 2); // XOR then latched BUF
+    }
+
+    #[test]
+    fn diamond_depth() {
+        let mut nl = GateNetlist::new();
+        let a = nl.input("a");
+        let l = nl.gate(CellKind::Buf, &[a], "l").unwrap();
+        let r1 = nl.gate(CellKind::Buf, &[a], "r1").unwrap();
+        let r2 = nl.gate(CellKind::Buf, &[r1], "r2").unwrap();
+        let o = nl.gate(CellKind::And2, &[l, r2], "o").unwrap();
+        nl.output(o);
+        assert_eq!(nl.logic_depth().unwrap(), 3); // a→r1→r2→o
+        let cp = nl.critical_path().unwrap();
+        assert_eq!(cp.len(), 3);
+        assert_eq!(nl.gates()[cp[2].index()].output, o);
+    }
+
+    #[test]
+    fn flattened_count_exceeds_compound() {
+        let mut nl = GateNetlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("c");
+        let m = nl.gate(CellKind::Maj3, &[a, b, c], "m").unwrap();
+        nl.output(m);
+        assert_eq!(nl.gate_count(), 1);
+        assert_eq!(nl.flattened_gate_count(), 5);
+    }
+
+    #[test]
+    fn net_names_and_drivers() {
+        let mut nl = GateNetlist::new();
+        let a = nl.input("a");
+        let x = nl.gate(CellKind::Buf, &[a], "x").unwrap();
+        assert_eq!(nl.net_name(a), "a");
+        assert_eq!(nl.net_name(x), "x");
+        assert!(nl.driver(a).is_none());
+        assert!(nl.driver(x).is_some());
+        assert_eq!(nl.net_count(), 2);
+        assert_eq!(nl.inputs().len(), 1);
+        assert_eq!(nl.outputs().len(), 0);
+    }
+
+    #[test]
+    fn empty_netlist_depth_zero() {
+        let nl = GateNetlist::new();
+        assert_eq!(nl.logic_depth().unwrap(), 0);
+        assert!(nl.critical_path().unwrap().is_empty());
+    }
+}

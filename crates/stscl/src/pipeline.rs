@@ -1,0 +1,151 @@
+//! The pipelining transform (paper §III-B, refs \[10\], \[13\], \[16\]).
+//!
+//! STSCL power is `P = 2·ln2·VSW·CL·NL·fop·VDD` *per critical-path
+//! cell*: deep logic multiplies the tail current every gate must carry
+//! to hold the clock rate. Merging a latch into each cell's output
+//! (Fig. 8) cuts `NL` to 1 at no extra tail current, trading latency for
+//! an `NL`-fold reduction of the required per-gate bias — the paper's
+//! headline digital power technique, quantified here for ablation E9a.
+
+use crate::gate::SclParams;
+use crate::netlist::{GateNetlist, NetlistError};
+
+/// Fully pipelines a netlist: every gate gets a merged output latch, so
+/// the pipeline-aware logic depth becomes 1. Returns the transformed
+/// copy.
+pub fn pipeline_fully(nl: &GateNetlist) -> GateNetlist {
+    let mut out = nl.clone();
+    for i in 0..out.gate_count() {
+        out.set_latched(crate::netlist::GateId(i), true);
+    }
+    out
+}
+
+/// Removes every merged latch (the unpipelined baseline).
+pub fn unpipeline(nl: &GateNetlist) -> GateNetlist {
+    let mut out = nl.clone();
+    for i in 0..out.gate_count() {
+        out.set_latched(crate::netlist::GateId(i), false);
+    }
+    out
+}
+
+/// Comparison of a netlist against its fully pipelined version at equal
+/// throughput.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineGain {
+    /// Logic depth before pipelining.
+    pub depth_before: usize,
+    /// Logic depth after (always 1 for a non-empty netlist).
+    pub depth_after: usize,
+    /// Total power before, W.
+    pub power_before: f64,
+    /// Total power after, W.
+    pub power_after: f64,
+    /// Power saving factor (before/after).
+    pub saving: f64,
+    /// Added pipeline latency, clock cycles.
+    pub added_latency: usize,
+}
+
+/// Quantifies the pipelining gain at operating frequency `fop`:
+/// every gate's tail current is sized for the netlist's own depth, so
+/// power scales with depth at iso-throughput.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError::CombinationalCycle`].
+pub fn pipeline_gain(
+    nl: &GateNetlist,
+    params: &SclParams,
+    fop: f64,
+) -> Result<PipelineGain, NetlistError> {
+    let before = unpipeline(nl);
+    let after = pipeline_fully(nl);
+    let depth_before = before.logic_depth()?.max(1);
+    let depth_after = after.logic_depth()?.max(1);
+    let iss_before = params.iss_for_frequency(fop, depth_before);
+    let iss_after = params.iss_for_frequency(fop, depth_after);
+    let n = nl.gate_count() as f64;
+    let power_before = n * params.gate_power(iss_before);
+    let power_after = n * params.gate_power(iss_after);
+    Ok(PipelineGain {
+        depth_before,
+        depth_after,
+        power_before,
+        power_after,
+        saving: power_before / power_after,
+        added_latency: depth_before.saturating_sub(1),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::CellKind;
+
+    fn chain(n: usize) -> GateNetlist {
+        let mut nl = GateNetlist::new();
+        let mut prev = nl.input("in");
+        for i in 0..n {
+            prev = nl.gate(CellKind::Buf, &[prev], &format!("n{i}")).unwrap();
+        }
+        nl.output(prev);
+        nl
+    }
+
+    #[test]
+    fn full_pipeline_depth_one() {
+        let nl = chain(8);
+        let p = pipeline_fully(&nl);
+        assert_eq!(p.logic_depth().unwrap(), 1);
+        assert_eq!(p.latch_count(), 8);
+        let u = unpipeline(&p);
+        assert_eq!(u.logic_depth().unwrap(), 8);
+        assert_eq!(u.latch_count(), 0);
+    }
+
+    #[test]
+    fn gain_equals_depth_for_chain() {
+        // For a pure chain, pipelining divides power exactly by the
+        // depth (Eq. 1 is linear in NL).
+        let nl = chain(8);
+        let g = pipeline_gain(&nl, &SclParams::default(), 80e3).unwrap();
+        assert_eq!(g.depth_before, 8);
+        assert_eq!(g.depth_after, 1);
+        assert!((g.saving - 8.0).abs() < 1e-9);
+        assert_eq!(g.added_latency, 7);
+        assert!(g.power_before > g.power_after);
+    }
+
+    #[test]
+    fn gain_on_already_pipelined_is_identity() {
+        let nl = pipeline_fully(&chain(4));
+        let g = pipeline_gain(&nl, &SclParams::default(), 1e4).unwrap();
+        // pipeline_gain reconstructs the unpipelined baseline itself.
+        assert_eq!(g.depth_before, 4);
+        assert!((g.saving - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absolute_power_calibration() {
+        // 196 gates, depth 1, 80 kHz: the paper's measured ≈200 nW
+        // digital power (DESIGN.md calibration).
+        let mut nl = GateNetlist::new();
+        let mut prev = nl.input("in");
+        for i in 0..196 {
+            prev = nl
+                .latched_gate(CellKind::Buf, &[prev], &format!("n{i}"))
+                .unwrap();
+        }
+        nl.output(prev);
+        let params = SclParams::default();
+        let g = pipeline_gain(&nl, &params, 80e3).unwrap();
+        // power_after = 196 · ISS(80 kHz, NL = 1) · VDD.
+        assert!(
+            g.power_after > 20e-9 && g.power_after < 80e-9,
+            "power = {:.3e} W",
+            g.power_after
+        );
+    }
+}

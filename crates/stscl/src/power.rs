@@ -1,0 +1,151 @@
+//! Netlist-level power roll-ups (the paper's Eq. 1 applied to real gate
+//! graphs).
+//!
+//! STSCL power accounting is exact and trivial by construction — each
+//! cell draws exactly its programmed tail current, always — which is
+//! itself one of the paper's points (contrast the unpredictable leakage
+//! of subthreshold CMOS). What this module adds is the *sizing* step:
+//! given a netlist and a throughput target, what tail current must the
+//! replica bias deliver, and what does the block then burn?
+
+use crate::gate::SclParams;
+use crate::netlist::{GateNetlist, NetlistError};
+
+/// A sized operating point for an STSCL block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    /// Operating (clock) frequency, Hz.
+    pub fop: f64,
+    /// Pipeline-aware logic depth used for sizing.
+    pub logic_depth: usize,
+    /// Tail current programmed into every gate, A.
+    pub iss_per_gate: f64,
+    /// Number of gates (tail currents).
+    pub gates: usize,
+    /// Total block power, W.
+    pub total: f64,
+    /// Energy per clock cycle, J.
+    pub energy_per_cycle: f64,
+}
+
+/// Sizes the block bias for operating frequency `fop` with a safety
+/// `margin` (> 1 clocks the gates faster than strictly needed — real
+/// designs leave timing slack; the paper's measured chip runs ≈4×
+/// margin per DESIGN.md calibration).
+///
+/// # Errors
+///
+/// Propagates [`NetlistError::CombinationalCycle`].
+///
+/// # Panics
+///
+/// Panics unless `fop > 0` and `margin >= 1`.
+pub fn size_for_frequency(
+    nl: &GateNetlist,
+    params: &SclParams,
+    fop: f64,
+    margin: f64,
+) -> Result<PowerReport, NetlistError> {
+    assert!(fop > 0.0, "operating frequency must be positive");
+    assert!(margin >= 1.0, "margin must be at least 1");
+    let depth = nl.logic_depth()?.max(1);
+    let iss = params.iss_for_frequency(fop * margin, depth);
+    let gates = nl.gate_count();
+    let total = gates as f64 * params.gate_power(iss);
+    Ok(PowerReport {
+        fop,
+        logic_depth: depth,
+        iss_per_gate: iss,
+        gates,
+        total,
+        energy_per_cycle: total / fop,
+    })
+}
+
+/// Power at an externally fixed tail current (e.g. set by the shared
+/// analog bias of the mixed-signal controller): `gates · ISS · VDD`.
+pub fn power_at_bias(nl: &GateNetlist, params: &SclParams, iss: f64) -> f64 {
+    nl.gate_count() as f64 * params.gate_power(iss)
+}
+
+/// Power saving of the compound-cell mapping relative to a flat 2-input
+/// mapping of the same functions at the same bias (ablation E9b):
+/// `flattened_gate_count / gate_count`.
+pub fn compound_saving(nl: &GateNetlist) -> f64 {
+    if nl.gate_count() == 0 {
+        return 1.0;
+    }
+    nl.flattened_gate_count() as f64 / nl.gate_count() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::CellKind;
+
+    fn majority_bank(n: usize) -> GateNetlist {
+        let mut nl = GateNetlist::new();
+        for i in 0..n {
+            let a = nl.input(&format!("a{i}"));
+            let b = nl.input(&format!("b{i}"));
+            let c = nl.input(&format!("c{i}"));
+            let m = nl
+                .latched_gate(CellKind::Maj3, &[a, b, c], &format!("m{i}"))
+                .unwrap();
+            nl.output(m);
+        }
+        nl
+    }
+
+    #[test]
+    fn sizing_scales_linearly_with_frequency() {
+        let nl = majority_bank(10);
+        let p = SclParams::default();
+        let r1 = size_for_frequency(&nl, &p, 1e3, 1.0).unwrap();
+        let r2 = size_for_frequency(&nl, &p, 1e4, 1.0).unwrap();
+        assert!((r2.total / r1.total - 10.0).abs() < 1e-9);
+        assert!((r2.iss_per_gate / r1.iss_per_gate - 10.0).abs() < 1e-9);
+        assert_eq!(r1.logic_depth, 1);
+        assert_eq!(r1.gates, 10);
+    }
+
+    #[test]
+    fn energy_per_cycle_is_frequency_independent() {
+        let nl = majority_bank(5);
+        let p = SclParams::default();
+        let r1 = size_for_frequency(&nl, &p, 1e3, 1.0).unwrap();
+        let r2 = size_for_frequency(&nl, &p, 1e5, 1.0).unwrap();
+        assert!((r1.energy_per_cycle / r2.energy_per_cycle - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn margin_multiplies_power() {
+        let nl = majority_bank(5);
+        let p = SclParams::default();
+        let r1 = size_for_frequency(&nl, &p, 1e3, 1.0).unwrap();
+        let r45 = size_for_frequency(&nl, &p, 1e3, 4.5).unwrap();
+        assert!((r45.total / r1.total - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_bias_power() {
+        let nl = majority_bank(7);
+        let p = SclParams::default();
+        assert!((power_at_bias(&nl, &p, 1e-9) - 7e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn compound_saving_for_majority() {
+        let nl = majority_bank(4);
+        // Each MAJ3 replaces 5 simple cells.
+        assert!((compound_saving(&nl) - 5.0).abs() < 1e-12);
+        assert_eq!(compound_saving(&GateNetlist::new()), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin")]
+    fn sub_unity_margin_rejected() {
+        let nl = majority_bank(1);
+        let _ = size_for_frequency(&nl, &SclParams::default(), 1e3, 0.5);
+    }
+}

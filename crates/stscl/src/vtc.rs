@@ -1,0 +1,321 @@
+//! Transistor-level STSCL gate export for circuit-level verification
+//! (experiment E10).
+//!
+//! Builds the paper's Fig. 2 buffer — NMOS differential pair, ideal
+//! replica-programmed tail current, bulk-drain-shorted PMOS loads,
+//! explicit load capacitances — as a [`ulp_spice`] netlist, then
+//! measures its VTC, gain, swing and propagation delay with the circuit
+//! simulator so the analytic gate model ([`crate::gate::SclParams`]) can
+//! be checked against "silicon" rather than against itself.
+
+use crate::gate::SclParams;
+use ulp_device::load::PmosLoad;
+use ulp_device::{Mosfet, Polarity, Technology};
+use ulp_spice::dcop::DcOperatingPoint;
+use ulp_spice::sweep::dc_sweep;
+use ulp_spice::tran::{Transient, TranOptions};
+use ulp_spice::{Netlist, Node, SimError, Waveform};
+
+/// A transistor-level STSCL buffer with differential drive machinery.
+#[derive(Debug, Clone)]
+pub struct SclBufferCircuit {
+    /// The circuit.
+    pub netlist: Netlist,
+    /// Differential control node (the swept/pulsed stimulus; the true
+    /// gate inputs sit at `vcm ± ctl/2`).
+    pub ctl: Node,
+    /// Positive gate input.
+    pub inp: Node,
+    /// Negative gate input.
+    pub inn: Node,
+    /// Positive output (drain of the `inn` device).
+    pub outp: Node,
+    /// Negative output.
+    pub outn: Node,
+    /// Cell design point used to build the circuit.
+    pub params: SclParams,
+    /// Tail current, A.
+    pub iss: f64,
+}
+
+impl SclBufferCircuit {
+    /// Builds the buffer at tail current `iss` with inputs biased at
+    /// common mode `vcm` and the differential stimulus `ctl_wave` on the
+    /// control node.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `iss > 0` and `0 < vcm < params.vdd`.
+    pub fn build(
+        tech: &Technology,
+        params: &SclParams,
+        iss: f64,
+        vcm: f64,
+        ctl_wave: Waveform,
+    ) -> Self {
+        assert!(iss > 0.0, "tail current must be positive");
+        assert!(vcm > 0.0 && vcm < params.vdd, "common mode must sit inside the rails");
+        let _ = tech; // geometry below is fixed; tech enters at solve time
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let ctl = nl.node("ctl");
+        let vcm_n = nl.node("vcm");
+        let inp = nl.node("inp");
+        let inn = nl.node("inn");
+        let outp = nl.node("outp");
+        let outn = nl.node("outn");
+        let cs = nl.node("cs");
+        nl.vsource("VDD", vdd, Netlist::GROUND, params.vdd);
+        nl.vsource_wave("VCTL", ctl, Netlist::GROUND, ctl_wave);
+        nl.vsource("VCM", vcm_n, Netlist::GROUND, vcm);
+        // inp = vcm + ctl/2, inn = vcm − ctl/2.
+        nl.vcvs("EP", inp, vcm_n, ctl, Netlist::GROUND, 0.5);
+        nl.vcvs("EN", inn, vcm_n, ctl, Netlist::GROUND, -0.5);
+        // Differential pair, 1 µm / 0.5 µm as in minimal STSCL cells.
+        let pair = Mosfet::new(Polarity::Nmos, 1e-6, 0.5e-6);
+        nl.mosfet("M1", outn, inp, cs, Netlist::GROUND, pair);
+        nl.mosfet("M2", outp, inn, cs, Netlist::GROUND, pair);
+        // Ideal replica-programmed tail.
+        nl.isource("ITAIL", cs, Netlist::GROUND, iss);
+        // Bulk-drain-shorted PMOS loads, replica-calibrated for VSW at
+        // ISS.
+        let load = PmosLoad::new(params.vsw);
+        nl.scl_load("RLP", vdd, outp, load, iss);
+        nl.scl_load("RLN", vdd, outn, load, iss);
+        // Explicit load capacitances.
+        nl.capacitor("CLP", outp, Netlist::GROUND, params.cl);
+        nl.capacitor("CLN", outn, Netlist::GROUND, params.cl);
+        SclBufferCircuit {
+            netlist: nl,
+            ctl,
+            inp,
+            inn,
+            outp,
+            outn,
+            params: *params,
+            iss,
+        }
+    }
+
+    /// Differential DC transfer curve: `(v_diff_in, v_diff_out)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn dc_transfer(
+        &self,
+        tech: &Technology,
+        vd_values: &[f64],
+    ) -> Result<Vec<(f64, f64)>, SimError> {
+        let sweep = dc_sweep(&self.netlist, tech, "VCTL", vd_values)?;
+        let vp = sweep.voltage_trace(self.outp);
+        let vn = sweep.voltage_trace(self.outn);
+        Ok(vd_values
+            .iter()
+            .zip(vp.iter().zip(&vn))
+            .map(|(&vin, (p, n))| (vin, p - n))
+            .collect())
+    }
+
+    /// Measured differential output swing (at full steering), V.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn measured_swing(&self, tech: &Technology) -> Result<f64, SimError> {
+        let curve = self.dc_transfer(tech, &[-0.4, 0.4])?;
+        Ok((curve[1].1 - curve[0].1).abs() / 2.0)
+    }
+
+    /// Small-signal differential gain at balance, from a ±5 mV secant
+    /// through the VTC.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn small_signal_gain(&self, tech: &Technology) -> Result<f64, SimError> {
+        let dv = 5e-3;
+        let curve = self.dc_transfer(tech, &[-dv, dv])?;
+        Ok((curve[1].1 - curve[0].1) / (2.0 * dv))
+    }
+
+    /// Transient propagation delay: drive a full differential step and
+    /// time the differential-output zero crossing, s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures; [`SimError::NoConvergence`] wrapped in
+    /// [`SimError::BadParameter`] semantics is avoided by sizing the
+    /// timestep from the analytic delay.
+    pub fn spice_delay(&self, tech: &Technology) -> Result<f64, SimError> {
+        let td_analytic = self.params.delay(self.iss);
+        // Fresh circuit with a step stimulus timed after 3 settle
+        // constants.
+        let t_step = 5.0 * td_analytic;
+        let circuit = SclBufferCircuit::build(
+            tech,
+            &self.params,
+            self.iss,
+            0.6 * self.params.vdd,
+            Waveform::Pulse {
+                v0: -0.4,
+                v1: 0.4,
+                delay: t_step,
+                rise: td_analytic * 0.01,
+                fall: td_analytic * 0.01,
+                width: 20.0 * td_analytic,
+                period: 0.0,
+            },
+        );
+        let opts = TranOptions::new(t_step + 10.0 * td_analytic, td_analytic / 50.0);
+        let tr = Transient::run(&circuit.netlist, tech, &opts)?;
+        let vp = tr.voltage(circuit.outp);
+        let vn = tr.voltage(circuit.outn);
+        let time = tr.time();
+        // Find the differential zero crossing after the step.
+        for i in 1..time.len() {
+            if time[i] <= t_step {
+                continue;
+            }
+            let d0 = vp[i - 1] - vn[i - 1];
+            let d1 = vp[i] - vn[i];
+            if d0 < 0.0 && d1 >= 0.0 {
+                let frac = -d0 / (d1 - d0);
+                return Ok(time[i - 1] + frac * (time[i] - time[i - 1]) - t_step);
+            }
+        }
+        Err(SimError::BadParameter(
+            "differential output never crossed zero".to_string(),
+        ))
+    }
+
+    /// Static supply current drawn at balance, A — should equal the tail
+    /// current exactly (the STSCL predictability claim).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn supply_current(&self, tech: &Technology) -> Result<f64, SimError> {
+        let op = DcOperatingPoint::solve(&self.netlist, tech)?;
+        // VDD branch current: negative = delivering.
+        Ok(-op.branch_current(&self.netlist, "VDD")?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulp_num::interp;
+
+    fn tech() -> Technology {
+        Technology::default()
+    }
+
+    fn circuit(iss: f64) -> SclBufferCircuit {
+        SclBufferCircuit::build(
+            &tech(),
+            &SclParams::default(),
+            iss,
+            0.6,
+            Waveform::Dc(0.0),
+        )
+    }
+
+    #[test]
+    fn vtc_is_odd_and_saturates_at_swing() {
+        let c = circuit(1e-9);
+        let vds = interp::linspace(-0.4, 0.4, 17);
+        let curve = c.dc_transfer(&tech(), &vds).unwrap();
+        // Ends saturate near ±VSW.
+        let (lo, hi) = (curve[0].1, curve[16].1);
+        assert!((hi - 0.2).abs() < 0.04, "hi = {hi}");
+        assert!((lo + 0.2).abs() < 0.04, "lo = {lo}");
+        // Odd symmetry about the origin within a few mV.
+        for k in 0..8 {
+            assert!(
+                (curve[k].1 + curve[16 - k].1).abs() < 5e-3,
+                "asymmetry at {k}: {} vs {}",
+                curve[k].1,
+                curve[16 - k].1
+            );
+        }
+        // Monotone.
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-6);
+        }
+    }
+
+    #[test]
+    fn gain_matches_analytic_model() {
+        let c = circuit(1e-9);
+        let gain = c.small_signal_gain(&tech()).unwrap();
+        // At balance each pair device carries ISS/2 (gm = ISS/(2·n·UT))
+        // and the tanh load presents R₀ = VSW/ISS · tanh(α)/α, so the
+        // physical differential gain is the ideal A = VSW/(n·UT) scaled
+        // by 0.5 · tanh(1.2)/1.2 ≈ 0.35.
+        let ideal = SclParams::default().gain(&tech());
+        let shape = 0.5 * (1.2f64).tanh() / 1.2;
+        let expected = ideal * shape;
+        assert!(
+            (gain / expected - 1.0).abs() < 0.35,
+            "spice gain {gain} vs expected {expected}"
+        );
+        assert!(gain > 1.0, "must actually amplify");
+    }
+
+    #[test]
+    fn swing_tracks_design_value_over_decades() {
+        for iss in [1e-10, 1e-9, 1e-8] {
+            let c = circuit(iss);
+            let swing = c.measured_swing(&tech()).unwrap();
+            assert!(
+                (swing - 0.2).abs() < 0.04,
+                "iss {iss:e}: swing = {swing}"
+            );
+        }
+    }
+
+    #[test]
+    fn supply_current_equals_tail() {
+        let c = circuit(1e-9);
+        let idd = c.supply_current(&tech()).unwrap();
+        assert!(
+            (idd / 1e-9 - 1.0).abs() < 0.05,
+            "idd = {idd:e} (tail 1 nA)"
+        );
+    }
+
+    #[test]
+    fn spice_delay_matches_ln2_tau() {
+        let params = SclParams::default();
+        let iss = 1e-9;
+        let c = circuit(iss);
+        let td = c.spice_delay(&tech()).unwrap();
+        let analytic = params.delay(iss);
+        assert!(
+            (td / analytic - 1.0).abs() < 0.5,
+            "spice {td:e} vs analytic {analytic:e}"
+        );
+    }
+
+    #[test]
+    fn delay_scales_inversely_with_current_in_spice() {
+        let t = tech();
+        let td1 = circuit(1e-9).spice_delay(&t).unwrap();
+        let td10 = circuit(10e-9).spice_delay(&t).unwrap();
+        let ratio = td1 / td10;
+        assert!((ratio - 10.0).abs() < 1.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "common mode")]
+    fn bad_common_mode_rejected() {
+        let _ = SclBufferCircuit::build(
+            &tech(),
+            &SclParams::default(),
+            1e-9,
+            2.0,
+            Waveform::Dc(0.0),
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the STSCL digital library.
+
+use proptest::prelude::*;
+use ulp_stscl::adder::RippleAdder;
+use ulp_stscl::cells::ALL_CELLS;
+use ulp_stscl::pipeline::{pipeline_fully, pipeline_gain, unpipeline};
+use ulp_stscl::sim::{evaluate, max_frequency, propagation_delay};
+use ulp_stscl::{CellKind, GateNetlist, SclParams};
+
+fn random_chain(kinds: &[usize]) -> GateNetlist {
+    // A chain of 1-input-compatible cells fed by constants on extra
+    // pins.
+    let mut nl = GateNetlist::new();
+    let a = nl.input("a");
+    let b = nl.input("b");
+    let mut prev = a;
+    for (k, &ki) in kinds.iter().enumerate() {
+        let kind = ALL_CELLS[ki % ALL_CELLS.len()];
+        if kind == CellKind::Latch {
+            continue; // keep the chain combinational
+        }
+        let ins: Vec<_> = match kind.arity() {
+            1 => vec![prev],
+            2 => vec![prev, b],
+            _ => vec![prev, b, a],
+        };
+        prev = nl.gate(kind, &ins, &format!("n{k}")).expect("fresh net");
+    }
+    nl.output(prev);
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Depth of any combinational chain equals its gate count; full
+    /// pipelining always collapses it to 1 (or 0 when empty).
+    #[test]
+    fn pipelining_always_collapses_depth(kinds in prop::collection::vec(0usize..14, 1..30)) {
+        let nl = random_chain(&kinds);
+        let depth = nl.logic_depth().expect("acyclic");
+        prop_assert_eq!(depth, nl.gate_count());
+        let piped = pipeline_fully(&nl);
+        prop_assert!(piped.logic_depth().expect("acyclic") <= 1);
+        let back = unpipeline(&piped);
+        prop_assert_eq!(back.logic_depth().expect("acyclic"), depth);
+    }
+
+    /// Eq. 1: the pipelining power saving of a chain equals its depth,
+    /// for any operating frequency.
+    #[test]
+    fn pipeline_saving_equals_depth(
+        n in 1usize..40, f_exp in 1.0f64..6.0
+    ) {
+        let mut nl = GateNetlist::new();
+        let mut prev = nl.input("in");
+        for k in 0..n {
+            prev = nl.gate(CellKind::Buf, &[prev], &format!("n{k}")).expect("fresh");
+        }
+        nl.output(prev);
+        let g = pipeline_gain(&nl, &SclParams::default(), 10f64.powf(f_exp)).expect("acyclic");
+        prop_assert!((g.saving - n as f64).abs() < 1e-9);
+    }
+
+    /// Event-driven settle time of a buffer chain is exactly
+    /// depth × t_d when the input flips.
+    #[test]
+    fn event_sim_matches_analytic_delay(
+        n in 1usize..20, iss_exp in -11.0f64..-8.0
+    ) {
+        let mut nl = GateNetlist::new();
+        let mut prev = nl.input("in");
+        for k in 0..n {
+            prev = nl.gate(CellKind::Buf, &[prev], &format!("n{k}")).expect("fresh");
+        }
+        nl.output(prev);
+        let p = SclParams::default();
+        let iss = 10f64.powf(iss_exp);
+        let rep = propagation_delay(&nl, &p, iss, &[false], &[true]).expect("acyclic");
+        let expect = n as f64 * p.delay(iss);
+        prop_assert!((rep.settle_time / expect - 1.0).abs() < 1e-9);
+        // And fmax is consistent with the same depth.
+        let f = max_frequency(&nl, &p, iss).expect("acyclic");
+        prop_assert!((f * 2.0 * rep.settle_time - 1.0).abs() < 1e-9);
+    }
+
+    /// Every cell's eval agrees with its flattened 2-input equivalent
+    /// on all input vectors (spot: MAJ3 = ab + bc + ca, XOR3, AO21).
+    #[test]
+    fn compound_cells_match_flat_logic(bits in 0u8..8) {
+        let a = bits & 1 == 1;
+        let b = bits & 2 == 2;
+        let c = bits & 4 == 4;
+        // The canonical sum-of-products form of the majority function —
+        // clippy's minimised form `b && (a || c) || (a && c)` obscures
+        // the symmetry this test documents.
+        #[allow(clippy::nonminimal_bool)]
+        let maj_flat = (a && b) || (b && c) || (a && c);
+        prop_assert_eq!(CellKind::Maj3.eval(&[a, b, c]), maj_flat);
+        prop_assert_eq!(CellKind::Xor3.eval(&[a, b, c]), a ^ b ^ c);
+        prop_assert_eq!(CellKind::AndOr21.eval(&[a, b, c]), (a && b) || c);
+        prop_assert_eq!(CellKind::Mux2.eval(&[a, b, c]), if a { b } else { c });
+    }
+
+    /// The adder is correct for arbitrary operands at several widths.
+    #[test]
+    fn adder_correct_for_random_operands(a in any::<u32>(), b in any::<u32>(), cin in any::<bool>()) {
+        let adder = RippleAdder::build(32, false);
+        let (s, co) = adder.add(a as u64, b as u64, cin);
+        let full = a as u64 + b as u64 + cin as u64;
+        prop_assert_eq!(s, full & 0xFFFF_FFFF);
+        prop_assert_eq!(co, full > 0xFFFF_FFFF);
+    }
+
+    /// Evaluate is deterministic and pure: same inputs, same outputs,
+    /// arbitrary random two-level network.
+    #[test]
+    fn evaluate_is_pure(
+        kinds in prop::collection::vec(0usize..14, 1..15),
+        a in any::<bool>(), b in any::<bool>()
+    ) {
+        let nl = random_chain(&kinds);
+        let v1 = evaluate(&nl, &[a, b], &[]).expect("acyclic");
+        let v2 = evaluate(&nl, &[a, b], &[]).expect("acyclic");
+        for out in nl.outputs() {
+            prop_assert_eq!(v1.get(*out), v2.get(*out));
+        }
+    }
+
+    /// min_vdd and fmax are consistent: any point reported operable can
+    /// actually be biased for some positive frequency.
+    #[test]
+    fn operable_points_have_positive_speed(
+        vdd in 0.3f64..1.3, iss_exp in -12.0f64..-7.0
+    ) {
+        let tech = ulp_device::Technology::default();
+        let p = SclParams::new(0.2, 10e-15, vdd);
+        let iss = 10f64.powf(iss_exp);
+        if p.operates_at(&tech, vdd, iss) {
+            prop_assert!(p.fmax(iss, 1) > 0.0);
+            prop_assert!(p.noise_margin(&tech) > 0.0);
+        }
+    }
+}

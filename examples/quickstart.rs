@@ -1,0 +1,61 @@
+//! Quickstart: the STSCL platform in five minutes.
+//!
+//! Builds an STSCL gate, shows the delay/power/bias relationships of
+//! paper Eq. (1), then converts a few samples through the full
+//! folding-and-interpolating ADC.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ulp_adc::{AdcConfig, FaiAdc};
+use ulp_device::Technology;
+use ulp_stscl::SclParams;
+
+fn main() {
+    // --- 1. One STSCL cell -------------------------------------------------
+    let tech = Technology::default();
+    let cell = SclParams::default(); // 200 mV swing, 10 fF, 1 V
+    println!("STSCL cell (VSW = {} V, CL = {:.0e} F):", cell.vsw, cell.cl);
+    for iss in [10e-12, 1e-9, 100e-9] {
+        println!(
+            "  ISS = {iss:>8.1e} A  ->  delay {:>10.3e} s,  power {:>10.3e} W,  fmax {:>10.3e} Hz",
+            cell.delay(iss),
+            cell.gate_power(iss),
+            cell.fmax(iss, 1)
+        );
+    }
+    println!(
+        "  gain = {:.1} (no VDD anywhere), noise margin = {:.0} mV, PDP = {:.2e} J",
+        cell.gain(&tech),
+        cell.noise_margin(&tech) * 1e3,
+        cell.pdp()
+    );
+    println!(
+        "  minimum supply at 1 nA: {:.2} V (paper Fig. 9b: 0.35 V)",
+        cell.min_vdd(&tech, 1e-9)
+    );
+
+    // --- 2. The full converter ---------------------------------------------
+    let config = AdcConfig::default();
+    println!("\nfolding-and-interpolating ADC: {config}");
+    let adc = FaiAdc::ideal(&config);
+    println!(
+        "  encoder: {} STSCL gates, pipeline depth {}",
+        adc.encoder().gate_count(),
+        adc.encoder()
+            .netlist()
+            .logic_depth()
+            .expect("acyclic netlist"),
+    );
+    for vin in [0.25, 0.45, 0.60, 0.85, 0.99] {
+        println!("  convert({vin:.2} V) = code {}", adc.convert(vin));
+    }
+
+    // --- 3. One knob scales everything -------------------------------------
+    let mut scaled = adc.clone();
+    scaled.set_control_current(10e-12); // power down 100×
+    println!(
+        "\nafter scaling the master bias 100x down: convert(0.60 V) = {}",
+        scaled.convert(0.60)
+    );
+    println!("(same code — decisions are bias-independent; only speed and power moved)");
+}

@@ -1,0 +1,1 @@
+//! Workspace integration-test host crate; see `tests/` directory.

@@ -1,0 +1,92 @@
+//! Full acquisition chain: track-and-hold → converter, both biased by
+//! the shared PMU — the complete signal path a deployed system uses.
+
+use ulp_adc::metrics::dynamics_from_codes;
+use ulp_adc::{AdcConfig, FaiAdc};
+use ulp_analog::sample_hold::SampleHold;
+use ulp_device::Technology;
+use ulp_pmu::PlatformController;
+
+/// Samples a sine through the T/H then converts, cycle-accurately.
+fn acquire(
+    tech: &Technology,
+    adc: &FaiAdc,
+    th: &SampleHold,
+    fs: f64,
+    f_in: f64,
+    n: usize,
+) -> Vec<u16> {
+    let cfg = adc.config();
+    let amp = 0.49 * (cfg.v_high - cfg.v_low);
+    let t_track = 0.5 / fs;
+    let mut held = cfg.mid_scale();
+    (0..n)
+        .map(|k| {
+            let t = k as f64 / fs;
+            let vin = cfg.mid_scale() + amp * (2.0 * std::f64::consts::PI * f_in * t).sin();
+            held = th.sample(tech, held, vin, t_track);
+            adc.convert_behavioural(held - th.droop(0.5 / fs))
+        })
+        .collect()
+}
+
+#[test]
+fn properly_biased_th_preserves_enob() {
+    let tech = Technology::default();
+    let pmu = PlatformController::paper_prototype();
+    let mut adc = FaiAdc::ideal(&AdcConfig::default());
+    let fs = 80e3;
+    pmu.apply(&mut adc, fs);
+    let cfg = *adc.config();
+    // Size the T/H bias for half-LSB settling at this rate.
+    let lsb = cfg.lsb();
+    let bias = SampleHold::bias_for_error(&tech, 1e-12, fs, cfg.v_high - cfg.v_low, 0.5 * lsb)
+        .expect("target reachable");
+    let th = SampleHold::new(1e-12, bias);
+    let n = 4096;
+    let cycles = 67;
+    let f_in = cycles as f64 * fs / n as f64;
+    let codes = acquire(&tech, &adc, &th, fs, f_in, n);
+    let d = dynamics_from_codes(&codes, cycles).expect("coherent record");
+    assert!(d.enob > 7.0, "T/H must not cost resolution: ENOB {}", d.enob);
+}
+
+#[test]
+fn starved_th_destroys_resolution() {
+    // The negative control: a T/H biased 100× too lean cannot settle
+    // within the track phase and the chain's ENOB collapses — this is
+    // exactly why the T/H must join the PMU's scaling.
+    let tech = Technology::default();
+    let adc = FaiAdc::ideal(&AdcConfig::default());
+    let fs = 80e3;
+    let cfg = *adc.config();
+    let lsb = cfg.lsb();
+    let good_bias =
+        SampleHold::bias_for_error(&tech, 1e-12, fs, cfg.v_high - cfg.v_low, 0.5 * lsb)
+            .expect("target reachable");
+    let th = SampleHold::new(1e-12, good_bias / 100.0);
+    let n = 4096;
+    let cycles = 67;
+    let f_in = cycles as f64 * fs / n as f64;
+    let codes = acquire(&tech, &adc, &th, fs, f_in, n);
+    let d = dynamics_from_codes(&codes, cycles).expect("coherent record");
+    assert!(
+        d.enob < 5.0,
+        "a starved T/H must visibly hurt: ENOB {}",
+        d.enob
+    );
+}
+
+#[test]
+fn th_bias_scales_with_rate_like_everything_else() {
+    // At 800 S/s the same half-LSB target needs ~100× less T/H current —
+    // the whole chain scales coherently under the one knob.
+    let tech = Technology::default();
+    let cfg = AdcConfig::default();
+    let lsb = cfg.lsb();
+    let span = cfg.v_high - cfg.v_low;
+    let b_slow = SampleHold::bias_for_error(&tech, 1e-12, 800.0, span, 0.5 * lsb).unwrap();
+    let b_fast = SampleHold::bias_for_error(&tech, 1e-12, 80e3, span, 0.5 * lsb).unwrap();
+    let ratio = b_fast / b_slow;
+    assert!((ratio - 100.0).abs() < 25.0, "T/H bias ratio {ratio}");
+}

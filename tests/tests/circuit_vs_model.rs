@@ -1,0 +1,99 @@
+//! Cross-verification: the analytic gate/block models against the
+//! transistor-level `ulp-spice` simulator — the integration analogue of
+//! experiment E10.
+
+use ulp_analog::preamp::PreampDesign;
+use ulp_device::Technology;
+use ulp_num::interp::decade_sweep;
+use ulp_spice::ac::AcResult;
+use ulp_spice::dcop::DcOperatingPoint;
+use ulp_spice::Waveform;
+use ulp_stscl::vtc::SclBufferCircuit;
+use ulp_stscl::SclParams;
+
+fn tech() -> Technology {
+    Technology::default()
+}
+
+#[test]
+fn stscl_delay_law_holds_over_two_decades_in_spice() {
+    let params = SclParams::default();
+    for iss in [0.3e-9, 3e-9, 30e-9] {
+        let circuit = SclBufferCircuit::build(&tech(), &params, iss, 0.6, Waveform::Dc(0.0));
+        let spice = circuit.spice_delay(&tech()).expect("transient solves");
+        let model = params.delay(iss);
+        assert!(
+            (spice / model - 1.0).abs() < 0.5,
+            "iss {iss:e}: spice {spice:e} vs model {model:e}"
+        );
+    }
+}
+
+#[test]
+fn stscl_power_is_exactly_the_programmed_current() {
+    // The paper's predictability claim: the cell's entire supply current
+    // is the tail current — no hidden leakage paths.
+    let params = SclParams::default();
+    for iss in [100e-12, 1e-9, 10e-9] {
+        let circuit = SclBufferCircuit::build(&tech(), &params, iss, 0.6, Waveform::Dc(0.0));
+        let idd = circuit.supply_current(&tech()).expect("dcop solves");
+        assert!(
+            (idd / iss - 1.0).abs() < 0.05,
+            "iss {iss:e}: supply draws {idd:e}"
+        );
+    }
+}
+
+#[test]
+fn stscl_swing_tracks_replica_over_three_decades() {
+    let params = SclParams::default();
+    for iss in [100e-12, 1e-9, 10e-9, 100e-9] {
+        let circuit = SclBufferCircuit::build(&tech(), &params, iss, 0.6, Waveform::Dc(0.0));
+        let swing = circuit.measured_swing(&tech()).expect("sweep solves");
+        assert!(
+            (swing - params.vsw).abs() < 0.2 * params.vsw,
+            "iss {iss:e}: swing {swing}"
+        );
+    }
+}
+
+#[test]
+fn preamp_spice_confirms_analytic_pole_zero_model() {
+    let t = tech();
+    let freqs = decade_sweep(1.0, 1e8, 10);
+    for ic in [1e-9, 10e-9] {
+        let mut bws = Vec::new();
+        for decoupled in [false, true] {
+            let d = PreampDesign::new(ic, decoupled);
+            let (nl, out) = d.to_spice(&t, 1.0);
+            let op = DcOperatingPoint::solve(&nl, &t).expect("biases");
+            let ac = AcResult::run(&nl, &t, &op, &freqs).expect("AC solves");
+            let bw_spice = ac.bandwidth_3db(out).expect("rolls off");
+            let bw_model = d.bandwidth();
+            assert!(
+                bw_spice / bw_model > 0.3 && bw_spice / bw_model < 3.0,
+                "ic {ic:e} dec {decoupled}: spice {bw_spice:e} vs model {bw_model:e}"
+            );
+            bws.push(bw_spice);
+        }
+        assert!(bws[1] > 2.0 * bws[0], "decoupling gain at {ic:e}");
+    }
+}
+
+#[test]
+fn spice_dc_gain_of_preamp_is_bias_independent() {
+    // gm·RL constancy at transistor level: the gain of the spice preamp
+    // half-circuit varies < 20 % over two decades of bias.
+    let t = tech();
+    let mut gains = Vec::new();
+    for ic in [1e-9, 10e-9, 100e-9] {
+        let d = PreampDesign::new(ic, true);
+        let (nl, out) = d.to_spice(&t, 1.0);
+        let op = DcOperatingPoint::solve(&nl, &t).expect("biases");
+        let ac = AcResult::run(&nl, &t, &op, &[1.0]).expect("AC solves");
+        gains.push(ac.phasor(out, 0).abs());
+    }
+    let max = gains.iter().cloned().fold(f64::MIN, f64::max);
+    let min = gains.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(max / min < 1.3, "gain spread {}x over two decades", max / min);
+}

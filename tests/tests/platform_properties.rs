@@ -1,0 +1,107 @@
+//! Property-based integration tests: the platform's invariants must
+//! hold for *arbitrary* operating points, mismatch seeds and inputs,
+//! not just the calibrated examples.
+
+use proptest::prelude::*;
+use ulp_adc::fine::decode_wheel;
+use ulp_adc::{AdcConfig, FaiAdc};
+use ulp_device::Technology;
+use ulp_pmu::fll::FrequencyLockedLoop;
+use ulp_stscl::SclParams;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Eq. 1 consistency: for any bias and depth, sizing a gate for the
+    /// frequency it reaches at that bias returns the same bias.
+    #[test]
+    fn eq1_roundtrip(iss_exp in -12.0f64..-6.0, nl in 1usize..20) {
+        let iss = 10f64.powf(iss_exp);
+        let p = SclParams::default();
+        let f = p.fmax(iss, nl);
+        let back = p.iss_for_frequency(f, nl);
+        prop_assert!((back / iss - 1.0).abs() < 1e-9);
+    }
+
+    /// Conversion is monotone for any mismatch seed: a die may be
+    /// nonlinear, but the folding architecture with LSB-class offsets
+    /// must never run backwards by more than one code.
+    #[test]
+    fn conversion_near_monotone_for_any_die(seed in 0u64..200) {
+        let tech = Technology::default();
+        let adc = FaiAdc::with_mismatch(&tech, &AdcConfig::default(), seed);
+        let cfg = adc.config();
+        let lsb = cfg.lsb();
+        let mut last = 0i64;
+        for n in 0..256usize {
+            let code = adc.convert(cfg.v_low + (n as f64 + 0.5) * lsb) as i64;
+            prop_assert!(code >= last - 1, "seed {seed}: code {code} after {last} at bucket {n}");
+            last = last.max(code);
+        }
+    }
+
+    /// Bias scaling never changes any code, for any die and any input.
+    #[test]
+    fn codes_bias_independent(seed in 0u64..50, vin_frac in 0.02f64..0.98, ic_exp in -11.0f64..-8.0) {
+        let tech = Technology::default();
+        let cfg = AdcConfig::default();
+        let mut adc = FaiAdc::with_mismatch(&tech, &cfg, seed);
+        let vin = cfg.v_low + vin_frac * (cfg.v_high - cfg.v_low);
+        let before = adc.convert(vin);
+        adc.set_control_current(10f64.powf(ic_exp));
+        prop_assert_eq!(adc.convert(vin), before);
+    }
+
+    /// The wheel decode inverts the wheel encode for every position.
+    #[test]
+    fn wheel_roundtrip(q in 0usize..64) {
+        let signs: Vec<bool> = (0..32)
+            .map(|i| {
+                let rel = (q as f64 + 0.5 - i as f64).rem_euclid(64.0);
+                rel > 0.0 && rel < 32.0
+            })
+            .collect();
+        prop_assert_eq!(decode_wheel(&signs), q);
+    }
+
+    /// The FLL locks from any starting bias within four decades.
+    #[test]
+    fn fll_locks_from_anywhere(iss0_exp in -13.0f64..-7.0, f_exp in 2.0f64..5.5) {
+        let mut fll = FrequencyLockedLoop::new(SclParams::default(), 5, 10f64.powf(iss0_exp), 0.5);
+        let f_ref = 10f64.powf(f_exp);
+        let locked = fll.acquire(f_ref, 1e-3, 400);
+        prop_assert!(locked.is_some(), "no lock from {iss0_exp} to {f_exp}");
+        prop_assert!((fll.ring_frequency() / f_ref - 1.0).abs() < 1e-2);
+    }
+
+    /// Minimum supply is monotone in bias and always above the
+    /// structural floor, for any swing/load design point.
+    #[test]
+    fn min_vdd_monotone(vsw in 0.1f64..0.4, iss_exp in -12.0f64..-6.0) {
+        let tech = Technology::default();
+        let p = SclParams::new(vsw, 10e-15, 1.0);
+        let iss = 10f64.powf(iss_exp);
+        let floor = vsw + 4.0 * tech.thermal_voltage();
+        prop_assert!(p.min_vdd(&tech, iss) >= floor - 1e-12);
+        prop_assert!(p.min_vdd(&tech, iss * 2.0) >= p.min_vdd(&tech, iss));
+    }
+}
+
+#[test]
+fn gate_and_behavioural_paths_agree_across_dies() {
+    // Heavier than a proptest case: full equivalence on a grid for a
+    // handful of dies.
+    let tech = Technology::default();
+    let cfg = AdcConfig::default();
+    for seed in [0u64, 1, 2] {
+        let adc = FaiAdc::with_mismatch(&tech, &cfg, seed);
+        for k in 0..128 {
+            let vin = cfg.v_low + (cfg.v_high - cfg.v_low) * (k as f64 + 0.37) / 128.0;
+            assert_eq!(
+                adc.convert(vin),
+                adc.convert_behavioural(vin),
+                "divergence at seed {seed}, vin {vin}"
+            );
+        }
+    }
+}
