@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Repository CI gate: build, test, lint. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings

@@ -195,6 +195,7 @@ impl PreampDesign {
         };
         nl.capacitor("CW", well, Netlist::GROUND, CWELL);
         nl.diode("DW", Netlist::GROUND, well, 1e-18, 1.0);
+        ulp_spice::erc::debug_assert_clean(&nl);
         (nl, out)
     }
 }
@@ -205,6 +206,17 @@ mod tests {
     use ulp_num::interp;
     use ulp_spice::ac::AcResult;
     use ulp_spice::dcop::DcOperatingPoint;
+
+    #[test]
+    fn exported_netlist_is_erc_clean_both_variants() {
+        let tech = Technology::default();
+        for decoupled in [false, true] {
+            let design = PreampDesign::new(1e-9, decoupled);
+            let (nl, _) = design.to_spice(&tech, 1.0);
+            let report = ulp_spice::erc::check(&nl);
+            assert!(report.is_clean(), "decoupled = {decoupled}:\n{report}");
+        }
+    }
 
     #[test]
     fn gain_is_bias_independent() {

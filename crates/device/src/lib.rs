@@ -45,5 +45,5 @@ pub mod mosfet;
 pub mod pvt;
 pub mod tech;
 
-pub use mosfet::{MosOperatingPoint, Mosfet, Polarity};
+pub use mosfet::{MosOperatingPoint, MosTerminal, Mosfet, Polarity};
 pub use tech::Technology;

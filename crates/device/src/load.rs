@@ -46,6 +46,12 @@ pub struct PmosLoad {
 }
 
 impl PmosLoad {
+    /// Terminal names in netlist argument order: supply side then output
+    /// side. Used by static-analysis diagnostics (`RL.a`); both
+    /// terminals conduct DC current (the load is a two-terminal
+    /// resistance).
+    pub const TERMINALS: [&'static str; 2] = ["a", "b"];
+
     /// Creates a load calibrated for swing `vsw` (V).
     ///
     /// # Panics

@@ -30,6 +30,70 @@ impl fmt::Display for Polarity {
     }
 }
 
+/// One of the four MOS terminals, in netlist argument order
+/// (`d, g, s, b`).
+///
+/// Static-analysis tooling (the electrical rule checker in `ulp-spice`)
+/// uses this metadata to name terminals in diagnostics (`M1.g`) and to
+/// reason about which terminals can carry DC current: only the channel
+/// (drain–source) conducts; gate and bulk are sense terminals in this
+/// model, which is why a net driven only by gates has no defined DC
+/// voltage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosTerminal {
+    /// Drain (channel terminal).
+    Drain,
+    /// Gate (sense terminal: carries no DC current).
+    Gate,
+    /// Source (channel terminal).
+    Source,
+    /// Bulk/well (sense terminal in this model: junction leakage is not
+    /// modelled).
+    Bulk,
+}
+
+impl MosTerminal {
+    /// All four terminals in netlist argument order.
+    pub const ALL: [MosTerminal; 4] = [
+        MosTerminal::Drain,
+        MosTerminal::Gate,
+        MosTerminal::Source,
+        MosTerminal::Bulk,
+    ];
+
+    /// Conventional one-letter SPICE suffix (`d`, `g`, `s`, `b`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            MosTerminal::Drain => "d",
+            MosTerminal::Gate => "g",
+            MosTerminal::Source => "s",
+            MosTerminal::Bulk => "b",
+        }
+    }
+
+    /// Full English name, for prose diagnostics ("drain of `M1`").
+    pub fn word(self) -> &'static str {
+        match self {
+            MosTerminal::Drain => "drain",
+            MosTerminal::Gate => "gate",
+            MosTerminal::Source => "source",
+            MosTerminal::Bulk => "bulk",
+        }
+    }
+
+    /// True when DC current can flow through this terminal (the channel
+    /// terminals; gate and bulk only sense voltage in this model).
+    pub fn conducts(self) -> bool {
+        matches!(self, MosTerminal::Drain | MosTerminal::Source)
+    }
+}
+
+impl fmt::Display for MosTerminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
 /// A sized MOS transistor instance.
 ///
 /// Terminal voltage convention throughout: **volts referred to the

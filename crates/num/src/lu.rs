@@ -17,8 +17,17 @@ pub enum SolveError {
     /// A pivot smaller than the singularity threshold was encountered at
     /// the contained elimination step — the matrix is singular (for MNA
     /// this usually means a floating node or a loop of voltage sources).
+    ///
+    /// Because elimination uses *row* pivoting only, column `step` is
+    /// exactly the variable (unknown) whose equation set became linearly
+    /// dependent: callers that know their variable ordering (e.g. the
+    /// MNA assembler, where unknowns are non-ground node voltages
+    /// followed by branch currents) can map `step` straight back to a
+    /// named node or branch. [`LuFactor::permutation`] exposes the row
+    /// side of the mapping for completed factorisations.
     Singular {
-        /// Elimination step at which the zero pivot appeared.
+        /// Elimination step — equivalently, the column/variable index —
+        /// at which the zero pivot appeared.
         step: usize,
     },
     /// Right-hand-side length does not match the factored dimension.
@@ -122,6 +131,18 @@ impl LuFactor {
     /// Dimension of the factored system.
     pub fn dim(&self) -> usize {
         self.lu.rows()
+    }
+
+    /// The row permutation applied during factorisation:
+    /// `permutation()[i]` is the original row of `A` that ended up as
+    /// row `i` of `P·A = L·U`.
+    ///
+    /// Together with the column-index semantics of
+    /// [`SolveError::Singular`] this is the full pivot→variable mapping:
+    /// columns are never permuted, so column `k` is always variable `k`
+    /// of the caller's ordering.
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
     }
 
     /// Solves `A·x = b` using the stored factorisation.

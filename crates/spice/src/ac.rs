@@ -28,11 +28,31 @@ impl AcResult {
     /// Runs an AC analysis over `freqs` (Hz) about the operating point
     /// `op`.
     ///
+    /// Runs the electrical rule check ([`crate::erc::check`]) once up
+    /// front; use [`AcResult::run_unchecked`] to bypass.
+    ///
     /// # Errors
     ///
-    /// [`SimError::LinearSolve`] if the small-signal system is singular
-    /// at some frequency.
+    /// [`SimError::Erc`] when the netlist fails the rule check;
+    /// [`SimError::Singular`]/[`SimError::LinearSolve`] if the
+    /// small-signal system is singular at some frequency.
     pub fn run(
+        nl: &Netlist,
+        tech: &Technology,
+        op: &DcOperatingPoint,
+        freqs: &[f64],
+    ) -> Result<Self, SimError> {
+        crate::erc::gate(nl)?;
+        Self::run_unchecked(nl, tech, op, freqs)
+    }
+
+    /// [`AcResult::run`] without the electrical rule check — the escape
+    /// hatch for deliberately degenerate netlists.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AcResult::run`], minus the ERC gate.
+    pub fn run_unchecked(
         nl: &Netlist,
         tech: &Technology,
         op: &DcOperatingPoint,
@@ -234,8 +254,8 @@ fn solve_one(
             }
         }
     }
-    let lu = ComplexLuFactor::new(&matrix)?;
-    Ok(lu.solve(&rhs)?)
+    let lu = ComplexLuFactor::new(&matrix).map_err(|e| SimError::from_solve(nl, e))?;
+    lu.solve(&rhs).map_err(|e| SimError::from_solve(nl, e))
 }
 
 #[cfg(test)]

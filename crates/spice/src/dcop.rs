@@ -33,12 +33,15 @@ impl Default for NewtonOptions {
 /// Runs damped Newton iteration at a fixed gmin from initial guess
 /// `x0`.
 ///
-/// Used by the operating-point, sweep and transient drivers.
+/// Used by the operating-point, sweep and transient drivers. Runs no
+/// electrical rule check — callers gate netlists themselves (see
+/// [`crate::erc`]).
 ///
 /// # Errors
 ///
-/// [`SimError::LinearSolve`] if the Jacobian is singular;
-/// [`SimError::NoConvergence`] if the iteration stalls.
+/// [`SimError::Singular`] (naming the failed node or branch) if the
+/// Jacobian is singular; [`SimError::NoConvergence`] if the iteration
+/// stalls.
 pub fn newton_solve(
     nl: &Netlist,
     tech: &Technology,
@@ -52,8 +55,8 @@ pub fn newton_solve(
     let mut last_update = f64::INFINITY;
     for _ in 0..opts.max_iter {
         let sys = assemble(nl, tech, &x, mode, gmin);
-        let lu = LuFactor::new(&sys.matrix)?;
-        let x_new = lu.solve(&sys.rhs)?;
+        let lu = LuFactor::new(&sys.matrix).map_err(|e| SimError::from_solve(nl, e))?;
+        let x_new = lu.solve(&sys.rhs).map_err(|e| SimError::from_solve(nl, e))?;
         // Damping: limit the voltage part of the update.
         let mut dv_max = 0.0f64;
         for i in 0..nn {
@@ -132,19 +135,65 @@ pub struct DcOperatingPoint {
 impl DcOperatingPoint {
     /// Solves the DC operating point with default Newton options.
     ///
+    /// Runs the electrical rule check ([`crate::erc::check`]) first and
+    /// refuses to solve a netlist with error-severity diagnostics; use
+    /// [`DcOperatingPoint::solve_unchecked`] to bypass.
+    ///
     /// # Errors
     ///
-    /// Propagates [`SimError`] from the Newton driver.
+    /// [`SimError::Erc`] when the netlist fails the rule check;
+    /// otherwise propagates [`SimError`] from the Newton driver.
     pub fn solve(nl: &Netlist, tech: &Technology) -> Result<Self, SimError> {
         Self::solve_with(nl, tech, &NewtonOptions::default())
     }
 
-    /// Solves with explicit Newton options.
+    /// Solves with explicit Newton options, after the rule check.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DcOperatingPoint::solve`].
+    pub fn solve_with(
+        nl: &Netlist,
+        tech: &Technology,
+        opts: &NewtonOptions,
+    ) -> Result<Self, SimError> {
+        crate::erc::gate(nl)?;
+        Self::solve_with_unchecked(nl, tech, opts)
+    }
+
+    /// Solves starting from a previous solution (continuation), after
+    /// the rule check.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DcOperatingPoint::solve`].
+    pub fn solve_from(
+        nl: &Netlist,
+        tech: &Technology,
+        guess: &[f64],
+        opts: &NewtonOptions,
+    ) -> Result<Self, SimError> {
+        crate::erc::gate(nl)?;
+        Self::solve_from_unchecked(nl, tech, guess, opts)
+    }
+
+    /// [`DcOperatingPoint::solve`] without the electrical rule check —
+    /// the escape hatch for deliberately degenerate netlists (gmin will
+    /// pin floating nodes near 0 V instead of failing cleanly).
     ///
     /// # Errors
     ///
     /// Propagates [`SimError`] from the Newton driver.
-    pub fn solve_with(
+    pub fn solve_unchecked(nl: &Netlist, tech: &Technology) -> Result<Self, SimError> {
+        Self::solve_with_unchecked(nl, tech, &NewtonOptions::default())
+    }
+
+    /// [`DcOperatingPoint::solve_with`] without the rule check.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the Newton driver.
+    pub fn solve_with_unchecked(
         nl: &Netlist,
         tech: &Technology,
         opts: &NewtonOptions,
@@ -154,12 +203,12 @@ impl DcOperatingPoint {
         Ok(DcOperatingPoint { x })
     }
 
-    /// Solves starting from a previous solution (continuation).
+    /// [`DcOperatingPoint::solve_from`] without the rule check.
     ///
     /// # Errors
     ///
     /// Propagates [`SimError`] from the Newton driver.
-    pub fn solve_from(
+    pub fn solve_from_unchecked(
         nl: &Netlist,
         tech: &Technology,
         guess: &[f64],
@@ -320,18 +369,24 @@ mod tests {
 
     #[test]
     fn floating_node_is_singular_or_gmin_pinned() {
-        // A node with no DC path to ground is held near 0 by gmin rather
-        // than crashing.
+        // A node with no DC path to ground: the checked entry point
+        // refuses it up front with a named diagnostic; the unchecked
+        // escape hatch still solves, with gmin pinning the node near 0.
         let mut nl = Netlist::new();
         let a = nl.node("a");
         let b = nl.node("b");
         nl.vsource("V1", a, Netlist::GROUND, 1.0);
         nl.capacitor("C1", a, b, 1e-12);
         nl.resistor("R1", b, b, 1.0); // degenerate self-loop, no path
-        let op = DcOperatingPoint::solve(&nl, &tech());
-        if let Ok(op) = op {
-            assert!(op.voltage(b).abs() < 1e-6);
+        match DcOperatingPoint::solve(&nl, &tech()) {
+            Err(SimError::Erc(report)) => {
+                let d = report.find(crate::erc::rule::FLOATING_NODE).unwrap();
+                assert!(d.nodes.contains(&"b".to_string()), "{d}");
+            }
+            other => panic!("expected ERC rejection, got {other:?}"),
         }
+        let op = DcOperatingPoint::solve_unchecked(&nl, &tech()).unwrap();
+        assert!(op.voltage(b).abs() < 1e-6);
     }
 
     #[test]

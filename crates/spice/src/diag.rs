@@ -1,0 +1,252 @@
+//! Severity-tiered diagnostics for the static netlist analysis.
+//!
+//! The electrical rule checker ([`crate::erc`]) reports its findings as
+//! [`Diagnostic`] values collected into an [`ErcReport`]. Each diagnostic
+//! carries a stable machine-readable rule code, the names of the nodes
+//! and elements involved, and a one-line fix hint, so failures can be
+//! consumed both by humans (via [`fmt::Display`]) and by tooling (via the
+//! structured fields).
+//!
+//! Rendering is stable: one line per diagnostic of the form
+//! `severity[rule]: message; hint: ...`, in descending severity and
+//! otherwise netlist order, so tests and log scrapers can rely on it.
+
+use std::fmt;
+
+/// How serious a rule violation is.
+///
+/// Only [`Severity::Error`] diagnostics make an [`ErcReport`] unclean and
+/// block the pre-solve gate; warnings and infos are advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory note (e.g. a source that contributes nothing).
+    Info,
+    /// Suspicious but solvable topology (e.g. a dangling MOS drain).
+    Warning,
+    /// A topology or value that makes the MNA system singular,
+    /// ill-conditioned or meaningless. Blocks checked analyses.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in the stable rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One rule violation found by the checker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Severity tier.
+    pub severity: Severity,
+    /// Stable machine-readable rule code (see [`crate::erc::rule`]).
+    pub rule: &'static str,
+    /// Human-readable description naming the offending nodes/elements.
+    pub message: String,
+    /// Names of the nodes involved (netlist order, deduplicated).
+    pub nodes: Vec<String>,
+    /// Instance names of the elements involved.
+    pub elements: Vec<String>,
+    /// One-line suggestion for fixing the violation.
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with empty node/element lists.
+    pub fn new(severity: Severity, rule: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity,
+            rule,
+            message: message.into(),
+            nodes: Vec::new(),
+            elements: Vec::new(),
+            hint: String::new(),
+        }
+    }
+
+    /// Attaches node names.
+    pub fn with_nodes<I: IntoIterator<Item = String>>(mut self, nodes: I) -> Self {
+        self.nodes = nodes.into_iter().collect();
+        self
+    }
+
+    /// Attaches element names.
+    pub fn with_elements<I: IntoIterator<Item = String>>(mut self, elements: I) -> Self {
+        self.elements = elements.into_iter().collect();
+        self
+    }
+
+    /// Attaches a fix hint.
+    pub fn with_hint(mut self, hint: impl Into<String>) -> Self {
+        self.hint = hint.into();
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.rule, self.message)?;
+        if !self.hint.is_empty() {
+            write!(f, "; hint: {}", self.hint)?;
+        }
+        Ok(())
+    }
+}
+
+/// The full result of one electrical rule check.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ErcReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl ErcReport {
+    /// An empty (clean) report.
+    pub fn new() -> Self {
+        ErcReport::default()
+    }
+
+    /// Appends a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// All diagnostics, most severe first (after [`ErcReport::sort`]).
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Only the error-severity diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of diagnostics at a given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// True when the report contains no [`Severity::Error`] diagnostics
+    /// (warnings and infos do not block analyses).
+    pub fn is_clean(&self) -> bool {
+        self.count(Severity::Error) == 0
+    }
+
+    /// True when the report is completely empty.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// First diagnostic whose rule code matches, if any.
+    pub fn find(&self, rule: &str) -> Option<&Diagnostic> {
+        self.diagnostics.iter().find(|d| d.rule == rule)
+    }
+
+    /// Orders diagnostics by descending severity, preserving netlist
+    /// order within each tier (stable sort).
+    pub fn sort(&mut self) {
+        self.diagnostics
+            .sort_by_key(|d| std::cmp::Reverse(d.severity));
+    }
+
+    /// The stable one-line-per-diagnostic rendering (same as `Display`).
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for ErcReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(severity: Severity, rule: &'static str) -> Diagnostic {
+        Diagnostic::new(severity, rule, format!("{rule} happened"))
+            .with_nodes(["a".to_string()])
+            .with_elements(["R1".to_string()])
+            .with_hint("do the fix")
+    }
+
+    #[test]
+    fn severity_ordering_and_labels() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        assert_eq!(Severity::Error.label(), "error");
+        assert_eq!(Severity::Warning.to_string(), "warning");
+    }
+
+    #[test]
+    fn diagnostic_rendering_is_stable() {
+        let d = sample(Severity::Error, "floating-node");
+        assert_eq!(
+            d.to_string(),
+            "error[floating-node]: floating-node happened; hint: do the fix"
+        );
+        let bare = Diagnostic::new(Severity::Info, "x", "msg");
+        assert_eq!(bare.to_string(), "info[x]: msg");
+    }
+
+    #[test]
+    fn report_cleanliness_tracks_errors_only() {
+        let mut r = ErcReport::new();
+        assert!(r.is_clean());
+        assert!(r.is_empty());
+        r.push(sample(Severity::Warning, "dangling-terminal"));
+        r.push(sample(Severity::Info, "zero-value-source"));
+        assert!(r.is_clean());
+        assert!(!r.is_empty());
+        r.push(sample(Severity::Error, "floating-node"));
+        assert!(!r.is_clean());
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.count(Severity::Warning), 1);
+        assert_eq!(r.errors().count(), 1);
+    }
+
+    #[test]
+    fn sort_puts_errors_first_stably() {
+        let mut r = ErcReport::new();
+        r.push(sample(Severity::Info, "i1"));
+        r.push(sample(Severity::Error, "e1"));
+        r.push(sample(Severity::Warning, "w1"));
+        r.push(sample(Severity::Error, "e2"));
+        r.sort();
+        let rules: Vec<&str> = r.diagnostics().iter().map(|d| d.rule).collect();
+        assert_eq!(rules, ["e1", "e2", "w1", "i1"]);
+    }
+
+    #[test]
+    fn report_render_joins_lines() {
+        let mut r = ErcReport::new();
+        r.push(Diagnostic::new(Severity::Error, "a", "first"));
+        r.push(Diagnostic::new(Severity::Error, "b", "second"));
+        assert_eq!(r.render(), "error[a]: first\nerror[b]: second");
+        assert!(r.find("b").is_some());
+        assert!(r.find("c").is_none());
+    }
+}

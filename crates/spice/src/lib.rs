@@ -47,9 +47,54 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Static analysis / ERC
+//!
+//! Every analysis entry point ([`dcop::DcOperatingPoint::solve`],
+//! [`sweep::dc_sweep`], [`tran::Transient::run`], [`ac::AcResult::run`])
+//! first runs the electrical rule checker ([`erc::check`]) and refuses
+//! netlists whose MNA system would be singular or meaningless: floating
+//! nodes, loops of voltage sources, current sources with no return
+//! path, undriven MOS gates, duplicate instance names and non-finite
+//! values. The failure is a [`SimError::Erc`] carrying severity-tiered
+//! [`diag::Diagnostic`]s that name the offending nodes and elements —
+//! instead of a zero-pivot index from inside the LU factorisation.
+//!
+//! ```
+//! use ulp_spice::netlist::Netlist;
+//! use ulp_spice::dcop::DcOperatingPoint;
+//! use ulp_spice::{erc, SimError};
+//! use ulp_device::Technology;
+//!
+//! let mut nl = Netlist::new();
+//! let a = nl.node("a");
+//! let fl = nl.node("float");
+//! nl.vsource("V1", a, Netlist::GROUND, 1.0);
+//! nl.resistor("R1", a, Netlist::GROUND, 1e3);
+//! nl.capacitor("C1", a, fl, 1e-12); // capacitors are open at DC
+//! match DcOperatingPoint::solve(&nl, &Technology::default()) {
+//!     Err(SimError::Erc(report)) => {
+//!         let d = report.find(erc::rule::FLOATING_NODE).unwrap();
+//!         assert!(d.nodes.contains(&"float".to_string()));
+//!     }
+//!     other => panic!("expected ERC rejection, got {other:?}"),
+//! }
+//! // Deliberately degenerate netlists can bypass the gate:
+//! let op = DcOperatingPoint::solve_unchecked(&nl, &Technology::default()).unwrap();
+//! assert!(op.voltage(fl).abs() < 1e-6); // gmin pins the floating node
+//! ```
+//!
+//! Each checked entry point has an `*_unchecked` twin that skips the
+//! gate, and [`erc::check`] can be called directly for lint-style use.
+//! When a singular matrix does slip through (e.g. via the unchecked
+//! path), the solver maps the zero-pivot elimination step back through
+//! the MNA variable ordering to a named node or branch
+//! ([`SimError::Singular`], via [`mna::unknown_name`]).
 
 pub mod ac;
 pub mod dcop;
+pub mod diag;
+pub mod erc;
 pub mod error;
 pub mod mna;
 pub mod netlist;
@@ -58,5 +103,6 @@ pub mod report;
 pub mod sweep;
 pub mod tran;
 
+pub use diag::{Diagnostic, ErcReport, Severity};
 pub use error::SimError;
 pub use netlist::{Netlist, Node, Waveform};

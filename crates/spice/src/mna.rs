@@ -310,6 +310,33 @@ pub fn capacitor_currents(
     out
 }
 
+/// What one MNA unknown physically is: the voltage of a named node or
+/// the branch current of a named voltage-defined element.
+///
+/// Because LU elimination pivots rows only, the `step` of a
+/// [`ulp_num::lu::SolveError::Singular`] is a column — i.e. unknown —
+/// index, and this function translates it straight back to circuit
+/// terms: index `i < node_count − 1` is the voltage of node `i + 1`;
+/// the remainder are branch currents in element order.
+///
+/// Returns `(description, is_branch)`, or `None` when `index` is out of
+/// range for this netlist.
+pub fn unknown_name(nl: &Netlist, index: usize) -> Option<(String, bool)> {
+    let nn = nl.node_count() - 1;
+    if index < nn {
+        return Some((
+            format!("voltage of node `{}`", nl.node_name(Node(index + 1))),
+            false,
+        ));
+    }
+    let branch = index - nn;
+    nl.elements()
+        .iter()
+        .filter(|e| e.has_branch())
+        .nth(branch)
+        .map(|e| (format!("branch current of `{}`", e.name()), true))
+}
+
 /// The branch-current index (within the solution vector) of the named
 /// voltage-defined element, if present.
 pub fn branch_index(nl: &Netlist, name: &str) -> Option<usize> {

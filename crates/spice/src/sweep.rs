@@ -84,8 +84,12 @@ impl Netlist {
 /// Sweeps the named independent source over `values`, returning the full
 /// solution at each point.
 ///
+/// Runs the electrical rule check ([`crate::erc::check`]) once on the
+/// netlist before the first point; use [`dc_sweep_unchecked`] to bypass.
+///
 /// # Errors
 ///
+/// [`SimError::Erc`] when the netlist fails the rule check;
 /// [`SimError::NotFound`] for an unknown source; otherwise any Newton
 /// failure at a sweep point.
 pub fn dc_sweep(
@@ -103,6 +107,24 @@ pub fn dc_sweep(
 ///
 /// As for [`dc_sweep`].
 pub fn dc_sweep_with(
+    nl: &Netlist,
+    tech: &Technology,
+    source: &str,
+    values: &[f64],
+    opts: &NewtonOptions,
+) -> Result<SweepResult, SimError> {
+    crate::erc::gate(nl)?;
+    dc_sweep_unchecked(nl, tech, source, values, opts)
+}
+
+/// [`dc_sweep_with`] without the electrical rule check — the escape
+/// hatch for deliberately degenerate netlists.
+///
+/// # Errors
+///
+/// [`SimError::NotFound`] for an unknown source; otherwise any Newton
+/// failure at a sweep point.
+pub fn dc_sweep_unchecked(
     nl: &Netlist,
     tech: &Technology,
     source: &str,

@@ -60,19 +60,38 @@ impl Transient {
     /// Runs a transient analysis. The initial condition is the DC
     /// operating point with all sources at their `t = 0` values.
     ///
+    /// Runs the electrical rule check ([`crate::erc::check`]) once up
+    /// front; use [`Transient::run_unchecked`] to bypass.
+    ///
     /// # Errors
     ///
-    /// Propagates Newton/solver failures from any timestep (the error is
-    /// tagged with the iteration budget, not the time — inspect
-    /// [`Transient::run`] inputs when this happens).
+    /// [`SimError::Erc`] when the netlist fails the rule check;
+    /// otherwise propagates Newton/solver failures from any timestep
+    /// (the error is tagged with the iteration budget, not the time —
+    /// inspect [`Transient::run`] inputs when this happens).
     pub fn run(nl: &Netlist, tech: &Technology, opts: &TranOptions) -> Result<Self, SimError> {
+        crate::erc::gate(nl)?;
+        Self::run_unchecked(nl, tech, opts)
+    }
+
+    /// [`Transient::run`] without the electrical rule check — the
+    /// escape hatch for deliberately degenerate netlists.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transient::run`], minus the ERC gate.
+    pub fn run_unchecked(
+        nl: &Netlist,
+        tech: &Technology,
+        opts: &TranOptions,
+    ) -> Result<Self, SimError> {
         if opts.dt <= 0.0 || opts.t_stop < opts.dt {
             return Err(SimError::BadParameter(format!(
                 "dt {} / t_stop {}",
                 opts.dt, opts.t_stop
             )));
         }
-        let op = DcOperatingPoint::solve_with(nl, tech, &opts.newton)?;
+        let op = DcOperatingPoint::solve_with_unchecked(nl, tech, &opts.newton)?;
         let mut x = op.solution().to_vec();
         let n_caps = nl
             .elements()

@@ -121,3 +121,111 @@ proptest! {
         prop_assert!((v2 / v1 - 2.0).abs() < 1e-6);
     }
 }
+
+/// Random-netlist generator for the ERC soundness property: builds a
+/// circuit from an arbitrary recipe of element kinds, terminals and
+/// values over a small node pool (node 0 = ground).
+fn build_random(recipe: &[(u8, usize, usize, f64)]) -> Netlist {
+    use ulp_device::load::PmosLoad;
+    use ulp_device::{Mosfet, Polarity};
+    let mut nl = Netlist::new();
+    let node = |nl: &mut Netlist, i: usize| {
+        if i == 0 {
+            Netlist::GROUND
+        } else {
+            nl.node(&format!("n{i}"))
+        }
+    };
+    for (k, &(kind, ai, bi, val)) in recipe.iter().enumerate() {
+        let a = node(&mut nl, ai);
+        let b = node(&mut nl, bi);
+        match kind % 7 {
+            0 => {
+                nl.resistor(&format!("R{k}"), a, b, 10f64.powf(2.0 + 5.0 * val));
+            }
+            1 => {
+                nl.capacitor(&format!("C{k}"), a, b, 10f64.powf(-13.0 + 3.0 * val));
+            }
+            2 => {
+                nl.vsource(&format!("V{k}"), a, b, 2.0 * val - 1.0);
+            }
+            3 => {
+                nl.isource(&format!("I{k}"), a, b, (2.0 * val - 1.0) * 1e-9);
+            }
+            4 => {
+                nl.diode(&format!("D{k}"), a, b, 1e-15, 1.0);
+            }
+            5 => {
+                nl.scl_load(&format!("L{k}"), a, b, PmosLoad::new(0.2), 1e-9);
+            }
+            _ => {
+                // Gate at b, channel a → ground; bulk grounded.
+                let dev = Mosfet::new(Polarity::Nmos, 1e-6, 1e-6);
+                nl.mosfet(&format!("M{k}"), a, b, Netlist::GROUND, Netlist::GROUND, dev);
+            }
+        }
+    }
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Soundness of the electrical rule check as a pre-solve gate: any
+    /// netlist the ERC declares clean must never hit a singular MNA
+    /// matrix in the DC operating-point solver. (Non-convergence is a
+    /// numerical matter and allowed; a zero pivot is a topological one
+    /// and is exactly what the ERC exists to rule out.)
+    #[test]
+    fn erc_clean_netlists_never_go_singular(
+        recipe in prop::collection::vec(
+            (0u8..7, 0usize..5, 0usize..5, 0.0f64..1.0),
+            2..12
+        )
+    ) {
+        let nl = build_random(&recipe);
+        let report = ulp_spice::erc::check(&nl);
+        prop_assume!(report.is_clean());
+        match DcOperatingPoint::solve(&nl, &Technology::default()) {
+            Err(ulp_spice::SimError::Singular { step, unknown, .. }) => {
+                prop_assert!(
+                    false,
+                    "ERC-clean netlist went singular at step {step} ({unknown})"
+                );
+            }
+            Err(ulp_spice::SimError::LinearSolve(e)) => {
+                prop_assert!(
+                    !matches!(e, ulp_num::lu::SolveError::Singular { .. }),
+                    "ERC-clean netlist went singular: {e}"
+                );
+            }
+            // Converged, or a pure convergence failure: both fine here.
+            Ok(_) | Err(_) => {}
+        }
+    }
+
+    /// Completeness in the other direction for the headline rule: a
+    /// netlist with a node reachable only through capacitors is always
+    /// rejected by the gate, whatever the values involved.
+    #[test]
+    fn capacitor_isolated_node_always_rejected(
+        c in 1e-15f64..1e-9, r in 1e2f64..1e6, v in 0.1f64..2.0
+    ) {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let f = nl.node("float");
+        nl.vsource("V1", a, Netlist::GROUND, v);
+        nl.resistor("R1", a, Netlist::GROUND, r);
+        nl.capacitor("C1", a, f, c);
+        let err = DcOperatingPoint::solve(&nl, &Technology::default()).unwrap_err();
+        match err {
+            ulp_spice::SimError::Erc(report) => {
+                let d = report
+                    .find(ulp_spice::erc::rule::FLOATING_NODE)
+                    .expect("floating-node diagnostic");
+                prop_assert!(d.nodes.contains(&"float".to_string()));
+            }
+            other => prop_assert!(false, "expected ERC rejection, got {other}"),
+        }
+    }
+}

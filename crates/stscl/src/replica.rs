@@ -103,6 +103,7 @@ impl ReplicaBiasedBuffer {
         nl.scl_load("RLN", vdd, outn, load, iref);
         nl.capacitor("CLP", outp, Netlist::GROUND, params.cl);
         nl.capacitor("CLN", outn, Netlist::GROUND, params.cl);
+        ulp_spice::erc::debug_assert_clean(&nl);
         ReplicaBiasedBuffer {
             netlist: nl,
             ctl,
@@ -157,6 +158,16 @@ mod tests {
 
     fn build(tech: &Technology, iref: f64) -> ReplicaBiasedBuffer {
         ReplicaBiasedBuffer::build(tech, &SclParams::default(), iref, 0.6, Waveform::Dc(0.0))
+    }
+
+    #[test]
+    fn built_netlist_is_erc_clean_across_reference_currents() {
+        let tech = Technology::default();
+        for iref in [10e-12, 1e-9, 10e-9] {
+            let buf = build(&tech, iref);
+            let report = ulp_spice::erc::check(&buf.netlist);
+            assert!(report.is_clean(), "iref = {iref}:\n{report}");
+        }
     }
 
     #[test]

@@ -85,6 +85,7 @@ impl SclBufferCircuit {
         // Explicit load capacitances.
         nl.capacitor("CLP", outp, Netlist::GROUND, params.cl);
         nl.capacitor("CLN", outn, Netlist::GROUND, params.cl);
+        ulp_spice::erc::debug_assert_clean(&nl);
         SclBufferCircuit {
             netlist: nl,
             ctl,
@@ -219,6 +220,18 @@ mod tests {
             0.6,
             Waveform::Dc(0.0),
         )
+    }
+
+    #[test]
+    fn built_netlist_is_erc_clean_across_tail_currents() {
+        // The generated buffer topology must pass the static rule check
+        // (no floating nodes, undriven gates or source loops) at the
+        // default technology, over the paper's full current range.
+        for iss in [10e-12, 1e-9, 100e-9] {
+            let c = circuit(iss);
+            let report = ulp_spice::erc::check(&c.netlist);
+            assert!(report.is_clean(), "iss = {iss}:\n{report}");
+        }
     }
 
     #[test]

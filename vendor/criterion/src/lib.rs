@@ -1,0 +1,165 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so the benchmark harness API that `crates/bench` uses is provided
+//! here: [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`criterion_group!`], [`criterion_main!`].
+//!
+//! Measurement is deliberately simple — median of `sample_size`
+//! wall-clock samples after a short warm-up, printed one line per
+//! benchmark — with none of the real crate's statistics, plotting, or
+//! baseline management.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost (accepted for API
+/// compatibility; the stub re-runs setup every iteration regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: usize,
+    /// Median measured time of the routine, filled in by `iter*`.
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine` directly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        std::hint::black_box(routine());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            times.push(t0.elapsed());
+        }
+        times.sort();
+        self.measured = Some(times[times.len() / 2]);
+    }
+
+    /// Measures `routine` on fresh input from `setup`, excluding the
+    /// setup time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            times.push(t0.elapsed());
+        }
+        times.sort();
+        self.measured = Some(times[times.len() / 2]);
+    }
+}
+
+/// Benchmark registry/configuration entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be non-zero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark and prints its median time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measured: None,
+        };
+        f(&mut b);
+        match b.measured {
+            Some(t) => println!("bench {id:<40} median {t:>12.3?} ({} samples)", self.sample_size),
+            None => println!("bench {id:<40} (no measurement taken)"),
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring both forms of the real
+/// macro (`name`/`config`/`targets`, or positional).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut runs = 0usize;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("stub_smoke", |b| b.iter(|| runs += 1));
+        // Warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_batched_uses_fresh_input() {
+        let mut next = 0u32;
+        Criterion::default().sample_size(2).bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    next += 1;
+                    next
+                },
+                |v| v * 2,
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(next, 3);
+    }
+}
