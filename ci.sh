@@ -6,3 +6,15 @@ cd "$(dirname "$0")"
 cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Telemetry path: one bench binary under ULP_TRACE=summary must render
+# the solver-metrics footer, and ULP_TRACE=events must produce valid
+# (non-empty, one-object-per-line) JSONL — so the tracing layer can
+# never silently rot.
+footer=$(ULP_TRACE=summary cargo run --release -q -p ulp-bench --bin fig9a_fmax_vs_iss)
+echo "$footer" | grep -q -- "-- solver metrics --"
+echo "$footer" | grep -q "total solves"
+ULP_TRACE=events cargo run --release -q -p ulp-bench --bin circuit_verification > /dev/null
+test -s results/telemetry/circuit_verification.jsonl
+head -1 results/telemetry/circuit_verification.jsonl | grep -q '^{"event":".*}$'
+echo "telemetry footer + JSONL OK"

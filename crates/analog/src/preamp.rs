@@ -145,15 +145,17 @@ impl PreampDesign {
         vdd: f64,
     ) -> Result<f64, ulp_spice::SimError> {
         use ulp_spice::dcop::DcOperatingPoint;
-        let (nl, out) = self.to_spice(tech, vdd);
-        let op = DcOperatingPoint::solve(&nl, tech)?;
-        let bw = self.bandwidth();
-        let freqs = ulp_num::interp::decade_sweep(bw * 1e-3, bw * 1e2, 20);
-        let report = ulp_spice::noise::noise_analysis(&nl, tech, &op, out, &freqs)?;
-        // Measure the actual circuit gain at low frequency.
-        let ac = ulp_spice::ac::AcResult::run(&nl, tech, &op, &[bw * 1e-3])?;
-        let gain = ac.phasor(out, 0).abs();
-        Ok(report.output_rms / gain)
+        ulp_spice::telemetry::phase("analog::preamp::input_referred_noise", || {
+            let (nl, out) = self.to_spice(tech, vdd);
+            let op = DcOperatingPoint::solve(&nl, tech)?;
+            let bw = self.bandwidth();
+            let freqs = ulp_num::interp::decade_sweep(bw * 1e-3, bw * 1e2, 20);
+            let report = ulp_spice::noise::noise_analysis(&nl, tech, &op, out, &freqs)?;
+            // Measure the actual circuit gain at low frequency.
+            let ac = ulp_spice::ac::AcResult::run(&nl, tech, &op, &[bw * 1e-3])?;
+            let gain = ac.phasor(out, 0).abs();
+            Ok(report.output_rms / gain)
+        })
     }
 
     /// Exports the single-ended half-circuit to a transistor-level

@@ -57,4 +57,5 @@ fn main() {
     let shared = ReferenceLadder::new(0.2, 1.0, 256, 8, 1e-9).expect("valid ladder");
     let p8 = shared.power(&tech, 1.0).expect("valid bias");
     assert!(p1 / p8 > 4.0, "8-way sharing must save most of the control power");
+    ulp_bench::metrics_footer("ablation_ladder");
 }

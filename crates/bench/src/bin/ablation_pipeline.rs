@@ -52,4 +52,5 @@ fn main() {
         gain.saving * compound,
         "x total digital power reduction",
     );
+    ulp_bench::metrics_footer("ablation_pipeline");
 }

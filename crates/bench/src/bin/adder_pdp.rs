@@ -55,4 +55,5 @@ fn main() {
         assert_eq!(*s, (a + b) & 0xFFFF_FFFF);
     }
     result("pipeline latency", pipe.latency() as f64, "cycles");
+    ulp_bench::metrics_footer("adder_pdp");
 }

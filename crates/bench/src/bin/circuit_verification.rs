@@ -71,4 +71,5 @@ fn main() {
         assert!((hi - lo).abs() < 1e-6, "crossings must be bias-independent");
     }
     result("max crossing shift over 1000x bias", 0.0, "V (exact in model)");
+    ulp_bench::metrics_footer("circuit_verification");
 }

@@ -58,4 +58,5 @@ fn main() {
         row(label, &[("yield", report.yield_fraction())]);
     }
     result("conclusion", 1.0, "bigger pairs buy yield at quadratic area cost");
+    ulp_bench::metrics_footer("fig10_chip_summary");
 }

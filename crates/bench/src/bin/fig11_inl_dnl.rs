@@ -69,4 +69,5 @@ fn main() {
     }
     result("peak INL (median die)", lin.inl_max, "LSB (paper: 1.0)");
     result("peak DNL (median die)", lin.dnl_max, "LSB (paper: 0.4)");
+    ulp_bench::metrics_footer("fig11_inl_dnl");
 }

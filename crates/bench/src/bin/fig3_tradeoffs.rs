@@ -56,4 +56,5 @@ fn main() {
         "STSCL speed must decouple from every parameter"
     );
     assert!(cs > 3.0 && (ss - 1.0).abs() < 1e-9);
+    ulp_bench::metrics_footer("fig3_tradeoffs");
 }

@@ -61,4 +61,5 @@ fn main() {
         result("spice improvement", bw_sp_f / bw_sp_p, "x");
         assert!(bw_sp_f > 2.0 * bw_sp_p, "spice must confirm the doublet trick");
     }
+    ulp_bench::metrics_footer("fig6d_preamp_response");
 }

@@ -36,4 +36,5 @@ fn main() {
     let f_1na = max_frequency(encoder.netlist(), &params, 1e-9).expect("acyclic netlist");
     paper_check("fmax at 1 nA", f_1na, 3.6e5, "Hz");
     assert!((slope - 1.0).abs() < 1e-6, "Fig. 9a slope must be exactly 1");
+    ulp_bench::metrics_footer("fig9a_fmax_vs_iss");
 }

@@ -31,4 +31,5 @@ fn main() {
     // Slope: ≈160 mV per decade from the two gate-drive terms.
     let slope = v_10na - v_1na;
     result("slope per decade", slope, "V (model: ~0.16 V)");
+    ulp_bench::metrics_footer("fig9b_vddmin_vs_iss");
 }

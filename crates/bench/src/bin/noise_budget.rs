@@ -68,4 +68,5 @@ fn main() {
         worst.output_power / total,
         &format!("({})", worst.name),
     );
+    ulp_bench::metrics_footer("noise_budget");
 }

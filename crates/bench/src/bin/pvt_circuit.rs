@@ -61,4 +61,5 @@ fn main() {
     result("steered output swing", swing, "V (design: 0.2 V)");
     println!("the bias rail absorbs PVT; the current — and hence delay and power —");
     println!("do not. This is the platform's Fig. 3(b) decoupling, in silicon terms.");
+    ulp_bench::metrics_footer("pvt_circuit");
 }

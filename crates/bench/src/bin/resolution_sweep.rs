@@ -80,4 +80,5 @@ fn main() {
         6.5,
     );
     println!("8-bit power at 80 kS/s: {} W (fom {} J/step)", si(p.total), si(p.fom));
+    ulp_bench::metrics_footer("resolution_sweep");
 }

@@ -84,4 +84,5 @@ fn main() {
     println!("and the STSCL advantage below it grows as 1/f — the paper's");
     println!("\"especially more pronounced in low activity rate systems\" regime,");
     println!("where required clock rates sit far under the floor crossing.");
+    ulp_bench::metrics_footer("stscl_vs_cmos_crossover");
 }

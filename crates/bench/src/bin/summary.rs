@@ -66,4 +66,5 @@ fn main() {
 
     println!("\nshape checks: Fig9a slope = 1 exactly; STSCL PVT sensitivities = 0;");
     println!("power scaling exactly linear in fs; see EXPERIMENTS.md for the full record.");
+    ulp_bench::metrics_footer("summary");
 }

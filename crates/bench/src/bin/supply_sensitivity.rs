@@ -64,4 +64,5 @@ fn main() {
     );
     println!("  (codes and linearity are VDD-independent by differential construction;");
     println!("   only total power scales as P = I_total x VDD)");
+    ulp_bench::metrics_footer("supply_sensitivity");
 }

@@ -48,4 +48,5 @@ fn main() {
     let dynamics = sine_test(&adc, 4096, 67, 80e3).expect("coherent capture");
     paper_check("ENOB at 80 kS/s", dynamics.enob, 6.5, "bits");
     assert!(dynamics.enob > 5.5, "ENOB must stay in the paper's class");
+    ulp_bench::metrics_footer("table1_power_scaling");
 }

@@ -54,4 +54,5 @@ fn main() {
     println!("tracking wins wherever *any* low-rate work is required — the");
     println!("paper's sensor/biomedical monitoring regime; pure-burst loads");
     println!("remain duty-cycling territory.");
+    ulp_bench::metrics_footer("workload_policies");
 }

@@ -7,6 +7,12 @@
 //! experiment.
 
 use std::fmt::Display;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Newton-iteration / attempt counters at the previous [`paper_check`]
+/// row, so each row can report the solve cost attributable to it.
+static LAST_ITERS: AtomicUsize = AtomicUsize::new(0);
+static LAST_ATTEMPTS: AtomicUsize = AtomicUsize::new(0);
 
 /// Prints an experiment header.
 pub fn header(id: &str, title: &str) {
@@ -28,9 +34,55 @@ pub fn result(name: &str, value: f64, unit: &str) {
 }
 
 /// Prints a comparison against the paper's reported number.
+///
+/// When solver tracing is active (`ULP_TRACE` set), each row also
+/// reports the Newton solve cost accrued since the previous check row —
+/// the recorded baseline for future solver-performance work. With
+/// tracing off the output is byte-identical to the untraced harness.
 pub fn paper_check(name: &str, ours: f64, paper: f64, unit: &str) {
     let ratio = ours / paper;
-    println!("  {name}: ours = {ours:.3e} {unit}, paper = {paper:.3e} {unit} (ratio {ratio:.2})");
+    print!("  {name}: ours = {ours:.3e} {unit}, paper = {paper:.3e} {unit} (ratio {ratio:.2})");
+    if let Some(m) = ulp_spice::telemetry::snapshot() {
+        let iters = m.newton_iterations - LAST_ITERS.swap(m.newton_iterations, Ordering::Relaxed);
+        let attempts = m.attempts - LAST_ATTEMPTS.swap(m.attempts, Ordering::Relaxed);
+        let per_point = if attempts == 0 {
+            0.0
+        } else {
+            iters as f64 / attempts as f64
+        };
+        print!(" [cost: {iters} newton iters, {per_point:.1}/point]");
+    }
+    println!();
+}
+
+/// Prints the solver-metrics footer for one bench binary and, when the
+/// global collector retains events (`ULP_TRACE=events`), dumps them as
+/// JSONL under `results/telemetry/<id>.jsonl`. A no-op (no output at
+/// all) when tracing is off, so untraced golden output is unchanged.
+pub fn metrics_footer(id: &str) {
+    use ulp_spice::telemetry::{self, TraceMode};
+    let Some(metrics) = telemetry::snapshot() else {
+        return;
+    };
+    println!("{}", metrics.summary());
+    if telemetry::global_mode() == Some(TraceMode::Events) {
+        let events = telemetry::take_events();
+        let mut jsonl = String::with_capacity(events.len() * 160);
+        for e in &events {
+            jsonl.push_str(&e.to_json());
+            jsonl.push('\n');
+        }
+        let dir = std::path::Path::new("results/telemetry");
+        let path = dir.join(format!("{id}.jsonl"));
+        match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &jsonl)) {
+            Ok(()) => println!(
+                "telemetry events  : {} -> {}",
+                events.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
 }
 
 /// Formats an SI-engineering value for compact tables.

@@ -13,6 +13,8 @@ use crate::dcop::DcOperatingPoint;
 use crate::error::SimError;
 use crate::mna::voltage_of;
 use crate::netlist::{Element, Netlist, Node};
+use crate::telemetry::{self, Event, Tracer};
+use std::time::Instant;
 use ulp_device::Technology;
 use ulp_num::lu::ComplexLuFactor;
 use ulp_num::{Complex, ComplexMatrix};
@@ -58,9 +60,50 @@ impl AcResult {
         op: &DcOperatingPoint,
         freqs: &[f64],
     ) -> Result<Self, SimError> {
+        telemetry::with_tracer(|tracer| Self::run_traced_unchecked(nl, tech, op, freqs, tracer))
+    }
+
+    /// [`AcResult::run`] recording telemetry on the given tracer: one
+    /// [`Event::AcPoint`] per analysis frequency.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AcResult::run`].
+    pub fn run_traced(
+        nl: &Netlist,
+        tech: &Technology,
+        op: &DcOperatingPoint,
+        freqs: &[f64],
+        tracer: &mut dyn Tracer,
+    ) -> Result<Self, SimError> {
+        crate::erc::gate(nl)?;
+        Self::run_traced_unchecked(nl, tech, op, freqs, tracer)
+    }
+
+    /// [`AcResult::run_traced`] without the rule check.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AcResult::run`], minus the ERC gate.
+    pub fn run_traced_unchecked(
+        nl: &Netlist,
+        tech: &Technology,
+        op: &DcOperatingPoint,
+        freqs: &[f64],
+        tracer: &mut dyn Tracer,
+    ) -> Result<Self, SimError> {
+        let enabled = tracer.enabled();
         let mut solutions = Vec::with_capacity(freqs.len());
-        for &f in freqs {
+        for (i, &f) in freqs.iter().enumerate() {
+            let t0 = enabled.then(Instant::now);
             solutions.push(solve_one(nl, tech, op, f)?);
+            if let Some(t0) = t0 {
+                tracer.record(&Event::AcPoint {
+                    index: i,
+                    freq: f,
+                    seconds: t0.elapsed().as_secs_f64(),
+                });
+            }
         }
         Ok(AcResult {
             freqs: freqs.to_vec(),
@@ -336,6 +379,32 @@ mod tests {
         assert!((gain / expect - 1.0).abs() < 0.01, "gain {gain} vs {expect}");
         // Inverting stage: phase ≈ 180°.
         assert!((ac.phasor(d, 0).arg_deg().abs() - 180.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn traced_ac_records_every_frequency() {
+        use crate::telemetry::{Event, MetricsCollector, TraceMode};
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource_ac("V1", inp, Netlist::GROUND, 0.0, 1.0);
+        nl.resistor("R1", inp, out, 1e3);
+        nl.capacitor("C1", out, Netlist::GROUND, 1e-9);
+        let op = DcOperatingPoint::solve(&nl, &tech()).unwrap();
+        let freqs = [1e2, 1e3, 1e4];
+        let mut mc = MetricsCollector::new(TraceMode::Events);
+        let ac = AcResult::run_traced(&nl, &tech(), &op, &freqs, &mut mc).unwrap();
+        assert_eq!(ac.freqs().len(), 3);
+        assert_eq!(mc.metrics().ac_points, 3);
+        let seen: Vec<f64> = mc
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::AcPoint { freq, .. } => Some(*freq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seen, freqs);
     }
 
     #[test]

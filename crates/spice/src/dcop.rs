@@ -3,6 +3,8 @@
 use crate::error::SimError;
 use crate::mna::{assemble, branch_index, voltage_of, AssembleMode};
 use crate::netlist::{Netlist, Node};
+use crate::telemetry::{self, Event, NullTracer, Tracer};
+use std::time::Instant;
 use ulp_device::Technology;
 use ulp_num::lu::LuFactor;
 
@@ -30,8 +32,130 @@ impl Default for NewtonOptions {
     }
 }
 
+/// Outcome of a converged Newton solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewtonResult {
+    /// The converged solution vector.
+    pub x: Vec<f64>,
+    /// Iterations used by the accepted attempt.
+    pub iterations: usize,
+    /// ∞-norm KCL residual at the last iterate, A (see
+    /// [`crate::mna::MnaSystem::residual_inf`]).
+    pub residual: f64,
+    /// Last damped maximum voltage update, V.
+    pub max_delta: f64,
+}
+
+/// Rows displaced by partial pivoting — the pivoting-activity measure
+/// recorded in the LU telemetry stats.
+fn displaced_rows(perm: &[usize]) -> usize {
+    perm.iter().enumerate().filter(|&(i, &p)| i != p).count()
+}
+
+/// One damped-Newton attempt at a fixed gmin, with telemetry.
+#[allow(clippy::too_many_arguments)]
+fn attempt(
+    nl: &Netlist,
+    tech: &Technology,
+    mode: AssembleMode<'_>,
+    x0: &[f64],
+    gmin: f64,
+    opts: &NewtonOptions,
+    analysis: &'static str,
+    rung: Option<usize>,
+    tracer: &mut dyn Tracer,
+) -> Result<NewtonResult, SimError> {
+    let enabled = tracer.enabled();
+    let t0 = enabled.then(Instant::now);
+    let nn = nl.node_count() - 1;
+    let lu_dim = nl.unknown_count();
+    let mut x = x0.to_vec();
+    let mut iterations = 0usize;
+    let mut residual = f64::INFINITY;
+    let mut max_delta = f64::INFINITY;
+    let mut clamps = 0usize;
+    let mut lu_swaps = 0usize;
+    let mut converged = false;
+    let mut failure: Option<SimError> = None;
+    while iterations < opts.max_iter {
+        iterations += 1;
+        let sys = assemble(nl, tech, &x, mode, gmin);
+        // Companion models are assembled *at* x, so `A·x − b` is the
+        // true nonlinear KCL residual at the current iterate.
+        residual = sys.residual_inf(&x);
+        let lu = match LuFactor::new(&sys.matrix) {
+            Ok(lu) => lu,
+            Err(e) => {
+                failure = Some(SimError::from_solve(nl, e));
+                break;
+            }
+        };
+        if enabled {
+            lu_swaps += displaced_rows(lu.permutation());
+        }
+        let x_new = match lu.solve(&sys.rhs) {
+            Ok(v) => v,
+            Err(e) => {
+                failure = Some(SimError::from_solve(nl, e));
+                break;
+            }
+        };
+        // Damping: limit the voltage part of the update.
+        let mut dv_max = 0.0f64;
+        for i in 0..nn {
+            dv_max = dv_max.max((x_new[i] - x[i]).abs());
+        }
+        let scale = if dv_max > opts.max_step {
+            clamps += 1;
+            opts.max_step / dv_max
+        } else {
+            1.0
+        };
+        for (xi, xn) in x.iter_mut().zip(&x_new) {
+            *xi += scale * (*xn - *xi);
+        }
+        max_delta = dv_max * scale;
+        if dv_max <= opts.vtol {
+            converged = true;
+            break;
+        }
+    }
+    if let Some(t0) = t0 {
+        tracer.record(&Event::NewtonAttempt {
+            analysis,
+            gmin,
+            rung,
+            iterations,
+            converged,
+            residual,
+            max_delta,
+            clamps,
+            lu_dim,
+            lu_swaps,
+            seconds: t0.elapsed().as_secs_f64(),
+        });
+    }
+    if converged {
+        Ok(NewtonResult {
+            x,
+            iterations,
+            residual,
+            max_delta,
+        })
+    } else if let Some(e) = failure {
+        Err(e)
+    } else {
+        Err(SimError::NoConvergence {
+            iterations,
+            residual,
+            max_delta,
+            gmin,
+        })
+    }
+}
+
 /// Runs damped Newton iteration at a fixed gmin from initial guess
-/// `x0`.
+/// `x0`, reporting the iterations used and the final KCL residual.
 ///
 /// Used by the operating-point, sweep and transient drivers. Runs no
 /// electrical rule check — callers gate netlists themselves (see
@@ -40,8 +164,9 @@ impl Default for NewtonOptions {
 /// # Errors
 ///
 /// [`SimError::Singular`] (naming the failed node or branch) if the
-/// Jacobian is singular; [`SimError::NoConvergence`] if the iteration
-/// stalls.
+/// Jacobian is singular; [`SimError::NoConvergence`] (carrying the
+/// iterations used, the gmin, and the residuals of the failing attempt)
+/// if the iteration stalls.
 pub fn newton_solve(
     nl: &Netlist,
     tech: &Technology,
@@ -49,57 +174,85 @@ pub fn newton_solve(
     x0: &[f64],
     gmin: f64,
     opts: &NewtonOptions,
-) -> Result<Vec<f64>, SimError> {
-    let nn = nl.node_count() - 1;
-    let mut x = x0.to_vec();
-    let mut last_update = f64::INFINITY;
-    for _ in 0..opts.max_iter {
-        let sys = assemble(nl, tech, &x, mode, gmin);
-        let lu = LuFactor::new(&sys.matrix).map_err(|e| SimError::from_solve(nl, e))?;
-        let x_new = lu.solve(&sys.rhs).map_err(|e| SimError::from_solve(nl, e))?;
-        // Damping: limit the voltage part of the update.
-        let mut dv_max = 0.0f64;
-        for i in 0..nn {
-            dv_max = dv_max.max((x_new[i] - x[i]).abs());
-        }
-        let scale = if dv_max > opts.max_step {
-            opts.max_step / dv_max
-        } else {
-            1.0
-        };
-        for (xi, xn) in x.iter_mut().zip(&x_new) {
-            *xi += scale * (*xn - *xi);
-        }
-        last_update = dv_max * scale;
-        if dv_max <= opts.vtol {
-            return Ok(x);
-        }
-    }
-    Err(SimError::NoConvergence {
-        iterations: opts.max_iter,
-        residual: last_update,
-    })
+) -> Result<NewtonResult, SimError> {
+    attempt(nl, tech, mode, x0, gmin, opts, "dcop", None, &mut NullTracer)
 }
+
+/// [`newton_solve`] recording telemetry: emits one
+/// [`Event::NewtonAttempt`] tagged with `analysis` on the given tracer.
+///
+/// # Errors
+///
+/// As for [`newton_solve`].
+#[allow(clippy::too_many_arguments)]
+pub fn newton_solve_traced(
+    nl: &Netlist,
+    tech: &Technology,
+    mode: AssembleMode<'_>,
+    x0: &[f64],
+    gmin: f64,
+    opts: &NewtonOptions,
+    analysis: &'static str,
+    tracer: &mut dyn Tracer,
+) -> Result<NewtonResult, SimError> {
+    attempt(nl, tech, mode, x0, gmin, opts, analysis, None, tracer)
+}
+
+/// The gmin-stepping conductance ladder, heaviest rung first.
+const GMIN_LADDER: [f64; 5] = [1e-3, 1e-5, 1e-7, 1e-9, 1e-11];
 
 /// Newton solve with gmin stepping: attempt the target gmin first and,
 /// on failure, walk a conductance ladder from heavy damping down,
 /// re-using each stage's solution as the next stage's guess.
+///
+/// # Errors
+///
+/// As for [`newton_solve`]; a [`SimError::NoConvergence`] names the
+/// ladder rung (`gmin` field) that gave up.
 pub fn newton_solve_gmin_stepping(
     nl: &Netlist,
     tech: &Technology,
     mode: AssembleMode<'_>,
     x0: &[f64],
     opts: &NewtonOptions,
-) -> Result<Vec<f64>, SimError> {
-    if let Ok(x) = newton_solve(nl, tech, mode, x0, opts.gmin, opts) {
-        return Ok(x);
+) -> Result<NewtonResult, SimError> {
+    newton_solve_gmin_stepping_traced(nl, tech, mode, x0, opts, "dcop", &mut NullTracer)
+}
+
+/// [`newton_solve_gmin_stepping`] recording telemetry: emits one
+/// [`Event::NewtonAttempt`] per attempt (rung `None` for the direct
+/// attempt, then `Some(0..)` down the ladder), tagged with `analysis`.
+///
+/// # Errors
+///
+/// As for [`newton_solve_gmin_stepping`].
+pub fn newton_solve_gmin_stepping_traced(
+    nl: &Netlist,
+    tech: &Technology,
+    mode: AssembleMode<'_>,
+    x0: &[f64],
+    opts: &NewtonOptions,
+    analysis: &'static str,
+    tracer: &mut dyn Tracer,
+) -> Result<NewtonResult, SimError> {
+    if let Ok(r) = attempt(nl, tech, mode, x0, opts.gmin, opts, analysis, None, tracer) {
+        return Ok(r);
     }
-    let ladder = [1e-3, 1e-5, 1e-7, 1e-9, 1e-11];
     let mut x = x0.to_vec();
-    for g in ladder {
-        x = newton_solve(nl, tech, mode, &x, g, opts)?;
+    for (i, g) in GMIN_LADDER.iter().enumerate() {
+        x = attempt(nl, tech, mode, &x, *g, opts, analysis, Some(i), tracer)?.x;
     }
-    newton_solve(nl, tech, mode, &x, opts.gmin, opts)
+    attempt(
+        nl,
+        tech,
+        mode,
+        &x,
+        opts.gmin,
+        opts,
+        analysis,
+        Some(GMIN_LADDER.len()),
+        tracer,
+    )
 }
 
 /// A solved DC operating point.
@@ -188,6 +341,39 @@ impl DcOperatingPoint {
         Self::solve_with_unchecked(nl, tech, &NewtonOptions::default())
     }
 
+    /// [`DcOperatingPoint::solve_with`] recording telemetry on the
+    /// given tracer: every Newton attempt (including gmin-ladder rungs)
+    /// emits an [`Event::NewtonAttempt`] tagged `"dcop"`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DcOperatingPoint::solve_with`].
+    pub fn solve_traced(
+        nl: &Netlist,
+        tech: &Technology,
+        opts: &NewtonOptions,
+        tracer: &mut dyn Tracer,
+    ) -> Result<Self, SimError> {
+        crate::erc::gate(nl)?;
+        Self::solve_traced_unchecked(nl, tech, opts, tracer)
+    }
+
+    /// [`DcOperatingPoint::solve_traced`] without the rule check.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the Newton driver.
+    pub fn solve_traced_unchecked(
+        nl: &Netlist,
+        tech: &Technology,
+        opts: &NewtonOptions,
+        tracer: &mut dyn Tracer,
+    ) -> Result<Self, SimError> {
+        let x0 = vec![0.0; nl.unknown_count()];
+        let r = newton_solve_gmin_stepping_traced(nl, tech, AssembleMode::Dc, &x0, opts, "dcop", tracer)?;
+        Ok(DcOperatingPoint { x: r.x })
+    }
+
     /// [`DcOperatingPoint::solve_with`] without the rule check.
     ///
     /// # Errors
@@ -198,9 +384,7 @@ impl DcOperatingPoint {
         tech: &Technology,
         opts: &NewtonOptions,
     ) -> Result<Self, SimError> {
-        let x0 = vec![0.0; nl.unknown_count()];
-        let x = newton_solve_gmin_stepping(nl, tech, AssembleMode::Dc, &x0, opts)?;
-        Ok(DcOperatingPoint { x })
+        telemetry::with_tracer(|tracer| Self::solve_traced_unchecked(nl, tech, opts, tracer))
     }
 
     /// [`DcOperatingPoint::solve_from`] without the rule check.
@@ -214,8 +398,10 @@ impl DcOperatingPoint {
         guess: &[f64],
         opts: &NewtonOptions,
     ) -> Result<Self, SimError> {
-        let x = newton_solve_gmin_stepping(nl, tech, AssembleMode::Dc, guess, opts)?;
-        Ok(DcOperatingPoint { x })
+        let r = telemetry::with_tracer(|tracer| {
+            newton_solve_gmin_stepping_traced(nl, tech, AssembleMode::Dc, guess, opts, "dcop", tracer)
+        })?;
+        Ok(DcOperatingPoint { x: r.x })
     }
 
     /// Node voltage, V.
@@ -394,5 +580,102 @@ mod tests {
         let o = NewtonOptions::default();
         assert!(o.max_iter >= 100);
         assert!(o.gmin <= 1e-9);
+    }
+
+    #[test]
+    fn newton_solve_reports_iterations_and_kcl_residual() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.isource("I1", Netlist::GROUND, a, 1e-6);
+        nl.diode("D1", a, Netlist::GROUND, 1e-15, 1.0);
+        let x0 = vec![0.0; nl.unknown_count()];
+        let opts = NewtonOptions::default();
+        let r = newton_solve(&nl, &tech(), AssembleMode::Dc, &x0, opts.gmin, &opts).unwrap();
+        // The diode is nonlinear: more than one iteration, and the KCL
+        // residual at the converged point is far below the 1 µA drive.
+        assert!(r.iterations > 1, "iterations = {}", r.iterations);
+        assert!(r.residual.is_finite() && r.residual < 1e-9, "residual = {}", r.residual);
+        assert!(r.max_delta <= opts.vtol, "max_delta = {}", r.max_delta);
+        assert!(r.x[0] > 0.4);
+    }
+
+    #[test]
+    fn hard_netlist_trace_shows_gmin_ladder_engagement() {
+        use crate::telemetry::{Event, MetricsCollector, TraceMode};
+        // 1 µA pushed into a node whose only outlet is a reverse-biased
+        // diode: at the target gmin (1e-12 S) the solution sits near
+        // 1e6 V, unreachable under 0.5 V/iteration damping in 300
+        // iterations. The ladder walks 1e-3 → 1e-5 → 1e-7 fine, then the
+        // 1e-9 rung (≈1000 V) exhausts the budget.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.isource("I1", Netlist::GROUND, a, 1e-6);
+        nl.diode("D1", Netlist::GROUND, a, 1e-15, 1.0);
+        let x0 = vec![0.0; nl.unknown_count()];
+        let opts = NewtonOptions::default();
+        let mut mc = MetricsCollector::new(TraceMode::Events);
+        let err = newton_solve_gmin_stepping_traced(
+            &nl,
+            &tech(),
+            AssembleMode::Dc,
+            &x0,
+            &opts,
+            "dcop",
+            &mut mc,
+        )
+        .unwrap_err();
+        match err {
+            SimError::NoConvergence {
+                iterations,
+                residual,
+                gmin,
+                ..
+            } => {
+                assert_eq!(iterations, opts.max_iter);
+                assert!((gmin - 1e-9).abs() < 1e-24, "gmin = {gmin}");
+                assert!(residual.is_finite() && residual > 0.0, "residual = {residual}");
+            }
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+        // Trace: failed direct attempt, three converged rungs, the
+        // failing 1e-9 rung — and the ladder counted as one fallback.
+        let rungs: Vec<(Option<usize>, bool)> = mc
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::NewtonAttempt { rung, converged, .. } => Some((*rung, *converged)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            rungs,
+            vec![
+                (None, false),
+                (Some(0), true),
+                (Some(1), true),
+                (Some(2), true),
+                (Some(3), false),
+            ]
+        );
+        assert_eq!(mc.metrics().gmin_fallbacks, 1);
+        assert!(mc.metrics().damping_clamps > 0);
+    }
+
+    #[test]
+    fn solve_traced_records_nothing_extra_for_easy_circuits() {
+        use crate::telemetry::{MetricsCollector, TraceMode};
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V1", a, Netlist::GROUND, 1.5);
+        nl.resistor("R1", a, Netlist::GROUND, 1e3);
+        let mut mc = MetricsCollector::new(TraceMode::Summary);
+        let op =
+            DcOperatingPoint::solve_traced(&nl, &tech(), &NewtonOptions::default(), &mut mc)
+                .unwrap();
+        assert!((op.voltage(a) - 1.5).abs() < 1e-12);
+        let m = mc.metrics();
+        assert_eq!((m.attempts, m.solves, m.gmin_fallbacks), (1, 1, 0));
+        assert!(m.solve_seconds > 0.0);
+        assert_eq!(m.max_dimension, nl.unknown_count());
     }
 }

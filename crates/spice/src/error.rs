@@ -37,12 +37,19 @@ pub enum SimError {
     /// systems reported by the raw linear-algebra layer).
     LinearSolve(SolveError),
     /// Newton iteration failed to converge within the iteration budget,
-    /// even after gmin stepping.
+    /// even after gmin stepping. Carries the trace context of the
+    /// failing attempt so the failure is diagnosable.
     NoConvergence {
-        /// Iterations used in the final attempt.
+        /// Iterations used in the failing attempt.
         iterations: usize,
-        /// Final maximum voltage update, V.
+        /// ∞-norm KCL residual at the last iterate, A (see
+        /// [`crate::mna::MnaSystem::residual_inf`]).
         residual: f64,
+        /// Last damped maximum voltage update, V.
+        max_delta: f64,
+        /// The gmin the failing attempt ran at, S — the target gmin for
+        /// a direct attempt, or the ladder rung that gave up.
+        gmin: f64,
     },
     /// An analysis parameter was invalid (message explains which).
     BadParameter(String),
@@ -110,11 +117,14 @@ impl fmt::Display for SimError {
             SimError::NoConvergence {
                 iterations,
                 residual,
+                max_delta,
+                gmin,
             } => write!(
                 f,
-                "newton iteration did not converge after {iterations} iterations \
-                 (last update {residual:.3e} V); hint: raise NewtonOptions::max_iter, \
-                 lower max_step, or loosen vtol"
+                "newton iteration did not converge after {iterations} iterations at \
+                 gmin {gmin:.1e} S (KCL residual {residual:.3e} A, last update \
+                 {max_delta:.3e} V); hint: raise NewtonOptions::max_iter, lower \
+                 max_step, or loosen vtol"
             ),
             SimError::BadParameter(msg) => write!(
                 f,
@@ -159,8 +169,13 @@ mod tests {
         let n = SimError::NoConvergence {
             iterations: 100,
             residual: 1e-3,
+            max_delta: 2e-4,
+            gmin: 1e-9,
         };
         assert!(n.to_string().contains("100"));
+        assert!(n.to_string().contains("1.000e-3 A"), "{n}");
+        assert!(n.to_string().contains("2.000e-4 V"), "{n}");
+        assert!(n.to_string().contains("1.0e-9 S"), "{n}");
         assert!(n.to_string().contains("hint:"));
         assert!(SimError::BadParameter("dt".into()).to_string().contains("dt"));
         assert!(SimError::NotFound("V1".into()).to_string().contains("V1"));

@@ -90,6 +90,56 @@
 //! path), the solver maps the zero-pivot elimination step back through
 //! the MNA variable ordering to a named node or branch
 //! ([`SimError::Singular`], via [`mna::unknown_name`]).
+//!
+//! # Telemetry
+//!
+//! Every analysis also has a `*_traced` twin taking a
+//! [`telemetry::Tracer`], which receives structured [`telemetry::Event`]s
+//! describing what the solver did: per-Newton-attempt records (iterations,
+//! true ∞-norm KCL residual, damping clamps, gmin-ladder rungs, LU
+//! pivoting stats, wall-clock), per-transient-step, per-AC-frequency,
+//! per-sweep-point and per-noise-point records. The stock tracer is
+//! [`telemetry::MetricsCollector`], which aggregates exact
+//! [`telemetry::SimMetrics`] (counts, p50/p95/max iterations,
+//! gmin-fallback rate, solve time) and, in
+//! [`telemetry::TraceMode::Events`], retains the full event log for
+//! JSONL export:
+//!
+//! ```
+//! use ulp_spice::netlist::Netlist;
+//! use ulp_spice::dcop::{DcOperatingPoint, NewtonOptions};
+//! use ulp_spice::telemetry::{MetricsCollector, TraceMode};
+//! use ulp_device::Technology;
+//!
+//! # fn main() -> Result<(), ulp_spice::SimError> {
+//! let mut nl = Netlist::new();
+//! let a = nl.node("a");
+//! nl.isource("I1", Netlist::GROUND, a, 1e-6);
+//! nl.diode("D1", a, Netlist::GROUND, 1e-15, 1.0);
+//! let mut mc = MetricsCollector::new(TraceMode::Summary);
+//! let op = DcOperatingPoint::solve_traced(
+//!     &nl,
+//!     &Technology::default(),
+//!     &NewtonOptions::default(),
+//!     &mut mc,
+//! )?;
+//! assert!(op.voltage(a) > 0.4);
+//! let m = mc.metrics();
+//! assert_eq!(m.solves, 1);
+//! assert!(m.newton_iterations > 1); // the diode is nonlinear
+//! println!("{}", m.summary()); // the stable `-- solver metrics --` footer
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The *default* entry points route through a process-global collector
+//! activated by the `ULP_TRACE` environment variable (`summary` |
+//! `events`), so existing callers gain telemetry without code changes;
+//! with the variable unset the drivers consult a [`telemetry::NullTracer`]
+//! and skip event construction and clock reads entirely. See
+//! [`telemetry`] for the JSONL schema and the global-collector API
+//! ([`telemetry::snapshot`], [`telemetry::take_events`],
+//! [`telemetry::phase`]).
 
 pub mod ac;
 pub mod dcop;
@@ -101,8 +151,10 @@ pub mod netlist;
 pub mod noise;
 pub mod report;
 pub mod sweep;
+pub mod telemetry;
 pub mod tran;
 
 pub use diag::{Diagnostic, ErcReport, Severity};
 pub use error::SimError;
 pub use netlist::{Netlist, Node, Waveform};
+pub use telemetry::{Event, MetricsCollector, SimMetrics, TraceMode, Tracer};

@@ -57,6 +57,24 @@ pub struct MnaSystem {
     pub rhs: Vec<f64>,
 }
 
+impl MnaSystem {
+    /// ∞-norm of `A·x − b`.
+    ///
+    /// Because nonlinear elements are stamped as companion models
+    /// linearised about `x`, evaluating the assembled system at the
+    /// *same* `x` recovers the true nonlinear residual of the MNA
+    /// equations: the net KCL current error at every node (and the
+    /// voltage-law error of every branch equation), in amps.
+    pub fn residual_inf(&self, x: &[f64]) -> f64 {
+        self.matrix
+            .mul_vec(x)
+            .iter()
+            .zip(&self.rhs)
+            .map(|(ax, b)| (ax - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
 /// Voltage of `node` in solution vector `x` (ground = 0).
 pub fn voltage_of(x: &[f64], node: Node) -> f64 {
     if node.is_ground() {
@@ -292,6 +310,22 @@ pub fn capacitor_currents(
     method: Integrator,
 ) -> Vec<f64> {
     let mut out = Vec::new();
+    capacitor_currents_into(nl, x, prev, prev_currents, dt, method, &mut out);
+    out
+}
+
+/// [`capacitor_currents`] writing into a caller-owned buffer (cleared
+/// first) — lets the transient loop reuse its per-step allocation.
+pub fn capacitor_currents_into(
+    nl: &Netlist,
+    x: &[f64],
+    prev: &[f64],
+    prev_currents: &[f64],
+    dt: f64,
+    method: Integrator,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
     let mut k = 0usize;
     for e in nl.elements() {
         if let Element::Capacitor { a, b, farads, .. } = e {
@@ -307,7 +341,6 @@ pub fn capacitor_currents(
             k += 1;
         }
     }
-    out
 }
 
 /// What one MNA unknown physically is: the voltage of a named node or

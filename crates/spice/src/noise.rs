@@ -21,6 +21,8 @@ use crate::dcop::DcOperatingPoint;
 use crate::error::SimError;
 use crate::mna::voltage_of;
 use crate::netlist::{Element, Netlist, Node};
+use crate::telemetry::{self, Event, Tracer};
+use std::time::Instant;
 use ulp_device::Technology;
 use ulp_num::lu::ComplexLuFactor;
 use ulp_num::{Complex, ComplexMatrix};
@@ -249,6 +251,24 @@ pub fn noise_analysis(
     output: Node,
     freqs: &[f64],
 ) -> Result<NoiseReport, SimError> {
+    telemetry::with_tracer(|tracer| noise_analysis_traced(nl, tech, op, output, freqs, tracer))
+}
+
+/// [`noise_analysis`] recording telemetry on the given tracer: one
+/// [`Event::NoisePoint`] per analysis frequency (with the number of
+/// noise sources back-substituted at that point).
+///
+/// # Errors
+///
+/// As for [`noise_analysis`].
+pub fn noise_analysis_traced(
+    nl: &Netlist,
+    tech: &Technology,
+    op: &DcOperatingPoint,
+    output: Node,
+    freqs: &[f64],
+    tracer: &mut dyn Tracer,
+) -> Result<NoiseReport, SimError> {
     if freqs.len() < 2 || freqs.windows(2).any(|w| w[1] <= w[0]) {
         return Err(SimError::BadParameter(
             "noise sweep needs at least two ascending frequencies".to_string(),
@@ -265,7 +285,9 @@ pub fn noise_analysis(
     let mut output_psd = Vec::with_capacity(freqs.len());
     // Per-source PSD at each frequency for the contribution integrals.
     let mut per_source: Vec<Vec<f64>> = vec![Vec::with_capacity(freqs.len()); sources.len()];
-    for &f in freqs {
+    let enabled = tracer.enabled();
+    for (fi, &f) in freqs.iter().enumerate() {
+        let t0 = enabled.then(Instant::now);
         let m = small_signal_matrix(nl, tech, op, f);
         let lu = ComplexLuFactor::new(&m)?;
         let mut total = 0.0;
@@ -285,6 +307,14 @@ pub fn noise_analysis(
             total += psd;
         }
         output_psd.push(total);
+        if let Some(t0) = t0 {
+            tracer.record(&Event::NoisePoint {
+                index: fi,
+                freq: f,
+                sources: sources.len(),
+                seconds: t0.elapsed().as_secs_f64(),
+            });
+        }
     }
     // Trapezoidal integration over the sweep.
     let integrate = |ys: &[f64]| -> f64 {
@@ -419,6 +449,27 @@ mod tests {
         // The named contributions identify the offender.
         let worst = rep.worst_offender().unwrap();
         assert!(worst.name == "M1" || worst.name == "RD");
+    }
+
+    #[test]
+    fn traced_noise_records_sources_per_point() {
+        use crate::telemetry::{Event, MetricsCollector, TraceMode};
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.resistor("R1", a, Netlist::GROUND, 1e5);
+        nl.capacitor("C1", a, Netlist::GROUND, 1e-12);
+        nl.isource("I0", Netlist::GROUND, a, 0.0);
+        let op = DcOperatingPoint::solve(&nl, &tech()).unwrap();
+        let mut mc = MetricsCollector::new(TraceMode::Events);
+        let rep =
+            noise_analysis_traced(&nl, &tech(), &op, a, &[1.0, 10.0, 100.0], &mut mc).unwrap();
+        assert_eq!(rep.freqs.len(), 3);
+        assert_eq!(mc.metrics().noise_points, 3);
+        for e in mc.events() {
+            if let Event::NoisePoint { sources, .. } = e {
+                assert_eq!(*sources, 1); // only R1 makes noise
+            }
+        }
     }
 
     #[test]

@@ -5,10 +5,12 @@
 //! operating branch — essential for the STSCL gate VTC (experiment E10)
 //! whose differential stages otherwise offer two symmetric solutions.
 
-use crate::dcop::{newton_solve_gmin_stepping, NewtonOptions};
+use crate::dcop::{newton_solve_gmin_stepping_traced, NewtonOptions};
 use crate::error::SimError;
 use crate::mna::{voltage_of, AssembleMode};
 use crate::netlist::{Element, Netlist, Node, Waveform};
+use crate::telemetry::{self, Event, Tracer};
+use std::time::Instant;
 use ulp_device::Technology;
 
 /// Result of a DC sweep.
@@ -131,16 +133,69 @@ pub fn dc_sweep_unchecked(
     values: &[f64],
     opts: &NewtonOptions,
 ) -> Result<SweepResult, SimError> {
+    telemetry::with_tracer(|tracer| dc_sweep_traced_unchecked(nl, tech, source, values, opts, tracer))
+}
+
+/// [`dc_sweep_with`] recording telemetry on the given tracer: one
+/// [`Event::NewtonAttempt`] per solve (tagged `"sweep"`) and one
+/// [`Event::SweepPoint`] per stimulus value.
+///
+/// # Errors
+///
+/// As for [`dc_sweep_with`].
+pub fn dc_sweep_traced(
+    nl: &Netlist,
+    tech: &Technology,
+    source: &str,
+    values: &[f64],
+    opts: &NewtonOptions,
+    tracer: &mut dyn Tracer,
+) -> Result<SweepResult, SimError> {
+    crate::erc::gate(nl)?;
+    dc_sweep_traced_unchecked(nl, tech, source, values, opts, tracer)
+}
+
+/// [`dc_sweep_traced`] without the rule check.
+///
+/// # Errors
+///
+/// As for [`dc_sweep_unchecked`].
+pub fn dc_sweep_traced_unchecked(
+    nl: &Netlist,
+    tech: &Technology,
+    source: &str,
+    values: &[f64],
+    opts: &NewtonOptions,
+    tracer: &mut dyn Tracer,
+) -> Result<SweepResult, SimError> {
     let mut work = nl.clone();
     // Validate the source exists up front.
     work.set_source(source, values.first().copied().unwrap_or(0.0))?;
     let mut solutions = Vec::with_capacity(values.len());
     let mut guess = vec![0.0; work.unknown_count()];
-    for &v in values {
+    let enabled = tracer.enabled();
+    for (i, &v) in values.iter().enumerate() {
+        let t0 = enabled.then(Instant::now);
         work.set_source(source, v)?;
-        let x = newton_solve_gmin_stepping(&work, tech, AssembleMode::Dc, &guess, opts)?;
-        guess = x.clone();
-        solutions.push(x);
+        let r = newton_solve_gmin_stepping_traced(
+            &work,
+            tech,
+            AssembleMode::Dc,
+            &guess,
+            opts,
+            "sweep",
+            tracer,
+        )?;
+        if let Some(t0) = t0 {
+            tracer.record(&Event::SweepPoint {
+                index: i,
+                value: v,
+                newton_iterations: r.iterations,
+                seconds: t0.elapsed().as_secs_f64(),
+            });
+        }
+        guess = r.x.clone();
+        solutions.push(r.x);
     }
     Ok(SweepResult {
         values: values.to_vec(),
@@ -194,6 +249,38 @@ mod tests {
         set_source_value(&mut nl, "I1", 2e-6).unwrap();
         let op = crate::dcop::DcOperatingPoint::solve(&nl, &Technology::default()).unwrap();
         assert!((op.voltage(a) - 2e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_sweep_records_every_point() {
+        use crate::telemetry::{Event, MetricsCollector, TraceMode};
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V1", a, Netlist::GROUND, 0.0);
+        nl.resistor("R1", a, Netlist::GROUND, 1e3);
+        let vals = interp::linspace(0.0, 1.0, 4);
+        let mut mc = MetricsCollector::new(TraceMode::Events);
+        let s = dc_sweep_traced(
+            &nl,
+            &Technology::default(),
+            "V1",
+            &vals,
+            &NewtonOptions::default(),
+            &mut mc,
+        )
+        .unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(mc.metrics().sweep_points, 4);
+        let points: Vec<(usize, f64)> = mc
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::SweepPoint { index, value, .. } => Some((*index, *value)),
+                _ => None,
+            })
+            .collect();
+        let expect: Vec<(usize, f64)> = vals.iter().copied().enumerate().collect();
+        assert_eq!(points, expect);
     }
 
     #[test]

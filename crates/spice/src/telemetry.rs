@@ -1,0 +1,804 @@
+//! Solver telemetry: convergence tracing, aggregate metrics and a
+//! structured event log.
+//!
+//! Every analysis driver in this crate ([`crate::dcop`], [`crate::sweep`],
+//! [`crate::tran`], [`crate::ac`], [`crate::noise`]) emits structured
+//! [`Event`]s describing what the solver actually did — Newton attempts
+//! with iteration counts and true KCL residuals, gmin-ladder rungs,
+//! transient steps, per-frequency and per-sweep-point records, LU stats
+//! and wall-clock timing. Two consumers exist:
+//!
+//! * a caller-supplied [`Tracer`] passed to the `*_traced` twin of each
+//!   analysis entry point (mirroring the `solve`/`solve_unchecked` twin
+//!   pattern) — typically a [`MetricsCollector`];
+//! * a process-global collector installed from the `ULP_TRACE`
+//!   environment variable (`summary` aggregates only, `events`
+//!   additionally keeps the full event log for JSONL export), which the
+//!   *default* entry points consult automatically so existing callers
+//!   gain telemetry without code changes.
+//!
+//! Tracing is zero-cost when disabled: the [`NullTracer`] reports
+//! `enabled() == false` and the drivers skip event construction and
+//! clock reads entirely.
+//!
+//! # Aggregates
+//!
+//! [`SimMetrics`] accumulates counters and an exact per-attempt
+//! iteration sample set, so [`SimMetrics::p50_iterations`] /
+//! [`SimMetrics::p95_iterations`] are true nearest-rank percentiles,
+//! not estimates. [`SimMetrics::summary`] renders the stable
+//! `-- solver metrics --` footer used by the bench binaries;
+//! [`MetricsCollector::render_jsonl`] renders the event log one JSON
+//! object per line.
+//!
+//! # Example
+//!
+//! ```
+//! use ulp_spice::netlist::Netlist;
+//! use ulp_spice::dcop::{DcOperatingPoint, NewtonOptions};
+//! use ulp_spice::telemetry::{MetricsCollector, TraceMode};
+//! use ulp_device::Technology;
+//!
+//! # fn main() -> Result<(), ulp_spice::SimError> {
+//! let mut nl = Netlist::new();
+//! let a = nl.node("a");
+//! nl.isource("I1", Netlist::GROUND, a, 1e-6);
+//! nl.diode("D1", a, Netlist::GROUND, 1e-15, 1.0);
+//! let mut mc = MetricsCollector::new(TraceMode::Events);
+//! let op = DcOperatingPoint::solve_traced(
+//!     &nl,
+//!     &Technology::default(),
+//!     &NewtonOptions::default(),
+//!     &mut mc,
+//! )?;
+//! assert!(op.voltage(a) > 0.4);
+//! let m = mc.metrics();
+//! assert_eq!(m.solves, 1);
+//! assert!(m.newton_iterations > 1); // the diode is nonlinear
+//! assert!(!mc.events().is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// How much the global collector keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Aggregate counters/histograms only.
+    Summary,
+    /// Aggregates plus the full structured event log.
+    Events,
+}
+
+impl TraceMode {
+    /// Parses the `ULP_TRACE` environment variable: unset or empty →
+    /// `None` (tracing off), `events` → [`TraceMode::Events`], any other
+    /// non-empty value (canonically `summary`) → [`TraceMode::Summary`].
+    pub fn from_env() -> Option<TraceMode> {
+        match std::env::var("ULP_TRACE") {
+            Ok(v) if v.is_empty() => None,
+            Ok(v) if v.eq_ignore_ascii_case("events") => Some(TraceMode::Events),
+            Ok(_) => Some(TraceMode::Summary),
+            Err(_) => None,
+        }
+    }
+}
+
+/// One structured solver event.
+///
+/// The set mirrors what the analysis drivers actually do; every variant
+/// has a stable JSONL rendering via [`Event::to_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// One damped-Newton attempt at a fixed gmin (a direct solve or one
+    /// gmin-ladder rung).
+    NewtonAttempt {
+        /// Which analysis ran the attempt (`dcop`, `sweep`, `tran`...).
+        analysis: &'static str,
+        /// The gmin the attempt ran at, S.
+        gmin: f64,
+        /// `None` for the direct attempt at the target gmin; `Some(i)`
+        /// for the i-th gmin-ladder rung (0 = heaviest).
+        rung: Option<usize>,
+        /// Iterations used (≥ 1 unless the budget was zero).
+        iterations: usize,
+        /// Whether the attempt converged.
+        converged: bool,
+        /// ∞-norm KCL residual at the last iterate, A.
+        residual: f64,
+        /// Last damped maximum voltage update, V.
+        max_delta: f64,
+        /// Iterations on which the `max_step` damping clamp engaged.
+        clamps: usize,
+        /// Dimension of the factored MNA system.
+        lu_dim: usize,
+        /// Rows displaced by partial pivoting, summed over the
+        /// attempt's factorisations.
+        lu_swaps: usize,
+        /// Wall-clock time of the attempt, s (0 when timing is off).
+        seconds: f64,
+    },
+    /// One accepted transient timestep.
+    TranStep {
+        /// Step index (1-based; step 0 is the DC initial condition).
+        step: usize,
+        /// End time of the step, s.
+        time: f64,
+        /// Newton iterations of the accepted attempt.
+        newton_iterations: usize,
+        /// Companion-model integrator (`backward-euler`/`trapezoidal`).
+        method: &'static str,
+        /// Wall-clock time of the step, s.
+        seconds: f64,
+    },
+    /// One AC analysis frequency point.
+    AcPoint {
+        /// Index within the sweep.
+        index: usize,
+        /// Analysis frequency, Hz.
+        freq: f64,
+        /// Wall-clock time, s.
+        seconds: f64,
+    },
+    /// One DC sweep point.
+    SweepPoint {
+        /// Index within the sweep.
+        index: usize,
+        /// Stimulus value at this point.
+        value: f64,
+        /// Newton iterations of the accepted attempt.
+        newton_iterations: usize,
+        /// Wall-clock time, s.
+        seconds: f64,
+    },
+    /// One noise analysis frequency point.
+    NoisePoint {
+        /// Index within the sweep.
+        index: usize,
+        /// Analysis frequency, Hz.
+        freq: f64,
+        /// Number of noise sources back-substituted.
+        sources: usize,
+        /// Wall-clock time, s.
+        seconds: f64,
+    },
+    /// A named higher-level phase (e.g. `stscl::vtc::sweep`) with its
+    /// wall-clock duration.
+    Phase {
+        /// Phase label, `crate::scope` style.
+        name: String,
+        /// Wall-clock time, s.
+        seconds: f64,
+    },
+}
+
+/// Formats an `f64` as a JSON number (`null` for non-finite values,
+/// which JSON cannot represent).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl Event {
+    /// Stable machine-readable tag of the variant.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::NewtonAttempt { .. } => "newton_attempt",
+            Event::TranStep { .. } => "tran_step",
+            Event::AcPoint { .. } => "ac_point",
+            Event::SweepPoint { .. } => "sweep_point",
+            Event::NoisePoint { .. } => "noise_point",
+            Event::Phase { .. } => "phase",
+        }
+    }
+
+    /// Renders the event as one JSON object (stable key order, no
+    /// trailing newline) — the unit of the JSONL export.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(160);
+        let _ = write!(s, "{{\"event\":\"{}\"", self.kind());
+        match self {
+            Event::NewtonAttempt {
+                analysis,
+                gmin,
+                rung,
+                iterations,
+                converged,
+                residual,
+                max_delta,
+                clamps,
+                lu_dim,
+                lu_swaps,
+                seconds,
+            } => {
+                let _ = write!(s, ",\"analysis\":\"{analysis}\"");
+                let _ = write!(s, ",\"gmin\":{}", json_num(*gmin));
+                match rung {
+                    Some(r) => {
+                        let _ = write!(s, ",\"rung\":{r}");
+                    }
+                    None => s.push_str(",\"rung\":null"),
+                }
+                let _ = write!(s, ",\"iterations\":{iterations}");
+                let _ = write!(s, ",\"converged\":{converged}");
+                let _ = write!(s, ",\"residual\":{}", json_num(*residual));
+                let _ = write!(s, ",\"max_delta\":{}", json_num(*max_delta));
+                let _ = write!(s, ",\"clamps\":{clamps}");
+                let _ = write!(s, ",\"lu_dim\":{lu_dim}");
+                let _ = write!(s, ",\"lu_swaps\":{lu_swaps}");
+                let _ = write!(s, ",\"seconds\":{}", json_num(*seconds));
+            }
+            Event::TranStep {
+                step,
+                time,
+                newton_iterations,
+                method,
+                seconds,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"step\":{step},\"time\":{},\"newton_iterations\":{newton_iterations},\"method\":\"{method}\",\"seconds\":{}",
+                    json_num(*time),
+                    json_num(*seconds)
+                );
+            }
+            Event::AcPoint { index, freq, seconds } => {
+                let _ = write!(
+                    s,
+                    ",\"index\":{index},\"freq\":{},\"seconds\":{}",
+                    json_num(*freq),
+                    json_num(*seconds)
+                );
+            }
+            Event::SweepPoint {
+                index,
+                value,
+                newton_iterations,
+                seconds,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"index\":{index},\"value\":{},\"newton_iterations\":{newton_iterations},\"seconds\":{}",
+                    json_num(*value),
+                    json_num(*seconds)
+                );
+            }
+            Event::NoisePoint {
+                index,
+                freq,
+                sources,
+                seconds,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"index\":{index},\"freq\":{},\"sources\":{sources},\"seconds\":{}",
+                    json_num(*freq),
+                    json_num(*seconds)
+                );
+            }
+            Event::Phase { name, seconds } => {
+                // Phase names come from in-tree callers and contain no
+                // characters needing JSON escaping beyond the basics.
+                let escaped: String = name
+                    .chars()
+                    .flat_map(|c| match c {
+                        '"' => vec!['\\', '"'],
+                        '\\' => vec!['\\', '\\'],
+                        c if c.is_control() => vec![' '],
+                        c => vec![c],
+                    })
+                    .collect();
+                let _ = write!(s, ",\"name\":\"{escaped}\",\"seconds\":{}", json_num(*seconds));
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// A sink for solver events.
+///
+/// Implementations must be cheap to call; the drivers consult
+/// [`Tracer::enabled`] before building events so a disabled tracer costs
+/// nothing in the hot loops.
+pub trait Tracer {
+    /// Records one structured event.
+    fn record(&mut self, event: &Event);
+
+    /// Whether callers should bother constructing events (and reading
+    /// the clock). Defaults to `true`; [`NullTracer`] returns `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The no-op tracer: discards everything, reports itself disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn record(&mut self, _event: &Event) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Aggregate solver counters and exact iteration statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimMetrics {
+    /// Newton attempts recorded (direct solves and ladder rungs).
+    pub attempts: usize,
+    /// Attempts that converged.
+    pub solves: usize,
+    /// Attempts that did not converge.
+    pub failures: usize,
+    /// Total Newton iterations across all attempts.
+    pub newton_iterations: usize,
+    /// Solves that fell back to the gmin ladder (first-rung events).
+    pub gmin_fallbacks: usize,
+    /// Iterations on which the voltage-damping clamp engaged.
+    pub damping_clamps: usize,
+    /// LU factorisations attempted (one per Newton iteration).
+    pub lu_factorisations: usize,
+    /// Rows displaced by partial pivoting, summed over factorisations.
+    pub lu_swaps: usize,
+    /// Largest MNA system dimension factored.
+    pub max_dimension: usize,
+    /// Transient steps accepted.
+    pub tran_steps: usize,
+    /// AC frequency points solved.
+    pub ac_points: usize,
+    /// DC sweep points solved.
+    pub sweep_points: usize,
+    /// Noise frequency points solved.
+    pub noise_points: usize,
+    /// Wall-clock time summed over Newton attempts, s.
+    pub solve_seconds: f64,
+    /// Per-attempt iteration counts, recording order (for percentiles).
+    iter_samples: Vec<usize>,
+    /// Named phase durations, recording order.
+    phases: Vec<(String, f64)>,
+}
+
+/// Nearest-rank percentile of an unsorted sample set: the smallest value
+/// with at least `q`% of samples at or below it. Returns 0 when empty.
+fn percentile(samples: &[usize], q: f64) -> usize {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl SimMetrics {
+    /// Folds one event into the aggregates.
+    pub fn absorb(&mut self, event: &Event) {
+        match event {
+            Event::NewtonAttempt {
+                rung,
+                iterations,
+                converged,
+                clamps,
+                lu_dim,
+                lu_swaps,
+                seconds,
+                ..
+            } => {
+                self.attempts += 1;
+                if *converged {
+                    self.solves += 1;
+                } else {
+                    self.failures += 1;
+                }
+                self.newton_iterations += iterations;
+                self.iter_samples.push(*iterations);
+                if *rung == Some(0) {
+                    self.gmin_fallbacks += 1;
+                }
+                self.damping_clamps += clamps;
+                self.lu_factorisations += iterations;
+                self.lu_swaps += lu_swaps;
+                self.max_dimension = self.max_dimension.max(*lu_dim);
+                self.solve_seconds += seconds;
+            }
+            Event::TranStep { .. } => self.tran_steps += 1,
+            Event::AcPoint { .. } => self.ac_points += 1,
+            Event::SweepPoint { .. } => self.sweep_points += 1,
+            Event::NoisePoint { .. } => self.noise_points += 1,
+            Event::Phase { name, seconds } => self.phases.push((name.clone(), *seconds)),
+        }
+    }
+
+    /// Median per-attempt Newton iteration count (nearest-rank).
+    pub fn p50_iterations(&self) -> usize {
+        percentile(&self.iter_samples, 50.0)
+    }
+
+    /// 95th-percentile per-attempt Newton iteration count.
+    pub fn p95_iterations(&self) -> usize {
+        percentile(&self.iter_samples, 95.0)
+    }
+
+    /// Worst per-attempt Newton iteration count.
+    pub fn max_iterations(&self) -> usize {
+        self.iter_samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean Newton iterations per attempt (0 with no attempts).
+    pub fn iterations_per_solve(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.newton_iterations as f64 / self.attempts as f64
+        }
+    }
+
+    /// Recorded phase durations, recording order.
+    pub fn phases(&self) -> &[(String, f64)] {
+        &self.phases
+    }
+
+    /// The stable multi-line `-- solver metrics --` footer.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "-- solver metrics --");
+        let _ = writeln!(
+            s,
+            "total solves      : {} ({} attempts, {} failed)",
+            self.solves, self.attempts, self.failures
+        );
+        let _ = writeln!(
+            s,
+            "newton iterations : {} total, p50 {}, p95 {}, max {}",
+            self.newton_iterations,
+            self.p50_iterations(),
+            self.p95_iterations(),
+            self.max_iterations()
+        );
+        let _ = writeln!(s, "gmin fallbacks    : {}", self.gmin_fallbacks);
+        let _ = writeln!(s, "damping clamps    : {}", self.damping_clamps);
+        let _ = writeln!(
+            s,
+            "lu factorisations : {} (max dim {}, {} pivot swaps)",
+            self.lu_factorisations, self.max_dimension, self.lu_swaps
+        );
+        let _ = writeln!(
+            s,
+            "analysis points   : tran {}, ac {}, sweep {}, noise {}",
+            self.tran_steps, self.ac_points, self.sweep_points, self.noise_points
+        );
+        let _ = write!(s, "solve wall time   : {:.3e} s", self.solve_seconds);
+        for (name, secs) in &self.phases {
+            let _ = write!(s, "\nphase             : {name} {secs:.3e} s");
+        }
+        s
+    }
+}
+
+/// A [`Tracer`] that aggregates [`SimMetrics`] and (in
+/// [`TraceMode::Events`]) retains the full event log.
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    mode: TraceMode,
+    metrics: SimMetrics,
+    events: Vec<Event>,
+}
+
+impl MetricsCollector {
+    /// Creates a collector in the given mode.
+    pub fn new(mode: TraceMode) -> Self {
+        MetricsCollector {
+            mode,
+            metrics: SimMetrics::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The aggregates so far.
+    pub fn metrics(&self) -> &SimMetrics {
+        &self.metrics
+    }
+
+    /// The retained events (empty in [`TraceMode::Summary`]).
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Takes the retained events, leaving the log empty.
+    pub fn take_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Renders the retained events as JSONL (one object per line,
+    /// trailing newline when non-empty).
+    pub fn render_jsonl(&self) -> String {
+        let mut s = String::new();
+        for e in &self.events {
+            s.push_str(&e.to_json());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Clears aggregates and events.
+    pub fn reset(&mut self) {
+        self.metrics = SimMetrics::default();
+        self.events.clear();
+    }
+}
+
+impl Default for MetricsCollector {
+    fn default() -> Self {
+        MetricsCollector::new(TraceMode::Summary)
+    }
+}
+
+impl Tracer for MetricsCollector {
+    fn record(&mut self, event: &Event) {
+        self.metrics.absorb(event);
+        if self.mode == TraceMode::Events {
+            self.events.push(event.clone());
+        }
+    }
+}
+
+/// The process-global collector, decided once: either installed
+/// programmatically via [`install_global`] or from `ULP_TRACE` on first
+/// touch.
+static GLOBAL: OnceLock<Option<Mutex<MetricsCollector>>> = OnceLock::new();
+
+fn global_cell() -> &'static Option<Mutex<MetricsCollector>> {
+    GLOBAL.get_or_init(|| TraceMode::from_env().map(|m| Mutex::new(MetricsCollector::new(m))))
+}
+
+fn lock(m: &Mutex<MetricsCollector>) -> std::sync::MutexGuard<'_, MetricsCollector> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Installs the global collector programmatically (instead of via the
+/// environment). Returns `false` if the decision was already made —
+/// by a prior call or by any earlier default-API analysis (which reads
+/// `ULP_TRACE` on first touch).
+pub fn install_global(mode: TraceMode) -> bool {
+    GLOBAL.set(Some(Mutex::new(MetricsCollector::new(mode)))).is_ok()
+}
+
+/// Whether a global collector is active.
+pub fn global_enabled() -> bool {
+    global_cell().is_some()
+}
+
+/// The global collector's mode, if one is active.
+pub fn global_mode() -> Option<TraceMode> {
+    global_cell().as_ref().map(|m| lock(m).mode)
+}
+
+/// Runs `f` with the global collector as tracer when one is active, or
+/// with the [`NullTracer`] otherwise. This is what every default
+/// analysis entry point routes through.
+///
+/// `f` must not recursively call a *default* analysis entry point while
+/// holding the tracer (the drivers use only `*_traced` internals, so
+/// this cannot happen through this crate's own APIs).
+pub fn with_tracer<R>(f: impl FnOnce(&mut dyn Tracer) -> R) -> R {
+    match global_cell() {
+        Some(m) => f(&mut *lock(m)),
+        None => f(&mut NullTracer),
+    }
+}
+
+/// A snapshot of the global aggregates (`None` when tracing is off).
+pub fn snapshot() -> Option<SimMetrics> {
+    global_cell().as_ref().map(|m| lock(m).metrics().clone())
+}
+
+/// Takes the globally retained events (empty unless the global
+/// collector is active in [`TraceMode::Events`]).
+pub fn take_events() -> Vec<Event> {
+    global_cell()
+        .as_ref()
+        .map(|m| lock(m).take_events())
+        .unwrap_or_default()
+}
+
+/// Times `f` and records a [`Event::Phase`] with the given name on the
+/// global collector. A no-op wrapper when tracing is off. The global
+/// lock is taken only *after* `f` returns, so `f` may freely run
+/// (default or traced) analyses.
+pub fn phase<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    if !global_enabled() {
+        return f();
+    }
+    let t0 = Instant::now();
+    let r = f();
+    let seconds = t0.elapsed().as_secs_f64();
+    with_tracer(|t| {
+        t.record(&Event::Phase {
+            name: name.to_string(),
+            seconds,
+        })
+    });
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attempt(iterations: usize, converged: bool, rung: Option<usize>) -> Event {
+        Event::NewtonAttempt {
+            analysis: "dcop",
+            gmin: 1e-12,
+            rung,
+            iterations,
+            converged,
+            residual: 1e-9,
+            max_delta: 1e-10,
+            clamps: 1,
+            lu_dim: 7,
+            lu_swaps: 2,
+            seconds: 0.5e-3,
+        }
+    }
+
+    #[test]
+    fn aggregates_are_exact_on_a_scripted_sequence() {
+        let mut mc = MetricsCollector::new(TraceMode::Events);
+        // 20 attempts with iteration counts 1..=20; the 10th (iters 10)
+        // is a failed direct attempt followed by a ladder engagement.
+        for i in 1..=20usize {
+            let rung = if i == 11 { Some(0) } else { None };
+            mc.record(&attempt(i, i != 10, rung));
+        }
+        let m = mc.metrics();
+        assert_eq!(m.attempts, 20);
+        assert_eq!(m.solves, 19);
+        assert_eq!(m.failures, 1);
+        assert_eq!(m.newton_iterations, (1..=20).sum::<usize>());
+        assert_eq!(m.gmin_fallbacks, 1);
+        assert_eq!(m.damping_clamps, 20);
+        assert_eq!(m.lu_factorisations, (1..=20).sum::<usize>());
+        assert_eq!(m.lu_swaps, 40);
+        assert_eq!(m.max_dimension, 7);
+        // Nearest-rank percentiles on 1..=20: p50 = 10, p95 = 19.
+        assert_eq!(m.p50_iterations(), 10);
+        assert_eq!(m.p95_iterations(), 19);
+        assert_eq!(m.max_iterations(), 20);
+        assert!((m.iterations_per_solve() - 10.5).abs() < 1e-12);
+        assert!((m.solve_seconds - 20.0 * 0.5e-3).abs() < 1e-12);
+        assert_eq!(mc.events().len(), 20);
+    }
+
+    #[test]
+    fn point_events_count_into_their_buckets() {
+        let mut mc = MetricsCollector::default();
+        mc.record(&Event::TranStep {
+            step: 1,
+            time: 1e-9,
+            newton_iterations: 3,
+            method: "backward-euler",
+            seconds: 0.0,
+        });
+        mc.record(&Event::AcPoint {
+            index: 0,
+            freq: 1e3,
+            seconds: 0.0,
+        });
+        mc.record(&Event::SweepPoint {
+            index: 4,
+            value: 0.5,
+            newton_iterations: 2,
+            seconds: 0.0,
+        });
+        mc.record(&Event::NoisePoint {
+            index: 0,
+            freq: 10.0,
+            sources: 3,
+            seconds: 0.0,
+        });
+        mc.record(&Event::Phase {
+            name: "stscl::vtc".into(),
+            seconds: 1e-3,
+        });
+        let m = mc.metrics();
+        assert_eq!(
+            (m.tran_steps, m.ac_points, m.sweep_points, m.noise_points),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(m.phases(), &[("stscl::vtc".to_string(), 1e-3)]);
+        // Summary mode retains no events.
+        assert!(mc.events().is_empty());
+        assert_eq!(mc.render_jsonl(), "");
+    }
+
+    #[test]
+    fn jsonl_rendering_is_wellformed() {
+        let mut mc = MetricsCollector::new(TraceMode::Events);
+        mc.record(&attempt(5, true, Some(2)));
+        mc.record(&Event::Phase {
+            name: "a\"b\\c".into(),
+            seconds: f64::INFINITY,
+        });
+        let jsonl = mc.render_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert_eq!(
+                line.matches('{').count(),
+                line.matches('}').count(),
+                "{line}"
+            );
+            assert!(line.contains("\"event\":\""), "{line}");
+        }
+        assert!(lines[0].contains("\"rung\":2"));
+        assert!(lines[0].contains("\"converged\":true"));
+        // Non-finite floats become null; quotes/backslashes are escaped.
+        assert!(lines[1].contains("\"seconds\":null"));
+        assert!(lines[1].contains("a\\\"b\\\\c"));
+        // A direct attempt renders rung as JSON null.
+        assert!(attempt(1, true, None).to_json().contains("\"rung\":null"));
+    }
+
+    #[test]
+    fn summary_footer_is_stable_and_parseable() {
+        let mut mc = MetricsCollector::default();
+        mc.record(&attempt(4, true, None));
+        let s = mc.metrics().summary();
+        assert!(s.starts_with("-- solver metrics --"));
+        for key in [
+            "total solves      :",
+            "newton iterations :",
+            "gmin fallbacks    :",
+            "damping clamps    :",
+            "lu factorisations :",
+            "analysis points   :",
+            "solve wall time   :",
+        ] {
+            assert!(s.contains(key), "missing `{key}` in:\n{s}");
+        }
+        assert!(s.contains("total solves      : 1 (1 attempts, 0 failed)"));
+        assert!(s.contains("newton iterations : 4 total, p50 4, p95 4, max 4"));
+    }
+
+    #[test]
+    fn percentile_nearest_rank_edge_cases() {
+        assert_eq!(percentile(&[], 95.0), 0);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile(&[7], 95.0), 7);
+        assert_eq!(percentile(&[1, 2, 3, 4], 50.0), 2);
+        assert_eq!(percentile(&[4, 3, 2, 1], 100.0), 4);
+    }
+
+    #[test]
+    fn null_tracer_is_disabled() {
+        let mut t = NullTracer;
+        assert!(!t.enabled());
+        t.record(&attempt(1, true, None));
+        let mut mc = MetricsCollector::default();
+        assert!(Tracer::enabled(&mc));
+        mc.reset();
+        assert_eq!(mc.metrics(), &SimMetrics::default());
+    }
+
+    #[test]
+    fn collector_reset_and_take_events() {
+        let mut mc = MetricsCollector::new(TraceMode::Events);
+        mc.record(&attempt(2, true, None));
+        let taken = mc.take_events();
+        assert_eq!(taken.len(), 1);
+        assert!(mc.events().is_empty());
+        assert_eq!(mc.metrics().attempts, 1); // metrics survive the take
+        mc.reset();
+        assert_eq!(mc.metrics().attempts, 0);
+    }
+}

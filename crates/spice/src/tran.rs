@@ -7,11 +7,21 @@
 //! per time constant is both simple and accurate); a helper suggests a
 //! step from the fastest RC in the netlist.
 
-use crate::dcop::{newton_solve_gmin_stepping, DcOperatingPoint, NewtonOptions};
+use crate::dcop::{newton_solve_gmin_stepping_traced, NewtonOptions};
 use crate::error::SimError;
-use crate::mna::{capacitor_currents, voltage_of, AssembleMode, Integrator};
+use crate::mna::{capacitor_currents_into, voltage_of, AssembleMode, Integrator};
 use crate::netlist::{Netlist, Node};
+use crate::telemetry::{self, Event, Tracer};
+use std::time::Instant;
 use ulp_device::Technology;
+
+/// Stable label for a companion-model integrator, used in telemetry.
+fn method_name(method: Integrator) -> &'static str {
+    match method {
+        Integrator::BackwardEuler => "backward-euler",
+        Integrator::Trapezoidal => "trapezoidal",
+    }
+}
 
 /// Transient analysis controls.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,28 +95,76 @@ impl Transient {
         tech: &Technology,
         opts: &TranOptions,
     ) -> Result<Self, SimError> {
+        telemetry::with_tracer(|tracer| Self::run_traced_unchecked(nl, tech, opts, tracer))
+    }
+
+    /// [`Transient::run`] recording telemetry on the given tracer: one
+    /// [`Event::NewtonAttempt`] per solve (tagged `"tran"`) and one
+    /// [`Event::TranStep`] per accepted timestep.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transient::run`].
+    pub fn run_traced(
+        nl: &Netlist,
+        tech: &Technology,
+        opts: &TranOptions,
+        tracer: &mut dyn Tracer,
+    ) -> Result<Self, SimError> {
+        crate::erc::gate(nl)?;
+        Self::run_traced_unchecked(nl, tech, opts, tracer)
+    }
+
+    /// [`Transient::run_traced`] without the rule check.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transient::run`], minus the ERC gate.
+    pub fn run_traced_unchecked(
+        nl: &Netlist,
+        tech: &Technology,
+        opts: &TranOptions,
+        tracer: &mut dyn Tracer,
+    ) -> Result<Self, SimError> {
         if opts.dt <= 0.0 || opts.t_stop < opts.dt {
             return Err(SimError::BadParameter(format!(
                 "dt {} / t_stop {}",
                 opts.dt, opts.t_stop
             )));
         }
-        let op = DcOperatingPoint::solve_with_unchecked(nl, tech, &opts.newton)?;
-        let mut x = op.solution().to_vec();
+        let x0 = vec![0.0; nl.unknown_count()];
+        let mut x = newton_solve_gmin_stepping_traced(
+            nl,
+            tech,
+            AssembleMode::Dc,
+            &x0,
+            &opts.newton,
+            "tran",
+            tracer,
+        )?
+        .x;
         let n_caps = nl
             .elements()
             .iter()
             .filter(|e| matches!(e, crate::netlist::Element::Capacitor { .. }))
             .count();
+        // Buffers hoisted out of the step loop: the previous solution,
+        // and double-buffered capacitor currents — the loop body
+        // allocates nothing but the recorded waveform rows.
         let mut cap_i = vec![0.0; n_caps];
+        let mut cap_i_next = Vec::with_capacity(n_caps);
+        let mut prev = vec![0.0; x.len()];
         let steps = (opts.t_stop / opts.dt).round() as usize;
         let mut time = Vec::with_capacity(steps + 1);
         let mut solutions = Vec::with_capacity(steps + 1);
         time.push(0.0);
         solutions.push(x.clone());
+        let enabled = tracer.enabled();
+        let method = method_name(opts.method);
         for k in 1..=steps {
+            let t0 = enabled.then(Instant::now);
             let t = k as f64 * opts.dt;
-            let prev = x.clone();
+            prev.copy_from_slice(&x);
             let mode = AssembleMode::Transient {
                 time: t,
                 dt: opts.dt,
@@ -114,8 +172,19 @@ impl Transient {
                 cap_currents: &cap_i,
                 method: opts.method,
             };
-            x = newton_solve_gmin_stepping(nl, tech, mode, &prev, &opts.newton)?;
-            cap_i = capacitor_currents(nl, &x, &prev, &cap_i, opts.dt, opts.method);
+            let r = newton_solve_gmin_stepping_traced(nl, tech, mode, &prev, &opts.newton, "tran", tracer)?;
+            x = r.x;
+            capacitor_currents_into(nl, &x, &prev, &cap_i, opts.dt, opts.method, &mut cap_i_next);
+            std::mem::swap(&mut cap_i, &mut cap_i_next);
+            if let Some(t0) = t0 {
+                tracer.record(&Event::TranStep {
+                    step: k,
+                    time: t,
+                    newton_iterations: r.iterations,
+                    method,
+                    seconds: t0.elapsed().as_secs_f64(),
+                });
+            }
             time.push(t);
             solutions.push(x.clone());
         }
@@ -381,6 +450,38 @@ mod tests {
             (t50 - expect).abs() / expect < 0.25,
             "t50 {t50:e} vs {expect:e}"
         );
+    }
+
+    #[test]
+    fn traced_run_records_one_event_per_step() {
+        use crate::telemetry::{Event, MetricsCollector, TraceMode};
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("V1", inp, Netlist::GROUND, 1.0);
+        nl.resistor("R1", inp, out, 1e3);
+        nl.capacitor("C1", out, Netlist::GROUND, 1e-6);
+        let mut mc = MetricsCollector::new(TraceMode::Events);
+        let tr =
+            Transient::run_traced(&nl, &tech(), &TranOptions::new(1e-3, 1e-4), &mut mc).unwrap();
+        assert_eq!(tr.time().len(), 11);
+        let m = mc.metrics();
+        assert_eq!(m.tran_steps, 10);
+        // One Newton attempt for the initial OP plus one per step (the
+        // linear RC never needs the gmin ladder).
+        assert_eq!(m.attempts, 11);
+        let steps: Vec<usize> = mc
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::TranStep { step, method, .. } => {
+                    assert_eq!(*method, "backward-euler");
+                    Some(*step)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(steps, (1..=10).collect::<Vec<_>>());
     }
 
     #[test]

@@ -122,7 +122,9 @@ impl ReplicaBiasedBuffer {
     ///
     /// Propagates solver failures.
     pub fn tail_current(&self, tech: &Technology) -> Result<f64, SimError> {
-        let op = DcOperatingPoint::solve_with(&self.netlist, tech, &replica_newton())?;
+        let op = ulp_spice::telemetry::phase("stscl::replica::tail_current", || {
+            DcOperatingPoint::solve_with(&self.netlist, tech, &replica_newton())
+        })?;
         // Total supply draw = IREF (replica leg) + tail (through loads).
         let idd = -op.branch_current(&self.netlist, "VDD")?;
         Ok(idd - self.iref)
@@ -137,7 +139,9 @@ impl ReplicaBiasedBuffer {
     pub fn steered_swing(&self, tech: &Technology) -> Result<f64, SimError> {
         let mut nl = self.netlist.clone();
         nl.set_source("VCTL", 0.4)?;
-        let op = DcOperatingPoint::solve_with(&nl, tech, &replica_newton())?;
+        let op = ulp_spice::telemetry::phase("stscl::replica::steered_swing", || {
+            DcOperatingPoint::solve_with(&nl, tech, &replica_newton())
+        })?;
         Ok(op.voltage(self.outp) - op.voltage(self.outn))
     }
 

@@ -108,7 +108,9 @@ impl SclBufferCircuit {
         tech: &Technology,
         vd_values: &[f64],
     ) -> Result<Vec<(f64, f64)>, SimError> {
-        let sweep = dc_sweep(&self.netlist, tech, "VCTL", vd_values)?;
+        let sweep = ulp_spice::telemetry::phase("stscl::vtc::dc_transfer", || {
+            dc_sweep(&self.netlist, tech, "VCTL", vd_values)
+        })?;
         let vp = sweep.voltage_trace(self.outp);
         let vn = sweep.voltage_trace(self.outn);
         Ok(vd_values
@@ -169,7 +171,9 @@ impl SclBufferCircuit {
             },
         );
         let opts = TranOptions::new(t_step + 10.0 * td_analytic, td_analytic / 50.0);
-        let tr = Transient::run(&circuit.netlist, tech, &opts)?;
+        let tr = ulp_spice::telemetry::phase("stscl::vtc::spice_delay", || {
+            Transient::run(&circuit.netlist, tech, &opts)
+        })?;
         let vp = tr.voltage(circuit.outp);
         let vn = tr.voltage(circuit.outn);
         let time = tr.time();
