@@ -18,3 +18,15 @@ ULP_TRACE=events cargo run --release -q -p ulp-bench --bin circuit_verification 
 test -s results/telemetry/circuit_verification.jsonl
 head -1 results/telemetry/circuit_verification.jsonl | grep -q '^{"event":".*}$'
 echo "telemetry footer + JSONL OK"
+
+# Design lints: every shipped builder netlist must lint clean with
+# warnings denied, and every SARIF export must parse (the binary's
+# --check re-reads each file with the crate's own JSON reader).
+cargo run --release -q -p ulp-bench --bin ulp_lint -- --deny-warnings --check
+for f in results/lint/scl-buffer-100p.sarif results/lint/scl-buffer-1n.sarif \
+         results/lint/scl-buffer-10n.sarif results/lint/replica-buffer-1n.sarif \
+         results/lint/preamp-coupled-1n.sarif results/lint/preamp-decoupled-1n.sarif; do
+    test -s "$f"
+    grep -q '"version": "2.1.0"' "$f"
+done
+echo "design lints + SARIF exports OK"

@@ -197,7 +197,7 @@ impl PreampDesign {
         };
         nl.capacitor("CW", well, Netlist::GROUND, CWELL);
         nl.diode("DW", Netlist::GROUND, well, 1e-18, 1.0);
-        ulp_spice::erc::debug_assert_clean(&nl);
+        ulp_spice::lint::debug_assert_clean(&nl, tech);
         (nl, out)
     }
 }

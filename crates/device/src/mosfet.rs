@@ -283,6 +283,40 @@ impl Mosfet {
     pub fn gm_weak_inversion(&self, tech: &Technology, id: f64) -> f64 {
         id / (self.model(tech).n * tech.thermal_voltage())
     }
+
+    /// Inversion coefficient `IC = ID/IS` at drain current `id` — the
+    /// EKV region-of-operation figure of merit. `IC ≪ 1` is weak
+    /// inversion (the STSCL regime), `IC ≈ 1` moderate, `IC ≫ 1` strong.
+    ///
+    /// This is the *bias-driven* form used by static lints: it asks what
+    /// region a device would sit in if forced to carry `id`, without
+    /// needing solved terminal voltages. For the voltage-driven form see
+    /// [`MosOperatingPoint::inversion`].
+    pub fn inversion_coefficient(&self, tech: &Technology, id: f64) -> f64 {
+        id / self.specific_current(tech)
+    }
+
+    /// Saturation drain–source voltage in weak inversion, `≈ 4·UT`
+    /// (the channel's reverse component decays as `exp(−VDS/UT)`; at
+    /// 4 UT it is below 2 % of the forward component).
+    pub fn vds_sat_weak(&self, tech: &Technology) -> f64 {
+        4.0 * tech.thermal_voltage()
+    }
+
+    /// Minimum STSCL supply able to keep this switching-pair device and
+    /// an ideal tail in saturation while the load develops a swing of
+    /// `vsw` at tail current `iss`:
+    ///
+    /// `VDD_min = VSW + VGS(ISS) + VDS,sat(weak)`
+    ///
+    /// Worst case is the input driven low (previous stage's output at
+    /// `VDD − VSW`): the common-source node then sits at
+    /// `VDD − VSW − VGS(ISS)` and must still leave `≈ 4·UT` across the
+    /// tail current source. The paper's VDD = 1.0 V operating point
+    /// satisfies this with ~200 mV margin at nominal conditions.
+    pub fn min_supply(&self, tech: &Technology, iss: f64, vsw: f64) -> f64 {
+        vsw + self.vgs_for_current(tech, iss).abs() + self.vds_sat_weak(tech)
+    }
 }
 
 #[cfg(test)]
@@ -399,6 +433,30 @@ mod tests {
         let m4 = Mosfet::new(Polarity::Nmos, 2e-6, 2e-6);
         assert!((m4.cgg(&t) / m1.cgg(&t) - 4.0).abs() < 1e-12);
         assert!(m4.cdb(&t) > m1.cdb(&t));
+    }
+
+    #[test]
+    fn inversion_coefficient_tracks_bias() {
+        let t = tech();
+        let m = Mosfet::new(Polarity::Nmos, 1e-6, 0.5e-6);
+        let is = m.specific_current(&t);
+        assert!((m.inversion_coefficient(&t, is) - 1.0).abs() < 1e-12);
+        // nA-class STSCL bias sits deep in weak inversion.
+        assert!(m.inversion_coefficient(&t, 1e-9) < 0.1);
+    }
+
+    #[test]
+    fn min_supply_covers_the_paper_operating_point() {
+        let t = tech();
+        let pair = Mosfet::new(Polarity::Nmos, 1e-6, 0.5e-6);
+        // The paper's design point: 200 mV swing at nA tail currents
+        // fits under VDD = 1.0 V with margin.
+        let vdd_min = pair.min_supply(&t, 1e-9, 0.2);
+        assert!(vdd_min < 1.0, "vdd_min = {vdd_min}");
+        // More tail current needs more gate drive, so more supply.
+        assert!(vdd_min > pair.min_supply(&t, 1e-10, 0.2));
+        // And the floor always covers the swing itself.
+        assert!(vdd_min > 0.2 + 4.0 * t.thermal_voltage());
     }
 
     #[test]

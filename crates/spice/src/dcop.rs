@@ -288,9 +288,14 @@ pub struct DcOperatingPoint {
 impl DcOperatingPoint {
     /// Solves the DC operating point with default Newton options.
     ///
-    /// Runs the electrical rule check ([`crate::erc::check`]) first and
-    /// refuses to solve a netlist with error-severity diagnostics; use
-    /// [`DcOperatingPoint::solve_unchecked`] to bypass.
+    /// Runs the electrical rule check ([`crate::erc::gate`]) first and
+    /// refuses to solve a netlist with deny-level diagnostics; use
+    /// [`DcOperatingPoint::solve_unchecked`] to bypass. A clean verdict
+    /// is memoised on the netlist, so repeated solves of an unchanged
+    /// netlist (bias search loops, sweep drivers) check only once. For
+    /// region violations *at* the solved point — strong inversion,
+    /// unsaturated channels, near-singular systems — run the result
+    /// through [`crate::lint::audit`].
     ///
     /// # Errors
     ///

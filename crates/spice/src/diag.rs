@@ -157,11 +157,26 @@ impl ErcReport {
         self.diagnostics.iter().find(|d| d.rule == rule)
     }
 
-    /// Orders diagnostics by descending severity, preserving netlist
-    /// order within each tier (stable sort).
+    /// Orders diagnostics by descending severity, tie-broken by rule
+    /// code and then message.
+    ///
+    /// The ordering is *fully* deterministic — it depends only on the
+    /// diagnostic contents, never on discovery order — so lint output
+    /// (and its SARIF export) diffs cleanly in CI across runs and across
+    /// refactorings of the checker passes.
     pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.rule.cmp(b.rule))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+    }
+
+    /// Consumes the report, yielding the owned diagnostics (used by the
+    /// lint layer to re-map severities through a [`crate::lint::LintConfig`]).
+    pub(crate) fn into_diagnostics(self) -> Vec<Diagnostic> {
         self.diagnostics
-            .sort_by_key(|d| std::cmp::Reverse(d.severity));
     }
 
     /// The stable one-line-per-diagnostic rendering (same as `Display`).
@@ -238,6 +253,40 @@ mod tests {
         r.sort();
         let rules: Vec<&str> = r.diagnostics().iter().map(|d| d.rule).collect();
         assert_eq!(rules, ["e1", "e2", "w1", "i1"]);
+    }
+
+    #[test]
+    fn sort_is_deterministic_regardless_of_discovery_order() {
+        // Same diagnostics pushed in two different orders must sort to
+        // the identical sequence: severity desc, then rule code, then
+        // message.
+        let make = |rule: &'static str, msg: &str| {
+            Diagnostic::new(Severity::Warning, rule, msg.to_string())
+        };
+        let mut a = ErcReport::new();
+        a.push(make("self-loop", "z"));
+        a.push(make("dangling-terminal", "m"));
+        a.push(make("self-loop", "a"));
+        let mut b = ErcReport::new();
+        b.push(make("self-loop", "a"));
+        b.push(make("self-loop", "z"));
+        b.push(make("dangling-terminal", "m"));
+        a.sort();
+        b.sort();
+        assert_eq!(a.render(), b.render());
+        let rules: Vec<(&str, &str)> = a
+            .diagnostics()
+            .iter()
+            .map(|d| (d.rule, d.message.as_str()))
+            .collect();
+        assert_eq!(
+            rules,
+            [
+                ("dangling-terminal", "m"),
+                ("self-loop", "a"),
+                ("self-loop", "z"),
+            ]
+        );
     }
 
     #[test]

@@ -37,7 +37,16 @@
 //! ([`crate::dcop::DcOperatingPoint::solve`], [`crate::sweep::dc_sweep`],
 //! [`crate::tran::Transient::run`], [`crate::ac::AcResult::run`]); each
 //! has an `*_unchecked` escape hatch for deliberately degenerate
-//! netlists.
+//! netlists. A clean [`gate`] verdict is memoised on the netlist and
+//! reused until the netlist is mutated, so repeated analyses of one
+//! netlist (sweep drivers, replica bias iteration) pay for the check
+//! once.
+//!
+//! Since PR 3 these rules are registry entries in the wider design lint
+//! framework ([`crate::lint`]): [`gate`] is exactly the deny-level
+//! subset of the configured lint run, and the severities above are the
+//! *default* levels, overridable per rule or per group through a
+//! [`crate::lint::LintConfig`] or the `ULP_LINT` environment variable.
 
 use crate::diag::{Diagnostic, ErcReport, Severity};
 use crate::error::SimError;
@@ -75,25 +84,36 @@ pub mod rule {
 /// runs in near-linear time in the number of element terminals, so it is
 /// cheap enough to gate every analysis call.
 pub fn check(nl: &Netlist) -> ErcReport {
-    let mut report = ErcReport::new();
-    check_names(nl, &mut report);
-    check_values(nl, &mut report);
-    check_topology(nl, &mut report);
-    report.sort();
-    report
+    crate::lint::run_ctx(
+        &crate::lint::LintContext::new(nl),
+        &crate::lint::LintConfig::new(),
+    )
 }
 
-/// Runs [`check`] and converts an unclean report into
-/// [`SimError::Erc`]. This is the pre-solve gate used by the checked
-/// analysis entry points.
+/// Runs the structural rules (honouring any `ULP_LINT` overrides) and
+/// converts an unclean report into [`SimError::Erc`]. This is the
+/// pre-solve gate used by the checked analysis entry points.
+///
+/// A clean verdict is cached on the netlist (keyed to its mutation
+/// revision), so calling `gate` repeatedly on an unchanged netlist —
+/// every point of a sweep driver, every iteration of a replica-bias
+/// search — runs the graph traversal only once. Unclean verdicts are
+/// *not* cached: the caller gets the full report every time.
 ///
 /// # Errors
 ///
 /// [`SimError::Erc`] carrying the full report when it contains at least
 /// one error-severity diagnostic.
 pub fn gate(nl: &Netlist) -> Result<(), SimError> {
-    let report = check(nl);
+    if nl.erc_clean_cached() {
+        return Ok(());
+    }
+    let report = crate::lint::run_ctx(
+        &crate::lint::LintContext::new(nl),
+        &crate::lint::LintConfig::from_env(),
+    );
     if report.is_clean() {
+        nl.mark_erc_clean();
         Ok(())
     } else {
         Err(SimError::Erc(report))
@@ -128,7 +148,7 @@ pub fn debug_assert_clean(nl: &Netlist) {
 /// Duplicate instance names. The `Netlist` builder only debug-asserts
 /// uniqueness, so in release builds this rule is the real guard —
 /// analyses address sources and branches by name.
-fn check_names(nl: &Netlist, report: &mut ErcReport) {
+pub(crate) fn check_names(nl: &Netlist, report: &mut ErcReport) {
     let mut counts: HashMap<&str, usize> = HashMap::new();
     for e in nl.elements() {
         *counts.entry(e.name()).or_insert(0) += 1;
@@ -182,7 +202,7 @@ fn waveform_finite(w: &Waveform) -> bool {
 /// controlled-source gains, whose builders do not validate) and
 /// non-physical device values (defence in depth behind the builder
 /// asserts, since `Element` fields are public and mutable via clones).
-fn check_values(nl: &Netlist, report: &mut ErcReport) {
+pub(crate) fn check_values(nl: &Netlist, report: &mut ErcReport) {
     let bad = |name: &str, what: &str, hint: &str| {
         Diagnostic::new(
             Severity::Error,
@@ -348,7 +368,7 @@ fn quoted_list(names: &[String]) -> String {
 
 /// Topological rules: connectivity (floating nodes, cutsets, undriven
 /// gates), voltage-source loops, dangling channel terminals, self-loops.
-fn check_topology(nl: &Netlist, report: &mut ErcReport) {
+pub(crate) fn check_topology(nl: &Netlist, report: &mut ErcReport) {
     let nn = nl.node_count();
     // Per-node attachment list: (element index, attachment kind).
     let mut attach: Vec<Vec<(usize, Attach)>> = vec![Vec::new(); nn];
@@ -938,7 +958,9 @@ mod tests {
             .filter(|d| d.rule == rule::BAD_VALUE)
             .flat_map(|d| d.elements.iter().map(String::as_str))
             .collect();
-        assert_eq!(bad, ["V1", "E1", "G1"]);
+        // Content-sorted (rule, then message): gain < stimulus <
+        // transconductance — not discovery order.
+        assert_eq!(bad, ["E1", "V1", "G1"]);
         assert!(!report.is_clean());
     }
 
@@ -1005,7 +1027,8 @@ mod tests {
             .filter(|d| d.rule == rule::SELF_LOOP)
             .flat_map(|d| d.elements.iter().map(String::as_str))
             .collect();
-        assert_eq!(loops, ["RS", "CS", "IS"]);
+        // Message-sorted within the rule, not discovery order.
+        assert_eq!(loops, ["CS", "IS", "RS"]);
         assert!(report.is_clean(), "self-loops are warnings:\n{report}");
     }
 
@@ -1038,7 +1061,8 @@ mod tests {
             .filter(|d| d.rule == rule::ZERO_VALUE_SOURCE)
             .flat_map(|d| d.elements.iter().map(String::as_str))
             .collect();
-        assert_eq!(zeros, ["I1", "G1"]);
+        // Message-sorted within the rule, not discovery order.
+        assert_eq!(zeros, ["G1", "I1"]);
         assert_eq!(report.count(Severity::Info), 2);
         assert!(report.is_clean());
     }
@@ -1093,5 +1117,40 @@ mod tests {
             }
             other => panic!("expected ERC rejection, got {other}"),
         }
+    }
+
+    #[test]
+    fn gate_memoises_clean_verdict_per_revision() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V1", a, Netlist::GROUND, 1.0);
+        nl.resistor("R1", a, Netlist::GROUND, 1e3);
+        assert!(!nl.erc_clean_cached());
+        assert!(gate(&nl).is_ok());
+        assert!(nl.erc_clean_cached(), "clean verdict must be cached");
+        // Repeated gating of the unchanged netlist stays cached (the
+        // sweep/replica driver fast path) and does not bump the revision.
+        let rev = nl.revision();
+        assert!(gate(&nl).is_ok());
+        assert!(nl.erc_clean_cached());
+        assert_eq!(nl.revision(), rev);
+        // The cache survives a clone (sweep drivers clone the netlist).
+        let cloned = nl.clone();
+        assert!(cloned.erc_clean_cached());
+        // Any mutation — even just registering a node, which can float —
+        // invalidates the verdict; the re-run sees the new topology.
+        let orphan = nl.node("orphan");
+        assert!(!nl.erc_clean_cached());
+        let err = gate(&nl).unwrap_err();
+        match err {
+            crate::SimError::Erc(report) => {
+                assert!(report.find(rule::FLOATING_NODE).is_some(), "{report}");
+            }
+            other => panic!("expected ERC rejection, got {other}"),
+        }
+        // Fixing the netlist re-arms the cache on the next clean gate.
+        nl.resistor("R2", orphan, Netlist::GROUND, 1e6);
+        assert!(gate(&nl).is_ok());
+        assert!(nl.erc_clean_cached());
     }
 }

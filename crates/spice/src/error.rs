@@ -111,8 +111,9 @@ impl fmt::Display for SimError {
             }
             SimError::LinearSolve(e) => write!(
                 f,
-                "linear solve failed: {e}; hint: run ulp_spice::erc::check on the \
-                 netlist to locate the structural cause"
+                "linear solve failed: {e}; hint: run ulp_spice::erc::check (or the \
+                 full ulp_spice::lint::run) on the netlist to locate the \
+                 structural cause"
             ),
             SimError::NoConvergence {
                 iterations,

@@ -91,6 +91,58 @@
 //! the MNA variable ordering to a named node or branch
 //! ([`SimError::Singular`], via [`mna::unknown_name`]).
 //!
+//! # Design lints
+//!
+//! The ERC rules are one group of the wider design lint framework
+//! ([`lint`]): a registry of topology, electrical and numerics rules,
+//! each with a configurable level (`allow`/`warn`/`deny` via
+//! [`lint::LintConfig`] or the `ULP_LINT` environment variable). The
+//! electrical rules apply EKV analytics *without a solve* — weak
+//! inversion at the inferred bias, STSCL swing compatibility between
+//! cascaded gates, VDD headroom across PVT corners, Pelgrom mismatch
+//! budget — and [`lint::audit`] inspects a *solved* operating point for
+//! region violations and near-singular MNA systems. Reports export as
+//! SARIF 2.1.0 ([`sarif::to_sarif`]) for code-scanning tooling:
+//!
+//! ```
+//! use ulp_spice::netlist::Netlist;
+//! use ulp_spice::lint::{self, LintConfig, LintLevel};
+//! use ulp_spice::sarif;
+//! use ulp_device::{Mosfet, Polarity, Technology};
+//! use ulp_device::load::PmosLoad;
+//!
+//! // An STSCL buffer biased 10 000x past the paper's nA design point.
+//! let mut nl = Netlist::new();
+//! let vdd = nl.node("vdd");
+//! let inp = nl.node("inp");
+//! let inn = nl.node("inn");
+//! let outp = nl.node("outp");
+//! let outn = nl.node("outn");
+//! let cs = nl.node("cs");
+//! nl.vsource("VDD", vdd, Netlist::GROUND, 1.0);
+//! nl.vsource("VINP", inp, Netlist::GROUND, 0.6);
+//! nl.vsource("VINN", inn, Netlist::GROUND, 0.6);
+//! let pair = Mosfet::new(Polarity::Nmos, 1e-6, 0.5e-6);
+//! nl.mosfet("M1", outn, inp, cs, Netlist::GROUND, pair);
+//! nl.mosfet("M2", outp, inn, cs, Netlist::GROUND, pair);
+//! nl.scl_load("RLP", vdd, outp, PmosLoad::new(0.2), 10e-6);
+//! nl.scl_load("RLN", vdd, outn, PmosLoad::new(0.2), 10e-6);
+//! nl.isource("ITAIL", cs, Netlist::GROUND, 10e-6);
+//!
+//! let tech = Technology::default();
+//! // Default config: the over-bias is a warning...
+//! let report = lint::run(&nl, &tech, &LintConfig::new());
+//! let d = report.find(lint::rule::WEAK_INVERSION).unwrap();
+//! assert!(report.is_clean());
+//! assert!(d.message.contains("inversion coefficient"));
+//! // ...but a config (or `ULP_LINT=weak-inversion=deny`) can deny it.
+//! let strict = LintConfig::new().set("electrical", LintLevel::Deny);
+//! assert!(!lint::run(&nl, &tech, &strict).is_clean());
+//! // Findings export as deterministic SARIF 2.1.0 for review tooling.
+//! let json = sarif::to_sarif(&report, "netlists/doc-example");
+//! assert!(sarif::parse_json(&json).is_ok());
+//! ```
+//!
 //! # Telemetry
 //!
 //! Every analysis also has a `*_traced` twin taking a
@@ -146,15 +198,18 @@ pub mod dcop;
 pub mod diag;
 pub mod erc;
 pub mod error;
+pub mod lint;
 pub mod mna;
 pub mod netlist;
 pub mod noise;
 pub mod report;
+pub mod sarif;
 pub mod sweep;
 pub mod telemetry;
 pub mod tran;
 
 pub use diag::{Diagnostic, ErcReport, Severity};
 pub use error::SimError;
+pub use lint::{LintConfig, LintGroup, LintLevel};
 pub use netlist::{Netlist, Node, Waveform};
 pub use telemetry::{Event, MetricsCollector, SimMetrics, TraceMode, Tracer};

@@ -1,0 +1,1355 @@
+//! Pluggable design lint framework: configurable electrical rules on
+//! top of the structural ERC.
+//!
+//! The paper's premise is that STSCL only works inside a narrow
+//! electrical envelope — every transistor in weak inversion, load swing
+//! `RL·ISS ≈ 150–200 mV`, enough headroom down to `VDD = 1.0 V` — yet
+//! the PR-1 electrical rule checker ([`crate::erc`]) only catches
+//! *topological* faults. This module generalises it into a registry of
+//! [`Lint`]s across three groups:
+//!
+//! * **topology** — the nine original ERC rules ([`crate::erc::rule`]),
+//!   now registry entries like any other lint;
+//! * **electrical** — EKV analytics from `ulp-device` applied *without a
+//!   full solve*: weak-inversion bound per MOSFET at its inferred bias,
+//!   STSCL swing compatibility between cascaded gates, VDD headroom at
+//!   PVT corners, Pelgrom mismatch budget vs. swing — plus the
+//!   post-solve operating-region audit ([`audit`]);
+//! * **numerics** — RC time constant vs. requested transient step, and
+//!   the post-solve near-singularity estimate from the LU pivots.
+//!
+//! Every rule has a default [`LintLevel`] that can be overridden per
+//! rule, per group, or wholesale through a [`LintConfig`] — programmatic
+//! or via the `ULP_LINT` environment variable
+//! (`ULP_LINT="swing-compatibility=deny,electrical=allow,all=warn"`).
+//! [`crate::erc::gate`] is exactly the deny-level subset of this linter
+//! over the topology group: a finding whose configured level is `deny`
+//! renders as an error and blocks checked analyses, `warn` caps it at a
+//! warning, `allow` drops it.
+//!
+//! Findings are ordinary [`Diagnostic`]s in an [`ErcReport`] (stable
+//! text rendering, machine-readable rule codes) and can be exported as
+//! SARIF 2.1.0 through [`crate::sarif`].
+
+use crate::dcop::{DcOperatingPoint, NewtonOptions};
+use crate::diag::{Diagnostic, ErcReport, Severity};
+use crate::mna::{self, AssembleMode};
+use crate::netlist::{Element, Netlist, Node};
+use ulp_device::mismatch::MismatchRng;
+use ulp_device::pvt::Corner;
+use ulp_device::{Polarity, Technology};
+use ulp_num::lu::LuFactor;
+
+/// Stable machine-readable codes of the electrical and numerics rules
+/// (the topology codes live in [`crate::erc::rule`]).
+pub mod rule {
+    /// A MOSFET whose inferred bias puts it outside weak inversion.
+    pub const WEAK_INVERSION: &str = "weak-inversion";
+    /// An STSCL load whose swing is below the driven pair's switching
+    /// requirement.
+    pub const SWING_COMPATIBILITY: &str = "swing-compatibility";
+    /// A supply too low for the STSCL stack at some PVT corner.
+    pub const VDD_HEADROOM: &str = "vdd-headroom";
+    /// A matched pair whose Pelgrom offset eats the signal swing.
+    pub const MISMATCH_BUDGET: &str = "mismatch-budget";
+    /// A transient step too coarse for the fastest RC in the netlist.
+    pub const RC_TIME_STEP: &str = "rc-time-step";
+    /// A device in strong inversion at the solved operating point.
+    pub const STRONG_INVERSION: &str = "strong-inversion";
+    /// A conducting channel out of saturation at the solved point.
+    pub const UNSATURATED_CHANNEL: &str = "unsaturated-channel";
+    /// An MNA system close to singular at the solved point.
+    pub const NEAR_SINGULAR: &str = "near-singular";
+}
+
+/// Inversion coefficient above which a device no longer counts as
+/// weakly inverted for the static [`rule::WEAK_INVERSION`] bound.
+const IC_WEAK_MAX: f64 = 0.1;
+
+/// Inversion coefficient above which the post-solve audit flags
+/// [`rule::STRONG_INVERSION`].
+const IC_STRONG: f64 = 1.0;
+
+/// Required swing in multiples of `n·UT` for (near-)complete steering of
+/// a source-coupled pair (`tanh(vid/(2nUT))`: 4 n·UT ≈ 96 % steered).
+const STEERING_NUT: f64 = 4.0;
+
+/// Minimum ratio of signal swing to the Pelgrom pair offset sigma.
+const SIGMA_MARGIN: f64 = 10.0;
+
+/// Minimum timepoints resolving the fastest RC time constant.
+const MIN_POINTS_PER_TAU: f64 = 4.0;
+
+/// LU pivot ratio above which the audit flags [`rule::NEAR_SINGULAR`].
+/// Healthy subthreshold MNA systems span ~1 S (source rows) down to
+/// nS-class device conductances — ratios around 1e9; a near-floating
+/// node held up only by gmin pushes past 1e11.
+const NEAR_SINGULAR_RATIO: f64 = 1e11;
+
+/// How a configured rule's findings are treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintLevel {
+    /// Findings are dropped entirely.
+    Allow,
+    /// Findings are reported but capped at warning severity (never block
+    /// the analysis gate).
+    Warn,
+    /// Findings are forced to error severity and block checked analyses.
+    Deny,
+}
+
+impl LintLevel {
+    /// Lower-case name (`allow` / `warn` / `deny`), as accepted by
+    /// `ULP_LINT`.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintLevel::Allow => "allow",
+            LintLevel::Warn => "warn",
+            LintLevel::Deny => "deny",
+        }
+    }
+
+    /// Parses a level name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "allow" => Some(LintLevel::Allow),
+            "warn" => Some(LintLevel::Warn),
+            "deny" => Some(LintLevel::Deny),
+            _ => None,
+        }
+    }
+
+    /// Maps a natural-severity diagnostic through this level: `Deny`
+    /// forces an error, `Warn` caps at warning (a naturally-info
+    /// diagnostic stays info), `Allow` drops it.
+    fn apply(self, natural: Severity) -> Option<Severity> {
+        match self {
+            LintLevel::Allow => None,
+            LintLevel::Deny => Some(Severity::Error),
+            LintLevel::Warn => Some(natural.min(Severity::Warning)),
+        }
+    }
+}
+
+/// Rule family, addressable as a unit in a [`LintConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintGroup {
+    /// Structural netlist rules (the original ERC).
+    Topology,
+    /// Operating-region and signal-integrity rules from EKV analytics.
+    Electrical,
+    /// Solver-conditioning and discretisation rules.
+    Numerics,
+}
+
+impl LintGroup {
+    /// Lower-case name (`topology` / `electrical` / `numerics`), as
+    /// accepted by `ULP_LINT`.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintGroup::Topology => "topology",
+            LintGroup::Electrical => "electrical",
+            LintGroup::Numerics => "numerics",
+        }
+    }
+
+    /// Parses a group name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "topology" => Some(LintGroup::Topology),
+            "electrical" => Some(LintGroup::Electrical),
+            "numerics" => Some(LintGroup::Numerics),
+            _ => None,
+        }
+    }
+}
+
+/// One registry entry: a rule's identity and default policy.
+#[derive(Debug, Clone, Copy)]
+pub struct LintRule {
+    /// Stable machine-readable code.
+    pub code: &'static str,
+    /// Rule family.
+    pub group: LintGroup,
+    /// Level applied when no [`LintConfig`] override matches.
+    pub default_level: LintLevel,
+    /// One-line description (used in the SARIF rule catalogue).
+    pub summary: &'static str,
+}
+
+/// The full rule registry. Default levels reproduce the historical ERC
+/// behaviour exactly: error-severity topology rules are `deny`,
+/// everything advisory is `warn`.
+pub const REGISTRY: &[LintRule] = &[
+    // -- topology: the PR-1 ERC rules --------------------------------
+    LintRule {
+        code: crate::erc::rule::FLOATING_NODE,
+        group: LintGroup::Topology,
+        default_level: LintLevel::Deny,
+        summary: "node (or node group) with no DC path to ground",
+    },
+    LintRule {
+        code: crate::erc::rule::VSOURCE_LOOP,
+        group: LintGroup::Topology,
+        default_level: LintLevel::Deny,
+        summary: "loop of voltage-defined elements, or a shorted source",
+    },
+    LintRule {
+        code: crate::erc::rule::CURRENT_SOURCE_CUTSET,
+        group: LintGroup::Topology,
+        default_level: LintLevel::Deny,
+        summary: "current source driving a net with no DC return path",
+    },
+    LintRule {
+        code: crate::erc::rule::UNDRIVEN_GATE,
+        group: LintGroup::Topology,
+        default_level: LintLevel::Deny,
+        summary: "MOS gate net whose DC potential nothing fixes",
+    },
+    LintRule {
+        code: crate::erc::rule::BAD_VALUE,
+        group: LintGroup::Topology,
+        default_level: LintLevel::Deny,
+        summary: "non-finite or non-physical element value",
+    },
+    LintRule {
+        code: crate::erc::rule::DUPLICATE_NAME,
+        group: LintGroup::Topology,
+        default_level: LintLevel::Deny,
+        summary: "two elements sharing one instance name",
+    },
+    LintRule {
+        code: crate::erc::rule::DANGLING_TERMINAL,
+        group: LintGroup::Topology,
+        default_level: LintLevel::Warn,
+        summary: "MOS drain/source connected to nothing else",
+    },
+    LintRule {
+        code: crate::erc::rule::SELF_LOOP,
+        group: LintGroup::Topology,
+        default_level: LintLevel::Warn,
+        summary: "two-terminal element with both terminals on one node",
+    },
+    LintRule {
+        code: crate::erc::rule::ZERO_VALUE_SOURCE,
+        group: LintGroup::Topology,
+        default_level: LintLevel::Warn,
+        summary: "independent source contributing nothing",
+    },
+    // -- electrical ---------------------------------------------------
+    LintRule {
+        code: rule::WEAK_INVERSION,
+        group: LintGroup::Electrical,
+        default_level: LintLevel::Warn,
+        summary: "MOSFET biased outside weak inversion (IC above bound)",
+    },
+    LintRule {
+        code: rule::SWING_COMPATIBILITY,
+        group: LintGroup::Electrical,
+        default_level: LintLevel::Warn,
+        summary: "STSCL load swing below the driven pair's steering need",
+    },
+    LintRule {
+        code: rule::VDD_HEADROOM,
+        group: LintGroup::Electrical,
+        default_level: LintLevel::Warn,
+        summary: "supply below the STSCL stack requirement at a corner",
+    },
+    LintRule {
+        code: rule::MISMATCH_BUDGET,
+        group: LintGroup::Electrical,
+        default_level: LintLevel::Warn,
+        summary: "matched-pair Pelgrom offset too large for the swing",
+    },
+    LintRule {
+        code: rule::STRONG_INVERSION,
+        group: LintGroup::Electrical,
+        default_level: LintLevel::Warn,
+        summary: "device in strong inversion at the solved DC point",
+    },
+    LintRule {
+        code: rule::UNSATURATED_CHANNEL,
+        group: LintGroup::Electrical,
+        default_level: LintLevel::Warn,
+        summary: "conducting channel out of saturation at the DC point",
+    },
+    // -- numerics -----------------------------------------------------
+    LintRule {
+        code: rule::RC_TIME_STEP,
+        group: LintGroup::Numerics,
+        default_level: LintLevel::Warn,
+        summary: "transient step too coarse for the fastest RC",
+    },
+    LintRule {
+        code: rule::NEAR_SINGULAR,
+        group: LintGroup::Numerics,
+        default_level: LintLevel::Warn,
+        summary: "MNA system nearly singular (LU pivot-ratio estimate)",
+    },
+];
+
+/// Looks up a rule's registry entry by code.
+pub fn rule_info(code: &str) -> Option<&'static LintRule> {
+    REGISTRY.iter().find(|r| r.code == code)
+}
+
+/// Per-run lint policy: rule-level overrides on top of the registry
+/// defaults, with precedence `rule > group > all > default`.
+///
+/// # Example
+///
+/// ```
+/// use ulp_spice::lint::{LintConfig, LintLevel, rule_info};
+///
+/// let cfg = LintConfig::new()
+///     .set("electrical", LintLevel::Deny)          // whole group
+///     .set("weak-inversion", LintLevel::Allow);    // rule beats group
+/// let weak = rule_info("weak-inversion").unwrap();
+/// let swing = rule_info("swing-compatibility").unwrap();
+/// assert_eq!(cfg.level(weak), LintLevel::Allow);
+/// assert_eq!(cfg.level(swing), LintLevel::Deny);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    all: Option<LintLevel>,
+    groups: Vec<(LintGroup, LintLevel)>,
+    rules: Vec<(String, LintLevel)>,
+}
+
+impl LintConfig {
+    /// The registry defaults with no overrides.
+    pub fn new() -> Self {
+        LintConfig::default()
+    }
+
+    /// Adds an override. `key` is a rule code, a group name
+    /// (`topology` / `electrical` / `numerics`), or `all`. Later calls
+    /// with the same key win. Unknown rule codes are accepted (and
+    /// simply never match), so configs stay forward-compatible.
+    pub fn set(mut self, key: &str, level: LintLevel) -> Self {
+        if key == "all" {
+            self.all = Some(level);
+        } else if let Some(group) = LintGroup::parse(key) {
+            self.groups.retain(|(g, _)| *g != group);
+            self.groups.push((group, level));
+        } else {
+            self.rules.retain(|(c, _)| c != key);
+            self.rules.push((key.to_string(), level));
+        }
+        self
+    }
+
+    /// Builds a config from the `ULP_LINT` environment variable:
+    /// comma-separated `key=level` pairs, e.g.
+    /// `ULP_LINT="swing-compatibility=deny,electrical=warn,all=allow"`.
+    /// Malformed entries and unknown levels are ignored (the linter runs
+    /// inside solver entry points and must never panic on bad config).
+    pub fn from_env() -> Self {
+        let mut cfg = LintConfig::new();
+        if let Ok(spec) = std::env::var("ULP_LINT") {
+            for pair in spec.split(',') {
+                let pair = pair.trim();
+                if pair.is_empty() {
+                    continue;
+                }
+                if let Some((key, level)) = pair.split_once('=') {
+                    if let Some(level) = LintLevel::parse(level.trim()) {
+                        cfg = cfg.set(key.trim(), level);
+                    }
+                }
+            }
+        }
+        cfg
+    }
+
+    /// Effective level for a registry rule under this config.
+    pub fn level(&self, rule: &LintRule) -> LintLevel {
+        if let Some((_, l)) = self.rules.iter().find(|(c, _)| c == rule.code) {
+            return *l;
+        }
+        if let Some((_, l)) = self.groups.iter().find(|(g, _)| *g == rule.group) {
+            return *l;
+        }
+        self.all.unwrap_or(rule.default_level)
+    }
+
+    /// Maps one natural-severity diagnostic through the configured
+    /// level; `None` when the rule is allowed (dropped). Diagnostics
+    /// with codes outside the registry pass through at `warn`.
+    fn configure(&self, mut d: Diagnostic) -> Option<Diagnostic> {
+        let level = rule_info(d.rule)
+            .map(|r| self.level(r))
+            .unwrap_or(LintLevel::Warn);
+        let severity = level.apply(d.severity)?;
+        d.severity = severity;
+        Some(d)
+    }
+}
+
+/// What a static lint pass gets to look at.
+///
+/// `tech` is optional so the topology-only entry points
+/// ([`crate::erc::check`]) can run without device models — electrical
+/// lints skip silently when it is absent. `dt` enables the
+/// [`rule::RC_TIME_STEP`] check for a planned transient.
+#[derive(Debug, Clone, Copy)]
+pub struct LintContext<'a> {
+    /// The netlist under analysis.
+    pub nl: &'a Netlist,
+    /// Device models, for electrical lints.
+    pub tech: Option<&'a Technology>,
+    /// Planned transient timestep, s, for numerics lints.
+    pub dt: Option<f64>,
+}
+
+impl<'a> LintContext<'a> {
+    /// Topology-only context (no device models).
+    pub fn new(nl: &'a Netlist) -> Self {
+        LintContext {
+            nl,
+            tech: None,
+            dt: None,
+        }
+    }
+
+    /// Full static context with device models.
+    pub fn with_tech(nl: &'a Netlist, tech: &'a Technology) -> Self {
+        LintContext {
+            nl,
+            tech: Some(tech),
+            dt: None,
+        }
+    }
+
+    /// Adds a planned transient step.
+    pub fn with_dt(mut self, dt: f64) -> Self {
+        self.dt = Some(dt);
+        self
+    }
+}
+
+/// One pluggable static check. Implementations push diagnostics at
+/// their *natural* severity; level mapping (deny/warn/allow) is applied
+/// centrally by [`run_ctx`] so a lint never needs to know its
+/// configuration.
+pub trait Lint: Sync {
+    /// The rule codes this lint can emit (for documentation and SARIF
+    /// catalogue grouping; one lint may own several codes).
+    fn codes(&self) -> &'static [&'static str];
+    /// Runs the check, pushing findings into `report`.
+    fn check(&self, cx: &LintContext<'_>, report: &mut ErcReport);
+}
+
+/// The static lint registry, in execution order.
+pub fn lints() -> &'static [&'static dyn Lint] {
+    &[
+        &NamesLint,
+        &ValuesLint,
+        &TopologyLint,
+        &WeakInversionLint,
+        &SwingCompatibilityLint,
+        &VddHeadroomLint,
+        &MismatchBudgetLint,
+        &RcTimeStepLint,
+    ]
+}
+
+/// Runs every registered static lint under `config`.
+pub fn run_ctx(cx: &LintContext<'_>, config: &LintConfig) -> ErcReport {
+    let mut raw = ErcReport::new();
+    for lint in lints() {
+        lint.check(cx, &mut raw);
+    }
+    finish(raw, config)
+}
+
+/// Runs every registered static lint with device models available.
+pub fn run(nl: &Netlist, tech: &Technology, config: &LintConfig) -> ErcReport {
+    run_ctx(&LintContext::with_tech(nl, tech), config)
+}
+
+/// Applies the configured levels and the deterministic ordering.
+fn finish(raw: ErcReport, config: &LintConfig) -> ErcReport {
+    let mut out = ErcReport::new();
+    for d in raw.into_diagnostics() {
+        if let Some(d) = config.configure(d) {
+            out.push(d);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Debug-build assertion that a generated netlist has no deny-level
+/// findings under the full static lint (environment-configured).
+///
+/// Circuit builders call this after construction so both topology *and*
+/// electrical bugs in generator code fail at the build site, at zero
+/// release cost.
+///
+/// # Panics
+///
+/// In debug builds, panics with the rendered report when the lint run
+/// contains error-severity findings.
+pub fn debug_assert_clean(nl: &Netlist, tech: &Technology) {
+    if cfg!(debug_assertions) {
+        let report = run(nl, tech, &LintConfig::from_env());
+        assert!(
+            report.is_clean(),
+            "generated netlist fails design lint:\n{report}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Topology-group lints: thin adapters over the ERC passes.
+// ---------------------------------------------------------------------
+
+struct NamesLint;
+
+impl Lint for NamesLint {
+    fn codes(&self) -> &'static [&'static str] {
+        &[crate::erc::rule::DUPLICATE_NAME]
+    }
+
+    fn check(&self, cx: &LintContext<'_>, report: &mut ErcReport) {
+        crate::erc::check_names(cx.nl, report);
+    }
+}
+
+struct ValuesLint;
+
+impl Lint for ValuesLint {
+    fn codes(&self) -> &'static [&'static str] {
+        &[
+            crate::erc::rule::BAD_VALUE,
+            crate::erc::rule::ZERO_VALUE_SOURCE,
+        ]
+    }
+
+    fn check(&self, cx: &LintContext<'_>, report: &mut ErcReport) {
+        crate::erc::check_values(cx.nl, report);
+    }
+}
+
+struct TopologyLint;
+
+impl Lint for TopologyLint {
+    fn codes(&self) -> &'static [&'static str] {
+        &[
+            crate::erc::rule::FLOATING_NODE,
+            crate::erc::rule::VSOURCE_LOOP,
+            crate::erc::rule::CURRENT_SOURCE_CUTSET,
+            crate::erc::rule::UNDRIVEN_GATE,
+            crate::erc::rule::DANGLING_TERMINAL,
+            crate::erc::rule::SELF_LOOP,
+        ]
+    }
+
+    fn check(&self, cx: &LintContext<'_>, report: &mut ErcReport) {
+        crate::erc::check_topology(cx.nl, report);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Electrical lints: EKV analytics, no solve.
+// ---------------------------------------------------------------------
+
+/// Infers the intended branch bias current of a MOS device from the
+/// surrounding netlist, pattern-based: an STSCL load on the drain
+/// defines the steered branch current (its calibration `iss`); failing
+/// that, an independent current source on the drain or source net (the
+/// tail / reference idiom) defines it. `None` when nothing pins the
+/// bias — such devices are audited post-solve instead.
+fn inferred_bias(nl: &Netlist, d: Node, s: Node) -> Option<f64> {
+    for e in nl.elements() {
+        if let Element::SclLoad { b, iss, .. } = e {
+            if *b == d {
+                return Some(*iss);
+            }
+        }
+    }
+    for e in nl.elements() {
+        if let Element::Isource { p, n, wave, .. } = e {
+            if [*p, *n].contains(&d) || [*p, *n].contains(&s) {
+                let i = wave.dc().abs();
+                if i > 0.0 {
+                    return Some(i);
+                }
+            }
+        }
+    }
+    None
+}
+
+struct WeakInversionLint;
+
+impl Lint for WeakInversionLint {
+    fn codes(&self) -> &'static [&'static str] {
+        &[rule::WEAK_INVERSION]
+    }
+
+    fn check(&self, cx: &LintContext<'_>, report: &mut ErcReport) {
+        let Some(tech) = cx.tech else { return };
+        for e in cx.nl.elements() {
+            let Element::Mos { name, d, s, dev, .. } = e else {
+                continue;
+            };
+            let Some(bias) = inferred_bias(cx.nl, *d, *s) else {
+                continue;
+            };
+            let ic = dev.inversion_coefficient(tech, bias);
+            if ic > IC_WEAK_MAX {
+                report.push(
+                    Diagnostic::new(
+                        Severity::Warning,
+                        rule::WEAK_INVERSION,
+                        format!(
+                            "`{name}` would run at inversion coefficient {ic:.3} \
+                             at its inferred bias of {bias:.3e} A — outside weak \
+                             inversion (bound {IC_WEAK_MAX})"
+                        ),
+                    )
+                    .with_elements([name.clone()])
+                    .with_hint(
+                        "widen W/L or reduce the bias current; the STSCL delay and \
+                         swing laws assume IC \u{226a} 1",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+struct SwingCompatibilityLint;
+
+impl Lint for SwingCompatibilityLint {
+    fn codes(&self) -> &'static [&'static str] {
+        &[rule::SWING_COMPATIBILITY]
+    }
+
+    fn check(&self, cx: &LintContext<'_>, report: &mut ErcReport) {
+        let Some(tech) = cx.tech else { return };
+        let ut = tech.thermal_voltage();
+        for e in cx.nl.elements() {
+            let Element::SclLoad { name, b, load, .. } = e else {
+                continue;
+            };
+            // Every MOS gate on the load's output node belongs to a
+            // driven (cascaded) stage; it needs the full differential
+            // swing to steer its pair.
+            for drv in cx.nl.elements() {
+                let Element::Mos {
+                    name: dname,
+                    g,
+                    dev,
+                    ..
+                } = drv
+                else {
+                    continue;
+                };
+                if g != b {
+                    continue;
+                }
+                let n_slope = match dev.polarity {
+                    Polarity::Nmos => tech.nmos.n,
+                    Polarity::Pmos => tech.pmos.n,
+                };
+                let required = STEERING_NUT * n_slope * ut;
+                if load.vsw < required {
+                    report.push(
+                        Diagnostic::new(
+                            Severity::Warning,
+                            rule::SWING_COMPATIBILITY,
+                            format!(
+                                "load `{name}` swings {:.0} mV on node `{}` but the \
+                                 driven pair device `{dname}` needs {:.0} mV \
+                                 ({STEERING_NUT}\u{b7}n\u{b7}UT) to steer",
+                                load.vsw * 1e3,
+                                cx.nl.node_name(*b),
+                                required * 1e3
+                            ),
+                        )
+                        .with_nodes([cx.nl.node_name(*b).to_string()])
+                        .with_elements([name.clone(), dname.clone()])
+                        .with_hint(
+                            "raise RL\u{b7}ISS (the paper designs for 150\u{2013}200 mV) \
+                             or the next stage will never switch completely",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+struct VddHeadroomLint;
+
+impl Lint for VddHeadroomLint {
+    fn codes(&self) -> &'static [&'static str] {
+        &[rule::VDD_HEADROOM]
+    }
+
+    fn check(&self, cx: &LintContext<'_>, report: &mut ErcReport) {
+        let Some(tech) = cx.tech else { return };
+        for e in cx.nl.elements() {
+            let Element::SclLoad {
+                name, a, b, load, iss,
+            } = e
+            else {
+                continue;
+            };
+            // The supply rail: a DC voltage source fixing the load's
+            // supply-side node against ground.
+            let supply = cx.nl.elements().iter().find_map(|s| match s {
+                Element::Vsource { name, p, n, wave, .. }
+                    if p == a && n.is_ground() =>
+                {
+                    Some((name.clone(), wave.dc()))
+                }
+                _ => None,
+            });
+            // The switching-pair device under the load.
+            let pair = cx.nl.elements().iter().find_map(|m| match m {
+                Element::Mos { name, d, dev, .. } if d == b => {
+                    Some((name.clone(), *dev))
+                }
+                _ => None,
+            });
+            let (Some((vname, vdd)), Some((mname, dev))) = (supply, pair) else {
+                continue;
+            };
+            // Worst corner: VT shifts move the pair's gate drive.
+            let mut worst: Option<(Corner, f64)> = None;
+            for corner in Corner::all() {
+                let tc = tech.at_corner(corner);
+                let need = dev.min_supply(&tc, *iss, load.vsw);
+                if worst.is_none_or(|(_, w)| need > w) {
+                    worst = Some((corner, need));
+                }
+            }
+            let (corner, need) = worst.expect("corners are non-empty");
+            if vdd < need {
+                report.push(
+                    Diagnostic::new(
+                        Severity::Warning,
+                        rule::VDD_HEADROOM,
+                        format!(
+                            "supply `{vname}` = {vdd:.2} V is below the \
+                             {need:.2} V the STSCL stack under `{name}` needs \
+                             at the {corner} corner"
+                        ),
+                    )
+                    .with_nodes([cx.nl.node_name(*a).to_string()])
+                    .with_elements([name.clone(), mname, vname])
+                    .with_hint(
+                        "VDD must cover swing + pair VGS + tail saturation \
+                         across corners; raise VDD or cut ISS/VSW",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+struct MismatchBudgetLint;
+
+impl Lint for MismatchBudgetLint {
+    fn codes(&self) -> &'static [&'static str] {
+        &[rule::MISMATCH_BUDGET]
+    }
+
+    fn check(&self, cx: &LintContext<'_>, report: &mut ErcReport) {
+        let Some(tech) = cx.tech else { return };
+        let elems = cx.nl.elements();
+        // The vsw of the STSCL load on a drain node, if any.
+        let load_vsw = |node: Node| {
+            elems.iter().find_map(|e| match e {
+                Element::SclLoad { b, load, .. } if *b == node => Some(load.vsw),
+                _ => None,
+            })
+        };
+        for (i, ei) in elems.iter().enumerate() {
+            let Element::Mos {
+                name: n1,
+                d: d1,
+                s: s1,
+                dev: m1,
+                ..
+            } = ei
+            else {
+                continue;
+            };
+            for ej in &elems[i + 1..] {
+                let Element::Mos {
+                    name: n2,
+                    d: d2,
+                    s: s2,
+                    dev: m2,
+                    ..
+                } = ej
+                else {
+                    continue;
+                };
+                // A matched source-coupled pair: same polarity and
+                // geometry, sharing the source node, each drain loaded
+                // by an STSCL load.
+                let matched = m1.polarity == m2.polarity
+                    && m1.w == m2.w
+                    && m1.l == m2.l
+                    && s1 == s2
+                    && d1 != d2;
+                if !matched {
+                    continue;
+                }
+                let (Some(v1), Some(v2)) = (load_vsw(*d1), load_vsw(*d2)) else {
+                    continue;
+                };
+                let vsw = v1.min(v2);
+                let model = match m1.polarity {
+                    Polarity::Nmos => &tech.nmos,
+                    Polarity::Pmos => &tech.pmos,
+                };
+                let sigma = MismatchRng::sigma_pair_offset(model, m1.w, m1.l);
+                if vsw < SIGMA_MARGIN * sigma {
+                    report.push(
+                        Diagnostic::new(
+                            Severity::Warning,
+                            rule::MISMATCH_BUDGET,
+                            format!(
+                                "pair `{n1}`/`{n2}` has a Pelgrom offset sigma of \
+                                 {:.1} mV against a {:.0} mV swing (margin below \
+                                 {SIGMA_MARGIN}\u{b7}\u{3c3})",
+                                sigma * 1e3,
+                                vsw * 1e3
+                            ),
+                        )
+                        .with_elements([n1.clone(), n2.clone()])
+                        .with_hint(
+                            "grow W\u{b7}L of the pair (\u{3c3} \u{221d} 1/\u{221a}(WL)) \
+                             or raise the swing; offsets this large eat the noise \
+                             margin the paper budgets",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Numerics lints.
+// ---------------------------------------------------------------------
+
+struct RcTimeStepLint;
+
+impl Lint for RcTimeStepLint {
+    fn codes(&self) -> &'static [&'static str] {
+        &[rule::RC_TIME_STEP]
+    }
+
+    fn check(&self, cx: &LintContext<'_>, report: &mut ErcReport) {
+        let Some(dt) = cx.dt else { return };
+        // Fastest plausible time constant: smallest resistance (explicit
+        // resistors plus the small-signal resistance of STSCL loads)
+        // against the smallest capacitance, as `tran::suggest_dt` does.
+        let mut r_min = f64::INFINITY;
+        let mut c_min = f64::INFINITY;
+        for e in cx.nl.elements() {
+            match e {
+                Element::Resistor { ohms, .. } => r_min = r_min.min(*ohms),
+                Element::SclLoad { load, iss, .. } => {
+                    r_min = r_min.min(load.resistance(*iss));
+                }
+                Element::Capacitor { farads, .. } => c_min = c_min.min(*farads),
+                _ => {}
+            }
+        }
+        if !(r_min.is_finite() && c_min.is_finite()) {
+            return;
+        }
+        let tau = r_min * c_min;
+        if dt > tau / MIN_POINTS_PER_TAU {
+            report.push(
+                Diagnostic::new(
+                    Severity::Warning,
+                    rule::RC_TIME_STEP,
+                    format!(
+                        "transient step {dt:.3e} s resolves the fastest RC time \
+                         constant ({tau:.3e} s) with fewer than \
+                         {MIN_POINTS_PER_TAU} points"
+                    ),
+                )
+                .with_hint(
+                    "shrink dt (see tran::suggest_dt) or the integrator will \
+                     smear the edge; backward Euler overdamps, trapezoidal rings",
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Post-solve operating-point audit.
+// ---------------------------------------------------------------------
+
+/// Audits a completed DC operating point: flags devices that left their
+/// intended region ([`rule::STRONG_INVERSION`],
+/// [`rule::UNSATURATED_CHANNEL`]) and near-singular MNA systems
+/// ([`rule::NEAR_SINGULAR`], via the LU pivot-ratio estimate of the
+/// Jacobian assembled at the solution).
+///
+/// This is the complement of the static lints: the static passes bound
+/// what the bias *should* be from the netlist's sources; the audit
+/// checks what the solver actually found, catching mis-biasing the
+/// pattern matcher cannot see (e.g. a mirrored tail delivering the
+/// wrong current).
+pub fn audit(
+    nl: &Netlist,
+    tech: &Technology,
+    op: &DcOperatingPoint,
+    config: &LintConfig,
+) -> ErcReport {
+    let mut raw = ErcReport::new();
+    let x = op.solution();
+    for e in nl.elements() {
+        let Element::Mos {
+            name, d, g, s, b, dev,
+        } = e
+        else {
+            continue;
+        };
+        // Bulk-referred terminal voltages, exactly as the MNA stamper
+        // evaluates the device.
+        let vb = mna::voltage_of(x, *b);
+        let opp = dev.operating_point(
+            tech,
+            mna::voltage_of(x, *g) - vb,
+            mna::voltage_of(x, *s) - vb,
+            mna::voltage_of(x, *d) - vb,
+        );
+        if opp.inversion > IC_STRONG {
+            raw.push(
+                Diagnostic::new(
+                    Severity::Warning,
+                    rule::STRONG_INVERSION,
+                    format!(
+                        "`{name}` sits at inversion coefficient {:.2} at the \
+                         solved operating point — strong inversion",
+                        opp.inversion
+                    ),
+                )
+                .with_elements([name.clone()])
+                .with_hint(
+                    "lower the tail/reference current or widen the device; the \
+                     platform's delay, swing and gm laws assume weak inversion",
+                ),
+            );
+        } else if !opp.saturated && opp.id > 1e-15 {
+            raw.push(
+                Diagnostic::new(
+                    Severity::Warning,
+                    rule::UNSATURATED_CHANNEL,
+                    format!(
+                        "channel of `{name}` is not saturated at the solved \
+                         operating point (ID = {:.3e} A)",
+                        opp.id
+                    ),
+                )
+                .with_elements([name.clone()])
+                .with_hint(
+                    "give the device more VDS headroom (check VDD, swing and \
+                     stacking); the gate model assumes saturated channels",
+                ),
+            );
+        }
+    }
+    // Conditioning of the Jacobian at the solution.
+    let gmin = NewtonOptions::default().gmin;
+    let sys = mna::assemble(nl, tech, x, AssembleMode::Dc, gmin);
+    match LuFactor::new(&sys.matrix) {
+        Ok(lu) => {
+            let ratio = lu.pivot_ratio();
+            if ratio > NEAR_SINGULAR_RATIO {
+                raw.push(
+                    Diagnostic::new(
+                        Severity::Warning,
+                        rule::NEAR_SINGULAR,
+                        format!(
+                            "MNA system is nearly singular at the solution: LU \
+                             pivot ratio {ratio:.1e} exceeds {NEAR_SINGULAR_RATIO:.0e}"
+                        ),
+                    )
+                    .with_hint(
+                        "some unknown is barely constrained (gmin-held node or \
+                         near-dependent source); results there are noise-level",
+                    ),
+                );
+            }
+        }
+        Err(err) => {
+            raw.push(
+                Diagnostic::new(
+                    Severity::Warning,
+                    rule::NEAR_SINGULAR,
+                    format!("MNA system is singular at the solution: {err}"),
+                )
+                .with_hint("the converged point sits on a fold; treat results as suspect"),
+            );
+        }
+    }
+    finish(raw, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulp_device::load::PmosLoad;
+    use ulp_device::{Mosfet, Technology};
+
+    fn tech() -> Technology {
+        Technology::default()
+    }
+
+    /// An STSCL buffer cell at the paper's design point: VDD 1 V,
+    /// 200 mV swing, nA tail — clean under every electrical lint.
+    fn stscl_cell(iss: f64, vsw: f64, vdd: f64) -> Netlist {
+        let mut nl = Netlist::new();
+        let vddn = nl.node("vdd");
+        let inp = nl.node("inp");
+        let inn = nl.node("inn");
+        let outp = nl.node("outp");
+        let outn = nl.node("outn");
+        let cs = nl.node("cs");
+        nl.vsource("VDD", vddn, Netlist::GROUND, vdd);
+        nl.vsource("VINP", inp, Netlist::GROUND, 0.6);
+        nl.vsource("VINN", inn, Netlist::GROUND, 0.6);
+        let pair = Mosfet::new(Polarity::Nmos, 1e-6, 0.5e-6);
+        nl.mosfet("M1", outn, inp, cs, Netlist::GROUND, pair);
+        nl.mosfet("M2", outp, inn, cs, Netlist::GROUND, pair);
+        nl.scl_load("RLP", vddn, outp, PmosLoad::new(vsw), iss);
+        nl.scl_load("RLN", vddn, outn, PmosLoad::new(vsw), iss);
+        nl.isource("ITAIL", cs, Netlist::GROUND, iss);
+        nl
+    }
+
+    #[test]
+    fn compliant_stscl_cell_lints_clean() {
+        let nl = stscl_cell(1e-9, 0.2, 1.0);
+        let report = run(&nl, &tech(), &LintConfig::new());
+        assert!(report.is_empty(), "expected no findings:\n{report}");
+    }
+
+    // -- weak-inversion -----------------------------------------------
+
+    #[test]
+    fn weak_inversion_fires_on_over_biased_pair() {
+        // 10 µA through a 1µ/0.5µ pair is IC ≈ 7: far out of the
+        // subthreshold regime the delay law assumes.
+        let nl = stscl_cell(10e-6, 0.2, 1.0);
+        let report = run(&nl, &tech(), &LintConfig::new());
+        let d = report.find(rule::WEAK_INVERSION).expect("weak-inversion");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.elements.contains(&"M1".to_string()), "{d}");
+    }
+
+    #[test]
+    fn weak_inversion_clean_at_nanoamp_bias() {
+        let nl = stscl_cell(1e-9, 0.2, 1.0);
+        let report = run(&nl, &tech(), &LintConfig::new());
+        assert!(report.find(rule::WEAK_INVERSION).is_none(), "{report}");
+    }
+
+    #[test]
+    fn weak_inversion_infers_bias_from_current_source() {
+        // A diode-connected reference leg: the bias comes from the
+        // isource, not a load.
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let vbn = nl.node("vbn");
+        nl.vsource("VDD", vdd, Netlist::GROUND, 1.0);
+        nl.isource("IREF", vdd, vbn, 50e-6); // way too much for 2µ/2µ
+        let mirror = Mosfet::new(Polarity::Nmos, 2e-6, 2e-6);
+        nl.mosfet("MREF", vbn, vbn, Netlist::GROUND, Netlist::GROUND, mirror);
+        let report = run(&nl, &tech(), &LintConfig::new());
+        let d = report.find(rule::WEAK_INVERSION).expect("weak-inversion");
+        assert_eq!(d.elements, ["MREF"]);
+    }
+
+    // -- swing-compatibility ------------------------------------------
+
+    /// Adds a second stage whose gates hang on the first stage's output.
+    fn cascade(nl: &mut Netlist, vsw2: f64, iss: f64) {
+        let vdd = nl.node("vdd");
+        let outp = nl.node("outp");
+        let outn = nl.node("outn");
+        let o2p = nl.node("o2p");
+        let o2n = nl.node("o2n");
+        let cs2 = nl.node("cs2");
+        let pair = Mosfet::new(Polarity::Nmos, 1e-6, 0.5e-6);
+        nl.mosfet("M3", o2n, outp, cs2, Netlist::GROUND, pair);
+        nl.mosfet("M4", o2p, outn, cs2, Netlist::GROUND, pair);
+        nl.scl_load("RL2P", vdd, o2p, PmosLoad::new(vsw2), iss);
+        nl.scl_load("RL2N", vdd, o2n, PmosLoad::new(vsw2), iss);
+        nl.isource("ITAIL2", cs2, Netlist::GROUND, iss);
+    }
+
+    #[test]
+    fn swing_compatibility_fires_on_starved_first_stage() {
+        // First stage swings only 100 mV; the cascaded pair needs
+        // 4·n·UT ≈ 140 mV to steer.
+        let mut nl = stscl_cell(1e-9, 0.1, 1.0);
+        cascade(&mut nl, 0.2, 1e-9);
+        let report = run(&nl, &tech(), &LintConfig::new());
+        let d = report
+            .find(rule::SWING_COMPATIBILITY)
+            .expect("swing-compatibility");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(
+            d.elements.iter().any(|e| e == "RLP" || e == "RLN"),
+            "{d}"
+        );
+        assert!(
+            d.elements.iter().any(|e| e == "M3" || e == "M4"),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn swing_compatibility_clean_at_paper_swing() {
+        let mut nl = stscl_cell(1e-9, 0.2, 1.0);
+        cascade(&mut nl, 0.2, 1e-9);
+        let report = run(&nl, &tech(), &LintConfig::new());
+        assert!(report.find(rule::SWING_COMPATIBILITY).is_none(), "{report}");
+    }
+
+    // -- vdd-headroom -------------------------------------------------
+
+    #[test]
+    fn vdd_headroom_fires_on_half_volt_supply() {
+        // 0.5 V cannot cover swing (0.2) + pair VGS (~0.22 nominal,
+        // more at the SS corner) + tail saturation (~0.1).
+        let nl = stscl_cell(1e-9, 0.2, 0.5);
+        let report = run(&nl, &tech(), &LintConfig::new());
+        let d = report.find(rule::VDD_HEADROOM).expect("vdd-headroom");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.elements.contains(&"VDD".to_string()), "{d}");
+        assert!(d.message.contains("corner"), "{d}");
+    }
+
+    #[test]
+    fn vdd_headroom_clean_at_one_volt() {
+        let nl = stscl_cell(1e-9, 0.2, 1.0);
+        let report = run(&nl, &tech(), &LintConfig::new());
+        assert!(report.find(rule::VDD_HEADROOM).is_none(), "{report}");
+    }
+
+    // -- mismatch-budget ----------------------------------------------
+
+    #[test]
+    fn mismatch_budget_fires_on_minimum_size_pair() {
+        // A 0.1µ×0.1µ pair: σ(ΔVT) = 5 nV·m / 0.1 µm = 50 mV against a
+        // 200 mV swing — the offset eats the noise margin.
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let inp = nl.node("inp");
+        let inn = nl.node("inn");
+        let outp = nl.node("outp");
+        let outn = nl.node("outn");
+        let cs = nl.node("cs");
+        nl.vsource("VDD", vdd, Netlist::GROUND, 1.0);
+        nl.vsource("VINP", inp, Netlist::GROUND, 0.6);
+        nl.vsource("VINN", inn, Netlist::GROUND, 0.6);
+        let tiny = Mosfet::new(Polarity::Nmos, 0.1e-6, 0.1e-6);
+        nl.mosfet("M1", outn, inp, cs, Netlist::GROUND, tiny);
+        nl.mosfet("M2", outp, inn, cs, Netlist::GROUND, tiny);
+        nl.scl_load("RLP", vdd, outp, PmosLoad::new(0.2), 1e-9);
+        nl.scl_load("RLN", vdd, outn, PmosLoad::new(0.2), 1e-9);
+        nl.isource("ITAIL", cs, Netlist::GROUND, 1e-9);
+        let report = run(&nl, &tech(), &LintConfig::new());
+        let d = report.find(rule::MISMATCH_BUDGET).expect("mismatch-budget");
+        assert_eq!(d.elements, ["M1", "M2"]);
+    }
+
+    #[test]
+    fn mismatch_budget_clean_for_sized_pair() {
+        // The 1µ/0.5µ pair: σ ≈ 7 mV, an order below the 200 mV swing.
+        let nl = stscl_cell(1e-9, 0.2, 1.0);
+        let report = run(&nl, &tech(), &LintConfig::new());
+        assert!(report.find(rule::MISMATCH_BUDGET).is_none(), "{report}");
+    }
+
+    // -- rc-time-step -------------------------------------------------
+
+    #[test]
+    fn rc_time_step_fires_on_coarse_step() {
+        let nl = stscl_cell(1e-9, 0.2, 1.0);
+        // Add a load capacitance so there is an RC to resolve.
+        let mut nl = nl;
+        let outp = nl.node("outp");
+        nl.capacitor("CL", outp, Netlist::GROUND, 10e-15);
+        // τ ≈ 0.694·0.2/1e-9 · 10 fF ≈ 1.4 µs; a 10 µs step is absurd.
+        let t = tech();
+        let cx = LintContext::with_tech(&nl, &t).with_dt(10e-6);
+        let report = run_ctx(&cx, &LintConfig::new());
+        let d = report.find(rule::RC_TIME_STEP).expect("rc-time-step");
+        assert_eq!(d.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn rc_time_step_clean_with_resolved_step() {
+        let mut nl = stscl_cell(1e-9, 0.2, 1.0);
+        let outp = nl.node("outp");
+        nl.capacitor("CL", outp, Netlist::GROUND, 10e-15);
+        let t = tech();
+        let cx = LintContext::with_tech(&nl, &t).with_dt(50e-9);
+        let report = run_ctx(&cx, &LintConfig::new());
+        assert!(report.find(rule::RC_TIME_STEP).is_none(), "{report}");
+    }
+
+    #[test]
+    fn rc_time_step_silent_without_planned_step() {
+        let mut nl = stscl_cell(1e-9, 0.2, 1.0);
+        let outp = nl.node("outp");
+        nl.capacitor("CL", outp, Netlist::GROUND, 10e-15);
+        let report = run(&nl, &tech(), &LintConfig::new());
+        assert!(report.find(rule::RC_TIME_STEP).is_none());
+    }
+
+    // -- config / levels ----------------------------------------------
+
+    #[test]
+    fn config_precedence_rule_over_group_over_all() {
+        let weak = rule_info(rule::WEAK_INVERSION).unwrap();
+        let swing = rule_info(rule::SWING_COMPATIBILITY).unwrap();
+        let floating = rule_info(crate::erc::rule::FLOATING_NODE).unwrap();
+        let cfg = LintConfig::new()
+            .set("all", LintLevel::Allow)
+            .set("electrical", LintLevel::Deny)
+            .set(rule::WEAK_INVERSION, LintLevel::Warn);
+        assert_eq!(cfg.level(weak), LintLevel::Warn);
+        assert_eq!(cfg.level(swing), LintLevel::Deny);
+        assert_eq!(cfg.level(floating), LintLevel::Allow);
+        // Defaults when nothing matches.
+        let dflt = LintConfig::new();
+        assert_eq!(dflt.level(floating), LintLevel::Deny);
+        assert_eq!(dflt.level(weak), LintLevel::Warn);
+    }
+
+    #[test]
+    fn deny_promotes_and_allow_drops_findings() {
+        let nl = stscl_cell(10e-6, 0.2, 1.0); // fires weak-inversion
+        let deny = run(
+            &nl,
+            &tech(),
+            &LintConfig::new().set(rule::WEAK_INVERSION, LintLevel::Deny),
+        );
+        let d = deny.find(rule::WEAK_INVERSION).unwrap();
+        assert_eq!(d.severity, Severity::Error);
+        assert!(!deny.is_clean());
+        let allow = run(
+            &nl,
+            &tech(),
+            &LintConfig::new().set(rule::WEAK_INVERSION, LintLevel::Allow),
+        );
+        assert!(allow.find(rule::WEAK_INVERSION).is_none());
+    }
+
+    #[test]
+    fn env_spec_parses_and_ignores_junk() {
+        // Pure parser test (no env mutation — tests run in parallel).
+        let mut cfg = LintConfig::new();
+        for pair in "weak-inversion=deny, electrical = allow,junk,=x,a=b".split(',') {
+            let pair = pair.trim();
+            if let Some((key, level)) = pair.split_once('=') {
+                if let Some(level) = LintLevel::parse(level.trim()) {
+                    cfg = cfg.set(key.trim(), level);
+                }
+            }
+        }
+        let weak = rule_info(rule::WEAK_INVERSION).unwrap();
+        let swing = rule_info(rule::SWING_COMPATIBILITY).unwrap();
+        assert_eq!(cfg.level(weak), LintLevel::Deny);
+        assert_eq!(cfg.level(swing), LintLevel::Allow);
+    }
+
+    #[test]
+    fn level_and_group_names_round_trip() {
+        for l in [LintLevel::Allow, LintLevel::Warn, LintLevel::Deny] {
+            assert_eq!(LintLevel::parse(l.name()), Some(l));
+        }
+        for g in [LintGroup::Topology, LintGroup::Electrical, LintGroup::Numerics] {
+            assert_eq!(LintGroup::parse(g.name()), Some(g));
+        }
+        assert!(LintLevel::parse("fatal").is_none());
+        assert!(LintGroup::parse("style").is_none());
+    }
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        // Every code the static lints claim is in the registry…
+        for lint in lints() {
+            for code in lint.codes() {
+                assert!(rule_info(code).is_some(), "unregistered code {code}");
+            }
+        }
+        // …and codes are unique.
+        for (i, r) in REGISTRY.iter().enumerate() {
+            assert!(
+                REGISTRY[i + 1..].iter().all(|o| o.code != r.code),
+                "duplicate registry code {}",
+                r.code
+            );
+        }
+    }
+
+    // -- post-solve audit ---------------------------------------------
+
+    #[test]
+    fn audit_flags_strong_inversion_on_mis_biased_gate() {
+        // The satellite scenario: an STSCL gate whose tail current is
+        // cranked three decades past the design point. The DC solution
+        // converges fine — only the audit sees the region violation.
+        let t = tech();
+        let nl = stscl_cell(10e-6, 0.2, 1.0);
+        let op = DcOperatingPoint::solve_unchecked(&nl, &t).unwrap();
+        let report = audit(&nl, &t, &op, &LintConfig::new());
+        let d = report
+            .find(rule::STRONG_INVERSION)
+            .expect("strong-inversion must fire");
+        assert_eq!(d.rule, "strong-inversion");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(
+            d.elements.contains(&"M1".to_string())
+                || d.elements.contains(&"M2".to_string()),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn audit_clean_on_the_design_point() {
+        let t = tech();
+        let nl = stscl_cell(1e-9, 0.2, 1.0);
+        let op = DcOperatingPoint::solve(&nl, &t).unwrap();
+        let report = audit(&nl, &t, &op, &LintConfig::new());
+        assert!(report.is_empty(), "expected clean audit:\n{report}");
+    }
+
+    #[test]
+    fn audit_flags_near_singular_system() {
+        // A teraohm-class leakage path keeps the node ERC-clean but the
+        // matrix pivot collapses to the gmin floor.
+        let t = tech();
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let x = nl.node("x");
+        nl.vsource("V1", a, Netlist::GROUND, 1.0);
+        nl.resistor("R1", a, Netlist::GROUND, 1e3);
+        nl.resistor("RLEAK", a, x, 1e18);
+        let op = DcOperatingPoint::solve(&nl, &t).unwrap();
+        let report = audit(&nl, &t, &op, &LintConfig::new());
+        let d = report.find(rule::NEAR_SINGULAR).expect("near-singular");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("pivot ratio"), "{d}");
+    }
+}

@@ -4,6 +4,7 @@
 //! ordinary method calls (no text parser — netlists in this workspace
 //! are constructed programmatically by the analog block generators).
 
+use std::cell::Cell;
 use std::fmt;
 use ulp_device::load::PmosLoad;
 use ulp_device::Mosfet;
@@ -298,6 +299,14 @@ impl Element {
 pub struct Netlist {
     node_names: Vec<String>,
     elements: Vec<Element>,
+    /// Monotone edit counter: bumped by every mutation that can change a
+    /// static-analysis verdict (new node, new element, element edit).
+    revision: u64,
+    /// Revision at which the ERC gate last found this netlist clean, so
+    /// repeated analyses of an unchanged netlist skip the re-check.
+    /// Interior-mutable: the gate takes `&Netlist`. Clones carry the
+    /// cached verdict (they are byte-identical circuits).
+    erc_clean_at: Cell<Option<u64>>,
 }
 
 impl Netlist {
@@ -309,6 +318,8 @@ impl Netlist {
         Netlist {
             node_names: vec!["0".to_string()],
             elements: Vec::new(),
+            revision: 0,
+            erc_clean_at: Cell::new(None),
         }
     }
 
@@ -317,8 +328,30 @@ impl Netlist {
         if let Some(i) = self.node_names.iter().position(|n| n == name) {
             return Node(i);
         }
+        self.invalidate();
         self.node_names.push(name.to_string());
         Node(self.node_names.len() - 1)
+    }
+
+    /// Current edit revision (exposed for cache tests only).
+    #[cfg(test)]
+    pub(crate) fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// True when the ERC gate already passed this exact revision.
+    pub(crate) fn erc_clean_cached(&self) -> bool {
+        self.erc_clean_at.get() == Some(self.revision)
+    }
+
+    /// Records that the ERC gate passed at the current revision.
+    pub(crate) fn mark_erc_clean(&self) {
+        self.erc_clean_at.set(Some(self.revision));
+    }
+
+    fn invalidate(&mut self) {
+        self.revision += 1;
+        self.erc_clean_at.set(None);
     }
 
     /// Node count including ground.
@@ -342,6 +375,9 @@ impl Netlist {
     }
 
     pub(crate) fn elements_mut(&mut self) -> impl Iterator<Item = &mut Element> {
+        // Callers can mutate any element (e.g. `set_source`), so any
+        // cached static-analysis verdict is conservatively dropped.
+        self.invalidate();
         self.elements.iter_mut()
     }
 
@@ -514,6 +550,7 @@ impl Netlist {
             "duplicate element name {}",
             e.name()
         );
+        self.invalidate();
         self.elements.push(e);
         self
     }

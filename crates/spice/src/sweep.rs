@@ -86,8 +86,11 @@ impl Netlist {
 /// Sweeps the named independent source over `values`, returning the full
 /// solution at each point.
 ///
-/// Runs the electrical rule check ([`crate::erc::check`]) once on the
+/// Runs the electrical rule check ([`crate::erc::gate`]) once on the
 /// netlist before the first point; use [`dc_sweep_unchecked`] to bypass.
+/// The clean verdict is memoised per netlist revision, so driver code
+/// that calls several analyses on one unchanged netlist pays for the
+/// structural traversal exactly once across all of them.
 ///
 /// # Errors
 ///

@@ -70,8 +70,12 @@ impl Transient {
     /// Runs a transient analysis. The initial condition is the DC
     /// operating point with all sources at their `t = 0` values.
     ///
-    /// Runs the electrical rule check ([`crate::erc::check`]) once up
-    /// front; use [`Transient::run_unchecked`] to bypass.
+    /// Runs the electrical rule check ([`crate::erc::gate`]) once up
+    /// front (memoised across repeated runs of an unchanged netlist);
+    /// use [`Transient::run_unchecked`] to bypass. To vet the chosen
+    /// `dt` against the fastest RC in the netlist before committing to
+    /// a long run, see [`crate::lint::rule::RC_TIME_STEP`] and
+    /// [`suggest_dt`].
     ///
     /// # Errors
     ///

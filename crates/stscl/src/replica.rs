@@ -69,7 +69,6 @@ impl ReplicaBiasedBuffer {
             vcm > 0.0 && vcm < params.vdd,
             "common mode must sit inside the rails"
         );
-        let _ = tech;
         let mut nl = Netlist::new();
         let vdd = nl.node("vdd");
         let vbn = nl.node("vbn");
@@ -103,7 +102,7 @@ impl ReplicaBiasedBuffer {
         nl.scl_load("RLN", vdd, outn, load, iref);
         nl.capacitor("CLP", outp, Netlist::GROUND, params.cl);
         nl.capacitor("CLN", outn, Netlist::GROUND, params.cl);
-        ulp_spice::erc::debug_assert_clean(&nl);
+        ulp_spice::lint::debug_assert_clean(&nl, tech);
         ReplicaBiasedBuffer {
             netlist: nl,
             ctl,

@@ -55,7 +55,6 @@ impl SclBufferCircuit {
     ) -> Self {
         assert!(iss > 0.0, "tail current must be positive");
         assert!(vcm > 0.0 && vcm < params.vdd, "common mode must sit inside the rails");
-        let _ = tech; // geometry below is fixed; tech enters at solve time
         let mut nl = Netlist::new();
         let vdd = nl.node("vdd");
         let ctl = nl.node("ctl");
@@ -85,7 +84,7 @@ impl SclBufferCircuit {
         // Explicit load capacitances.
         nl.capacitor("CLP", outp, Netlist::GROUND, params.cl);
         nl.capacitor("CLN", outn, Netlist::GROUND, params.cl);
-        ulp_spice::erc::debug_assert_clean(&nl);
+        ulp_spice::lint::debug_assert_clean(&nl, tech);
         SclBufferCircuit {
             netlist: nl,
             ctl,
