@@ -3,9 +3,12 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# --workspace covers every crate including ulp-exec; keep the engine in
+# the -D warnings set explicitly so a membership change can't drop it.
 cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy -p ulp-exec --all-targets -- -D warnings
 
 # Telemetry path: one bench binary under ULP_TRACE=summary must render
 # the solver-metrics footer, and ULP_TRACE=events must produce valid
@@ -30,3 +33,40 @@ for f in results/lint/scl-buffer-100p.sarif results/lint/scl-buffer-1n.sarif \
     grep -q '"version": "2.1.0"' "$f"
 done
 echo "design lints + SARIF exports OK"
+
+# Execution engine: the determinism suite must pass on both the strictly
+# serial path and a 4-worker pool — same bytes, different schedule.
+ULP_JOBS=1 cargo test -q -p integration --test exec_determinism
+ULP_JOBS=4 cargo test -q -p integration --test exec_determinism
+echo "exec determinism (ULP_JOBS=1 and 4) OK"
+
+# Scaling bench: always run it (it asserts serial == parallel results);
+# only hold it to the >=2x speedup bar when the host actually has the
+# cores to show one.
+bench_out=$(cargo bench -q -p ulp-bench --bench exec_scaling)
+echo "$bench_out"
+cores=$(nproc 2>/dev/null || echo 1)
+if [ "$cores" -ge 4 ]; then
+    echo "$bench_out" | awk '
+        # Convert a Duration debug string ("56.272ms", "1.2s", "890.1µs")
+        # to seconds.
+        function secs(d) {
+            mult = 1
+            if (d ~ /ns$/)           { mult = 1e-9 }
+            else if (d ~ /µs$/ || d ~ /us$/) { mult = 1e-6 }
+            else if (d ~ /ms$/)      { mult = 1e-3 }
+            gsub(/[^0-9.]/, "", d)
+            return d * mult
+        }
+        /exec_scaling_serial_64_dies/    { serial = secs($4) }
+        /exec_scaling_parallel4_64_dies/ { parallel = secs($4) }
+        END {
+            if (parallel == 0 || serial / parallel < 2.0) {
+                printf "FAIL: parallel speedup %.2fx < 2x on a %d-core host\n", serial / parallel, '"$cores"'
+                exit 1
+            }
+            printf "exec scaling OK: %.2fx speedup at 4 workers\n", serial / parallel
+        }'
+else
+    echo "exec scaling: $cores core(s) — speedup bar skipped, determinism still asserted"
+fi

@@ -81,6 +81,39 @@ pub fn ramp_linearity(adc: &FaiAdc, steps: usize) -> Result<Linearity, MetricsEr
     linearity_from_histogram(&hist)
 }
 
+/// Runs the Fig. 11 Monte-Carlo mismatch ensemble: `dies` seeded
+/// converter instances (die `k` is `FaiAdc::with_mismatch(seed = k)`)
+/// measured with [`ramp_linearity`] at `ramp_steps` samples each, on
+/// the `ulp-exec` parallel engine. Element `k` of the result is die
+/// `k`'s linearity; because each die is fully determined by its index,
+/// the output is byte-identical for any `ULP_JOBS` worker count.
+///
+/// # Errors
+///
+/// The lowest-index die's [`MetricsError`], if any die's ramp was too
+/// sparse.
+///
+/// # Panics
+///
+/// Propagates a panic from a die's measurement (after every sibling
+/// die has finished).
+pub fn mismatch_linearity_ensemble(
+    tech: &ulp_device::Technology,
+    config: &crate::config::AdcConfig,
+    dies: usize,
+    ramp_steps: usize,
+) -> Result<Vec<Linearity>, MetricsError> {
+    ulp_exec::Ensemble::new(dies)
+        .label("adc::linearity")
+        .run(|ctx: &mut ulp_exec::TrialCtx| {
+            let adc = FaiAdc::with_mismatch(tech, config, ctx.index() as u64);
+            ramp_linearity(&adc, ramp_steps)
+        })
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("linearity ensemble: {e}")))
+        .collect()
+}
+
 /// [`ramp_linearity`] with per-decision comparator noise (fresh draws
 /// every sample). Noise acts as dither: each transition is crossed many
 /// times with scatter, so the histogram measures the *average* edge —

@@ -8,8 +8,7 @@
 //! trade the paper's "large enough transistor sizes" remark compresses).
 
 use crate::config::AdcConfig;
-use crate::converter::FaiAdc;
-use crate::metrics::{ramp_linearity, MetricsError};
+use crate::metrics::{mismatch_linearity_ensemble, MetricsError};
 use ulp_device::Technology;
 
 /// A parametric linearity specification.
@@ -60,6 +59,9 @@ impl YieldReport {
 /// Runs `dies` seeded mismatch instances against `spec` with
 /// `ramp_steps` histogram samples each.
 ///
+/// The ensemble runs on the `ulp-exec` engine (die = trial, seed = die
+/// index), so the report is byte-identical for any `ULP_JOBS` setting.
+///
 /// # Errors
 ///
 /// Propagates [`MetricsError`] from the linearity measurement.
@@ -70,11 +72,10 @@ pub fn parametric_yield(
     dies: usize,
     ramp_steps: usize,
 ) -> Result<YieldReport, MetricsError> {
+    let ensemble = mismatch_linearity_ensemble(tech, config, dies, ramp_steps)?;
     let mut linearities = Vec::with_capacity(dies);
     let mut passing = 0usize;
-    for seed in 0..dies as u64 {
-        let adc = FaiAdc::with_mismatch(tech, config, seed);
-        let lin = ramp_linearity(&adc, ramp_steps)?;
+    for lin in &ensemble {
         if lin.inl_max <= spec.inl_max && lin.dnl_max <= spec.dnl_max {
             passing += 1;
         }

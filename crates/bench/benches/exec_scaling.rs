@@ -1,0 +1,53 @@
+//! Scaling benchmark for the `ulp-exec` engine: the same 64-die yield
+//! campaign (mismatch instance + ramp linearity per die) timed on the
+//! strictly serial path and on a 4-worker pool.
+//!
+//! On a ≥4-core host the parallel campaign should run ≥2× faster; on a
+//! constrained runner it degrades gracefully to serial-plus-overhead.
+//! Either way the two paths must produce identical results — asserted
+//! here before any timing, so the bench doubles as a determinism check
+//! at campaign scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ulp_adc::metrics::{ramp_linearity, Linearity};
+use ulp_adc::{AdcConfig, FaiAdc};
+use ulp_device::Technology;
+use ulp_exec::{Ensemble, TrialCtx};
+
+const DIES: usize = 64;
+/// Bench-reduced ramp (8 hits/code); the figure harness uses 64.
+const RAMP_STEPS: usize = 256 * 8;
+
+fn yield_campaign(tech: &Technology, cfg: &AdcConfig, jobs: usize) -> Vec<Linearity> {
+    Ensemble::new(DIES)
+        .jobs(jobs)
+        .label("bench::yield")
+        .run(|ctx: &mut TrialCtx| {
+            let adc = FaiAdc::with_mismatch(tech, cfg, ctx.index() as u64);
+            ramp_linearity(&adc, RAMP_STEPS).expect("dense ramp")
+        })
+        .into_iter()
+        .map(|r| r.expect("die measurement"))
+        .collect()
+}
+
+fn bench_exec_scaling(c: &mut Criterion) {
+    let tech = Technology::default();
+    let cfg = AdcConfig::default();
+
+    // Determinism gate first: parallel must reproduce serial exactly.
+    let serial = yield_campaign(&tech, &cfg, 1);
+    let parallel = yield_campaign(&tech, &cfg, 4);
+    assert_eq!(serial, parallel, "worker count leaked into the results");
+
+    c.bench_function("exec_scaling_serial_64_dies", |b| {
+            b.iter(|| black_box(yield_campaign(&tech, &cfg, 1)))
+        })
+        .bench_function("exec_scaling_parallel4_64_dies", |b| {
+            b.iter(|| black_box(yield_campaign(&tech, &cfg, 4)))
+        });
+}
+
+criterion_group!(exec_scaling, bench_exec_scaling);
+criterion_main!(exec_scaling);

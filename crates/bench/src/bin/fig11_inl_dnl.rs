@@ -2,32 +2,29 @@
 //!
 //! Paper: INL ≈ 1.0 LSB, DNL ≈ 0.4 LSB on the fabricated chip. We run
 //! a Monte-Carlo ensemble of mismatch instances (Pelgrom comparator
-//! offsets, ladder errors, folder/interpolator weight errors), report
-//! the ensemble statistics, and print the per-code INL/DNL profile of
-//! the median instance — the equivalent of the paper's single measured
-//! die.
+//! offsets, ladder errors, folder/interpolator weight errors) on the
+//! `ulp-exec` parallel engine, report the ensemble statistics, and
+//! print the per-code INL/DNL profile of the median instance — the
+//! equivalent of the paper's single measured die. The output is
+//! byte-identical for any `ULP_JOBS` setting.
 
-use ulp_adc::metrics::ramp_linearity;
-use ulp_adc::{AdcConfig, FaiAdc};
+use ulp_adc::metrics::mismatch_linearity_ensemble;
+use ulp_adc::AdcConfig;
 use ulp_bench::{header, paper_check, result};
 use ulp_device::Technology;
 use ulp_num::stats::Ensemble;
 
-const SEEDS: u64 = 25;
+const SEEDS: usize = 25;
 const RAMP_STEPS: usize = 256 * 64;
 
 fn main() {
     header("E6 (Fig. 11)", "INL/DNL under Monte-Carlo mismatch");
     let tech = Technology::default();
     let cfg = AdcConfig::default();
-    let mut inls = Vec::new();
-    let mut dnls = Vec::new();
-    for seed in 0..SEEDS {
-        let adc = FaiAdc::with_mismatch(&tech, &cfg, seed);
-        let lin = ramp_linearity(&adc, RAMP_STEPS).expect("dense ramp");
-        inls.push(lin.inl_max);
-        dnls.push(lin.dnl_max);
-    }
+    let dies =
+        mismatch_linearity_ensemble(&tech, &cfg, SEEDS, RAMP_STEPS).expect("dense ramp");
+    let inls: Vec<f64> = dies.iter().map(|lin| lin.inl_max).collect();
+    let dnls: Vec<f64> = dies.iter().map(|lin| lin.dnl_max).collect();
     let inl_stats = Ensemble::from_samples(&inls).expect("non-empty ensemble");
     let dnl_stats = Ensemble::from_samples(&dnls).expect("non-empty ensemble");
     println!("INL ensemble: {inl_stats}");
@@ -38,15 +35,16 @@ fn main() {
     assert!(dnl_stats.median > 0.15 && dnl_stats.median < 1.5);
 
     // Per-code profile of the median-INL instance (the Fig. 11 curves).
+    // The ensemble already holds every die's profile, so the median die
+    // is a lookup — not a second full ramp run.
     let median_seed = (0..SEEDS)
         .min_by(|&a, &b| {
-            let da = (inls[a as usize] - inl_stats.median).abs();
-            let db = (inls[b as usize] - inl_stats.median).abs();
+            let da = (inls[a] - inl_stats.median).abs();
+            let db = (inls[b] - inl_stats.median).abs();
             da.partial_cmp(&db).expect("finite INL")
         })
         .expect("non-empty ensemble");
-    let adc = FaiAdc::with_mismatch(&tech, &cfg, median_seed);
-    let lin = ramp_linearity(&adc, RAMP_STEPS).expect("dense ramp");
+    let lin = &dies[median_seed];
     println!("--- per-code profile, seed {median_seed} (every 8th code) ---");
     println!(
         "{:>6} {:>10} {:>10}  INL -2........0........+2 LSB",

@@ -10,30 +10,40 @@ use ulp_adc::encoder::Encoder;
 use ulp_adc::AdcConfig;
 use ulp_bench::{header, paper_check, result, row};
 use ulp_num::interp::{decade_sweep, loglog_slope};
-use ulp_stscl::sim::max_frequency;
 use ulp_stscl::SclParams;
 
 fn main() {
     header("E3 (Fig. 9a)", "encoder max frequency vs tail bias current");
     let encoder = Encoder::build(&AdcConfig::default());
     let params = SclParams::default();
+    // The critical-path depth is a property of the netlist, not the bias
+    // point: resolve it once here instead of re-walking the DAG at every
+    // sweep current (what max_frequency() would do per call).
+    let depth = encoder
+        .netlist()
+        .logic_depth()
+        .expect("acyclic netlist")
+        .max(1);
     println!(
         "encoder: {} STSCL gates (paper: 196), depth {} (pipelined)",
         encoder.gate_count(),
-        encoder.netlist().logic_depth().expect("acyclic netlist"),
+        depth,
     );
     let currents = decade_sweep(10e-12, 100e-9, 5);
-    let mut fmax = Vec::with_capacity(currents.len());
-    for &iss in &currents {
-        let f = max_frequency(encoder.netlist(), &params, iss).expect("acyclic netlist");
-        fmax.push(f);
+    let fmax: Vec<f64> = ulp_exec::Ensemble::new(currents.len())
+        .label("fig9a::iss_sweep")
+        .run(|ctx: &mut ulp_exec::TrialCtx| params.fmax(currents[ctx.index()], depth))
+        .into_iter()
+        .map(|r| r.expect("sweep point"))
+        .collect();
+    for (&iss, &f) in currents.iter().zip(&fmax) {
         row(format!("{iss:.3e} A"), &[("fmax_Hz", f)]);
     }
     let slope = loglog_slope(&currents, &fmax).expect("well-formed sweep");
     result("log-log slope", slope, "(paper: 1.0)");
     // Spot anchors: the DESIGN.md calibration puts fmax(1 nA) ≈ 360 kHz
     // per gate; the paper's encoder runs ≈100 kHz-class at nA bias.
-    let f_1na = max_frequency(encoder.netlist(), &params, 1e-9).expect("acyclic netlist");
+    let f_1na = params.fmax(1e-9, depth);
     paper_check("fmax at 1 nA", f_1na, 3.6e5, "Hz");
     assert!((slope - 1.0).abs() < 1e-6, "Fig. 9a slope must be exactly 1");
     ulp_bench::metrics_footer("fig9a_fmax_vs_iss");

@@ -28,13 +28,23 @@ fn main() {
         Waveform::Dc(0.0),
     );
 
+    // The corner and temperature grids run on the ulp-exec engine (one
+    // trial per PVT point); rows are gathered by trial index, so the
+    // table is byte-identical for any ULP_JOBS setting.
     println!("--- process corners (IREF = 1 nA) ---");
     println!("{:>8} {:>14} {:>12} {:>12}", "corner", "tail_A", "err_%", "VBN_V");
+    let corners = Corner::all();
+    let corner_rows = ulp_exec::Ensemble::new(corners.len())
+        .label("pvt::corners")
+        .run(|ctx: &mut ulp_exec::TrialCtx| {
+            let t = nominal.at_corner(corners[ctx.index()]);
+            let tail = buf.tail_current(&t).expect("replica solves");
+            let vbn = buf.bias_rail(&t).expect("replica solves");
+            (tail, vbn)
+        });
     let mut worst_err: f64 = 0.0;
-    for corner in Corner::all() {
-        let t = nominal.at_corner(corner);
-        let tail = buf.tail_current(&t).expect("replica solves");
-        let vbn = buf.bias_rail(&t).expect("replica solves");
+    for (corner, row) in corners.iter().zip(corner_rows) {
+        let (tail, vbn) = row.expect("corner trial");
         let err = (tail / iref - 1.0) * 100.0;
         worst_err = worst_err.max(err.abs());
         println!("{corner:>8} {tail:>14.4e} {err:>12.2} {vbn:>12.4}");
@@ -44,9 +54,15 @@ fn main() {
 
     println!("--- temperature (TT corner) ---");
     println!("{:>8} {:>14} {:>12}", "T_K", "tail_A", "err_%");
-    for t_k in [250.0, 275.0, 300.0, 330.0, 360.0] {
-        let t = nominal.at_temperature(t_k);
-        let tail = buf.tail_current(&t).expect("replica solves");
+    let temps = [250.0, 275.0, 300.0, 330.0, 360.0];
+    let temp_rows = ulp_exec::Ensemble::new(temps.len())
+        .label("pvt::temperature")
+        .run(|ctx: &mut ulp_exec::TrialCtx| {
+            let t = nominal.at_temperature(temps[ctx.index()]);
+            buf.tail_current(&t).expect("replica solves")
+        });
+    for (t_k, tail) in temps.iter().zip(temp_rows) {
+        let tail = tail.expect("temperature trial");
         println!("{t_k:>8} {tail:>14.4e} {:>12.2}", (tail / iref - 1.0) * 100.0);
     }
 

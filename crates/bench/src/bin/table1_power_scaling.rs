@@ -20,6 +20,8 @@ fn main() {
         "{:>12} {:>12} {:>12} {:>12} {:>12}",
         "fs_S/s", "IC_A", "P_analog_W", "P_digital_W", "P_total_W"
     );
+    // sweep() resolves the fs points on the ulp-exec engine and returns
+    // them in sweep order — rows print identically for any ULP_JOBS.
     for op in pmu.sweep(2) {
         println!(
             "{:>12} {:>12} {:>12} {:>12} {:>12}",

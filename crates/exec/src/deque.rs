@@ -1,0 +1,108 @@
+//! The per-worker work-stealing deque.
+//!
+//! Chase–Lev discipline over a mutex (this workspace is std-only, so no
+//! lock-free atomics gymnastics): the owning worker pushes and pops at
+//! the *bottom* (LIFO — freshly pushed work is cache-hot), thieves
+//! steal from the *top* (FIFO — the oldest work, which for a
+//! range-partitioned campaign is also the largest remaining contiguous
+//! chunk's far end). The mutex critical sections are a handful of
+//! pointer moves, so contention is negligible next to any trial that is
+//! worth parallelising in the first place.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A mutex-protected work-stealing deque.
+#[derive(Debug, Default)]
+pub struct WorkDeque<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> WorkDeque<T> {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        WorkDeque {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        // A poisoned deque only means some trial panicked while the
+        // lock was held elsewhere; the queue itself is still coherent.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pushes work at the bottom (owner side).
+    pub fn push(&self, item: T) {
+        self.lock().push_back(item);
+    }
+
+    /// Pops from the bottom — the owner's LIFO fast path.
+    pub fn pop(&self) -> Option<T> {
+        self.lock().pop_back()
+    }
+
+    /// Steals from the top — a thief's FIFO slow path.
+    pub fn steal(&self) -> Option<T> {
+        self.lock().pop_front()
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let d = WorkDeque::new();
+        for i in 0..4 {
+            d.push(i);
+        }
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.pop(), Some(3), "owner takes the freshest item");
+        assert_eq!(d.steal(), Some(0), "thief takes the oldest item");
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.steal(), Some(1));
+        assert!(d.is_empty());
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+    }
+
+    #[test]
+    fn concurrent_drain_loses_nothing() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let d = WorkDeque::new();
+        let n = 10_000u64;
+        for i in 0..n {
+            d.push(i);
+        }
+        let sum = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for worker in 0..4 {
+                let (d, sum) = (&d, &sum);
+                s.spawn(move || loop {
+                    // Half the workers act as owners, half as thieves.
+                    let item = if worker % 2 == 0 { d.pop() } else { d.steal() };
+                    match item {
+                        Some(v) => {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+        assert!(d.is_empty());
+    }
+}

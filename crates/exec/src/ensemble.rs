@@ -1,0 +1,461 @@
+//! The `Job`/`Ensemble` campaign API.
+
+use crate::cancel::CancelToken;
+use crate::error::{panic_message, TrialError};
+use crate::pool;
+use rand::rngs::SplitMix64;
+use rand::SeedableRng;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use ulp_spice::telemetry;
+
+/// Resolves the worker count from the `ULP_JOBS` environment variable:
+/// a positive integer is taken literally (`1` selects the strictly
+/// serial in-thread path); unset, empty or unparsable falls back to the
+/// machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::env::var("ULP_JOBS")
+        .ok()
+        .and_then(|s| jobs_from_str(&s))
+        .unwrap_or_else(available_parallelism)
+}
+
+/// Parses one `ULP_JOBS` value; `None` for anything but a positive
+/// integer.
+pub fn jobs_from_str(s: &str) -> Option<usize> {
+    s.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Per-trial context handed to the [`Job`] closure.
+///
+/// The RNG is derived from the campaign's root seed and the *trial
+/// index* alone (`SplitMix64::derive_stream`), never from worker
+/// identity or scheduling order — the keystone of the engine's
+/// "parallel output is byte-identical to serial output" contract.
+#[derive(Debug)]
+pub struct TrialCtx {
+    index: usize,
+    total: usize,
+    rng: SplitMix64,
+    cancel: CancelToken,
+}
+
+impl TrialCtx {
+    /// This trial's index, `0..total`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Number of trials in the campaign.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The trial's private deterministic random stream.
+    pub fn rng(&mut self) -> &mut SplitMix64 {
+        &mut self.rng
+    }
+
+    /// Whether the campaign has been cancelled (long trials may poll
+    /// this and return early).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+}
+
+/// A unit of campaign work: anything runnable once per trial.
+///
+/// Blanket-implemented for `Fn(&mut TrialCtx) -> T + Sync` closures, so
+/// `ensemble.run(|ctx| ...)` just works; implement it by hand only for
+/// jobs carrying non-closure state.
+pub trait Job: Sync {
+    /// The per-trial result type.
+    type Output: Send;
+
+    /// Runs one trial.
+    fn run(&self, ctx: &mut TrialCtx) -> Self::Output;
+}
+
+impl<T: Send, F: Fn(&mut TrialCtx) -> T + Sync> Job for F {
+    type Output = T;
+
+    fn run(&self, ctx: &mut TrialCtx) -> T {
+        self(ctx)
+    }
+}
+
+/// A progress report, delivered to the campaign's callback after every
+/// trial finishes (including trials that panicked or were skipped as
+/// cancelled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// Trials finished so far (monotone across callbacks).
+    pub completed: usize,
+    /// Total trials in the campaign.
+    pub total: usize,
+    /// Index of the trial that just finished.
+    pub trial: usize,
+    /// Worker that ran it (0 on the serial path).
+    pub worker: usize,
+}
+
+type ProgressFn = dyn Fn(&Progress) + Send + Sync;
+
+/// A campaign of `N` indexed trials: the engine's entry point.
+///
+/// `run` executes the [`Job`] once per trial on a work-stealing pool of
+/// `jobs` workers (default: `ULP_JOBS`, else available parallelism) and
+/// gathers results **by trial index**, so reductions downstream see
+/// index order no matter which worker finished first. With `jobs = 1`
+/// everything runs in the calling thread — no threads are spawned at
+/// all — and the engine's contract is that both paths produce
+/// byte-identical results.
+pub struct Ensemble {
+    trials: usize,
+    root_seed: u64,
+    jobs: Option<usize>,
+    label: String,
+    cancel: CancelToken,
+    progress: Option<Box<ProgressFn>>,
+}
+
+impl fmt::Debug for Ensemble {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ensemble")
+            .field("trials", &self.trials)
+            .field("root_seed", &self.root_seed)
+            .field("jobs", &self.jobs)
+            .field("label", &self.label)
+            .field("cancelled", &self.cancel.is_cancelled())
+            .field("progress", &self.progress.as_ref().map(|_| "<callback>"))
+            .finish()
+    }
+}
+
+impl Ensemble {
+    /// A campaign of `trials` trials with root seed 0, default worker
+    /// count, and no progress callback.
+    pub fn new(trials: usize) -> Self {
+        Ensemble {
+            trials,
+            root_seed: 0,
+            jobs: None,
+            label: "campaign".to_string(),
+            cancel: CancelToken::new(),
+            progress: None,
+        }
+    }
+
+    /// Sets the root seed all per-trial streams derive from.
+    pub fn seed(mut self, root_seed: u64) -> Self {
+        self.root_seed = root_seed;
+        self
+    }
+
+    /// Overrides the worker count (clamped to ≥ 1); without this the
+    /// engine consults [`default_jobs`] at run time.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs.max(1));
+        self
+    }
+
+    /// Names the campaign; the name tags the `exec::<label>` phase
+    /// event recorded on the solver-telemetry collector.
+    pub fn label(mut self, label: &str) -> Self {
+        self.label = label.to_string();
+        self
+    }
+
+    /// Installs a progress callback, invoked after every finished trial
+    /// (possibly concurrently from several workers).
+    pub fn on_progress(mut self, f: impl Fn(&Progress) + Send + Sync + 'static) -> Self {
+        self.progress = Some(Box::new(f));
+        self
+    }
+
+    /// A handle for cancelling the campaign from outside (or from a
+    /// progress callback).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Runs the job over every trial; element `i` of the returned vec
+    /// is trial `i`'s outcome. A panicking trial yields
+    /// [`TrialError::Panicked`] in its own slot and nothing else.
+    pub fn run<J: Job>(&self, job: J) -> Vec<Result<J::Output, TrialError>> {
+        let jobs = self
+            .jobs
+            .unwrap_or_else(default_jobs)
+            .clamp(1, self.trials.max(1));
+        let name = format!("exec::{}", self.label);
+        telemetry::phase(&name, || self.run_on(jobs, &job))
+    }
+
+    /// Runs the job and folds the per-trial outputs **in trial-index
+    /// order** with `fold`, short-circuiting on the first failed trial.
+    ///
+    /// # Errors
+    ///
+    /// The first (lowest-index) [`TrialError`] of the campaign.
+    pub fn run_reduce<J: Job, A>(
+        &self,
+        job: J,
+        init: A,
+        mut fold: impl FnMut(A, J::Output) -> A,
+    ) -> Result<A, TrialError> {
+        let mut acc = init;
+        for r in self.run(job) {
+            acc = fold(acc, r?);
+        }
+        Ok(acc)
+    }
+
+    fn run_on<J: Job>(&self, jobs: usize, job: &J) -> Vec<Result<J::Output, TrialError>> {
+        let total = self.trials;
+        let completed = AtomicUsize::new(0);
+        let root = SplitMix64::seed_from_u64(self.root_seed);
+        let run_one = |trial: usize, worker: usize| -> Result<J::Output, TrialError> {
+            let result = if self.cancel.is_cancelled() {
+                Err(TrialError::Cancelled { trial })
+            } else {
+                let mut ctx = TrialCtx {
+                    index: trial,
+                    total,
+                    rng: root.derive_stream(trial as u64),
+                    cancel: self.cancel.clone(),
+                };
+                catch_unwind(AssertUnwindSafe(|| job.run(&mut ctx))).map_err(|payload| {
+                    TrialError::Panicked {
+                        trial,
+                        message: panic_message(payload.as_ref()),
+                    }
+                })
+            };
+            if let Some(cb) = &self.progress {
+                cb(&Progress {
+                    completed: completed.fetch_add(1, Ordering::AcqRel) + 1,
+                    total,
+                    trial,
+                    worker,
+                });
+            }
+            result
+        };
+
+        // Per-worker (batch, collector) pairs, in worker-index order.
+        type WorkerBatch<T> = (
+            Vec<(usize, Result<T, TrialError>)>,
+            Option<telemetry::MetricsCollector>,
+        );
+        let worker_batches: Vec<WorkerBatch<J::Output>> = if jobs == 1 {
+            // Strictly serial fallback: the calling thread, no pool.
+            vec![telemetry::worker_capture(|| {
+                (0..total).map(|t| (t, run_one(t, 0))).collect()
+            })]
+        } else {
+            let deques = pool::deal(total, jobs);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..jobs)
+                    .map(|w| {
+                        let (deques, run_one) = (&deques, &run_one);
+                        s.spawn(move || {
+                            telemetry::worker_capture(|| pool::worker_loop(w, deques, run_one))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread machinery must not panic"))
+                    .collect()
+            })
+        };
+
+        // Deterministic gather: results land in their trial slot, and
+        // worker telemetry folds into the global collector in
+        // worker-index order — never completion order.
+        let mut slots: Vec<Option<Result<J::Output, TrialError>>> =
+            (0..total).map(|_| None).collect();
+        for (batch, collector) in worker_batches {
+            for (trial, result) in batch {
+                debug_assert!(slots[trial].is_none(), "trial scheduled twice");
+                slots[trial] = Some(result);
+            }
+            if let Some(mc) = collector {
+                telemetry::fold_worker(&mc);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every trial scheduled exactly once"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Mutex;
+
+    /// A stochastic trial: its output depends only on (root seed,
+    /// index) if the seed-derivation contract holds.
+    fn noisy_trial(ctx: &mut TrialCtx) -> (usize, u64, f64) {
+        let first: u64 = ctx.rng().gen();
+        let mean = (0..100).map(|_| ctx.rng().gen::<f64>()).sum::<f64>() / 100.0;
+        (ctx.index(), first, mean)
+    }
+
+    #[test]
+    fn parallel_equals_serial_exactly() {
+        let serial = Ensemble::new(17).seed(42).jobs(1).run(noisy_trial);
+        let parallel = Ensemble::new(17).seed(42).jobs(4).run(noisy_trial);
+        let s: Vec<_> = serial.into_iter().map(Result::unwrap).collect();
+        let p: Vec<_> = parallel.into_iter().map(Result::unwrap).collect();
+        assert_eq!(s, p, "trial outputs must not depend on scheduling");
+        for (i, (idx, _, _)) in s.iter().enumerate() {
+            assert_eq!(*idx, i, "gather must be in trial-index order");
+        }
+    }
+
+    #[test]
+    fn different_root_seeds_give_different_trials() {
+        let a = Ensemble::new(4).seed(1).jobs(1).run(noisy_trial);
+        let b = Ensemble::new(4).seed(2).jobs(1).run(noisy_trial);
+        assert_ne!(a[0].as_ref().unwrap(), b[0].as_ref().unwrap());
+    }
+
+    #[test]
+    fn panicking_trial_is_isolated() {
+        for jobs in [1, 4] {
+            let results = Ensemble::new(8).jobs(jobs).run(|ctx: &mut TrialCtx| {
+                assert!(ctx.index() != 3, "die 3 is cursed");
+                ctx.index() * 10
+            });
+            assert_eq!(results.len(), 8);
+            for (i, r) in results.iter().enumerate() {
+                if i == 3 {
+                    let err = r.as_ref().unwrap_err();
+                    assert_eq!(err.trial(), 3);
+                    assert!(
+                        err.to_string().contains("cursed"),
+                        "payload must surface: {err}"
+                    );
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 10, "siblings unpoisoned");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_before_run_skips_every_trial() {
+        let ensemble = Ensemble::new(5).jobs(2);
+        ensemble.cancel_token().cancel();
+        let ran = AtomicBool::new(false);
+        let results = ensemble.run(|_ctx: &mut TrialCtx| {
+            ran.store(true, Ordering::Relaxed);
+        });
+        assert!(!ran.load(Ordering::Relaxed), "no trial body may run");
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap_err(), TrialError::Cancelled { trial: i });
+        }
+    }
+
+    #[test]
+    fn cancel_from_progress_callback_stops_the_serial_tail() {
+        let ensemble = Ensemble::new(6).jobs(1);
+        let token = ensemble.cancel_token();
+        let ensemble = ensemble.on_progress(move |p| {
+            if p.completed == 2 {
+                token.cancel();
+            }
+        });
+        let results = ensemble.run(|ctx: &mut TrialCtx| ctx.index());
+        // Serial order: trials 0 and 1 ran, the rest were skipped.
+        assert!(results[0].is_ok() && results[1].is_ok());
+        for r in &results[2..] {
+            assert!(matches!(r, Err(TrialError::Cancelled { .. })));
+        }
+    }
+
+    #[test]
+    fn progress_reports_every_trial_once() {
+        let seen = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let completed_max = std::sync::Arc::new(AtomicUsize::new(0));
+        // Progress callbacks fire concurrently; collect under a lock.
+        let (seen_cb, max_cb) = (seen.clone(), completed_max.clone());
+        let results = Ensemble::new(20)
+            .jobs(4)
+            .on_progress(move |p: &Progress| {
+                assert_eq!(p.total, 20);
+                assert!(p.worker < 4);
+                max_cb.fetch_max(p.completed, Ordering::Relaxed);
+                seen_cb.lock().unwrap().push(p.trial);
+            })
+            .run(|ctx: &mut TrialCtx| ctx.index());
+        assert_eq!(results.len(), 20);
+        let mut trials = seen.lock().unwrap().clone();
+        trials.sort_unstable();
+        assert_eq!(trials, (0..20).collect::<Vec<_>>());
+        assert_eq!(completed_max.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn run_reduce_folds_in_index_order_and_short_circuits() {
+        let concat = Ensemble::new(5)
+            .jobs(3)
+            .run_reduce(
+                |ctx: &mut TrialCtx| ctx.index().to_string(),
+                String::new(),
+                |acc, s| acc + &s,
+            )
+            .unwrap();
+        assert_eq!(concat, "01234");
+        let err = Ensemble::new(5)
+            .jobs(3)
+            .run_reduce(
+                |ctx: &mut TrialCtx| assert!(ctx.index() < 2),
+                (),
+                |(), ()| (),
+            )
+            .unwrap_err();
+        assert_eq!(err.trial(), 2, "lowest failing index wins");
+    }
+
+    #[test]
+    fn zero_trials_is_a_clean_no_op() {
+        let results = Ensemble::new(0).jobs(4).run(|ctx: &mut TrialCtx| ctx.index());
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_trials_is_fine() {
+        let results = Ensemble::new(2).jobs(64).run(|ctx: &mut TrialCtx| ctx.index());
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn jobs_env_parsing() {
+        assert_eq!(jobs_from_str("4"), Some(4));
+        assert_eq!(jobs_from_str(" 1 "), Some(1));
+        assert_eq!(jobs_from_str("0"), None, "zero falls back to default");
+        assert_eq!(jobs_from_str(""), None);
+        assert_eq!(jobs_from_str("many"), None);
+        assert_eq!(jobs_from_str("-2"), None);
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn debug_does_not_explode_on_callbacks() {
+        let e = Ensemble::new(3).jobs(2).label("dbg").on_progress(|_| {});
+        let s = format!("{e:?}");
+        assert!(s.contains("dbg") && s.contains("<callback>"), "{s}");
+    }
+}

@@ -1,0 +1,86 @@
+//! Structured per-trial failure reporting.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why one trial of a campaign produced no value.
+///
+/// A failed trial never aborts its campaign: a panic unwinding out of
+/// the trial closure is caught at the trial boundary and surfaces here,
+/// with every sibling trial's result intact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrialError {
+    /// The trial closure panicked; `message` carries the panic payload
+    /// when it was a string (the common `panic!`/`assert!` case).
+    Panicked {
+        /// Trial index within the campaign.
+        trial: usize,
+        /// Stringified panic payload.
+        message: String,
+    },
+    /// The campaign was cancelled before this trial started.
+    Cancelled {
+        /// Trial index within the campaign.
+        trial: usize,
+    },
+}
+
+impl TrialError {
+    /// The index of the trial that failed.
+    pub fn trial(&self) -> usize {
+        match self {
+            TrialError::Panicked { trial, .. } | TrialError::Cancelled { trial } => *trial,
+        }
+    }
+}
+
+impl fmt::Display for TrialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrialError::Panicked { trial, message } => {
+                write!(f, "trial {trial} panicked: {message}")
+            }
+            TrialError::Cancelled { trial } => {
+                write!(f, "trial {trial} cancelled before it started")
+            }
+        }
+    }
+}
+
+impl Error for TrialError {}
+
+/// Renders a caught panic payload for [`TrialError::Panicked`].
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_accessors() {
+        let p = TrialError::Panicked {
+            trial: 3,
+            message: "boom".into(),
+        };
+        assert_eq!(p.trial(), 3);
+        assert!(p.to_string().contains("trial 3 panicked: boom"));
+        let c = TrialError::Cancelled { trial: 9 };
+        assert_eq!(c.trial(), 9);
+        assert!(c.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn panic_payload_rendering() {
+        assert_eq!(panic_message(&"boom"), "boom");
+        assert_eq!(panic_message(&"boom".to_string()), "boom");
+        assert_eq!(panic_message(&42usize), "non-string panic payload");
+    }
+}

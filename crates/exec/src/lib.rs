@@ -1,0 +1,69 @@
+//! `ulp-exec`: deterministic parallel execution for Monte-Carlo
+//! ensembles and parameter sweeps.
+//!
+//! Every quantitative experiment in this workspace is an embarrassingly
+//! parallel campaign — mismatch dies for the Fig. 11 INL/DNL ensemble
+//! and parametric yield, PVT corner grids for the replica-bias check,
+//! fs/VDD/ISS sweeps for the chip-summary table. This crate is the
+//! scheduling substrate they all share: a std-only work-stealing thread
+//! pool (per-worker [`deque::WorkDeque`]s, round-robin deal, neighbour
+//! stealing) under a [`Job`]/[`Ensemble`] API that runs a closure over
+//! `N` indexed trials and gathers the results by trial index.
+//!
+//! # The determinism contract
+//!
+//! Parallel output is **byte-identical** to serial output:
+//!
+//! * each trial's randomness is a [`rand::rngs::SplitMix64`] stream
+//!   derived from `hash(root_seed, trial_index)`
+//!   ([`SplitMix64::derive_stream`](rand::rngs::SplitMix64::derive_stream)) —
+//!   never from worker identity or completion order;
+//! * results are gathered **by trial index** and reduced in index
+//!   order ([`Ensemble::run_reduce`]), so a reduction never observes
+//!   scheduling;
+//! * worker count changes wall-clock time only: `ULP_JOBS=1` (the
+//!   strictly serial in-thread path) and `ULP_JOBS=64` produce the same
+//!   bytes.
+//!
+//! # Failure and control
+//!
+//! A panicking trial is caught at the trial boundary and surfaces as
+//! [`TrialError::Panicked`] in its own result slot — sibling trials are
+//! unaffected and the campaign completes. Cancellation is cooperative
+//! via [`CancelToken`]; a cancelled campaign reports unstarted trials
+//! as [`TrialError::Cancelled`]. Progress callbacks fire after every
+//! finished trial. Solver telemetry (`ulp_spice::telemetry`) is wired
+//! through: each worker thread captures its events in a thread-local
+//! collector (no global-lock contention mid-campaign) that folds into
+//! the process-global collector at campaign end in worker-index order,
+//! and the campaign itself records an `exec::<label>` phase event.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::Rng;
+//! use ulp_exec::{Ensemble, TrialCtx};
+//!
+//! // A 32-trial Monte-Carlo estimate of E[x²], x ~ U(0,1), reduced in
+//! // trial-index order. The result is bit-identical for any worker
+//! // count.
+//! let campaign = |ctx: &mut TrialCtx| {
+//!     let x: f64 = ctx.rng().gen();
+//!     x * x
+//! };
+//! let serial = Ensemble::new(32).seed(7).jobs(1).run_reduce(campaign, 0.0, |a, x| a + x);
+//! let parallel = Ensemble::new(32).seed(7).jobs(4).run_reduce(campaign, 0.0, |a, x| a + x);
+//! let estimate = serial.unwrap() / 32.0;
+//! assert_eq!(estimate.to_bits(), (parallel.unwrap() / 32.0).to_bits());
+//! assert!((estimate - 1.0 / 3.0).abs() < 0.1);
+//! ```
+
+pub mod cancel;
+pub mod deque;
+pub mod ensemble;
+pub mod error;
+mod pool;
+
+pub use cancel::CancelToken;
+pub use ensemble::{default_jobs, jobs_from_str, Ensemble, Job, Progress, TrialCtx};
+pub use error::TrialError;

@@ -1,0 +1,110 @@
+//! The work-stealing scheduling core.
+//!
+//! A campaign's trial indices are dealt round-robin across one
+//! [`WorkDeque`] per worker up front; each worker drains its own deque
+//! bottom-first and, when empty, sweeps the other deques (starting from
+//! its right-hand neighbour, so thieves spread out) stealing from the
+//! top. No work is ever added after the deal, so "every deque observed
+//! empty once" is a sound termination condition — no condition
+//! variables, no spinning.
+
+use crate::deque::WorkDeque;
+
+/// Deals trials `0..total` round-robin across `jobs` deques.
+pub(crate) fn deal(total: usize, jobs: usize) -> Vec<WorkDeque<usize>> {
+    let deques: Vec<WorkDeque<usize>> = (0..jobs).map(|_| WorkDeque::new()).collect();
+    for trial in 0..total {
+        deques[trial % jobs].push(trial);
+    }
+    deques
+}
+
+/// One worker's drain loop: runs `run_one(trial, worker)` for every
+/// trial it pops or steals, collecting `(trial, result)` pairs in
+/// completion order. The caller reassembles results by trial index, so
+/// the order here carries no meaning.
+pub(crate) fn worker_loop<T>(
+    worker: usize,
+    deques: &[WorkDeque<usize>],
+    run_one: &(impl Fn(usize, usize) -> T + Sync),
+) -> Vec<(usize, T)> {
+    let mut out = Vec::new();
+    loop {
+        let next = deques[worker].pop().or_else(|| {
+            (1..deques.len()).find_map(|k| deques[(worker + k) % deques.len()].steal())
+        });
+        match next {
+            Some(trial) => out.push((trial, run_one(trial, worker))),
+            None => return out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn deal_partitions_every_trial_exactly_once() {
+        let deques = deal(10, 3);
+        assert_eq!(deques.len(), 3);
+        assert_eq!(
+            deques.iter().map(WorkDeque::len).collect::<Vec<_>>(),
+            vec![4, 3, 3]
+        );
+        let mut seen: Vec<usize> = deques.iter().flat_map(|d| {
+            let mut v = Vec::new();
+            while let Some(t) = d.pop() {
+                v.push(t);
+            }
+            v
+        }).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lone_worker_drains_everything() {
+        let deques = deal(7, 1);
+        let out = worker_loop(0, &deques, &|t, w| {
+            assert_eq!(w, 0);
+            t * t
+        });
+        assert_eq!(out.len(), 7);
+        for (t, v) in out {
+            assert_eq!(v, t * t);
+        }
+    }
+
+    #[test]
+    fn thieves_finish_a_lopsided_deal() {
+        // All work dealt to worker 0's deque; three thieves must still
+        // drain it to completion with nothing run twice.
+        let deques: Vec<WorkDeque<usize>> = (0..4).map(|_| WorkDeque::new()).collect();
+        for t in 0..100 {
+            deques[0].push(t);
+        }
+        let runs = AtomicUsize::new(0);
+        let run_one = |t: usize, _w: usize| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            t
+        };
+        let mut all: Vec<(usize, usize)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|w| {
+                    let deques = &deques;
+                    let run_one = &run_one;
+                    s.spawn(move || worker_loop(w, deques, run_one))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker must not panic"))
+                .collect()
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 100);
+        all.sort_unstable();
+        assert_eq!(all.iter().map(|&(t, _)| t).collect::<Vec<_>>(), (0..100).collect::<Vec<_>>());
+    }
+}

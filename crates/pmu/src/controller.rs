@@ -93,10 +93,17 @@ impl PlatformController {
 
     /// Sweeps the operating envelope at `points_per_decade` log-spaced
     /// rates.
+    ///
+    /// Points are resolved on the `ulp-exec` engine (one trial per
+    /// rate) and gathered in sweep order, so the result is identical
+    /// for any `ULP_JOBS` worker count.
     pub fn sweep(&self, points_per_decade: usize) -> Vec<OperatingPoint> {
-        ulp_num::interp::decade_sweep(self.fs_min, self.fs_max, points_per_decade)
+        let rates = ulp_num::interp::decade_sweep(self.fs_min, self.fs_max, points_per_decade);
+        ulp_exec::Ensemble::new(rates.len())
+            .label("pmu::sweep")
+            .run(|ctx: &mut ulp_exec::TrialCtx| self.operating_point(rates[ctx.index()]))
             .into_iter()
-            .map(|fs| self.operating_point(fs))
+            .map(|r| r.unwrap_or_else(|e| panic!("sweep point failed: {e}")))
             .collect()
     }
 

@@ -4,8 +4,8 @@
 //! ordinary method calls (no text parser — netlists in this workspace
 //! are constructed programmatically by the analog block generators).
 
-use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use ulp_device::load::PmosLoad;
 use ulp_device::Mosfet;
 
@@ -295,18 +295,32 @@ impl Element {
 }
 
 /// A programmatically built circuit.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Netlist {
     node_names: Vec<String>,
     elements: Vec<Element>,
     /// Monotone edit counter: bumped by every mutation that can change a
     /// static-analysis verdict (new node, new element, element edit).
     revision: u64,
-    /// Revision at which the ERC gate last found this netlist clean, so
-    /// repeated analyses of an unchanged netlist skip the re-check.
-    /// Interior-mutable: the gate takes `&Netlist`. Clones carry the
+    /// `revision + 1` at which the ERC gate last found this netlist
+    /// clean (0 = no cached verdict), so repeated analyses of an
+    /// unchanged netlist skip the re-check. Interior-mutable because the
+    /// gate takes `&Netlist`; atomic (rather than `Cell`) so a built
+    /// netlist is `Sync` and parallel ensemble workers (`ulp-exec`) can
+    /// analyse one shared circuit from many threads. Clones carry the
     /// cached verdict (they are byte-identical circuits).
-    erc_clean_at: Cell<Option<u64>>,
+    erc_clean_at: AtomicU64,
+}
+
+impl Clone for Netlist {
+    fn clone(&self) -> Self {
+        Netlist {
+            node_names: self.node_names.clone(),
+            elements: self.elements.clone(),
+            revision: self.revision,
+            erc_clean_at: AtomicU64::new(self.erc_clean_at.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Netlist {
@@ -319,7 +333,7 @@ impl Netlist {
             node_names: vec!["0".to_string()],
             elements: Vec::new(),
             revision: 0,
-            erc_clean_at: Cell::new(None),
+            erc_clean_at: AtomicU64::new(0),
         }
     }
 
@@ -341,17 +355,17 @@ impl Netlist {
 
     /// True when the ERC gate already passed this exact revision.
     pub(crate) fn erc_clean_cached(&self) -> bool {
-        self.erc_clean_at.get() == Some(self.revision)
+        self.erc_clean_at.load(Ordering::Relaxed) == self.revision + 1
     }
 
     /// Records that the ERC gate passed at the current revision.
     pub(crate) fn mark_erc_clean(&self) {
-        self.erc_clean_at.set(Some(self.revision));
+        self.erc_clean_at.store(self.revision + 1, Ordering::Relaxed);
     }
 
     fn invalidate(&mut self) {
         self.revision += 1;
-        self.erc_clean_at.set(None);
+        self.erc_clean_at.store(0, Ordering::Relaxed);
     }
 
     /// Node count including ground.

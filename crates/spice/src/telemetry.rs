@@ -17,6 +17,13 @@
 //!   *default* entry points consult automatically so existing callers
 //!   gain telemetry without code changes.
 //!
+//! Parallel ensemble campaigns (`ulp-exec`) interpose a third layer: a
+//! thread-local *worker* collector ([`worker_capture`]) absorbs the
+//! default-API events of one worker thread without touching the global
+//! `Mutex`, and [`fold_worker`] merges ([`SimMetrics::merge`]) each
+//! worker's aggregate into the global collector once, at campaign end,
+//! in deterministic worker order.
+//!
 //! Tracing is zero-cost when disabled: the [`NullTracer`] reports
 //! `enabled() == false` and the drivers skip event construction and
 //! clock reads entirely.
@@ -447,6 +454,31 @@ impl SimMetrics {
         &self.phases
     }
 
+    /// Folds another aggregate into this one: counters add, the maximum
+    /// dimension takes the max, and the exact iteration sample set is
+    /// concatenated — so percentiles of the merged aggregate equal the
+    /// percentiles of one collector that saw every event. This is how a
+    /// parallel campaign's per-worker collectors combine at campaign
+    /// end without the workers ever sharing a lock mid-run.
+    pub fn merge(&mut self, other: &SimMetrics) {
+        self.attempts += other.attempts;
+        self.solves += other.solves;
+        self.failures += other.failures;
+        self.newton_iterations += other.newton_iterations;
+        self.gmin_fallbacks += other.gmin_fallbacks;
+        self.damping_clamps += other.damping_clamps;
+        self.lu_factorisations += other.lu_factorisations;
+        self.lu_swaps += other.lu_swaps;
+        self.max_dimension = self.max_dimension.max(other.max_dimension);
+        self.tran_steps += other.tran_steps;
+        self.ac_points += other.ac_points;
+        self.sweep_points += other.sweep_points;
+        self.noise_points += other.noise_points;
+        self.solve_seconds += other.solve_seconds;
+        self.iter_samples.extend_from_slice(&other.iter_samples);
+        self.phases.extend(other.phases.iter().cloned());
+    }
+
     /// The stable multi-line `-- solver metrics --` footer.
     pub fn summary(&self) -> String {
         let mut s = String::new();
@@ -534,6 +566,17 @@ impl MetricsCollector {
         self.metrics = SimMetrics::default();
         self.events.clear();
     }
+
+    /// Folds another collector into this one: aggregates merge via
+    /// [`SimMetrics::merge`]; retained events are appended when *this*
+    /// collector keeps events (the other's log is empty anyway unless it
+    /// also ran in [`TraceMode::Events`]).
+    pub fn merge(&mut self, other: &MetricsCollector) {
+        self.metrics.merge(&other.metrics);
+        if self.mode == TraceMode::Events {
+            self.events.extend(other.events.iter().cloned());
+        }
+    }
 }
 
 impl Default for MetricsCollector {
@@ -582,14 +625,70 @@ pub fn global_mode() -> Option<TraceMode> {
     global_cell().as_ref().map(|m| lock(m).mode)
 }
 
-/// Runs `f` with the global collector as tracer when one is active, or
-/// with the [`NullTracer`] otherwise. This is what every default
-/// analysis entry point routes through.
+thread_local! {
+    /// Per-worker collector: when installed (inside [`worker_capture`]),
+    /// this thread's default-API events land here instead of in the
+    /// global `Mutex`, so parallel ensemble workers never contend on the
+    /// global lock mid-campaign.
+    static WORKER: std::cell::RefCell<Option<MetricsCollector>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Clears the worker slot even if the captured closure unwinds, so a
+/// panicking worker cannot leave a stale collector installed on a
+/// pooled thread.
+struct WorkerSlotGuard;
+
+impl Drop for WorkerSlotGuard {
+    fn drop(&mut self) {
+        WORKER.with(|w| w.borrow_mut().take());
+    }
+}
+
+/// Runs `f` with a fresh thread-local collector (mirroring the global
+/// collector's mode) capturing every default-API event this thread
+/// records, and returns it alongside `f`'s result. When tracing is off
+/// this is a plain call returning `None` — zero cost.
+///
+/// The caller is responsible for folding the returned collector back
+/// into the global one via [`fold_worker`]; doing so *after* joining
+/// all workers, in a deterministic worker order, keeps the global event
+/// log's ordering independent of thread scheduling.
+pub fn worker_capture<R>(f: impl FnOnce() -> R) -> (R, Option<MetricsCollector>) {
+    let Some(mode) = global_mode() else {
+        return (f(), None);
+    };
+    WORKER.with(|w| *w.borrow_mut() = Some(MetricsCollector::new(mode)));
+    let guard = WorkerSlotGuard;
+    let r = f();
+    let mc = WORKER.with(|w| w.borrow_mut().take());
+    drop(guard);
+    (r, mc)
+}
+
+/// Folds a worker collector (from [`worker_capture`]) into the global
+/// collector. A no-op when tracing is off.
+pub fn fold_worker(mc: &MetricsCollector) {
+    if let Some(m) = global_cell() {
+        lock(m).merge(mc);
+    }
+}
+
+/// Runs `f` with the active tracer: this thread's worker collector when
+/// one is installed ([`worker_capture`]), else the global collector
+/// when one is active, else the [`NullTracer`]. This is what every
+/// default analysis entry point routes through.
 ///
 /// `f` must not recursively call a *default* analysis entry point while
 /// holding the tracer (the drivers use only `*_traced` internals, so
 /// this cannot happen through this crate's own APIs).
 pub fn with_tracer<R>(f: impl FnOnce(&mut dyn Tracer) -> R) -> R {
+    let worker_active = WORKER.with(|w| w.borrow().is_some());
+    if worker_active {
+        return WORKER.with(|w| {
+            f(w.borrow_mut().as_mut().expect("worker collector installed"))
+        });
+    }
     match global_cell() {
         Some(m) => f(&mut *lock(m)),
         None => f(&mut NullTracer),
@@ -788,6 +887,99 @@ mod tests {
         assert!(Tracer::enabled(&mc));
         mc.reset();
         assert_eq!(mc.metrics(), &SimMetrics::default());
+    }
+
+    #[test]
+    fn merged_collectors_match_a_single_collector_exactly() {
+        // Split the same scripted event sequence across three worker
+        // collectors in an arbitrary interleaving; the merged aggregate
+        // must equal (including exact percentiles) the aggregate of one
+        // collector that saw everything.
+        let events: Vec<Event> = (1..=20usize)
+            .map(|i| attempt(i, i != 10, if i == 11 { Some(0) } else { None }))
+            .chain(std::iter::once(Event::Phase {
+                name: "stscl::vtc".into(),
+                seconds: 1e-3,
+            }))
+            .chain(std::iter::once(Event::TranStep {
+                step: 1,
+                time: 1e-9,
+                newton_iterations: 3,
+                method: "backward-euler",
+                seconds: 0.0,
+            }))
+            .collect();
+        let mut single = MetricsCollector::new(TraceMode::Events);
+        for e in &events {
+            single.record(e);
+        }
+        let mut workers = [
+            MetricsCollector::new(TraceMode::Events),
+            MetricsCollector::new(TraceMode::Events),
+            MetricsCollector::new(TraceMode::Events),
+        ];
+        for (k, e) in events.iter().enumerate() {
+            // An adversarial spread: bursts to one worker, dribbles to
+            // the others.
+            workers[(k * k + k / 3) % 3].record(e);
+        }
+        let mut merged = MetricsCollector::new(TraceMode::Events);
+        for w in &workers {
+            merged.merge(w);
+        }
+        let (m, s) = (merged.metrics(), single.metrics());
+        assert_eq!(m.attempts, s.attempts);
+        assert_eq!(m.solves, s.solves);
+        assert_eq!(m.failures, s.failures);
+        assert_eq!(m.newton_iterations, s.newton_iterations);
+        assert_eq!(m.gmin_fallbacks, s.gmin_fallbacks);
+        assert_eq!(m.damping_clamps, s.damping_clamps);
+        assert_eq!(m.lu_factorisations, s.lu_factorisations);
+        assert_eq!(m.lu_swaps, s.lu_swaps);
+        assert_eq!(m.max_dimension, s.max_dimension);
+        assert_eq!(m.tran_steps, s.tran_steps);
+        assert_eq!(m.p50_iterations(), s.p50_iterations());
+        assert_eq!(m.p95_iterations(), s.p95_iterations());
+        assert_eq!(m.max_iterations(), s.max_iterations());
+        assert!((m.solve_seconds - s.solve_seconds).abs() < 1e-12);
+        assert_eq!(merged.events().len(), single.events().len());
+        // The rendered footer agrees on every line except wall time
+        // (floating-point sum order may differ at the last bit).
+        for (a, b) in m.summary().lines().zip(s.summary().lines()) {
+            if !a.starts_with("solve wall time") {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_into_summary_collector_drops_events_keeps_counts() {
+        let mut worker = MetricsCollector::new(TraceMode::Events);
+        worker.record(&attempt(3, true, None));
+        let mut global = MetricsCollector::new(TraceMode::Summary);
+        global.merge(&worker);
+        assert_eq!(global.metrics().attempts, 1);
+        assert!(global.events().is_empty());
+    }
+
+    #[test]
+    fn worker_capture_without_global_is_transparent() {
+        // In this test process the global collector may or may not have
+        // been decided yet; worker_capture must never install a local
+        // collector when tracing is off, and must always run the
+        // closure exactly once.
+        let mut ran = 0;
+        let (r, mc) = worker_capture(|| {
+            ran += 1;
+            7
+        });
+        assert_eq!((r, ran), (7, 1));
+        if global_mode().is_none() {
+            assert!(mc.is_none());
+        }
+        // Whatever happened, the slot is clear afterwards: default-API
+        // recording falls through to the global/null path.
+        WORKER.with(|w| assert!(w.borrow().is_none()));
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Determinism contract of the `ulp-exec` engine, checked end-to-end
+//! through the workloads that ride on it.
+//!
+//! The engine promises that worker count changes wall-clock time only.
+//! These tests pin that promise two ways:
+//!
+//! * **in-process**: explicit `.jobs(1)` vs `.jobs(4)` campaigns must
+//!   agree bit-for-bit;
+//! * **via the environment**: the ported entry points
+//!   (`parametric_yield`, `mismatch_linearity_ensemble`,
+//!   `PlatformController::sweep`) read `ULP_JOBS`, and every assertion
+//!   here compares them against a hand-rolled serial reference loop —
+//!   so `ci.sh` running this suite under both `ULP_JOBS=1` and
+//!   `ULP_JOBS=4` proves both scheduling paths reproduce the same
+//!   bytes.
+//!
+//! Floating-point equality below is deliberate and exact (`to_bits`
+//! where it matters): "close" would hide scheduling leaks.
+
+use rand::Rng;
+use ulp_adc::metrics::{mismatch_linearity_ensemble, ramp_linearity};
+use ulp_adc::yield_analysis::{parametric_yield, LinearitySpec};
+use ulp_adc::{AdcConfig, FaiAdc};
+use ulp_device::Technology;
+use ulp_exec::{Ensemble, TrialCtx, TrialError};
+use ulp_pmu::PlatformController;
+
+const DIES: usize = 6;
+const RAMP_STEPS: usize = 256 * 32;
+
+/// The pre-engine serial loop, kept verbatim as the reference.
+fn serial_reference(tech: &Technology, cfg: &AdcConfig) -> Vec<ulp_adc::metrics::Linearity> {
+    (0..DIES as u64)
+        .map(|seed| {
+            let adc = FaiAdc::with_mismatch(tech, cfg, seed);
+            ramp_linearity(&adc, RAMP_STEPS).expect("dense ramp")
+        })
+        .collect()
+}
+
+#[test]
+fn mismatch_ensemble_matches_serial_reference_exactly() {
+    let tech = Technology::default();
+    let cfg = AdcConfig::default();
+    let reference = serial_reference(&tech, &cfg);
+    let engine = mismatch_linearity_ensemble(&tech, &cfg, DIES, RAMP_STEPS).expect("dense ramp");
+    assert_eq!(engine.len(), reference.len());
+    for (die, (got, want)) in engine.iter().zip(&reference).enumerate() {
+        // Whole per-code INL/DNL vectors, not just the peaks: any
+        // scheduling-dependent float would show up here first.
+        assert_eq!(got.dnl, want.dnl, "die {die} DNL vector");
+        assert_eq!(got.inl, want.inl, "die {die} INL vector");
+        assert_eq!(got.inl_max.to_bits(), want.inl_max.to_bits(), "die {die} INL peak");
+        assert_eq!(got.dnl_max.to_bits(), want.dnl_max.to_bits(), "die {die} DNL peak");
+    }
+}
+
+#[test]
+fn yield_report_matches_serial_reference_exactly() {
+    let tech = Technology::default();
+    let cfg = AdcConfig::default();
+    let spec = LinearitySpec::medium_accuracy();
+    let report = parametric_yield(&tech, &cfg, spec, DIES, RAMP_STEPS).expect("dense ramp");
+
+    let reference = serial_reference(&tech, &cfg);
+    let expected: Vec<(f64, f64)> = reference.iter().map(|l| (l.inl_max, l.dnl_max)).collect();
+    let expected_passing = reference
+        .iter()
+        .filter(|l| l.inl_max <= spec.inl_max && l.dnl_max <= spec.dnl_max)
+        .count();
+
+    assert_eq!(report.dies, DIES);
+    assert_eq!(report.passing, expected_passing);
+    assert_eq!(report.linearities, expected, "per-die (INL, DNL) pairs, seed order");
+}
+
+#[test]
+fn pmu_sweep_matches_serial_reference_exactly() {
+    let pmu = PlatformController::paper_prototype();
+    let swept = pmu.sweep(3);
+    let reference: Vec<_> = ulp_num::interp::decade_sweep(pmu.fs_min, pmu.fs_max, 3)
+        .into_iter()
+        .map(|fs| pmu.operating_point(fs))
+        .collect();
+    assert_eq!(swept, reference);
+}
+
+#[test]
+fn explicit_worker_counts_agree_bit_for_bit() {
+    // A trial that actually consumes its derived RNG stream, so worker
+    // attribution errors cannot cancel out.
+    let job = |ctx: &mut TrialCtx| {
+        let mut acc = 0.0f64;
+        for _ in 0..=(ctx.index() % 7) {
+            let x: f64 = ctx.rng().gen();
+            acc += x * (ctx.index() as f64 + 1.0);
+        }
+        acc
+    };
+    let serial = Ensemble::new(97).seed(0xDA7E).jobs(1).run(job);
+    let parallel = Ensemble::new(97).seed(0xDA7E).jobs(4).run(job);
+    assert_eq!(serial.len(), parallel.len());
+    for (trial, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        let (s, p) = (s.as_ref().expect("serial trial"), p.as_ref().expect("parallel trial"));
+        assert_eq!(s.to_bits(), p.to_bits(), "trial {trial}");
+    }
+}
+
+#[test]
+fn panicking_trial_does_not_poison_siblings() {
+    for jobs in [1, 4] {
+        let results = Ensemble::new(8).jobs(jobs).run(|ctx: &mut TrialCtx| {
+            if ctx.index() == 3 {
+                panic!("die 3 is broken");
+            }
+            ctx.index() * 10
+        });
+        assert_eq!(results.len(), 8);
+        for (trial, r) in results.iter().enumerate() {
+            if trial == 3 {
+                match r {
+                    Err(TrialError::Panicked { trial: t, message }) => {
+                        assert_eq!(*t, 3);
+                        assert!(message.contains("die 3 is broken"), "payload: {message}");
+                    }
+                    other => panic!("jobs={jobs}: expected Panicked, got {other:?}"),
+                }
+            } else {
+                assert_eq!(
+                    *r.as_ref().unwrap_or_else(|e| panic!("jobs={jobs} trial {trial}: {e}")),
+                    trial * 10
+                );
+            }
+        }
+    }
+}

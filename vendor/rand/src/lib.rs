@@ -9,7 +9,10 @@
 //!
 //! Covered API: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
 //! [`RngCore`], and [`Rng::gen`] for the primitive types used in the
-//! workspace (`f64`, `f32`, `u32`, `u64`, `bool`).
+//! workspace (`f64`, `f32`, `u32`, `u64`, `bool`). One workspace
+//! extension beyond the real crate's API: deterministic child-stream
+//! derivation via [`rngs::SplitMix64::derive_stream`], the seeding
+//! primitive of the `ulp-exec` parallel ensemble engine.
 //!
 //! ```
 //! use rand::rngs::StdRng;
@@ -101,17 +104,51 @@ pub mod rngs {
     /// (which is ChaCha-based) — workspace code only relies on
     /// *reproducibility*, never on the specific stream.
     #[derive(Debug, Clone)]
-    pub struct StdRng {
+    pub struct SplitMix64 {
         state: u64,
     }
 
-    impl SeedableRng for StdRng {
-        fn seed_from_u64(seed: u64) -> Self {
-            StdRng { state: seed }
+    /// The name workspace code imports for `rand`-API compatibility.
+    pub type StdRng = SplitMix64;
+
+    /// MurmurHash3's 64-bit finalizer — a strong bijective mixer whose
+    /// constants are deliberately distinct from the SplitMix64 output
+    /// finalizer in [`RngCore::next_u64`], so derived child states are
+    /// decorrelated from the parent's own output stream.
+    fn fmix64(mut z: u64) -> u64 {
+        z ^= z >> 33;
+        z = z.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        z ^= z >> 33;
+        z = z.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        z ^= z >> 33;
+        z
+    }
+
+    impl SplitMix64 {
+        /// Derives the independent child stream for `index` without
+        /// advancing `self`. Equal `(parent state, index)` pairs give
+        /// equal children; adjacent indices give decorrelated streams.
+        ///
+        /// This is the workspace's deterministic per-trial seeding
+        /// primitive: a Monte-Carlo campaign derives one child per trial
+        /// index from a root generator, so trial randomness never
+        /// depends on which worker thread runs the trial or in what
+        /// order.
+        pub fn derive_stream(&self, index: u64) -> SplitMix64 {
+            let salted = index.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            SplitMix64 {
+                state: fmix64(self.state ^ fmix64(salted)),
+            }
         }
     }
 
-    impl RngCore for StdRng {
+    impl SeedableRng for SplitMix64 {
+        fn seed_from_u64(seed: u64) -> Self {
+            SplitMix64 { state: seed }
+        }
+    }
+
+    impl RngCore for SplitMix64 {
         fn next_u64(&mut self) -> u64 {
             // SplitMix64 (Steele, Lea, Flood 2014).
             self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -163,5 +200,73 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let heads = (0..10_000).filter(|_| rng.gen::<bool>()).count();
         assert!((4_500..5_500).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn derive_stream_is_deterministic_and_leaves_parent_untouched() {
+        let root = StdRng::seed_from_u64(42);
+        let a: Vec<u64> = {
+            let mut c = root.derive_stream(7);
+            (0..8).map(|_| c.gen::<u64>()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut c = root.derive_stream(7);
+            (0..8).map(|_| c.gen::<u64>()).collect()
+        };
+        assert_eq!(a, b, "same (parent, index) must give the same stream");
+        // Deriving never advanced the parent: its own stream is intact.
+        let mut parent = root.clone();
+        let mut fresh = StdRng::seed_from_u64(42);
+        for _ in 0..8 {
+            assert_eq!(parent.gen::<u64>(), fresh.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn adjacent_streams_do_not_collide() {
+        // The sibling-stream guarantee the ensemble engine relies on:
+        // children of adjacent trial indices start from distinct states
+        // and stay distinct over a prefix, and none collides with the
+        // parent's own output stream.
+        let root = StdRng::seed_from_u64(2026);
+        let mut firsts = std::collections::HashSet::new();
+        let mut parent = root.clone();
+        let parent_prefix: Vec<u64> = (0..4).map(|_| parent.gen::<u64>()).collect();
+        for index in 0..256u64 {
+            let mut child = root.derive_stream(index);
+            let prefix: Vec<u64> = (0..4).map(|_| child.gen::<u64>()).collect();
+            assert!(firsts.insert(prefix[0]), "first output collision at {index}");
+            assert_ne!(prefix, parent_prefix, "child {index} aliases the parent");
+        }
+    }
+
+    #[test]
+    fn adjacent_streams_are_bitwise_decorrelated() {
+        // Counter-like inputs are the adversarial case for a weak
+        // mixer: the XOR of adjacent children's first outputs must look
+        // like ~32 random flipped bits, not a low-weight difference.
+        let root = StdRng::seed_from_u64(7);
+        let mut total_distance = 0u32;
+        let n = 512u64;
+        for index in 0..n {
+            let x = root.derive_stream(index).gen::<u64>();
+            let y = root.derive_stream(index + 1).gen::<u64>();
+            let d = (x ^ y).count_ones();
+            total_distance += d;
+            assert!((8..=56).contains(&d), "hamming distance {d} at {index}");
+        }
+        let mean = f64::from(total_distance) / n as f64;
+        assert!((mean - 32.0).abs() < 2.0, "mean hamming distance {mean}");
+    }
+
+    #[test]
+    fn derived_floats_are_uniform() {
+        // A derived stream must be as usable for Monte-Carlo draws as a
+        // directly seeded one.
+        let root = StdRng::seed_from_u64(99);
+        let mut rng = root.derive_stream(3);
+        let n = 10_000;
+        let mean = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
     }
 }
