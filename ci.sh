@@ -40,6 +40,15 @@ ULP_JOBS=1 cargo test -q -p integration --test exec_determinism
 ULP_JOBS=4 cargo test -q -p integration --test exec_determinism
 echo "exec determinism (ULP_JOBS=1 and 4) OK"
 
+# Sparse solver bench: times dcop/sweep/transient on every builder
+# netlist under both linear-algebra backends, writes BENCH_solver.json,
+# and with --assert fails if the sparse path ever loses to the legacy
+# dense path on the pre-amplifier transient workload.
+cargo run --release -q -p ulp-bench --bin solver_bench -- --assert
+test -s BENCH_solver.json
+grep -q '"preamp_tran_speedup"' BENCH_solver.json
+echo "solver bench (sparse vs dense) OK"
+
 # Scaling bench: always run it (it asserts serial == parallel results);
 # only hold it to the >=2x speedup bar when the host actually has the
 # cores to show one.

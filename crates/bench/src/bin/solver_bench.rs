@@ -1,0 +1,224 @@
+//! `solver-bench`: times the dense and sparse MNA solver paths on every
+//! shipped builder netlist and writes `BENCH_solver.json` at the repo
+//! root.
+//!
+//! Three workloads per netlist, each forced through both backends via
+//! [`NewtonOptions::solver`]:
+//!
+//! - `dcop`: a cold operating-point solve (gmin ladder included);
+//! - `sweep`: a 21-point DC transfer sweep of the first voltage source,
+//!   exercising the pattern-reuse path across `set_source` edits;
+//! - `tran`: a 200-step transient from the operating point, the
+//!   workload the reusable symbolic factorization is built for.
+//!
+//! Under `--assert`, exits nonzero unless the sparse path is at least
+//! as fast as the dense path on the pre-amplifier transient — the CI
+//! guard that the optimisation never regresses into a pessimisation.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use ulp_bench::netlists::builder_netlists;
+use ulp_device::Technology;
+use ulp_spice::dcop::{DcOperatingPoint, NewtonOptions};
+use ulp_spice::mna::SolverKind;
+use ulp_spice::netlist::Element;
+use ulp_spice::sweep::dc_sweep_with;
+use ulp_spice::tran::{suggest_dt, TranOptions, Transient};
+use ulp_spice::{Netlist, Waveform};
+
+/// Newton controls matching the lint runner: the replica netlists
+/// mirror nA-class currents through long-channel devices and need the
+/// conservative damping.
+fn newton(solver: SolverKind) -> NewtonOptions {
+    NewtonOptions {
+        max_iter: 800,
+        max_step: 0.05,
+        solver,
+        ..NewtonOptions::default()
+    }
+}
+
+/// Name of the first independent voltage source, for the sweep workload.
+fn first_vsource(nl: &Netlist) -> Option<String> {
+    nl.elements().iter().find_map(|e| match e {
+        Element::Vsource { name, .. } => Some(name.clone()),
+        _ => None,
+    })
+}
+
+/// The transient workload: the builder netlist with a small sine
+/// current injected across its first capacitor, so every step actually
+/// moves the nonlinear operating point (an undriven netlist just sits
+/// at its DC solution and measures per-step overhead, not solver cost).
+/// Amplitude scales with the circuit's tail current so the drive stays
+/// small-signal across the pA–nA bias range.
+fn driven_tran_netlist(nl: &Netlist, dt: f64) -> Netlist {
+    let iss_min = nl
+        .elements()
+        .iter()
+        .filter_map(|e| match e {
+            Element::SclLoad { iss, .. } => Some(*iss),
+            _ => None,
+        })
+        .fold(f64::INFINITY, f64::min);
+    let amp = if iss_min.is_finite() {
+        0.5 * iss_min
+    } else {
+        0.5e-9
+    };
+    let (p, n) = nl
+        .elements()
+        .iter()
+        .find_map(|e| match e {
+            Element::Capacitor { a, b, .. } => Some((*a, *b)),
+            _ => None,
+        })
+        .expect("builder netlists all carry at least one capacitor");
+    let mut driven = nl.clone();
+    driven.isource_wave(
+        "ISTIM",
+        n,
+        p,
+        Waveform::Sine {
+            offset: 0.0,
+            amp,
+            freq: 1.0 / (8.0 * dt),
+            delay: 0.0,
+        },
+    );
+    driven
+}
+
+/// Median wall-clock seconds of `runs` repetitions after one warmup.
+fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+struct Workload {
+    netlist: String,
+    kind: &'static str,
+    dense_s: f64,
+    sparse_s: f64,
+}
+
+impl Workload {
+    fn speedup(&self) -> f64 {
+        self.dense_s / self.sparse_s
+    }
+}
+
+fn time_backends(runs: usize, mut f: impl FnMut(SolverKind)) -> (f64, f64) {
+    let dense = median_secs(runs, || f(SolverKind::Dense));
+    let sparse = median_secs(runs, || f(SolverKind::Sparse));
+    (dense, sparse)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let assert_preamp = args.iter().any(|a| a == "--assert");
+    if let Some(bad) = args.iter().find(|a| *a != "--assert") {
+        eprintln!("unknown flag {bad}; usage: solver_bench [--assert]");
+        std::process::exit(2);
+    }
+
+    ulp_bench::header("SOLVER", "dense vs sparse MNA backend timings");
+    let tech = Technology::default();
+    let mut workloads = Vec::new();
+
+    for (name, nl) in builder_netlists(&tech) {
+        // dcop: cold solve from zeros through the gmin ladder.
+        let (dense_s, sparse_s) = time_backends(9, |solver| {
+            DcOperatingPoint::solve_with(&nl, &tech, &newton(solver)).expect("dcop");
+        });
+        workloads.push(Workload {
+            netlist: name.clone(),
+            kind: "dcop",
+            dense_s,
+            sparse_s,
+        });
+
+        // sweep: 21 points on the first voltage source, ±50 mV about
+        // its operating value.
+        if let Some(src) = first_vsource(&nl) {
+            let values: Vec<f64> = (0..21).map(|i| 0.05 + 0.005 * i as f64).collect();
+            let (dense_s, sparse_s) = time_backends(7, |solver| {
+                dc_sweep_with(&nl, &tech, &src, &values, &newton(solver)).expect("sweep");
+            });
+            workloads.push(Workload {
+                netlist: name.clone(),
+                kind: "sweep",
+                dense_s,
+                sparse_s,
+            });
+        }
+
+        // tran: 200 fixed steps resolving the fastest RC, with a sine
+        // stimulus so the Newton loop does real work each step.
+        let dt = suggest_dt(&nl, 1.0, 10);
+        let t_stop = 200.0 * dt;
+        let driven = driven_tran_netlist(&nl, dt);
+        let (dense_s, sparse_s) = time_backends(5, |solver| {
+            let opts = TranOptions {
+                newton: newton(solver),
+                ..TranOptions::new(t_stop, dt)
+            };
+            Transient::run(&driven, &tech, &opts).expect("tran");
+        });
+        workloads.push(Workload {
+            netlist: name,
+            kind: "tran",
+            dense_s,
+            sparse_s,
+        });
+    }
+
+    for w in &workloads {
+        println!(
+            "  {:<22} {:<6} dense {:>10.3e} s  sparse {:>10.3e} s  speedup {:.2}x",
+            w.netlist,
+            w.kind,
+            w.dense_s,
+            w.sparse_s,
+            w.speedup()
+        );
+    }
+
+    let preamp_tran = workloads
+        .iter()
+        .filter(|w| w.kind == "tran" && w.netlist.starts_with("preamp-"))
+        .map(Workload::speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!("  preamp tran speedup (worst of both wells): {preamp_tran:.2}x");
+
+    let mut json = String::from("{\n  \"schema\": \"ulp-solver-bench/1\",\n  \"workloads\": [\n");
+    for (i, w) in workloads.iter().enumerate() {
+        let comma = if i + 1 < workloads.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"netlist\": \"{}\", \"kind\": \"{}\", \"dense_s\": {:e}, \"sparse_s\": {:e}, \"speedup\": {:.3}}}{comma}",
+            w.netlist,
+            w.kind,
+            w.dense_s,
+            w.sparse_s,
+            w.speedup()
+        )
+        .expect("string write");
+    }
+    writeln!(json, "  ],\n  \"preamp_tran_speedup\": {preamp_tran:.3}\n}}").expect("string write");
+    std::fs::write("BENCH_solver.json", json).expect("write BENCH_solver.json");
+    println!("  wrote BENCH_solver.json");
+
+    if assert_preamp && preamp_tran < 1.0 {
+        eprintln!("solver_bench: sparse path slower than dense on the preamp transient ({preamp_tran:.2}x)");
+        std::process::exit(1);
+    }
+}

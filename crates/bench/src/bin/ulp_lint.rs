@@ -20,16 +20,13 @@
 //! JSON reader, so CI also proves the exports are well-formed.
 
 use std::path::Path;
-use ulp_analog::preamp::PreampDesign;
+use ulp_bench::netlists::builder_netlists;
 use ulp_device::Technology;
 use ulp_spice::dcop::{DcOperatingPoint, NewtonOptions};
 use ulp_spice::lint::{self, LintConfig, LintContext};
 use ulp_spice::netlist::Element;
 use ulp_spice::sarif;
-use ulp_spice::{ErcReport, Netlist, Severity, Waveform};
-use ulp_stscl::replica::ReplicaBiasedBuffer;
-use ulp_stscl::vtc::SclBufferCircuit;
-use ulp_stscl::SclParams;
+use ulp_spice::{ErcReport, Netlist, Severity};
 
 /// A timestep resolving the fastest RC in `nl` by a comfortable margin
 /// (10 points per τ), mirroring the lint's own r/c scan so the
@@ -83,26 +80,6 @@ fn lint_netlist(nl: &Netlist, tech: &Technology, config: &LintConfig) -> ErcRepo
     }
     merged.sort();
     merged
-}
-
-fn builder_netlists(tech: &Technology) -> Vec<(String, Netlist)> {
-    let params = SclParams::default();
-    let mut out = Vec::new();
-    // STSCL buffer over the paper's tail-current range (Fig. 9): pA
-    // leakage-class up to the 10 nA fast corner.
-    for (tag, iss) in [("100p", 100e-12), ("1n", 1e-9), ("10n", 10e-9)] {
-        let c = SclBufferCircuit::build(tech, &params, iss, 0.6, Waveform::Dc(0.05));
-        out.push((format!("scl-buffer-{tag}"), c.netlist));
-    }
-    // Replica-biased buffer (Fig. 2): mirrored tail + calibrated loads.
-    let r = ReplicaBiasedBuffer::build(tech, &params, 1e-9, 0.6, Waveform::Dc(0.05));
-    out.push(("replica-buffer-1n".to_string(), r.netlist));
-    // ADC comparator front-end pre-amplifier, both well strategies.
-    for (tag, decoupled) in [("coupled", false), ("decoupled", true)] {
-        let (nl, _) = PreampDesign::new(1e-9, decoupled).to_spice(tech, params.vdd);
-        out.push((format!("preamp-{tag}-1n"), nl));
-    }
-    out
 }
 
 fn main() {

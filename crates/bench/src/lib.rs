@@ -9,6 +9,8 @@
 use std::fmt::Display;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+pub mod netlists;
+
 /// Newton-iteration / attempt counters at the previous [`paper_check`]
 /// row, so each row can report the solve cost attributable to it.
 static LAST_ITERS: AtomicUsize = AtomicUsize::new(0);

@@ -1,0 +1,36 @@
+//! The shipped transistor-level builder netlists, shared by the lint
+//! runner, the solver benchmark, and the cross-crate equivalence tests.
+//!
+//! These are the repo's reference workloads: the STSCL buffer across
+//! the paper's tail-current range (Fig. 9), the replica-biased buffer
+//! (Fig. 2), and the ADC comparator front-end pre-amplifier in both
+//! well-coupling configurations (Fig. 6d).
+
+use ulp_analog::preamp::PreampDesign;
+use ulp_device::Technology;
+use ulp_spice::{Netlist, Waveform};
+use ulp_stscl::replica::ReplicaBiasedBuffer;
+use ulp_stscl::vtc::SclBufferCircuit;
+use ulp_stscl::SclParams;
+
+/// Every shipped builder netlist, tagged with its stable name (the
+/// same names the SARIF exports under `results/lint/` use).
+pub fn builder_netlists(tech: &Technology) -> Vec<(String, Netlist)> {
+    let params = SclParams::default();
+    let mut out = Vec::new();
+    // STSCL buffer over the paper's tail-current range (Fig. 9): pA
+    // leakage-class up to the 10 nA fast corner.
+    for (tag, iss) in [("100p", 100e-12), ("1n", 1e-9), ("10n", 10e-9)] {
+        let c = SclBufferCircuit::build(tech, &params, iss, 0.6, Waveform::Dc(0.05));
+        out.push((format!("scl-buffer-{tag}"), c.netlist));
+    }
+    // Replica-biased buffer (Fig. 2): mirrored tail + calibrated loads.
+    let r = ReplicaBiasedBuffer::build(tech, &params, 1e-9, 0.6, Waveform::Dc(0.05));
+    out.push(("replica-buffer-1n".to_string(), r.netlist));
+    // ADC comparator front-end pre-amplifier, both well strategies.
+    for (tag, decoupled) in [("coupled", false), ("decoupled", true)] {
+        let (nl, _) = PreampDesign::new(1e-9, decoupled).to_spice(tech, params.vdd);
+        out.push((format!("preamp-{tag}-1n"), nl));
+    }
+    out
+}

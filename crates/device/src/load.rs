@@ -78,6 +78,22 @@ impl PmosLoad {
         iss * ALPHA / (self.vsw * ALPHA.tanh()) * sech2
     }
 
+    /// Fused [`Self::current`] + [`Self::conductance`], sharing one
+    /// `tanh` evaluation pair instead of four.
+    ///
+    /// Returns `(i, g)` bit-identical to the two scalar entry points —
+    /// the per-iteration restamping path of the MNA workspace calls
+    /// this in its hot loop; the scalar forms remain the reference
+    /// definitions.
+    pub fn eval(&self, v: f64, iss: f64) -> (f64, f64) {
+        let x = ALPHA * v / self.vsw;
+        let t = x.tanh();
+        let tt = ALPHA.tanh();
+        let i = iss * t / tt;
+        let g = iss * ALPHA / (self.vsw * tt) * (1.0 - t * t);
+        (i, g)
+    }
+
     /// Small-signal resistance at the origin, Ω — the `R_L ≈ VSW/ISS`
     /// design value (up to the tanh shape factor).
     pub fn resistance(&self, iss: f64) -> f64 {
@@ -106,6 +122,18 @@ impl PmosLoad {
 mod tests {
     use super::*;
     use crate::Polarity;
+
+    #[test]
+    fn fused_eval_is_bitwise_identical() {
+        let load = PmosLoad::new(0.2);
+        for &iss in &[1e-12, 1e-9, 1e-6] {
+            for &v in &[-0.35, -0.05, 0.0, 0.013, 0.2, 0.41] {
+                let (i, g) = load.eval(v, iss);
+                assert_eq!(i.to_bits(), load.current(v, iss).to_bits());
+                assert_eq!(g.to_bits(), load.conductance(v, iss).to_bits());
+            }
+        }
+    }
 
     #[test]
     fn endpoint_calibration_exact() {

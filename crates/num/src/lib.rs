@@ -2,8 +2,10 @@
 //!
 //! The analog circuit simulator, the ADC metrology and the Monte-Carlo
 //! mismatch experiments in the workspace all need a small amount of
-//! numerical machinery: dense real and complex linear algebra with LU
-//! factorisation (for modified nodal analysis), a radix-2 FFT (for
+//! numerical machinery: dense and sparse real/complex linear algebra with
+//! LU factorisation (for modified nodal analysis — the sparse path reuses
+//! a symbolic factorization across restamps of a fixed pattern), a
+//! radix-2 FFT (for
 //! SNDR/ENOB sine tests), descriptive statistics and histogramming (for
 //! INL/DNL and Monte-Carlo summaries), and sweep-grid helpers. None of the
 //! approved offline dependencies provide these, so this crate implements
@@ -33,8 +35,10 @@ pub mod interp;
 pub mod lu;
 pub mod matrix;
 pub mod poly;
+pub mod sparse;
 pub mod stats;
 
 pub use complex::Complex;
 pub use lu::{ComplexLuFactor, LuFactor, SolveError};
 pub use matrix::{ComplexMatrix, Matrix};
+pub use sparse::{ComplexSparseLu, ComplexSparseMatrix, SparseLu, SparseMatrix};

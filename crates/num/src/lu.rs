@@ -178,6 +178,41 @@ impl LuFactor {
         Ok(x)
     }
 
+    /// Solves `A·x = b` into a caller-owned buffer, avoiding the
+    /// per-solve allocation of [`LuFactor::solve`]. The arithmetic and
+    /// its order are identical to `solve`, so results are bitwise equal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] if `b` has the wrong
+    /// length.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<(), SolveError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(SolveError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
+        for i in 1..n {
+            let mut s = x[i];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                s -= self.lu[(i, j)] * xj;
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.lu[(i, j)] * xj;
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(())
+    }
+
     /// Determinant of the original matrix (product of pivots × pivot
     /// sign).
     pub fn det(&self) -> f64 {
@@ -409,6 +444,27 @@ mod tests {
         let lu = LuFactor::new(&a).unwrap();
         assert_eq!(lu.solve(&[2.0, 4.0]).unwrap(), vec![1.0, 1.0]);
         assert_eq!(lu.solve(&[4.0, 8.0]).unwrap(), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn solve_into_is_bitwise_equal_to_solve() {
+        let a = Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]]);
+        let lu = LuFactor::new(&a).unwrap();
+        let b = [1.0, -2.0, 0.25];
+        let alloc = lu.solve(&b).unwrap();
+        let mut reused = Vec::new();
+        lu.solve_into(&b, &mut reused).unwrap();
+        assert_eq!(alloc, reused, "solve_into must reproduce solve exactly");
+        let ptr = reused.as_ptr();
+        lu.solve_into(&[0.0, 1.0, 0.0], &mut reused).unwrap();
+        assert_eq!(ptr, reused.as_ptr(), "buffer must be reused");
+        assert_eq!(
+            lu.solve_into(&[1.0], &mut reused).unwrap_err(),
+            SolveError::DimensionMismatch {
+                expected: 3,
+                actual: 1
+            }
+        );
     }
 
     #[test]

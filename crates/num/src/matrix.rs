@@ -1,9 +1,13 @@
 //! Dense real and complex matrices in row-major storage.
 //!
-//! These back the modified-nodal-analysis (MNA) system matrices in
-//! [`ulp-spice`](../../spice). Circuit matrices in this workspace are small
-//! (tens of nodes), so a dense representation is simpler and fast enough;
-//! no sparse machinery is warranted.
+//! These back the dense fallback path of the modified-nodal-analysis
+//! (MNA) system matrices in [`ulp-spice`](../../spice) and serve as the
+//! reference implementation in equivalence tests. The hot analysis loops
+//! restamp a fixed sparsity pattern thousands of times, so production
+//! solves go through [`crate::sparse`], which reuses a symbolic
+//! factorization across restamps; the dense representation remains the
+//! simplest-possible oracle and the right choice for tiny one-shot
+//! systems.
 
 use crate::complex::Complex;
 use std::fmt;

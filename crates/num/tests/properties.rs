@@ -6,6 +6,7 @@ use ulp_num::interp::{lerp_at, linspace, logspace};
 use ulp_num::lu::{solve, LuFactor};
 use ulp_num::poly::Poly;
 use ulp_num::stats::{max_abs, mean, median, min_max, quantile, std_dev};
+use ulp_num::sparse::{SparseLu, SparseMatrix};
 use ulp_num::{Complex, Matrix};
 
 fn diag_dominant(n: usize, seed: &[f64]) -> Matrix {
@@ -54,6 +55,56 @@ proptest! {
         let det = LuFactor::new(&a).expect("diagonal").det();
         let expect: f64 = d.iter().product();
         prop_assert!((det / expect - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_lu_matches_dense_lu(
+        seed in prop::collection::vec(-1.0f64..1.0, 40),
+        b in prop::collection::vec(-10.0f64..10.0, 5)
+    ) {
+        let a = diag_dominant(5, &seed);
+        let sa = SparseMatrix::from_dense(&a);
+        let dense_x = solve(&a, &b).expect("diag-dominant is nonsingular");
+        let slu = SparseLu::factor(&sa).expect("diag-dominant is nonsingular");
+        let mut sparse_x = Vec::new();
+        slu.solve_into(&b, &mut sparse_x).expect("solve");
+        for (d, s) in dense_x.iter().zip(&sparse_x) {
+            prop_assert!((d - s).abs() < 1e-9);
+        }
+        // Determinants agree too (the near-singular lint reads them).
+        let det_d = LuFactor::new(&a).expect("nonsingular").det();
+        let det_s = slu.det();
+        prop_assert!((det_d / det_s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_refactor_reproduces_fresh_factorization(
+        seed in prop::collection::vec(-1.0f64..1.0, 40),
+        scale in 0.5f64..2.0,
+        b in prop::collection::vec(-10.0f64..10.0, 5)
+    ) {
+        // Factor once to record the pivot order, perturb all values
+        // (same pattern, diagonal dominance preserved), then refactor —
+        // the answer must match a from-scratch factorization of the
+        // perturbed matrix.
+        let a0 = diag_dominant(5, &seed);
+        let sa = SparseMatrix::from_dense(&a0);
+        let mut lu = SparseLu::factor(&sa).expect("nonsingular");
+
+        let mut a1 = SparseMatrix::from_dense(&a0);
+        for v in a1.values_mut() {
+            *v *= scale;
+        }
+        lu.refactor(&a1).expect("same pattern, still dominant");
+        let mut x_re = Vec::new();
+        lu.solve_into(&b, &mut x_re).expect("solve");
+
+        let fresh = SparseLu::factor(&a1).expect("nonsingular");
+        let mut x_fresh = Vec::new();
+        fresh.solve_into(&b, &mut x_fresh).expect("solve");
+        for (r, f) in x_re.iter().zip(&x_fresh) {
+            prop_assert!((r - f).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -11,13 +11,13 @@
 
 use crate::dcop::DcOperatingPoint;
 use crate::error::SimError;
-use crate::mna::voltage_of;
+use crate::mna::{matrix_coords, voltage_of, SolverKind};
 use crate::netlist::{Element, Netlist, Node};
 use crate::telemetry::{self, Event, Tracer};
 use std::time::Instant;
 use ulp_device::Technology;
-use ulp_num::lu::ComplexLuFactor;
-use ulp_num::{Complex, ComplexMatrix};
+use ulp_num::lu::{ComplexLuFactor, SolveError};
+use ulp_num::{Complex, ComplexMatrix, ComplexSparseLu, ComplexSparseMatrix};
 
 /// Result of an AC sweep: one complex solution vector per frequency.
 #[derive(Debug, Clone)]
@@ -92,19 +92,12 @@ impl AcResult {
         freqs: &[f64],
         tracer: &mut dyn Tracer,
     ) -> Result<Self, SimError> {
-        let enabled = tracer.enabled();
-        let mut solutions = Vec::with_capacity(freqs.len());
-        for (i, &f) in freqs.iter().enumerate() {
-            let t0 = enabled.then(Instant::now);
-            solutions.push(solve_one(nl, tech, op, f)?);
-            if let Some(t0) = t0 {
-                tracer.record(&Event::AcPoint {
-                    index: i,
-                    freq: f,
-                    seconds: t0.elapsed().as_secs_f64(),
-                });
-            }
-        }
+        let dim = nl.unknown_count();
+        let solutions = if SolverKind::Auto.resolve(dim) == SolverKind::Sparse {
+            run_sparse(nl, tech, op, freqs, tracer)?
+        } else {
+            run_dense(nl, tech, op, freqs, tracer)?
+        };
         Ok(AcResult {
             freqs: freqs.to_vec(),
             solutions,
@@ -163,23 +156,41 @@ fn cidx(node: Node) -> Option<usize> {
     }
 }
 
-struct CStamper<'m> {
-    a: &'m mut ComplexMatrix,
+/// Anything the AC stamper can write matrix entries into — the dense
+/// reference matrix or the pattern-reusing sparse one.
+trait CSink {
+    fn add(&mut self, r: usize, c: usize, v: Complex);
+}
+
+impl CSink for ComplexMatrix {
+    fn add(&mut self, r: usize, c: usize, v: Complex) {
+        self[(r, c)] += v;
+    }
+}
+
+impl CSink for ComplexSparseMatrix {
+    fn add(&mut self, r: usize, c: usize, v: Complex) {
+        self.add_at(r, c, v);
+    }
+}
+
+struct CStamper<'m, M: CSink> {
+    a: &'m mut M,
     b: &'m mut Vec<Complex>,
 }
 
-impl CStamper<'_> {
+impl<M: CSink> CStamper<'_, M> {
     fn admittance(&mut self, p: Node, n: Node, y: Complex) {
         if let Some(i) = cidx(p) {
-            self.a[(i, i)] += y;
+            self.a.add(i, i, y);
             if let Some(j) = cidx(n) {
-                self.a[(i, j)] -= y;
+                self.a.add(i, j, -y);
             }
         }
         if let Some(j) = cidx(n) {
-            self.a[(j, j)] += y;
+            self.a.add(j, j, y);
             if let Some(i) = cidx(p) {
-                self.a[(j, i)] -= y;
+                self.a.add(j, i, -y);
             }
         }
     }
@@ -188,36 +199,30 @@ impl CStamper<'_> {
         for (out, sign) in [(p, 1.0), (n, -1.0)] {
             if let Some(r) = cidx(out) {
                 if let Some(c) = cidx(cp) {
-                    self.a[(r, c)] += Complex::from_re(sign * gm);
+                    self.a.add(r, c, Complex::from_re(sign * gm));
                 }
                 if let Some(c) = cidx(cn) {
-                    self.a[(r, c)] -= Complex::from_re(sign * gm);
+                    self.a.add(r, c, Complex::from_re(-sign * gm));
                 }
             }
         }
     }
 }
 
-fn solve_one(
+/// Stamps the full small-signal system at `omega` about DC solution `x`
+/// into `st` — shared by the dense and sparse paths.
+fn stamp_ac<M: CSink>(
     nl: &Netlist,
     tech: &Technology,
-    op: &DcOperatingPoint,
-    freq: f64,
-) -> Result<Vec<Complex>, SimError> {
+    x: &[f64],
+    omega: f64,
+    st: &mut CStamper<'_, M>,
+) {
     let nn = nl.node_count() - 1;
-    let dim = nl.unknown_count();
-    let omega = 2.0 * std::f64::consts::PI * freq;
-    let x = op.solution();
-    let mut matrix = ComplexMatrix::zeros(dim, dim);
-    let mut rhs = vec![Complex::ZERO; dim];
-    let mut st = CStamper {
-        a: &mut matrix,
-        b: &mut rhs,
-    };
     // Tiny conductance to ground keeps truly floating small-signal nodes
     // solvable.
     for i in 0..nn {
-        st.a[(i, i)] += Complex::from_re(1e-15);
+        st.a.add(i, i, Complex::from_re(1e-15));
     }
     let mut branch = nn;
     for e in nl.elements() {
@@ -232,12 +237,12 @@ fn solve_one(
                 let rb = branch;
                 branch += 1;
                 if let Some(i) = cidx(*p) {
-                    st.a[(i, rb)] += Complex::ONE;
-                    st.a[(rb, i)] += Complex::ONE;
+                    st.a.add(i, rb, Complex::ONE);
+                    st.a.add(rb, i, Complex::ONE);
                 }
                 if let Some(j) = cidx(*n) {
-                    st.a[(j, rb)] -= Complex::ONE;
-                    st.a[(rb, j)] -= Complex::ONE;
+                    st.a.add(j, rb, -Complex::ONE);
+                    st.a.add(rb, j, -Complex::ONE);
                 }
                 st.b[rb] = Complex::from_re(*ac);
             }
@@ -255,18 +260,18 @@ fn solve_one(
                 let rb = branch;
                 branch += 1;
                 if let Some(i) = cidx(*p) {
-                    st.a[(i, rb)] += Complex::ONE;
-                    st.a[(rb, i)] += Complex::ONE;
+                    st.a.add(i, rb, Complex::ONE);
+                    st.a.add(rb, i, Complex::ONE);
                 }
                 if let Some(j) = cidx(*n) {
-                    st.a[(j, rb)] -= Complex::ONE;
-                    st.a[(rb, j)] -= Complex::ONE;
+                    st.a.add(j, rb, -Complex::ONE);
+                    st.a.add(rb, j, -Complex::ONE);
                 }
                 if let Some(c) = cidx(*cp) {
-                    st.a[(rb, c)] -= Complex::from_re(*gain);
+                    st.a.add(rb, c, Complex::from_re(-*gain));
                 }
                 if let Some(c) = cidx(*cn) {
-                    st.a[(rb, c)] += Complex::from_re(*gain);
+                    st.a.add(rb, c, Complex::from_re(*gain));
                 }
             }
             Element::Vccs {
@@ -297,8 +302,112 @@ fn solve_one(
             }
         }
     }
-    let lu = ComplexLuFactor::new(&matrix).map_err(|e| SimError::from_solve(nl, e))?;
-    lu.solve(&rhs).map_err(|e| SimError::from_solve(nl, e))
+}
+
+/// Reference path: fresh dense factorization at every frequency.
+fn run_dense(
+    nl: &Netlist,
+    tech: &Technology,
+    op: &DcOperatingPoint,
+    freqs: &[f64],
+    tracer: &mut dyn Tracer,
+) -> Result<Vec<Vec<Complex>>, SimError> {
+    let dim = nl.unknown_count();
+    let x = op.solution();
+    let mut solutions = Vec::with_capacity(freqs.len());
+    for (index, &freq) in freqs.iter().enumerate() {
+        let started = Instant::now();
+        let omega = 2.0 * std::f64::consts::PI * freq;
+        let mut matrix = ComplexMatrix::zeros(dim, dim);
+        let mut rhs = vec![Complex::ZERO; dim];
+        let mut st = CStamper {
+            a: &mut matrix,
+            b: &mut rhs,
+        };
+        stamp_ac(nl, tech, x, omega, &mut st);
+        let lu = ComplexLuFactor::new(&matrix).map_err(|e| SimError::from_solve(nl, e))?;
+        let sol = lu.solve(&rhs).map_err(|e| SimError::from_solve(nl, e))?;
+        solutions.push(sol);
+        if tracer.enabled() {
+            tracer.record(&Event::AcPoint {
+                index,
+                freq,
+                lu_symbolic: 1,
+                lu_refactor: 0,
+                seconds: started.elapsed().as_secs_f64(),
+            });
+        }
+    }
+    Ok(solutions)
+}
+
+/// Production path: one symbolic analysis for the whole sweep. Only the
+/// jωC entries move between frequencies at a fixed operating point, so
+/// the pivot order chosen at the first frequency is re-used numerically
+/// for every later one, falling back to a full factorization if a pivot
+/// collapses.
+fn run_sparse(
+    nl: &Netlist,
+    tech: &Technology,
+    op: &DcOperatingPoint,
+    freqs: &[f64],
+    tracer: &mut dyn Tracer,
+) -> Result<Vec<Vec<Complex>>, SimError> {
+    let dim = nl.unknown_count();
+    let x = op.solution();
+    let coords = matrix_coords(nl);
+    let mut matrix = ComplexSparseMatrix::from_pattern(dim, &coords);
+    let mut rhs = vec![Complex::ZERO; dim];
+    let mut lu: Option<ComplexSparseLu> = None;
+    let mut solutions = Vec::with_capacity(freqs.len());
+    for (index, &freq) in freqs.iter().enumerate() {
+        let started = Instant::now();
+        let omega = 2.0 * std::f64::consts::PI * freq;
+        matrix.zero_values();
+        rhs.iter_mut().for_each(|v| *v = Complex::ZERO);
+        let mut st = CStamper {
+            a: &mut matrix,
+            b: &mut rhs,
+        };
+        stamp_ac(nl, tech, x, omega, &mut st);
+        let mut symbolic = 0;
+        let mut refactor = 0;
+        let refactored = match lu.as_mut() {
+            Some(l) => match l.refactor(&matrix) {
+                Ok(()) => {
+                    refactor = 1;
+                    true
+                }
+                // A pivot that was fine at the previous frequency has
+                // collapsed — redo the symbolic analysis.
+                Err(SolveError::Singular { .. }) => false,
+                Err(e) => return Err(SimError::from_solve(nl, e)),
+            },
+            None => false,
+        };
+        if !refactored {
+            lu = Some(
+                ComplexSparseLu::factor(&matrix).map_err(|e| SimError::from_solve(nl, e))?,
+            );
+            symbolic = 1;
+        }
+        let factored = lu.as_ref().expect("factorization exists after factor step");
+        let mut sol = vec![Complex::ZERO; dim];
+        factored
+            .solve_into(&rhs, &mut sol)
+            .map_err(|e| SimError::from_solve(nl, e))?;
+        solutions.push(sol);
+        if tracer.enabled() {
+            tracer.record(&Event::AcPoint {
+                index,
+                freq,
+                lu_symbolic: symbolic,
+                lu_refactor: refactor,
+                seconds: started.elapsed().as_secs_f64(),
+            });
+        }
+    }
+    Ok(solutions)
 }
 
 #[cfg(test)]

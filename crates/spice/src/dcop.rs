@@ -1,12 +1,11 @@
 //! DC operating point: damped Newton–Raphson with gmin stepping.
 
 use crate::error::SimError;
-use crate::mna::{assemble, branch_index, voltage_of, AssembleMode};
+use crate::mna::{branch_index, voltage_of, AssembleMode, MnaWorkspace, SolverKind};
 use crate::netlist::{Netlist, Node};
 use crate::telemetry::{self, Event, NullTracer, Tracer};
 use std::time::Instant;
 use ulp_device::Technology;
-use ulp_num::lu::LuFactor;
 
 /// Newton iteration controls.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,6 +18,8 @@ pub struct NewtonOptions {
     pub max_step: f64,
     /// Final gmin left in the system, S.
     pub gmin: f64,
+    /// Linear-solver backend selection (see [`SolverKind`]).
+    pub solver: SolverKind,
 }
 
 impl Default for NewtonOptions {
@@ -28,6 +29,7 @@ impl Default for NewtonOptions {
             vtol: 1e-9,
             max_step: 0.5,
             gmin: 1e-12,
+            solver: SolverKind::Auto,
         }
     }
 }
@@ -46,60 +48,75 @@ pub struct NewtonResult {
     pub max_delta: f64,
 }
 
-/// Rows displaced by partial pivoting — the pivoting-activity measure
-/// recorded in the LU telemetry stats.
-fn displaced_rows(perm: &[usize]) -> usize {
-    perm.iter().enumerate().filter(|&(i, &p)| i != p).count()
+/// Scalar outcome of an in-place Newton solve ([`NewtonResult`] minus
+/// the solution vector, which stays in the caller's buffer).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NewtonInfo {
+    pub iterations: usize,
+    pub residual: f64,
+    pub max_delta: f64,
 }
 
 /// One damped-Newton attempt at a fixed gmin, with telemetry.
+///
+/// `x` carries the iterate in and (on success) the converged solution
+/// out; `x_new` is caller-owned scratch. Both the workspace and the two
+/// buffers are reused across attempts, ladder rungs, sweep points and
+/// time steps, so the steady-state loop performs no heap allocation.
 #[allow(clippy::too_many_arguments)]
 fn attempt(
     nl: &Netlist,
     tech: &Technology,
     mode: AssembleMode<'_>,
-    x0: &[f64],
+    ws: &mut MnaWorkspace,
+    x: &mut [f64],
+    x_new: &mut Vec<f64>,
     gmin: f64,
     opts: &NewtonOptions,
     analysis: &'static str,
     rung: Option<usize>,
     tracer: &mut dyn Tracer,
-) -> Result<NewtonResult, SimError> {
+) -> Result<NewtonInfo, SimError> {
     let enabled = tracer.enabled();
     let t0 = enabled.then(Instant::now);
+    // The dense backend reproduces the legacy loop bit for bit, residual
+    // included; the sparse backend only computes the residual when it
+    // will actually be observed — per iteration under tracing, otherwise
+    // once on whichever iteration the attempt exits from.
+    let eager_residual = enabled || !ws.is_sparse();
     let nn = nl.node_count() - 1;
     let lu_dim = nl.unknown_count();
-    let mut x = x0.to_vec();
+    let swaps0 = ws.pivot_swaps();
+    let symbolic0 = ws.symbolic_factorizations();
+    let refactor0 = ws.numeric_refactorizations();
     let mut iterations = 0usize;
     let mut residual = f64::INFINITY;
     let mut max_delta = f64::INFINITY;
     let mut clamps = 0usize;
-    let mut lu_swaps = 0usize;
     let mut converged = false;
     let mut failure: Option<SimError> = None;
     while iterations < opts.max_iter {
         iterations += 1;
-        let sys = assemble(nl, tech, &x, mode, gmin);
+        ws.assemble(nl, tech, x, mode, gmin);
         // Companion models are assembled *at* x, so `A·x − b` is the
         // true nonlinear KCL residual at the current iterate.
-        residual = sys.residual_inf(&x);
-        let lu = match LuFactor::new(&sys.matrix) {
-            Ok(lu) => lu,
-            Err(e) => {
-                failure = Some(SimError::from_solve(nl, e));
-                break;
-            }
-        };
-        if enabled {
-            lu_swaps += displaced_rows(lu.permutation());
+        if eager_residual {
+            residual = ws.residual_inf(x);
         }
-        let x_new = match lu.solve(&sys.rhs) {
-            Ok(v) => v,
-            Err(e) => {
-                failure = Some(SimError::from_solve(nl, e));
-                break;
+        if let Err(e) = ws.factor() {
+            if !eager_residual {
+                residual = ws.residual_inf(x);
             }
-        };
+            failure = Some(SimError::from_solve(nl, e));
+            break;
+        }
+        if let Err(e) = ws.solve_into(x_new) {
+            if !eager_residual {
+                residual = ws.residual_inf(x);
+            }
+            failure = Some(SimError::from_solve(nl, e));
+            break;
+        }
         // Damping: limit the voltage part of the update.
         let mut dv_max = 0.0f64;
         for i in 0..nn {
@@ -111,7 +128,13 @@ fn attempt(
         } else {
             1.0
         };
-        for (xi, xn) in x.iter_mut().zip(&x_new) {
+        // Exiting after this iteration either way: capture the residual
+        // of the assembled system before x moves off the iterate it was
+        // built at, so the reported value matches the eager path.
+        if !eager_residual && (dv_max <= opts.vtol || iterations == opts.max_iter) {
+            residual = ws.residual_inf(x);
+        }
+        for (xi, xn) in x.iter_mut().zip(x_new.iter()) {
             *xi += scale * (*xn - *xi);
         }
         max_delta = dv_max * scale;
@@ -131,13 +154,14 @@ fn attempt(
             max_delta,
             clamps,
             lu_dim,
-            lu_swaps,
+            lu_swaps: ws.pivot_swaps() - swaps0,
+            lu_symbolic: ws.symbolic_factorizations() - symbolic0,
+            lu_refactor: ws.numeric_refactorizations() - refactor0,
             seconds: t0.elapsed().as_secs_f64(),
         });
     }
     if converged {
-        Ok(NewtonResult {
-            x,
+        Ok(NewtonInfo {
             iterations,
             residual,
             max_delta,
@@ -175,7 +199,28 @@ pub fn newton_solve(
     gmin: f64,
     opts: &NewtonOptions,
 ) -> Result<NewtonResult, SimError> {
-    attempt(nl, tech, mode, x0, gmin, opts, "dcop", None, &mut NullTracer)
+    let mut ws = MnaWorkspace::new(nl, opts.solver);
+    let mut x = x0.to_vec();
+    let mut x_new = Vec::with_capacity(x.len());
+    let info = attempt(
+        nl,
+        tech,
+        mode,
+        &mut ws,
+        &mut x,
+        &mut x_new,
+        gmin,
+        opts,
+        "dcop",
+        None,
+        &mut NullTracer,
+    )?;
+    Ok(NewtonResult {
+        x,
+        iterations: info.iterations,
+        residual: info.residual,
+        max_delta: info.max_delta,
+    })
 }
 
 /// [`newton_solve`] recording telemetry: emits one
@@ -195,7 +240,18 @@ pub fn newton_solve_traced(
     analysis: &'static str,
     tracer: &mut dyn Tracer,
 ) -> Result<NewtonResult, SimError> {
-    attempt(nl, tech, mode, x0, gmin, opts, analysis, None, tracer)
+    let mut ws = MnaWorkspace::new(nl, opts.solver);
+    let mut x = x0.to_vec();
+    let mut x_new = Vec::with_capacity(x.len());
+    let info = attempt(
+        nl, tech, mode, &mut ws, &mut x, &mut x_new, gmin, opts, analysis, None, tracer,
+    )?;
+    Ok(NewtonResult {
+        x,
+        iterations: info.iterations,
+        residual: info.residual,
+        max_delta: info.max_delta,
+    })
 }
 
 /// The gmin-stepping conductance ladder, heaviest rung first.
@@ -235,18 +291,58 @@ pub fn newton_solve_gmin_stepping_traced(
     analysis: &'static str,
     tracer: &mut dyn Tracer,
 ) -> Result<NewtonResult, SimError> {
-    if let Ok(r) = attempt(nl, tech, mode, x0, opts.gmin, opts, analysis, None, tracer) {
-        return Ok(r);
+    let mut ws = MnaWorkspace::new(nl, opts.solver);
+    let mut x = Vec::with_capacity(x0.len());
+    let mut x_new = Vec::with_capacity(x0.len());
+    let info = newton_solve_gmin_stepping_into(
+        nl, tech, mode, x0, opts, analysis, tracer, &mut ws, &mut x, &mut x_new,
+    )?;
+    Ok(NewtonResult {
+        x,
+        iterations: info.iterations,
+        residual: info.residual,
+        max_delta: info.max_delta,
+    })
+}
+
+/// [`newton_solve_gmin_stepping_traced`] against a caller-owned
+/// workspace and solution/scratch buffers — the entry point the sweep
+/// and transient drivers use so one workspace (pattern, symbolic
+/// factorization, static stamps) and one pair of vectors survive across
+/// every point/step. `x` receives the converged solution.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn newton_solve_gmin_stepping_into(
+    nl: &Netlist,
+    tech: &Technology,
+    mode: AssembleMode<'_>,
+    x0: &[f64],
+    opts: &NewtonOptions,
+    analysis: &'static str,
+    tracer: &mut dyn Tracer,
+    ws: &mut MnaWorkspace,
+    x: &mut Vec<f64>,
+    x_new: &mut Vec<f64>,
+) -> Result<NewtonInfo, SimError> {
+    x.clear();
+    x.extend_from_slice(x0);
+    if let Ok(info) = attempt(
+        nl, tech, mode, ws, x, x_new, opts.gmin, opts, analysis, None, tracer,
+    ) {
+        return Ok(info);
     }
-    let mut x = x0.to_vec();
+    // Ladder restarts from the caller's guess, not the failed iterate.
+    x.clear();
+    x.extend_from_slice(x0);
     for (i, g) in GMIN_LADDER.iter().enumerate() {
-        x = attempt(nl, tech, mode, &x, *g, opts, analysis, Some(i), tracer)?.x;
+        attempt(nl, tech, mode, ws, x, x_new, *g, opts, analysis, Some(i), tracer)?;
     }
     attempt(
         nl,
         tech,
         mode,
-        &x,
+        ws,
+        x,
+        x_new,
         opts.gmin,
         opts,
         analysis,

@@ -21,10 +21,27 @@
 //!   operating point.
 //!
 //! Deliberate scope limits, documented here so users are not surprised:
-//! no inductors (none appear in the paper's circuits), no implicit MOS
-//! capacitances (attach explicit [`netlist::Netlist::capacitor`]s — the
-//! Fig. 6 experiment models the well diode capacitance explicitly), and
-//! dense linear algebra (circuit sizes here are tens of nodes).
+//! no inductors (none appear in the paper's circuits) and no implicit
+//! MOS capacitances (attach explicit [`netlist::Netlist::capacitor`]s —
+//! the Fig. 6 experiment models the well diode capacitance explicitly).
+//!
+//! # Linear algebra backends
+//!
+//! Every analysis solves its MNA systems through a reusable
+//! [`mna::MnaWorkspace`] with two interchangeable backends:
+//!
+//! * **sparse** (default for systems of a handful of unknowns and up) —
+//!   compressed row storage, one symbolic analysis per (netlist,
+//!   analysis-mode) pair, then allocation-free in-place restamping and
+//!   numeric-only refactorization ([`ulp_num::sparse::SparseLu`]) on
+//!   every Newton iteration, sweep point and time step;
+//! * **dense** — the original [`ulp_num::lu::LuFactor`] path, kept
+//!   verbatim as the bitwise-stable oracle the sparse path is tested
+//!   against (to 1e-12 in the ∞-norm; see `tests/sparse_equivalence`).
+//!
+//! Selection: [`dcop::NewtonOptions::solver`] if set to something other
+//! than [`mna::SolverKind::Auto`], else the `ULP_SOLVER` environment
+//! variable (`dense`/`sparse`/`auto`), else dimension-based auto.
 //!
 //! # Example
 //!

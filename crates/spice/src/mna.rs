@@ -9,10 +9,24 @@
 //! Newton companion models linearised about the current iterate, so the
 //! assembled system reads `A(x_k)·x_{k+1} = b(x_k)` and a fixed point is
 //! an exact solution of the nonlinear KCL equations.
+//!
+//! Two assembly paths exist. [`assemble`] builds a fresh dense
+//! [`MnaSystem`] — the reference implementation, used by one-shot
+//! consumers such as the lint operating-point audit. The hot analysis
+//! loops (Newton, gmin ladder, sweeps, transient) instead allocate one
+//! [`MnaWorkspace`] per (netlist, analysis) and restamp it in place: the
+//! sparsity pattern, the slot plan for every element stamp, and the
+//! values of all *static* (iterate-independent) stamps are computed once,
+//! and each iteration only rewrites the dynamic companion-model entries
+//! and refactorises numerically against the cached symbolic
+//! factorization from [`ulp_num::sparse`].
 
 use crate::netlist::{Element, Netlist, Node};
+use ulp_num::lu::{LuFactor, SolveError};
+use ulp_num::sparse::{SparseLu, SparseMatrix};
 use ulp_num::Matrix;
-use ulp_device::Technology;
+use ulp_device::load::PmosLoad;
+use ulp_device::{Mosfet, Technology};
 
 /// Integration method for transient companion models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -156,14 +170,39 @@ pub fn assemble(
     mode: AssembleMode<'_>,
     gmin: f64,
 ) -> MnaSystem {
+    let dim = nl.unknown_count();
+    let mut matrix = Matrix::zeros(dim, dim);
+    let mut rhs = vec![0.0; dim];
+    assemble_into(nl, tech, x, mode, gmin, &mut matrix, &mut rhs);
+    MnaSystem { matrix, rhs }
+}
+
+/// [`assemble`] writing into caller-owned buffers (resized and cleared
+/// first) — lets the dense workspace path reuse its matrix and RHS
+/// allocations across Newton iterations. Stamp order is identical to
+/// [`assemble`], so the resulting system is bitwise equal.
+pub fn assemble_into(
+    nl: &Netlist,
+    tech: &Technology,
+    x: &[f64],
+    mode: AssembleMode<'_>,
+    gmin: f64,
+    matrix: &mut Matrix,
+    rhs: &mut Vec<f64>,
+) {
     let nn = nl.node_count() - 1;
     let dim = nl.unknown_count();
     assert_eq!(x.len(), dim, "candidate solution has wrong dimension");
-    let mut matrix = Matrix::zeros(dim, dim);
-    let mut rhs = vec![0.0; dim];
+    if matrix.rows() != dim || matrix.cols() != dim {
+        *matrix = Matrix::zeros(dim, dim);
+    } else {
+        matrix.clear();
+    }
+    rhs.clear();
+    rhs.resize(dim, 0.0);
     let mut st = Stamper {
-        a: &mut matrix,
-        b: &mut rhs,
+        a: matrix,
+        b: rhs,
     };
 
     // gmin from every node to ground.
@@ -293,8 +332,773 @@ pub fn assemble(
             }
         }
     }
+}
 
-    MnaSystem { matrix, rhs }
+// ---------------------------------------------------------------------------
+// Reusable workspace: restamp-in-place assembly + pattern-reusing solves.
+// ---------------------------------------------------------------------------
+
+/// Which linear-solver backend an [`MnaWorkspace`] should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// Resolve per system: honour the `ULP_SOLVER` environment variable
+    /// (`dense` / `sparse`) when set, otherwise use the sparse path for
+    /// systems of dimension ≥ [`AUTO_SPARSE_MIN_DIM`] and dense below.
+    #[default]
+    Auto,
+    /// Always the dense reference path (fresh full-pivoted LU per solve).
+    Dense,
+    /// Always the sparse path (symbolic factorization reused across
+    /// restamps of the fixed pattern).
+    Sparse,
+}
+
+/// Smallest system dimension for which [`SolverKind::Auto`] picks the
+/// sparse path. Below this the dense solve is a handful of FLOPs and the
+/// sparse bookkeeping cannot pay for itself.
+pub const AUTO_SPARSE_MIN_DIM: usize = 4;
+
+impl SolverKind {
+    pub(crate) fn resolve(self, dim: usize) -> SolverKind {
+        match self {
+            SolverKind::Dense => SolverKind::Dense,
+            SolverKind::Sparse => SolverKind::Sparse,
+            SolverKind::Auto => match std::env::var("ULP_SOLVER").as_deref() {
+                Ok("dense") => SolverKind::Dense,
+                Ok("sparse") => SolverKind::Sparse,
+                _ => {
+                    if dim >= AUTO_SPARSE_MIN_DIM {
+                        SolverKind::Sparse
+                    } else {
+                        SolverKind::Dense
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// Number of rows a permutation moved away from their natural position —
+/// the pivoting-effort statistic surfaced by telemetry.
+pub(crate) fn displaced_rows(perm: &[usize]) -> usize {
+    perm.iter().enumerate().filter(|&(i, &p)| i != p).count()
+}
+
+/// Sentinel for "ground node": stamps touching it are dropped.
+const NO_IDX: u32 = u32::MAX;
+/// Sentinel for "no slot": quad corner fell on a ground row/column.
+const NO_SLOT: u32 = u32::MAX;
+
+fn uidx(node: Node) -> u32 {
+    if node.is_ground() {
+        NO_IDX
+    } else {
+        (node.index() - 1) as u32
+    }
+}
+
+fn volt(x: &[f64], i: u32) -> f64 {
+    if i == NO_IDX {
+        0.0
+    } else {
+        x[i as usize]
+    }
+}
+
+fn rhs_current(rhs: &mut [f64], p: u32, n: u32, i: f64) {
+    if p != NO_IDX {
+        rhs[p as usize] -= i;
+    }
+    if n != NO_IDX {
+        rhs[n as usize] += i;
+    }
+}
+
+/// The four value slots of one (trans)conductance stamp, resolved once at
+/// plan time: `[(p,cp), (p,cn), (n,cp), (n,cn)]` with signs `+,−,−,+`.
+/// An ordinary conductance between `a` and `b` is the special case
+/// `cp = a, cn = b`.
+#[derive(Debug, Clone, Copy)]
+struct Quad([u32; 4]);
+
+impl Quad {
+    fn resolve(mat: &SparseMatrix, p: u32, n: u32, cp: u32, cn: u32) -> Quad {
+        let sl = |r: u32, c: u32| -> u32 {
+            if r == NO_IDX || c == NO_IDX {
+                NO_SLOT
+            } else {
+                mat.slot(r as usize, c as usize)
+                    .expect("stamp coordinate missing from sparse pattern") as u32
+            }
+        };
+        Quad([sl(p, cp), sl(p, cn), sl(n, cp), sl(n, cn)])
+    }
+
+    fn add(&self, vals: &mut [f64], g: f64) {
+        let [pp, pn, np, nn] = self.0;
+        if pp != NO_SLOT {
+            vals[pp as usize] += g;
+        }
+        if pn != NO_SLOT {
+            vals[pn as usize] -= g;
+        }
+        if np != NO_SLOT {
+            vals[np as usize] -= g;
+        }
+        if nn != NO_SLOT {
+            vals[nn as usize] += g;
+        }
+    }
+}
+
+/// Adds `v` to the static stamp at `(r, c)`, dropping ground coordinates.
+fn stat_add(mat: &SparseMatrix, vals: &mut [f64], r: u32, c: u32, v: f64) {
+    if r == NO_IDX || c == NO_IDX {
+        return;
+    }
+    let s = mat
+        .slot(r as usize, c as usize)
+        .expect("static stamp missing from sparse pattern");
+    vals[s] += v;
+}
+
+/// One iterate-dependent stamp, replayed every [`MnaWorkspace::assemble`].
+/// Element parameters are copied at plan time; waveforms are looked up by
+/// element index so `set_source` edits are picked up without replanning.
+#[derive(Debug, Clone, Copy)]
+enum DynOp {
+    /// Independent voltage source RHS: `b[rb] = wave.at(time)`.
+    SourceV { elem: u32, rb: u32 },
+    /// Independent current source RHS.
+    SourceI { elem: u32, p: u32, n: u32 },
+    /// Capacitor companion-model RHS (transient only; the `geq`
+    /// conductance itself is static for a fixed time step).
+    Cap { geq: f64, cap: u32, p: u32, n: u32 },
+    /// Diode companion model.
+    Diode {
+        is_sat: f64,
+        n_id: f64,
+        p: u32,
+        n: u32,
+        q: Quad,
+    },
+    /// EKV MOS companion model.
+    Mos {
+        dev: Mosfet,
+        d: u32,
+        g: u32,
+        s: u32,
+        b: u32,
+        qg: Quad,
+        qs: Quad,
+        qd: Quad,
+    },
+    /// Replica-calibrated STSCL load companion model.
+    SclLoad {
+        load: PmosLoad,
+        iss: f64,
+        a: u32,
+        b: u32,
+        q: Quad,
+    },
+}
+
+/// Prepared-statics cache key: the static stamp values depend on the
+/// assembly mode (capacitor `geq` bakes in `dt` and the integrator), the
+/// gmin rung, and the netlist edit revision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PrepKey {
+    mode: ModeKey,
+    gmin_bits: u64,
+    revision: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModeKey {
+    Dc,
+    Tran { method: Integrator, dt_bits: u64 },
+}
+
+impl ModeKey {
+    fn of(mode: &AssembleMode<'_>) -> ModeKey {
+        match mode {
+            AssembleMode::Dc => ModeKey::Dc,
+            AssembleMode::Transient { dt, method, .. } => ModeKey::Tran {
+                method: *method,
+                dt_bits: dt.to_bits(),
+            },
+        }
+    }
+}
+
+struct DenseWs {
+    sys: Option<MnaSystem>,
+    lu: Option<LuFactor>,
+}
+
+struct SparseWs {
+    mat: SparseMatrix,
+    rhs: Vec<f64>,
+    /// Snapshot of all iterate-independent stamp values; each assemble
+    /// starts from `copy_from_slice` of this instead of restamping them.
+    static_vals: Vec<f64>,
+    dyn_ops: Vec<DynOp>,
+    lu: Option<SparseLu>,
+    prep: Option<PrepKey>,
+    /// Set when the assembly mode changed: the cached pivot order was
+    /// chosen for very different magnitudes, so force a full re-pivoting
+    /// factorization instead of a numeric refactor.
+    force_symbolic: bool,
+}
+
+enum Backend {
+    Dense(DenseWs),
+    Sparse(Box<SparseWs>),
+}
+
+/// A reusable MNA assembly + solve workspace, allocated once per
+/// (netlist, analysis) and restamped in place every Newton iteration,
+/// sweep point and time step.
+///
+/// The dense backend IS the legacy path — it calls [`assemble`] +
+/// [`LuFactor::new`] per iteration with the seed's exact arithmetic and
+/// allocation profile, serving as the bitwise-stable fallback and the
+/// oracle the sparse path is validated against. The sparse backend
+/// splits stamps into static and dynamic sets, restamps in place with
+/// no per-iteration allocations, and reuses the symbolic factorization
+/// (pivot order + fill-in pattern) across restamps, falling back to a
+/// full re-pivot only when the numeric refactorization hits a collapsed
+/// pivot.
+///
+/// # Example
+///
+/// ```
+/// use ulp_spice::netlist::Netlist;
+/// use ulp_spice::mna::{AssembleMode, MnaWorkspace, SolverKind};
+/// use ulp_device::Technology;
+///
+/// let mut nl = Netlist::new();
+/// let a = nl.node("a");
+/// nl.vsource("V1", a, Netlist::GROUND, 1.0);
+/// nl.resistor("R1", a, Netlist::GROUND, 1e3);
+/// let tech = Technology::default();
+/// let mut ws = MnaWorkspace::new(&nl, SolverKind::Sparse);
+/// let x = vec![0.0; nl.unknown_count()];
+/// ws.assemble(&nl, &tech, &x, AssembleMode::Dc, 1e-12);
+/// ws.factor().unwrap();
+/// let mut sol = Vec::new();
+/// ws.solve_into(&mut sol).unwrap();
+/// assert!((sol[0] - 1.0).abs() < 1e-9);
+/// ```
+pub struct MnaWorkspace {
+    dim: usize,
+    nn: usize,
+    n_elements: usize,
+    backend: Backend,
+    symbolic: usize,
+    refactors: usize,
+    swaps: usize,
+}
+
+impl MnaWorkspace {
+    /// Builds a workspace for `nl`, resolving `solver` against the system
+    /// dimension and the `ULP_SOLVER` environment variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has no unknowns.
+    pub fn new(nl: &Netlist, solver: SolverKind) -> Self {
+        let dim = nl.unknown_count();
+        let nn = nl.node_count() - 1;
+        assert!(dim > 0, "netlist has no unknowns");
+        let backend = match solver.resolve(dim) {
+            SolverKind::Sparse => {
+                let coords = matrix_coords(nl);
+                let mat = SparseMatrix::from_pattern(dim, &coords);
+                let nnz = mat.nnz();
+                Backend::Sparse(Box::new(SparseWs {
+                    mat,
+                    rhs: vec![0.0; dim],
+                    static_vals: vec![0.0; nnz],
+                    dyn_ops: Vec::new(),
+                    lu: None,
+                    prep: None,
+                    force_symbolic: false,
+                }))
+            }
+            _ => Backend::Dense(DenseWs {
+                sys: None,
+                lu: None,
+            }),
+        };
+        MnaWorkspace {
+            dim,
+            nn,
+            n_elements: nl.elements().len(),
+            backend,
+            symbolic: 0,
+            refactors: 0,
+            swaps: 0,
+        }
+    }
+
+    /// System dimension this workspace was planned for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// True when the resolved backend is the sparse pattern-reusing path.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.backend, Backend::Sparse(_))
+    }
+
+    /// Full symbolic (re-pivoting) factorizations performed so far.
+    pub fn symbolic_factorizations(&self) -> usize {
+        self.symbolic
+    }
+
+    /// Numeric refactorizations that reused the cached pivot order.
+    pub fn numeric_refactorizations(&self) -> usize {
+        self.refactors
+    }
+
+    /// Total rows displaced by pivoting across all symbolic
+    /// factorizations.
+    pub fn pivot_swaps(&self) -> usize {
+        self.swaps
+    }
+
+    /// Restamps the system for candidate solution `x` (see [`assemble`]
+    /// for the semantics of `mode` and `gmin`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from [`Self::dim`], or if the netlist
+    /// topology changed since the workspace was planned (parameter edits
+    /// such as `set_source` are fine and picked up automatically).
+    pub fn assemble(
+        &mut self,
+        nl: &Netlist,
+        tech: &Technology,
+        x: &[f64],
+        mode: AssembleMode<'_>,
+        gmin: f64,
+    ) {
+        assert_eq!(x.len(), self.dim, "candidate solution has wrong dimension");
+        assert!(
+            nl.unknown_count() == self.dim && nl.elements().len() == self.n_elements,
+            "netlist topology changed under a planned MnaWorkspace"
+        );
+        match &mut self.backend {
+            Backend::Dense(d) => {
+                d.sys = Some(assemble(nl, tech, x, mode, gmin));
+                d.lu = None;
+            }
+            Backend::Sparse(s) => {
+                let key = PrepKey {
+                    mode: ModeKey::of(&mode),
+                    gmin_bits: gmin.to_bits(),
+                    revision: nl.revision(),
+                };
+                if s.prep != Some(key) {
+                    if let Some(prev) = s.prep {
+                        if prev.mode != key.mode {
+                            s.force_symbolic = true;
+                        }
+                    }
+                    prepare_sparse(s, nl, &mode, gmin, self.nn);
+                    s.prep = Some(key);
+                }
+                s.mat.values_mut().copy_from_slice(&s.static_vals);
+                s.rhs.iter_mut().for_each(|v| *v = 0.0);
+                apply_dyn(
+                    &s.dyn_ops,
+                    nl,
+                    tech,
+                    x,
+                    &mode,
+                    s.mat.values_mut(),
+                    &mut s.rhs,
+                );
+            }
+        }
+    }
+
+    /// ∞-norm of `A·x − b` for the currently assembled system; on the
+    /// dense backend this is bitwise equal to
+    /// [`MnaSystem::residual_inf`].
+    pub fn residual_inf(&self, x: &[f64]) -> f64 {
+        match &self.backend {
+            Backend::Dense(d) => d
+                .sys
+                .as_ref()
+                .expect("assemble() before residual_inf()")
+                .residual_inf(x),
+            Backend::Sparse(s) => {
+                let mut worst = 0.0f64;
+                for i in 0..self.dim {
+                    let (cols, vals) = s.mat.row(i);
+                    let mut ax = 0.0;
+                    for (c, v) in cols.iter().zip(vals) {
+                        ax += v * x[*c as usize];
+                    }
+                    worst = worst.max((ax - s.rhs[i]).abs());
+                }
+                worst
+            }
+        }
+    }
+
+    /// Factorises the currently assembled matrix. The sparse backend
+    /// tries a numeric refactorization against the cached pivot order
+    /// first and escalates to a full symbolic factorization when a pivot
+    /// has collapsed; the dense backend always factors from scratch.
+    pub fn factor(&mut self) -> Result<(), SolveError> {
+        match &mut self.backend {
+            Backend::Dense(d) => {
+                let sys = d.sys.as_ref().expect("assemble() before factor()");
+                let lu = LuFactor::new(&sys.matrix)?;
+                self.symbolic += 1;
+                self.swaps += displaced_rows(lu.permutation());
+                d.lu = Some(lu);
+                Ok(())
+            }
+            Backend::Sparse(s) => {
+                if !s.force_symbolic {
+                    if let Some(lu) = s.lu.as_mut() {
+                        match lu.refactor(&s.mat) {
+                            Ok(()) => {
+                                self.refactors += 1;
+                                return Ok(());
+                            }
+                            // Stale pivot order — fall through and re-pivot.
+                            Err(SolveError::Singular { .. }) => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+                let lu = SparseLu::factor(&s.mat)?;
+                self.symbolic += 1;
+                self.swaps += displaced_rows(lu.permutation());
+                s.lu = Some(lu);
+                s.force_symbolic = false;
+                Ok(())
+            }
+        }
+    }
+
+    /// Solves the factored system against the assembled RHS, writing into
+    /// `x` (cleared first; allocation-free once warm on the sparse
+    /// backend — the dense backend goes through the legacy allocating
+    /// [`LuFactor::solve`] to keep the seed's profile intact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Self::factor`] has not succeeded since the last
+    /// [`Self::assemble`].
+    pub fn solve_into(&self, x: &mut Vec<f64>) -> Result<(), SolveError> {
+        match &self.backend {
+            Backend::Dense(d) => {
+                let sys = d.sys.as_ref().expect("assemble() before solve_into()");
+                let v = d
+                    .lu
+                    .as_ref()
+                    .expect("factor() must succeed before solve_into()")
+                    .solve(&sys.rhs)?;
+                x.clear();
+                x.extend_from_slice(&v);
+                Ok(())
+            }
+            Backend::Sparse(s) => s
+                .lu
+                .as_ref()
+                .expect("factor() must succeed before solve_into()")
+                .solve_into(&s.rhs, x),
+        }
+    }
+}
+
+/// Every matrix coordinate any stamp of `nl` can touch, including
+/// capacitor companion conductances (zero at DC) and the gmin / AC-shunt
+/// diagonal — so one pattern serves DC, transient and AC assembly alike.
+pub(crate) fn matrix_coords(nl: &Netlist) -> Vec<(u32, u32)> {
+    fn quad_coords(coords: &mut Vec<(u32, u32)>, p: u32, n: u32, cp: u32, cn: u32) {
+        for (r, c) in [(p, cp), (p, cn), (n, cp), (n, cn)] {
+            if r != NO_IDX && c != NO_IDX {
+                coords.push((r, c));
+            }
+        }
+    }
+    fn branch_coords(coords: &mut Vec<(u32, u32)>, i: u32, rb: u32) {
+        if i != NO_IDX {
+            coords.push((i, rb));
+            coords.push((rb, i));
+        }
+    }
+
+    let nn = nl.node_count() - 1;
+    let mut coords = Vec::new();
+    for i in 0..nn as u32 {
+        coords.push((i, i));
+    }
+    let mut branch = nn as u32;
+    for e in nl.elements() {
+        match e {
+            Element::Resistor { a, b, .. }
+            | Element::Capacitor { a, b, .. }
+            | Element::SclLoad { a, b, .. } => {
+                let (p, n) = (uidx(*a), uidx(*b));
+                quad_coords(&mut coords, p, n, p, n);
+            }
+            Element::Diode { p, n, .. } => {
+                let (p, n) = (uidx(*p), uidx(*n));
+                quad_coords(&mut coords, p, n, p, n);
+            }
+            Element::Vsource { p, n, .. } => {
+                let rb = branch;
+                branch += 1;
+                branch_coords(&mut coords, uidx(*p), rb);
+                branch_coords(&mut coords, uidx(*n), rb);
+            }
+            Element::Vcvs { p, n, cp, cn, .. } => {
+                let rb = branch;
+                branch += 1;
+                branch_coords(&mut coords, uidx(*p), rb);
+                branch_coords(&mut coords, uidx(*n), rb);
+                for c in [uidx(*cp), uidx(*cn)] {
+                    if c != NO_IDX {
+                        coords.push((rb, c));
+                    }
+                }
+            }
+            Element::Vccs { p, n, cp, cn, .. } => {
+                quad_coords(&mut coords, uidx(*p), uidx(*n), uidx(*cp), uidx(*cn));
+            }
+            // Current sources only stamp the RHS.
+            Element::Isource { .. } => {}
+            Element::Mos { d, g, s, b, .. } => {
+                let (d, g, s, b) = (uidx(*d), uidx(*g), uidx(*s), uidx(*b));
+                quad_coords(&mut coords, d, s, g, b);
+                quad_coords(&mut coords, d, s, s, b);
+                quad_coords(&mut coords, d, s, d, b);
+            }
+        }
+    }
+    coords
+}
+
+/// Rebuilds the static stamp snapshot and the dynamic-op plan. Runs once
+/// per (mode, gmin, revision) change — i.e. per ladder rung, per sweep
+/// point, or once per whole transient — and reuses all buffers.
+fn prepare_sparse(
+    s: &mut SparseWs,
+    nl: &Netlist,
+    mode: &AssembleMode<'_>,
+    gmin: f64,
+    nn: usize,
+) {
+    let mat = &s.mat;
+    let vals = &mut s.static_vals;
+    vals.iter_mut().for_each(|v| *v = 0.0);
+    s.dyn_ops.clear();
+
+    for i in 0..nn {
+        let sl = mat.slot(i, i).expect("gmin diagonal missing from pattern");
+        vals[sl] += gmin;
+    }
+
+    fn stat_pair(mat: &SparseMatrix, vals: &mut [f64], i: u32, rb: u32, v: f64) {
+        stat_add(mat, vals, i, rb, v);
+        stat_add(mat, vals, rb, i, v);
+    }
+
+    let mut branch = nn as u32;
+    let mut cap = 0u32;
+    for (ei, e) in nl.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { a, b, ohms, .. } => {
+                let (p, n) = (uidx(*a), uidx(*b));
+                Quad::resolve(mat, p, n, p, n).add(vals, 1.0 / ohms);
+            }
+            Element::Capacitor { a, b, farads, .. } => {
+                if let AssembleMode::Transient { dt, method, .. } = mode {
+                    let geq = match method {
+                        Integrator::BackwardEuler => farads / dt,
+                        Integrator::Trapezoidal => 2.0 * farads / dt,
+                    };
+                    let (p, n) = (uidx(*a), uidx(*b));
+                    Quad::resolve(mat, p, n, p, n).add(vals, geq);
+                    s.dyn_ops.push(DynOp::Cap { geq, cap, p, n });
+                }
+                cap += 1;
+            }
+            Element::Vsource { p, n, .. } => {
+                let rb = branch;
+                branch += 1;
+                stat_pair(mat, vals, uidx(*p), rb, 1.0);
+                stat_pair(mat, vals, uidx(*n), rb, -1.0);
+                s.dyn_ops.push(DynOp::SourceV {
+                    elem: ei as u32,
+                    rb,
+                });
+            }
+            Element::Isource { p, n, .. } => {
+                s.dyn_ops.push(DynOp::SourceI {
+                    elem: ei as u32,
+                    p: uidx(*p),
+                    n: uidx(*n),
+                });
+            }
+            Element::Vcvs {
+                p, n, cp, cn, gain, ..
+            } => {
+                let rb = branch;
+                branch += 1;
+                stat_pair(mat, vals, uidx(*p), rb, 1.0);
+                stat_pair(mat, vals, uidx(*n), rb, -1.0);
+                stat_add(mat, vals, rb, uidx(*cp), -*gain);
+                stat_add(mat, vals, rb, uidx(*cn), *gain);
+            }
+            Element::Vccs {
+                p, n, cp, cn, gm, ..
+            } => {
+                Quad::resolve(mat, uidx(*p), uidx(*n), uidx(*cp), uidx(*cn)).add(vals, *gm);
+            }
+            Element::Diode {
+                p, n, is_sat, n_id, ..
+            } => {
+                let (pi, ni) = (uidx(*p), uidx(*n));
+                s.dyn_ops.push(DynOp::Diode {
+                    is_sat: *is_sat,
+                    n_id: *n_id,
+                    p: pi,
+                    n: ni,
+                    q: Quad::resolve(mat, pi, ni, pi, ni),
+                });
+            }
+            Element::Mos { d, g, s: src, b, dev, .. } => {
+                let (di, gi, si, bi) = (uidx(*d), uidx(*g), uidx(*src), uidx(*b));
+                s.dyn_ops.push(DynOp::Mos {
+                    dev: *dev,
+                    d: di,
+                    g: gi,
+                    s: si,
+                    b: bi,
+                    qg: Quad::resolve(mat, di, si, gi, bi),
+                    qs: Quad::resolve(mat, di, si, si, bi),
+                    qd: Quad::resolve(mat, di, si, di, bi),
+                });
+            }
+            Element::SclLoad { a, b, load, iss, .. } => {
+                let (pi, ni) = (uidx(*a), uidx(*b));
+                s.dyn_ops.push(DynOp::SclLoad {
+                    load: *load,
+                    iss: *iss,
+                    a: pi,
+                    b: ni,
+                    q: Quad::resolve(mat, pi, ni, pi, ni),
+                });
+            }
+        }
+    }
+}
+
+/// Replays the dynamic-op plan for candidate solution `x` — the only
+/// per-iteration work besides the static-value copy, and allocation-free.
+fn apply_dyn(
+    ops: &[DynOp],
+    nl: &Netlist,
+    tech: &Technology,
+    x: &[f64],
+    mode: &AssembleMode<'_>,
+    vals: &mut [f64],
+    rhs: &mut [f64],
+) {
+    let time = match mode {
+        AssembleMode::Dc => 0.0,
+        AssembleMode::Transient { time, .. } => *time,
+    };
+    for op in ops {
+        match *op {
+            DynOp::SourceV { elem, rb } => {
+                let Element::Vsource { wave, .. } = &nl.elements()[elem as usize] else {
+                    unreachable!("workspace plan out of sync with netlist");
+                };
+                rhs[rb as usize] = wave.at(time);
+            }
+            DynOp::SourceI { elem, p, n } => {
+                let Element::Isource { wave, .. } = &nl.elements()[elem as usize] else {
+                    unreachable!("workspace plan out of sync with netlist");
+                };
+                rhs_current(rhs, p, n, wave.at(time));
+            }
+            DynOp::Cap { geq, cap, p, n } => {
+                let AssembleMode::Transient {
+                    prev,
+                    cap_currents,
+                    method,
+                    ..
+                } = mode
+                else {
+                    unreachable!("capacitor companion op outside transient assembly");
+                };
+                let v_prev = volt(prev, p) - volt(prev, n);
+                let i0 = match method {
+                    Integrator::BackwardEuler => -geq * v_prev,
+                    Integrator::Trapezoidal => -(geq * v_prev + cap_currents[cap as usize]),
+                };
+                rhs_current(rhs, p, n, i0);
+            }
+            DynOp::Diode {
+                is_sat,
+                n_id,
+                p,
+                n,
+                q,
+            } => {
+                let v = volt(x, p) - volt(x, n);
+                let vt = n_id * tech.thermal_voltage();
+                let arg = (v / vt).min(40.0);
+                let ex = arg.exp();
+                let i = is_sat * (ex - 1.0);
+                let g = (is_sat / vt * ex).max(1e-18);
+                q.add(vals, g);
+                rhs_current(rhs, p, n, i - g * v);
+            }
+            DynOp::Mos {
+                dev,
+                d,
+                g,
+                s,
+                b,
+                qg,
+                qs,
+                qd,
+            } => {
+                let vb = volt(x, b);
+                let vg = volt(x, g) - vb;
+                let vs = volt(x, s) - vb;
+                let vd = volt(x, d) - vb;
+                let op = dev.operating_point(tech, vg, vs, vd);
+                let i_dt = match dev.polarity {
+                    ulp_device::Polarity::Nmos => op.id,
+                    ulp_device::Polarity::Pmos => -op.id,
+                };
+                qg.add(vals, op.gm);
+                qs.add(vals, op.gms);
+                qd.add(vals, op.gds);
+                let i_eq = i_dt - op.gm * vg - op.gms * vs - op.gds * vd;
+                rhs_current(rhs, d, s, i_eq);
+            }
+            DynOp::SclLoad { load, iss, a, b, q } => {
+                let v = volt(x, a) - volt(x, b);
+                let (i, g) = load.eval(v, iss);
+                let g = g.max(1e-18);
+                q.add(vals, g);
+                rhs_current(rhs, a, b, i - g * v);
+            }
+        }
+    }
 }
 
 /// Recovers the capacitor currents implied by a solved transient step —
@@ -487,5 +1291,131 @@ mod tests {
         let x = solve_linear(&nl, &Technology::default());
         // No DC path through C: node b floats to the source value via R.
         assert!((voltage_of(&x, b) - 1.0).abs() < 1e-6);
+    }
+
+    /// A small netlist exercising every dynamic stamp family: source,
+    /// resistor, diode.
+    fn diode_netlist() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let d = nl.node("d");
+        nl.vsource("V1", a, Netlist::GROUND, 0.5);
+        nl.resistor("R1", a, d, 1e4);
+        nl.diode("D1", d, Netlist::GROUND, 1e-14, 1.0);
+        nl
+    }
+
+    fn ws_solve(nl: &Netlist, solver: SolverKind, x: &[f64]) -> Vec<f64> {
+        let tech = Technology::default();
+        let mut ws = MnaWorkspace::new(nl, solver);
+        ws.assemble(nl, &tech, x, AssembleMode::Dc, 1e-12);
+        ws.factor().expect("factor");
+        let mut out = Vec::new();
+        ws.solve_into(&mut out).expect("solve");
+        out
+    }
+
+    #[test]
+    fn workspace_dense_is_bitwise_identical_to_assemble() {
+        let nl = diode_netlist();
+        let tech = Technology::default();
+        let x = vec![0.1, 0.2, -1e-5];
+        let sys = assemble(&nl, &tech, &x, AssembleMode::Dc, 1e-12);
+        let reference = lu::solve(&sys.matrix, &sys.rhs).expect("linear solve");
+        let ws = ws_solve(&nl, SolverKind::Dense, &x);
+        assert_eq!(reference, ws);
+    }
+
+    #[test]
+    fn workspace_sparse_agrees_with_dense() {
+        let nl = diode_netlist();
+        let x = vec![0.1, 0.2, -1e-5];
+        let dense = ws_solve(&nl, SolverKind::Dense, &x);
+        let sparse = ws_solve(&nl, SolverKind::Sparse, &x);
+        for (d, s) in dense.iter().zip(&sparse) {
+            assert!((d - s).abs() < 1e-12, "dense {d} vs sparse {s}");
+        }
+    }
+
+    #[test]
+    fn workspace_residual_matches_between_backends() {
+        let nl = diode_netlist();
+        let tech = Technology::default();
+        let x = vec![0.3, 0.25, -2e-5];
+        let mut dense = MnaWorkspace::new(&nl, SolverKind::Dense);
+        let mut sparse = MnaWorkspace::new(&nl, SolverKind::Sparse);
+        dense.assemble(&nl, &tech, &x, AssembleMode::Dc, 1e-12);
+        sparse.assemble(&nl, &tech, &x, AssembleMode::Dc, 1e-12);
+        let rd = dense.residual_inf(&x);
+        let rs = sparse.residual_inf(&x);
+        assert!(
+            (rd - rs).abs() <= 1e-12 * rd.abs().max(1.0),
+            "dense {rd} vs sparse {rs}"
+        );
+    }
+
+    #[test]
+    fn sparse_pattern_survives_source_edit() {
+        let mut nl = diode_netlist();
+        let tech = Technology::default();
+        let x = vec![0.0; nl.unknown_count()];
+        let mut ws = MnaWorkspace::new(&nl, SolverKind::Sparse);
+        assert!(ws.is_sparse());
+        ws.assemble(&nl, &tech, &x, AssembleMode::Dc, 1e-12);
+        ws.factor().expect("factor");
+        assert_eq!(ws.symbolic_factorizations(), 1);
+        // Editing a source value bumps the revision (statics refresh)
+        // but must not throw away the symbolic factorization.
+        nl.set_source("V1", 0.6).expect("source exists");
+        ws.assemble(&nl, &tech, &x, AssembleMode::Dc, 1e-12);
+        ws.factor().expect("refactor");
+        assert_eq!(ws.symbolic_factorizations(), 1);
+        assert_eq!(ws.numeric_refactorizations(), 1);
+    }
+
+    #[test]
+    fn mode_change_forces_fresh_symbolic_factorization() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vsource("V1", a, Netlist::GROUND, 1.0);
+        nl.resistor("R1", a, b, 1e3);
+        nl.capacitor("C1", b, Netlist::GROUND, 1e-6);
+        let tech = Technology::default();
+        let x = vec![0.0; nl.unknown_count()];
+        let mut ws = MnaWorkspace::new(&nl, SolverKind::Sparse);
+        ws.assemble(&nl, &tech, &x, AssembleMode::Dc, 1e-12);
+        ws.factor().expect("dc factor");
+        assert_eq!(ws.symbolic_factorizations(), 1);
+        // DC → transient swaps the capacitor stamps in; the recorded
+        // pivot order may be invalid for the new values, so the
+        // workspace must re-pivot rather than trust a refactor.
+        let prev = x.clone();
+        let cap_i = [0.0];
+        let mode = AssembleMode::Transient {
+            time: 1e-6,
+            dt: 1e-6,
+            prev: &prev,
+            cap_currents: &cap_i,
+            method: Integrator::BackwardEuler,
+        };
+        ws.assemble(&nl, &tech, &x, mode, 1e-12);
+        ws.factor().expect("tran factor");
+        assert_eq!(ws.symbolic_factorizations(), 2);
+        assert_eq!(ws.numeric_refactorizations(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "netlist topology changed")]
+    fn workspace_rejects_topology_change() {
+        let mut nl = diode_netlist();
+        let tech = Technology::default();
+        let mut ws = MnaWorkspace::new(&nl, SolverKind::Sparse);
+        // Adding a parallel element keeps the dimension but changes the
+        // element list — the workspace plan no longer matches.
+        let (a, d) = (nl.node("a"), nl.node("d"));
+        nl.resistor("R2", a, d, 1e3);
+        let x = vec![0.0; ws.dim()];
+        ws.assemble(&nl, &tech, &x, AssembleMode::Dc, 1e-12);
     }
 }

@@ -347,8 +347,10 @@ impl Netlist {
         Node(self.node_names.len() - 1)
     }
 
-    /// Current edit revision (exposed for cache tests only).
-    #[cfg(test)]
+    /// Current edit revision — bumped on every structural or parameter
+    /// mutation. [`crate::mna::MnaWorkspace`] keys its prepared static
+    /// stamps on this, so `set_source` in a sweep invalidates exactly the
+    /// cached values and nothing else.
     pub(crate) fn revision(&self) -> u64 {
         self.revision
     }

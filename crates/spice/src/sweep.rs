@@ -5,9 +5,9 @@
 //! operating branch — essential for the STSCL gate VTC (experiment E10)
 //! whose differential stages otherwise offer two symmetric solutions.
 
-use crate::dcop::{newton_solve_gmin_stepping_traced, NewtonOptions};
+use crate::dcop::{newton_solve_gmin_stepping_into, NewtonOptions};
 use crate::error::SimError;
-use crate::mna::{voltage_of, AssembleMode};
+use crate::mna::{voltage_of, AssembleMode, MnaWorkspace};
 use crate::netlist::{Element, Netlist, Node, Waveform};
 use crate::telemetry::{self, Event, Tracer};
 use std::time::Instant;
@@ -34,6 +34,12 @@ impl SweepResult {
     /// Voltage of `node` at sweep point `i`.
     pub fn voltage_at(&self, node: Node, i: usize) -> f64 {
         voltage_of(&self.solutions[i], node)
+    }
+
+    /// Full solution vector at sweep point `i` — node voltages then
+    /// branch currents, in MNA unknown order.
+    pub fn solution(&self, i: usize) -> &[f64] {
+        &self.solutions[i]
     }
 
     /// Number of sweep points.
@@ -176,11 +182,17 @@ pub fn dc_sweep_traced_unchecked(
     work.set_source(source, values.first().copied().unwrap_or(0.0))?;
     let mut solutions = Vec::with_capacity(values.len());
     let mut guess = vec![0.0; work.unknown_count()];
+    // One workspace across all points: `set_source` only bumps the
+    // netlist revision, so the matrix pattern and its symbolic
+    // factorization survive the whole sweep.
+    let mut ws = MnaWorkspace::new(&work, opts.solver);
+    let mut x = Vec::with_capacity(work.unknown_count());
+    let mut x_new = Vec::with_capacity(work.unknown_count());
     let enabled = tracer.enabled();
     for (i, &v) in values.iter().enumerate() {
         let t0 = enabled.then(Instant::now);
         work.set_source(source, v)?;
-        let r = newton_solve_gmin_stepping_traced(
+        let r = newton_solve_gmin_stepping_into(
             &work,
             tech,
             AssembleMode::Dc,
@@ -188,6 +200,9 @@ pub fn dc_sweep_traced_unchecked(
             opts,
             "sweep",
             tracer,
+            &mut ws,
+            &mut x,
+            &mut x_new,
         )?;
         if let Some(t0) = t0 {
             tracer.record(&Event::SweepPoint {
@@ -197,8 +212,8 @@ pub fn dc_sweep_traced_unchecked(
                 seconds: t0.elapsed().as_secs_f64(),
             });
         }
-        guess = r.x.clone();
-        solutions.push(r.x);
+        guess.copy_from_slice(&x);
+        solutions.push(x.clone());
     }
     Ok(SweepResult {
         values: values.to_vec(),

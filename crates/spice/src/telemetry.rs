@@ -125,6 +125,14 @@ pub enum Event {
         /// Rows displaced by partial pivoting, summed over the
         /// attempt's factorisations.
         lu_swaps: usize,
+        /// Full symbolic (re-pivoting) factorizations in this attempt.
+        /// On the dense path every iteration is one; on the sparse path
+        /// only the first solve of a pattern (or a pivot-collapse
+        /// escalation) is.
+        lu_symbolic: usize,
+        /// Numeric refactorizations that reused a cached pivot order and
+        /// fill-in pattern (sparse path only).
+        lu_refactor: usize,
         /// Wall-clock time of the attempt, s (0 when timing is off).
         seconds: f64,
     },
@@ -147,6 +155,11 @@ pub enum Event {
         index: usize,
         /// Analysis frequency, Hz.
         freq: f64,
+        /// Full symbolic factorizations at this point (1 for the first
+        /// frequency of a sparse run and for every dense point).
+        lu_symbolic: usize,
+        /// Pattern-reusing numeric refactorizations at this point.
+        lu_refactor: usize,
         /// Wall-clock time, s.
         seconds: f64,
     },
@@ -222,6 +235,8 @@ impl Event {
                 clamps,
                 lu_dim,
                 lu_swaps,
+                lu_symbolic,
+                lu_refactor,
                 seconds,
             } => {
                 let _ = write!(s, ",\"analysis\":\"{analysis}\"");
@@ -239,6 +254,8 @@ impl Event {
                 let _ = write!(s, ",\"clamps\":{clamps}");
                 let _ = write!(s, ",\"lu_dim\":{lu_dim}");
                 let _ = write!(s, ",\"lu_swaps\":{lu_swaps}");
+                let _ = write!(s, ",\"lu_symbolic\":{lu_symbolic}");
+                let _ = write!(s, ",\"lu_refactor\":{lu_refactor}");
                 let _ = write!(s, ",\"seconds\":{}", json_num(*seconds));
             }
             Event::TranStep {
@@ -255,10 +272,16 @@ impl Event {
                     json_num(*seconds)
                 );
             }
-            Event::AcPoint { index, freq, seconds } => {
+            Event::AcPoint {
+                index,
+                freq,
+                lu_symbolic,
+                lu_refactor,
+                seconds,
+            } => {
                 let _ = write!(
                     s,
-                    ",\"index\":{index},\"freq\":{},\"seconds\":{}",
+                    ",\"index\":{index},\"freq\":{},\"lu_symbolic\":{lu_symbolic},\"lu_refactor\":{lu_refactor},\"seconds\":{}",
                     json_num(*freq),
                     json_num(*seconds)
                 );
@@ -356,6 +379,11 @@ pub struct SimMetrics {
     pub lu_factorisations: usize,
     /// Rows displaced by partial pivoting, summed over factorisations.
     pub lu_swaps: usize,
+    /// Full symbolic (pivot-choosing) factorizations; the dense fallback
+    /// performs one per linear solve, the sparse path one per pattern.
+    pub symbolic_factorizations: usize,
+    /// Numeric refactorizations that reused a cached symbolic pattern.
+    pub numeric_refactorizations: usize,
     /// Largest MNA system dimension factored.
     pub max_dimension: usize,
     /// Transient steps accepted.
@@ -397,6 +425,8 @@ impl SimMetrics {
                 clamps,
                 lu_dim,
                 lu_swaps,
+                lu_symbolic,
+                lu_refactor,
                 seconds,
                 ..
             } => {
@@ -414,11 +444,21 @@ impl SimMetrics {
                 self.damping_clamps += clamps;
                 self.lu_factorisations += iterations;
                 self.lu_swaps += lu_swaps;
+                self.symbolic_factorizations += lu_symbolic;
+                self.numeric_refactorizations += lu_refactor;
                 self.max_dimension = self.max_dimension.max(*lu_dim);
                 self.solve_seconds += seconds;
             }
             Event::TranStep { .. } => self.tran_steps += 1,
-            Event::AcPoint { .. } => self.ac_points += 1,
+            Event::AcPoint {
+                lu_symbolic,
+                lu_refactor,
+                ..
+            } => {
+                self.ac_points += 1;
+                self.symbolic_factorizations += lu_symbolic;
+                self.numeric_refactorizations += lu_refactor;
+            }
             Event::SweepPoint { .. } => self.sweep_points += 1,
             Event::NoisePoint { .. } => self.noise_points += 1,
             Event::Phase { name, seconds } => self.phases.push((name.clone(), *seconds)),
@@ -449,6 +489,19 @@ impl SimMetrics {
         }
     }
 
+    /// Fraction of factorizations that reused a cached symbolic pattern
+    /// instead of re-pivoting from scratch (0 when nothing was factored).
+    /// The dense fallback path never reuses, so this is also a quick
+    /// check of which backend a campaign actually ran on.
+    pub fn pattern_reuse_rate(&self) -> f64 {
+        let total = self.symbolic_factorizations + self.numeric_refactorizations;
+        if total == 0 {
+            0.0
+        } else {
+            self.numeric_refactorizations as f64 / total as f64
+        }
+    }
+
     /// Recorded phase durations, recording order.
     pub fn phases(&self) -> &[(String, f64)] {
         &self.phases
@@ -469,6 +522,8 @@ impl SimMetrics {
         self.damping_clamps += other.damping_clamps;
         self.lu_factorisations += other.lu_factorisations;
         self.lu_swaps += other.lu_swaps;
+        self.symbolic_factorizations += other.symbolic_factorizations;
+        self.numeric_refactorizations += other.numeric_refactorizations;
         self.max_dimension = self.max_dimension.max(other.max_dimension);
         self.tran_steps += other.tran_steps;
         self.ac_points += other.ac_points;
@@ -502,6 +557,13 @@ impl SimMetrics {
             s,
             "lu factorisations : {} (max dim {}, {} pivot swaps)",
             self.lu_factorisations, self.max_dimension, self.lu_swaps
+        );
+        let _ = writeln!(
+            s,
+            "lu pattern reuse  : {} symbolic, {} refactor ({:.1}% reuse)",
+            self.symbolic_factorizations,
+            self.numeric_refactorizations,
+            100.0 * self.pattern_reuse_rate()
         );
         let _ = writeln!(
             s,
@@ -745,6 +807,8 @@ mod tests {
             clamps: 1,
             lu_dim: 7,
             lu_swaps: 2,
+            lu_symbolic: 1,
+            lu_refactor: iterations.saturating_sub(1),
             seconds: 0.5e-3,
         }
     }
@@ -767,6 +831,12 @@ mod tests {
         assert_eq!(m.damping_clamps, 20);
         assert_eq!(m.lu_factorisations, (1..=20).sum::<usize>());
         assert_eq!(m.lu_swaps, 40);
+        // One symbolic per attempt, iterations−1 pattern reuses each.
+        assert_eq!(m.symbolic_factorizations, 20);
+        assert_eq!(m.numeric_refactorizations, (1..=20).sum::<usize>() - 20);
+        let rate = m.numeric_refactorizations as f64
+            / (m.symbolic_factorizations + m.numeric_refactorizations) as f64;
+        assert!((m.pattern_reuse_rate() - rate).abs() < 1e-12);
         assert_eq!(m.max_dimension, 7);
         // Nearest-rank percentiles on 1..=20: p50 = 10, p95 = 19.
         assert_eq!(m.p50_iterations(), 10);
@@ -790,6 +860,8 @@ mod tests {
         mc.record(&Event::AcPoint {
             index: 0,
             freq: 1e3,
+            lu_symbolic: 1,
+            lu_refactor: 0,
             seconds: 0.0,
         });
         mc.record(&Event::SweepPoint {
@@ -860,6 +932,7 @@ mod tests {
             "gmin fallbacks    :",
             "damping clamps    :",
             "lu factorisations :",
+            "lu pattern reuse  :",
             "analysis points   :",
             "solve wall time   :",
         ] {

@@ -7,9 +7,9 @@
 //! per time constant is both simple and accurate); a helper suggests a
 //! step from the fastest RC in the netlist.
 
-use crate::dcop::{newton_solve_gmin_stepping_traced, NewtonOptions};
+use crate::dcop::{newton_solve_gmin_stepping_into, NewtonOptions};
 use crate::error::SimError;
-use crate::mna::{capacitor_currents_into, voltage_of, AssembleMode, Integrator};
+use crate::mna::{capacitor_currents_into, voltage_of, AssembleMode, Integrator, MnaWorkspace};
 use crate::netlist::{Netlist, Node};
 use crate::telemetry::{self, Event, Tracer};
 use std::time::Instant;
@@ -60,10 +60,15 @@ impl TranOptions {
 }
 
 /// A recorded transient waveform set.
+///
+/// Solutions are stored as one flat row-major buffer (`dim` unknowns
+/// per timepoint) so the step loop appends without a per-step heap
+/// allocation and waveform extraction walks contiguous memory.
 #[derive(Debug, Clone)]
 pub struct Transient {
     time: Vec<f64>,
-    solutions: Vec<Vec<f64>>,
+    dim: usize,
+    solutions: Vec<f64>,
 }
 
 impl Transient {
@@ -136,8 +141,16 @@ impl Transient {
                 opts.dt, opts.t_stop
             )));
         }
+        // One workspace serves the whole run: the initial operating
+        // point and every timestep share the matrix pattern, so the
+        // symbolic factorization is paid once, not per step — and the
+        // solution/scratch vectors are reused so the sparse-path step
+        // loop performs no steady-state heap allocation at all.
+        let mut ws = MnaWorkspace::new(nl, opts.newton.solver);
+        let mut x = Vec::with_capacity(nl.unknown_count());
+        let mut x_new = Vec::with_capacity(nl.unknown_count());
         let x0 = vec![0.0; nl.unknown_count()];
-        let mut x = newton_solve_gmin_stepping_traced(
+        newton_solve_gmin_stepping_into(
             nl,
             tech,
             AssembleMode::Dc,
@@ -145,24 +158,27 @@ impl Transient {
             &opts.newton,
             "tran",
             tracer,
-        )?
-        .x;
+            &mut ws,
+            &mut x,
+            &mut x_new,
+        )?;
         let n_caps = nl
             .elements()
             .iter()
             .filter(|e| matches!(e, crate::netlist::Element::Capacitor { .. }))
             .count();
         // Buffers hoisted out of the step loop: the previous solution,
-        // and double-buffered capacitor currents — the loop body
-        // allocates nothing but the recorded waveform rows.
+        // and double-buffered capacitor currents. Recorded waveforms
+        // append into one preallocated flat buffer.
         let mut cap_i = vec![0.0; n_caps];
         let mut cap_i_next = Vec::with_capacity(n_caps);
         let mut prev = vec![0.0; x.len()];
         let steps = (opts.t_stop / opts.dt).round() as usize;
+        let dim = x.len();
         let mut time = Vec::with_capacity(steps + 1);
-        let mut solutions = Vec::with_capacity(steps + 1);
+        let mut solutions = Vec::with_capacity((steps + 1) * dim);
         time.push(0.0);
-        solutions.push(x.clone());
+        solutions.extend_from_slice(&x);
         let enabled = tracer.enabled();
         let method = method_name(opts.method);
         for k in 1..=steps {
@@ -176,8 +192,18 @@ impl Transient {
                 cap_currents: &cap_i,
                 method: opts.method,
             };
-            let r = newton_solve_gmin_stepping_traced(nl, tech, mode, &prev, &opts.newton, "tran", tracer)?;
-            x = r.x;
+            let r = newton_solve_gmin_stepping_into(
+                nl,
+                tech,
+                mode,
+                &prev,
+                &opts.newton,
+                "tran",
+                tracer,
+                &mut ws,
+                &mut x,
+                &mut x_new,
+            )?;
             capacitor_currents_into(nl, &x, &prev, &cap_i, opts.dt, opts.method, &mut cap_i_next);
             std::mem::swap(&mut cap_i, &mut cap_i_next);
             if let Some(t0) = t0 {
@@ -190,9 +216,13 @@ impl Transient {
                 });
             }
             time.push(t);
-            solutions.push(x.clone());
+            solutions.extend_from_slice(&x);
         }
-        Ok(Transient { time, solutions })
+        Ok(Transient {
+            time,
+            dim,
+            solutions,
+        })
     }
 
     /// The timepoints, s.
@@ -200,14 +230,35 @@ impl Transient {
         &self.time
     }
 
+    /// Number of recorded timepoints (including `t = 0`).
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// True when nothing was recorded (never the case for a completed
+    /// run, which always records the initial condition).
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+
+    /// Full solution vector at timepoint `i` — node voltages then
+    /// branch currents, in MNA unknown order.
+    pub fn solution(&self, i: usize) -> &[f64] {
+        &self.solutions[i * self.dim..(i + 1) * self.dim]
+    }
+
     /// Waveform of one node, V.
     pub fn voltage(&self, node: Node) -> Vec<f64> {
-        self.solutions.iter().map(|x| voltage_of(x, node)).collect()
+        self.solutions
+            .chunks_exact(self.dim)
+            .map(|x| voltage_of(x, node))
+            .collect()
     }
 
     /// Node voltage at the final timepoint, V.
     pub fn final_voltage(&self, node: Node) -> f64 {
-        voltage_of(self.solutions.last().expect("non-empty transient"), node)
+        let last = self.solutions.len() - self.dim;
+        voltage_of(&self.solutions[last..], node)
     }
 
     /// First time at which `node` crosses `level` in the given direction

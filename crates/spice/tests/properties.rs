@@ -228,4 +228,55 @@ proptest! {
             other => prop_assert!(false, "expected ERC rejection, got {other}"),
         }
     }
+
+    /// The sparse solver path agrees with the dense path to 1e-12 on
+    /// arbitrary ERC-clean nonlinear ladders: a resistor chain with a
+    /// grounding resistor at every node (DC path everywhere), plus
+    /// diodes sprinkled from the randomness. Ranges keep the system
+    /// moderately conditioned — resistances within three decades and a
+    /// sub-500 mV rail so no diode clamps hard — because the achievable
+    /// backend agreement is κ·ε·‖x‖ and the bound must stay above it.
+    #[test]
+    fn sparse_dcop_matches_dense_on_random_ladders(
+        rs in prop::collection::vec(1e3f64..1e6, 4..9),
+        gs in prop::collection::vec(1e4f64..1e6, 4..9),
+        diode_mask in prop::collection::vec(any::<bool>(), 4..9),
+        vdd in 0.2f64..0.5
+    ) {
+        use ulp_spice::dcop::NewtonOptions;
+        use ulp_spice::mna::SolverKind;
+        let n = rs.len().min(gs.len()).min(diode_mask.len());
+        let mut nl = Netlist::new();
+        let mut prev = nl.node("n0");
+        nl.vsource("V1", prev, Netlist::GROUND, vdd);
+        for k in 0..n {
+            let next = nl.node(&format!("n{}", k + 1));
+            nl.resistor(&format!("R{k}"), prev, next, rs[k]);
+            nl.resistor(&format!("G{k}"), next, Netlist::GROUND, gs[k]);
+            if diode_mask[k] {
+                nl.diode(&format!("D{k}"), next, Netlist::GROUND, 1e-14, 1.0);
+            }
+            prev = next;
+        }
+        let solve = |solver| {
+            // Tight vtol: at the default 1e-9 each backend stops within
+            // its own convergence tail, which can differ by more than
+            // the equivalence bound being asserted. Damped steps keep
+            // the diode exponentials from limit-cycling on the way.
+            let opts = NewtonOptions {
+                solver,
+                vtol: 1e-12,
+                max_step: 0.05,
+                max_iter: 2000,
+                ..NewtonOptions::default()
+            };
+            DcOperatingPoint::solve_with(&nl, &Technology::default(), &opts)
+                .expect("clean ladder solves")
+        };
+        let dense = solve(SolverKind::Dense);
+        let sparse = solve(SolverKind::Sparse);
+        for (d, s) in dense.solution().iter().zip(sparse.solution()) {
+            prop_assert!((d - s).abs() <= 1e-12, "dense {d} vs sparse {s}");
+        }
+    }
 }
