@@ -1,0 +1,105 @@
+//! Vector clocks for the happens-before auditor.
+//!
+//! One clock per virtual thread and one per tracked synchronization
+//! object. The ordering rules are the standard djit+ ones:
+//!
+//! * a thread's own component ticks on every release-shaped operation;
+//! * an acquire-shaped operation joins the object's clock into the
+//!   thread's clock;
+//! * a release-shaped operation joins the thread's clock into the
+//!   object's clock.
+//!
+//! Two events are ordered iff one's full clock is `<=` the other's at
+//! the relevant component — which for per-thread epochs reduces to a
+//! single component comparison (see [`VectorClock::dominates_component`]).
+
+/// A fixed-width vector clock, one `u64` component per virtual thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock {
+    lamport: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock over `threads` components ("before everything").
+    pub fn zero(threads: usize) -> Self {
+        VectorClock {
+            lamport: vec![0; threads],
+        }
+    }
+
+    /// A thread's initial clock: its own component at 1, rest 0.
+    pub fn origin(threads: usize, tid: usize) -> Self {
+        let mut c = VectorClock::zero(threads);
+        c.lamport[tid] = 1;
+        c
+    }
+
+    /// This thread's current epoch component.
+    pub fn component(&self, tid: usize) -> u64 {
+        self.lamport[tid]
+    }
+
+    /// Advances `tid`'s component (release-shaped operations).
+    pub fn tick(&mut self, tid: usize) {
+        self.lamport[tid] += 1;
+    }
+
+    /// Records an epoch value for `tid` (djit+ access-history update;
+    /// epochs only grow, so plain assignment is a monotone update).
+    pub fn record(&mut self, tid: usize, epoch: u64) {
+        self.lamport[tid] = epoch;
+    }
+
+    /// Element-wise maximum with `other` (acquire/release joins).
+    pub fn join(&mut self, other: &VectorClock) {
+        for (mine, theirs) in self.lamport.iter_mut().zip(&other.lamport) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// True when this clock has seen `other`'s component `tid`, i.e. the
+    /// event `other[tid]` happens-before the holder of `self`.
+    pub fn dominates_component(&self, other: &VectorClock, tid: usize) -> bool {
+        self.lamport[tid] >= other.lamport[tid]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_and_tick() {
+        let mut c = VectorClock::origin(3, 1);
+        assert_eq!(c.component(0), 0);
+        assert_eq!(c.component(1), 1);
+        c.tick(1);
+        assert_eq!(c.component(1), 2);
+    }
+
+    #[test]
+    fn join_takes_elementwise_max() {
+        let mut a = VectorClock::origin(2, 0);
+        let mut b = VectorClock::origin(2, 1);
+        b.tick(1);
+        a.join(&b);
+        assert_eq!(a.component(0), 1);
+        assert_eq!(a.component(1), 2);
+        assert!(a.dominates_component(&b, 1));
+        assert!(!b.dominates_component(&a, 0));
+    }
+
+    #[test]
+    fn release_acquire_orders_across_threads() {
+        // t0 writes (epoch t0:1), releases into an object, t1 acquires:
+        // t1's clock then dominates t0's write epoch.
+        let mut t0 = VectorClock::origin(2, 0);
+        let mut t1 = VectorClock::origin(2, 1);
+        let mut obj = VectorClock::zero(2);
+        let write_epoch = t0.clone();
+        t0.tick(0);
+        obj.join(&t0); // release
+        t1.join(&obj); // acquire
+        assert!(t1.dominates_component(&write_epoch, 0));
+    }
+}

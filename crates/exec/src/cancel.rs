@@ -1,6 +1,7 @@
 //! Cooperative campaign cancellation.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::{StdSync, SyncFlag, SyncProvider};
+use std::fmt;
 use std::sync::Arc;
 
 /// A shared cancellation flag.
@@ -11,12 +12,43 @@ use std::sync::Arc;
 /// skipped by the engine and reported as
 /// [`crate::TrialError::Cancelled`]. Cancelling never tears down a
 /// thread, so no trial is ever left half-observed.
-#[derive(Debug, Clone, Default)]
-pub struct CancelToken {
-    flag: Arc<AtomicBool>,
+///
+/// The flag's `Release` store / `Acquire` load pairing is part of the
+/// engine's happens-before contract (DESIGN.md "Concurrency model"):
+/// everything the cancelling thread did before [`CancelToken::cancel`]
+/// is visible to any trial that observes the flag raised. The token is
+/// generic over a [`SyncProvider`] so the `ulp-check` model checker can
+/// fire cancellations at every explored preemption point; production
+/// code uses the [`StdSync`] default and pays nothing.
+pub struct CancelToken<P: SyncProvider = StdSync> {
+    flag: Arc<P::AtomicBool>,
 }
 
-impl CancelToken {
+impl<P: SyncProvider> Clone for CancelToken<P> {
+    fn clone(&self) -> Self {
+        CancelToken {
+            flag: Arc::clone(&self.flag),
+        }
+    }
+}
+
+impl<P: SyncProvider> Default for CancelToken<P> {
+    fn default() -> Self {
+        CancelToken {
+            flag: Arc::new(P::AtomicBool::new(false)),
+        }
+    }
+}
+
+impl<P: SyncProvider> fmt::Debug for CancelToken<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+impl<P: SyncProvider> CancelToken<P> {
     /// Creates a token in the not-cancelled state.
     pub fn new() -> Self {
         CancelToken::default()
@@ -24,12 +56,12 @@ impl CancelToken {
 
     /// Raises the flag. Idempotent; visible to every clone.
     pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Release);
+        self.flag.store_release(true);
     }
 
     /// Whether the flag has been raised.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Acquire)
+        self.flag.load_acquire()
     }
 }
 
@@ -39,7 +71,7 @@ mod tests {
 
     #[test]
     fn clones_share_the_flag() {
-        let a = CancelToken::new();
+        let a: CancelToken = CancelToken::new();
         let b = a.clone();
         assert!(!a.is_cancelled() && !b.is_cancelled());
         b.cancel();
@@ -50,9 +82,17 @@ mod tests {
 
     #[test]
     fn fresh_tokens_are_independent() {
-        let a = CancelToken::new();
-        let b = CancelToken::new();
+        let a: CancelToken = CancelToken::new();
+        let b: CancelToken = CancelToken::new();
         a.cancel();
         assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn debug_shows_state() {
+        let t: CancelToken = CancelToken::new();
+        assert!(format!("{t:?}").contains("cancelled: false"));
+        t.cancel();
+        assert!(format!("{t:?}").contains("cancelled: true"));
     }
 }

@@ -8,53 +8,66 @@
 //! chunk's far end). The mutex critical sections are a handful of
 //! pointer moves, so contention is negligible next to any trial that is
 //! worth parallelising in the first place.
+//!
+//! The deque is generic over a [`SyncProvider`]: production code uses
+//! the [`StdSync`] default (a plain `std::sync::Mutex`), while the
+//! `ulp-check` model checker instantiates it with a virtual provider
+//! whose lock operations are preemption points of a schedule explorer.
 
+use crate::sync::{StdSync, SyncMutex, SyncProvider};
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::fmt;
 
 /// A mutex-protected work-stealing deque.
-#[derive(Debug, Default)]
-pub struct WorkDeque<T> {
-    inner: Mutex<VecDeque<T>>,
+pub struct WorkDeque<T: Send, P: SyncProvider = StdSync> {
+    inner: P::Mutex<VecDeque<T>>,
 }
 
-impl<T> WorkDeque<T> {
+impl<T: Send, P: SyncProvider> Default for WorkDeque<T, P> {
+    fn default() -> Self {
+        WorkDeque::new()
+    }
+}
+
+impl<T: Send, P: SyncProvider> fmt::Debug for WorkDeque<T, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Deliberately opaque: formatting must not take the (possibly
+        // virtual, schedule-instrumented) lock.
+        f.debug_struct("WorkDeque").finish_non_exhaustive()
+    }
+}
+
+impl<T: Send, P: SyncProvider> WorkDeque<T, P> {
     /// Creates an empty deque.
     pub fn new() -> Self {
         WorkDeque {
-            inner: Mutex::new(VecDeque::new()),
+            inner: P::Mutex::new(VecDeque::new()),
         }
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
-        // A poisoned deque only means some trial panicked while the
-        // lock was held elsewhere; the queue itself is still coherent.
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Pushes work at the bottom (owner side).
     pub fn push(&self, item: T) {
-        self.lock().push_back(item);
+        self.inner.with(|q| q.push_back(item));
     }
 
     /// Pops from the bottom — the owner's LIFO fast path.
     pub fn pop(&self) -> Option<T> {
-        self.lock().pop_back()
+        self.inner.with(|q| q.pop_back())
     }
 
     /// Steals from the top — a thief's FIFO slow path.
     pub fn steal(&self) -> Option<T> {
-        self.lock().pop_front()
+        self.inner.with(|q| q.pop_front())
     }
 
     /// Number of items currently queued.
     pub fn len(&self) -> usize {
-        self.lock().len()
+        self.inner.with(|q| q.len())
     }
 
     /// True when nothing is queued.
     pub fn is_empty(&self) -> bool {
-        self.lock().is_empty()
+        self.inner.with(|q| q.is_empty())
     }
 }
 
@@ -64,7 +77,7 @@ mod tests {
 
     #[test]
     fn owner_is_lifo_thief_is_fifo() {
-        let d = WorkDeque::new();
+        let d: WorkDeque<i32> = WorkDeque::new();
         for i in 0..4 {
             d.push(i);
         }
@@ -81,7 +94,7 @@ mod tests {
     #[test]
     fn concurrent_drain_loses_nothing() {
         use std::sync::atomic::{AtomicU64, Ordering};
-        let d = WorkDeque::new();
+        let d: WorkDeque<u64> = WorkDeque::new();
         let n = 10_000u64;
         for i in 0..n {
             d.push(i);
@@ -104,5 +117,11 @@ mod tests {
         });
         assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn debug_is_opaque_and_lock_free() {
+        let d: WorkDeque<u8> = WorkDeque::new();
+        assert!(format!("{d:?}").contains("WorkDeque"));
     }
 }

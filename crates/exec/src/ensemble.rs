@@ -1,30 +1,86 @@
 //! The `Job`/`Ensemble` campaign API.
 
 use crate::cancel::CancelToken;
-use crate::error::{panic_message, TrialError};
+use crate::error::{panic_message, JobsError, TrialError};
 use crate::pool;
+use crate::sync::{StdSync, SyncCounter, SyncProvider};
 use rand::rngs::SplitMix64;
 use rand::SeedableRng;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+
 use ulp_spice::telemetry;
 
 /// Resolves the worker count from the `ULP_JOBS` environment variable:
 /// a positive integer is taken literally (`1` selects the strictly
-/// serial in-thread path); unset, empty or unparsable falls back to the
-/// machine's available parallelism.
+/// serial in-thread path); unset or empty falls back to the machine's
+/// available parallelism.
+///
+/// # Panics
+///
+/// On a set-but-invalid `ULP_JOBS` (`0`, a negative count, garbage) —
+/// with the [`JobsError`] message naming the variable. A broken
+/// environment is an operator error; silently running on a default
+/// worker count would hide it. Use [`jobs_from_env`] for the
+/// non-panicking, typed-error form.
 pub fn default_jobs() -> usize {
-    std::env::var("ULP_JOBS")
-        .ok()
-        .and_then(|s| jobs_from_str(&s))
-        .unwrap_or_else(available_parallelism)
+    match jobs_from_env() {
+        Ok(jobs) => jobs,
+        Err(e) => panic!("{e}"),
+    }
 }
 
-/// Parses one `ULP_JOBS` value; `None` for anything but a positive
-/// integer.
-pub fn jobs_from_str(s: &str) -> Option<usize> {
-    s.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+/// Resolves the worker count from `ULP_JOBS` with a typed error.
+///
+/// Unset or empty resolves to the machine's available parallelism;
+/// a set value must be a positive integer.
+///
+/// # Errors
+///
+/// [`JobsError`] describing why the set value was rejected (zero,
+/// negative, or not a number), naming `ULP_JOBS` in its rendering.
+pub fn jobs_from_env() -> Result<usize, JobsError> {
+    resolve_jobs(std::env::var("ULP_JOBS").ok().as_deref())
+}
+
+/// The pure resolution rule behind [`jobs_from_env`], testable without
+/// touching the process environment: `None`/blank falls back to
+/// available parallelism, anything else must parse via
+/// [`jobs_from_str`].
+fn resolve_jobs(var: Option<&str>) -> Result<usize, JobsError> {
+    match var {
+        None => Ok(available_parallelism()),
+        Some(s) if s.trim().is_empty() => Ok(available_parallelism()),
+        Some(s) => jobs_from_str(s),
+    }
+}
+
+/// Parses one `ULP_JOBS` value.
+///
+/// # Errors
+///
+/// [`JobsError::Zero`] for `0`, [`JobsError::Negative`] for a
+/// negative integer, [`JobsError::NotANumber`] for everything else
+/// that is not a positive integer.
+pub fn jobs_from_str(s: &str) -> Result<usize, JobsError> {
+    let trimmed = s.trim();
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(JobsError::Zero),
+        Ok(n) => Ok(n),
+        Err(_) => {
+            if trimmed.strip_prefix('-').is_some_and(|rest| {
+                !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit())
+            }) {
+                Err(JobsError::Negative {
+                    value: trimmed.to_string(),
+                })
+            } else {
+                Err(JobsError::NotANumber {
+                    value: trimmed.to_string(),
+                })
+            }
+        }
+    }
 }
 
 fn available_parallelism() -> usize {
@@ -217,7 +273,9 @@ impl Ensemble {
 
     fn run_on<J: Job>(&self, jobs: usize, job: &J) -> Vec<Result<J::Output, TrialError>> {
         let total = self.trials;
-        let completed = AtomicUsize::new(0);
+        // Routed through the sync shim so the model checker sees the
+        // same counter discipline production uses.
+        let completed = <StdSync as SyncProvider>::AtomicUsize::new(0);
         let root = SplitMix64::seed_from_u64(self.root_seed);
         let run_one = |trial: usize, worker: usize| -> Result<J::Output, TrialError> {
             let result = if self.cancel.is_cancelled() {
@@ -238,7 +296,7 @@ impl Ensemble {
             };
             if let Some(cb) = &self.progress {
                 cb(&Progress {
-                    completed: completed.fetch_add(1, Ordering::AcqRel) + 1,
+                    completed: completed.fetch_add_acq_rel(1) + 1,
                     total,
                     trial,
                     worker,
@@ -258,7 +316,7 @@ impl Ensemble {
                 (0..total).map(|t| (t, run_one(t, 0))).collect()
             })]
         } else {
-            let deques = pool::deal(total, jobs);
+            let deques = pool::deal::<StdSync>(total, jobs);
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..jobs)
                     .map(|w| {
@@ -300,7 +358,7 @@ impl Ensemble {
 mod tests {
     use super::*;
     use rand::Rng;
-    use std::sync::atomic::AtomicBool;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::Mutex;
 
     /// A stochastic trial: its output depends only on (root seed,
@@ -442,13 +500,62 @@ mod tests {
     }
 
     #[test]
-    fn jobs_env_parsing() {
-        assert_eq!(jobs_from_str("4"), Some(4));
-        assert_eq!(jobs_from_str(" 1 "), Some(1));
-        assert_eq!(jobs_from_str("0"), None, "zero falls back to default");
-        assert_eq!(jobs_from_str(""), None);
-        assert_eq!(jobs_from_str("many"), None);
-        assert_eq!(jobs_from_str("-2"), None);
+    fn jobs_parsing_accepts_positive_integers() {
+        assert_eq!(jobs_from_str("4"), Ok(4));
+        assert_eq!(jobs_from_str(" 1 "), Ok(1));
+        assert_eq!(jobs_from_str("64"), Ok(64));
+    }
+
+    #[test]
+    fn jobs_parsing_rejects_zero_with_a_typed_error() {
+        assert_eq!(jobs_from_str("0"), Err(JobsError::Zero));
+        assert_eq!(jobs_from_str(" 0 "), Err(JobsError::Zero));
+    }
+
+    #[test]
+    fn jobs_parsing_rejects_negatives_with_a_typed_error() {
+        assert_eq!(
+            jobs_from_str("-2"),
+            Err(JobsError::Negative { value: "-2".into() })
+        );
+        assert_eq!(
+            jobs_from_str("-999"),
+            Err(JobsError::Negative {
+                value: "-999".into()
+            })
+        );
+    }
+
+    #[test]
+    fn jobs_parsing_rejects_garbage_with_a_typed_error() {
+        for garbage in ["many", "4.5", "1e3", "four", "--3", "-", "0x10"] {
+            assert_eq!(
+                jobs_from_str(garbage),
+                Err(JobsError::NotANumber {
+                    value: garbage.into()
+                }),
+                "{garbage:?} must be rejected as not-a-number"
+            );
+        }
+    }
+
+    #[test]
+    fn jobs_resolution_falls_back_only_when_unset_or_blank() {
+        assert!(resolve_jobs(None).unwrap() >= 1, "unset: machine default");
+        assert!(resolve_jobs(Some("")).unwrap() >= 1, "empty: machine default");
+        assert!(resolve_jobs(Some("  ")).unwrap() >= 1, "blank: machine default");
+        assert_eq!(resolve_jobs(Some("3")), Ok(3));
+        assert_eq!(resolve_jobs(Some("0")), Err(JobsError::Zero));
+        assert_eq!(
+            resolve_jobs(Some("-1")),
+            Err(JobsError::Negative { value: "-1".into() })
+        );
+        assert_eq!(
+            resolve_jobs(Some("lots")),
+            Err(JobsError::NotANumber {
+                value: "lots".into()
+            })
+        );
         assert!(default_jobs() >= 1);
     }
 

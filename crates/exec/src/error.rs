@@ -49,6 +49,45 @@ impl fmt::Display for TrialError {
 
 impl Error for TrialError {}
 
+/// Why a `ULP_JOBS` value was rejected.
+///
+/// The engine refuses to guess: a set-but-broken `ULP_JOBS` is a
+/// configuration bug the operator must see, not a silent fallback to
+/// whatever parallelism the machine happens to have.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobsError {
+    /// `ULP_JOBS=0`: a campaign cannot run on zero workers.
+    Zero,
+    /// A negative worker count.
+    Negative {
+        /// The rejected value, verbatim.
+        value: String,
+    },
+    /// Anything that is not an integer at all.
+    NotANumber {
+        /// The rejected value, verbatim.
+        value: String,
+    },
+}
+
+impl fmt::Display for JobsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobsError::Zero => {
+                write!(f, "ULP_JOBS=0 is invalid: a campaign needs at least one worker")
+            }
+            JobsError::Negative { value } => {
+                write!(f, "ULP_JOBS={value} is invalid: worker count cannot be negative")
+            }
+            JobsError::NotANumber { value } => {
+                write!(f, "ULP_JOBS={value} is invalid: expected a positive integer")
+            }
+        }
+    }
+}
+
+impl Error for JobsError {}
+
 /// Renders a caught panic payload for [`TrialError::Panicked`].
 pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -75,6 +114,25 @@ mod tests {
         let c = TrialError::Cancelled { trial: 9 };
         assert_eq!(c.trial(), 9);
         assert!(c.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn jobs_error_names_the_env_var() {
+        for (err, needle) in [
+            (JobsError::Zero, "at least one worker"),
+            (
+                JobsError::Negative { value: "-2".into() },
+                "cannot be negative",
+            ),
+            (
+                JobsError::NotANumber { value: "many".into() },
+                "positive integer",
+            ),
+        ] {
+            let rendered = err.to_string();
+            assert!(rendered.contains("ULP_JOBS"), "{rendered}");
+            assert!(rendered.contains(needle), "{rendered}");
+        }
     }
 
     #[test]

@@ -58,12 +58,27 @@
 //! assert!((estimate - 1.0 / 3.0).abs() < 0.1);
 //! ```
 
+//! # Verifying the contract, not just observing it
+//!
+//! Every synchronization primitive the engine touches goes through the
+//! [`sync::SyncProvider`] seam: [`sync::StdSync`] (the default) *is*
+//! `std::sync` after monomorphization, while the `ulp-check` crate
+//! substitutes a virtual provider whose every acquire/release/load/
+//! store is a preemption point of a bounded schedule explorer with a
+//! vector-clock race auditor. The scheduling core ([`pool`], [`deque`],
+//! [`cancel`]) is therefore model-checked as shipped — see DESIGN.md
+//! "Concurrency model" for the happens-before contract and how to run
+//! the explorer locally.
+
+#![forbid(unsafe_code)]
+
 pub mod cancel;
 pub mod deque;
 pub mod ensemble;
 pub mod error;
-mod pool;
+pub mod pool;
+pub mod sync;
 
 pub use cancel::CancelToken;
-pub use ensemble::{default_jobs, jobs_from_str, Ensemble, Job, Progress, TrialCtx};
-pub use error::TrialError;
+pub use ensemble::{default_jobs, jobs_from_env, jobs_from_str, Ensemble, Job, Progress, TrialCtx};
+pub use error::{JobsError, TrialError};

@@ -7,12 +7,20 @@
 //! top. No work is ever added after the deal, so "every deque observed
 //! empty once" is a sound termination condition — no condition
 //! variables, no spinning.
+//!
+//! Both functions are generic over a [`SyncProvider`] and `pub`: this
+//! module *is* the code the `ulp-check` model checker drives through a
+//! virtual scheduler, so the schedule explorer exercises the shipped
+//! deal/steal/drain logic, not a re-implementation. Production callers
+//! ([`crate::Ensemble`]) instantiate it with [`StdSync`](crate::sync::StdSync),
+//! which monomorphizes back to the plain `std::sync` code.
 
 use crate::deque::WorkDeque;
+use crate::sync::SyncProvider;
 
 /// Deals trials `0..total` round-robin across `jobs` deques.
-pub(crate) fn deal(total: usize, jobs: usize) -> Vec<WorkDeque<usize>> {
-    let deques: Vec<WorkDeque<usize>> = (0..jobs).map(|_| WorkDeque::new()).collect();
+pub fn deal<P: SyncProvider>(total: usize, jobs: usize) -> Vec<WorkDeque<usize, P>> {
+    let deques: Vec<WorkDeque<usize, P>> = (0..jobs).map(|_| WorkDeque::new()).collect();
     for trial in 0..total {
         deques[trial % jobs].push(trial);
     }
@@ -23,9 +31,9 @@ pub(crate) fn deal(total: usize, jobs: usize) -> Vec<WorkDeque<usize>> {
 /// trial it pops or steals, collecting `(trial, result)` pairs in
 /// completion order. The caller reassembles results by trial index, so
 /// the order here carries no meaning.
-pub(crate) fn worker_loop<T>(
+pub fn worker_loop<T, P: SyncProvider>(
     worker: usize,
-    deques: &[WorkDeque<usize>],
+    deques: &[WorkDeque<usize, P>],
     run_one: &(impl Fn(usize, usize) -> T + Sync),
 ) -> Vec<(usize, T)> {
     let mut out = Vec::new();
@@ -43,11 +51,12 @@ pub(crate) fn worker_loop<T>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sync::StdSync;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn deal_partitions_every_trial_exactly_once() {
-        let deques = deal(10, 3);
+        let deques = deal::<StdSync>(10, 3);
         assert_eq!(deques.len(), 3);
         assert_eq!(
             deques.iter().map(WorkDeque::len).collect::<Vec<_>>(),
@@ -66,7 +75,7 @@ mod tests {
 
     #[test]
     fn lone_worker_drains_everything() {
-        let deques = deal(7, 1);
+        let deques = deal::<StdSync>(7, 1);
         let out = worker_loop(0, &deques, &|t, w| {
             assert_eq!(w, 0);
             t * t

@@ -60,6 +60,18 @@ pub mod rule {
     pub const UNSATURATED_CHANNEL: &str = "unsaturated-channel";
     /// An MNA system close to singular at the solved point.
     pub const NEAR_SINGULAR: &str = "near-singular";
+    /// A shared access in the execution engine unordered by
+    /// happens-before (vector-clock audit under `ulp-check`).
+    pub const RACE: &str = "race";
+    /// A telemetry/result fold whose bytes depend on the schedule
+    /// (found by the bounded schedule explorer).
+    pub const NON_DETERMINISTIC_FOLD: &str = "non-deterministic-fold";
+    /// A cancellation acknowledged by a worker without the trial
+    /// yielding either a complete result or a clean `Cancelled` mark.
+    pub const LOST_CANCEL: &str = "lost-cancel";
+    /// An explored schedule on which the engine can no longer make
+    /// progress (cyclic lock wait or lost wakeup).
+    pub const SCHEDULE_DEADLOCK: &str = "schedule-deadlock";
 }
 
 /// Inversion coefficient above which a device no longer counts as
@@ -140,6 +152,10 @@ pub enum LintGroup {
     Electrical,
     /// Solver-conditioning and discretisation rules.
     Numerics,
+    /// Execution-engine schedule/race findings from the `ulp-check`
+    /// model checker (reported through the same SARIF pipeline so
+    /// concurrency audits land next to electrical lints).
+    Concurrency,
 }
 
 impl LintGroup {
@@ -150,6 +166,7 @@ impl LintGroup {
             LintGroup::Topology => "topology",
             LintGroup::Electrical => "electrical",
             LintGroup::Numerics => "numerics",
+            LintGroup::Concurrency => "concurrency",
         }
     }
 
@@ -159,6 +176,7 @@ impl LintGroup {
             "topology" => Some(LintGroup::Topology),
             "electrical" => Some(LintGroup::Electrical),
             "numerics" => Some(LintGroup::Numerics),
+            "concurrency" => Some(LintGroup::Concurrency),
             _ => None,
         }
     }
@@ -285,6 +303,31 @@ pub const REGISTRY: &[LintRule] = &[
         group: LintGroup::Numerics,
         default_level: LintLevel::Warn,
         summary: "MNA system nearly singular (LU pivot-ratio estimate)",
+    },
+    // -- concurrency (findings produced by `ulp-check`) ---------------
+    LintRule {
+        code: rule::RACE,
+        group: LintGroup::Concurrency,
+        default_level: LintLevel::Deny,
+        summary: "shared engine access unordered by happens-before",
+    },
+    LintRule {
+        code: rule::NON_DETERMINISTIC_FOLD,
+        group: LintGroup::Concurrency,
+        default_level: LintLevel::Deny,
+        summary: "gathered results or folded telemetry depend on the schedule",
+    },
+    LintRule {
+        code: rule::LOST_CANCEL,
+        group: LintGroup::Concurrency,
+        default_level: LintLevel::Deny,
+        summary: "cancellation left a trial neither merged nor marked Cancelled",
+    },
+    LintRule {
+        code: rule::SCHEDULE_DEADLOCK,
+        group: LintGroup::Concurrency,
+        default_level: LintLevel::Deny,
+        summary: "an explored schedule reaches a state with no runnable worker",
     },
 ];
 
@@ -1278,7 +1321,12 @@ mod tests {
         for l in [LintLevel::Allow, LintLevel::Warn, LintLevel::Deny] {
             assert_eq!(LintLevel::parse(l.name()), Some(l));
         }
-        for g in [LintGroup::Topology, LintGroup::Electrical, LintGroup::Numerics] {
+        for g in [
+            LintGroup::Topology,
+            LintGroup::Electrical,
+            LintGroup::Numerics,
+            LintGroup::Concurrency,
+        ] {
             assert_eq!(LintGroup::parse(g.name()), Some(g));
         }
         assert!(LintLevel::parse("fatal").is_none());
