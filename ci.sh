@@ -34,6 +34,21 @@ for f in results/lint/scl-buffer-100p.sarif results/lint/scl-buffer-1n.sarif \
 done
 echo "design lints + SARIF exports OK"
 
+# Campaign observability: the obs harness runs a 64-die yield campaign
+# and a solver-backed dcop sweep under the span profiler, validates the
+# Chrome trace JSON and the Prometheus exposition with the crate's own
+# readers (--check), and exports the counter-only cost ledger. The
+# ledger excludes worker identity and wall time by construction, so the
+# serial and 4-worker runs must produce byte-identical files.
+ULP_JOBS=1 cargo run --release -q -p ulp-bench --bin ulp_obs -- \
+    --dies 64 --ledger-out results/obs/ledger_j1.json --check > /dev/null
+ULP_JOBS=4 cargo run --release -q -p ulp-bench --bin ulp_obs -- \
+    --dies 64 --ledger-out results/obs/ledger_j4.json --check > /dev/null
+cmp results/obs/ledger_j1.json results/obs/ledger_j4.json
+test -s results/obs/ulp_obs.trace.json
+test -s results/obs/ulp_obs.prom
+echo "campaign observability (trace + ledger determinism ULP_JOBS=1 vs 4) OK"
+
 # Execution engine: the determinism suite must pass on both the strictly
 # serial path and a 4-worker pool — same bytes, different schedule.
 ULP_JOBS=1 cargo test -q -p integration --test exec_determinism

@@ -6,11 +6,19 @@
 //! several elements (Fig. 7d) divides the control overhead.
 
 use ulp_analog::ladder::ReferenceLadder;
-use ulp_bench::{header, result, row, si};
+use ulp_bench::{result, row, si};
 use ulp_device::Technology;
 
 fn main() {
-    header("E9b", "reference ladder: scalability + bias sharing (Fig. 7)");
+    ulp_bench::harness(
+        "ablation_ladder",
+        "E9b",
+        "reference ladder: scalability + bias sharing (Fig. 7)",
+        body,
+    );
+}
+
+fn body() {
     let tech = Technology::default();
 
     // (1) Power vs control current (∝ sampling rate) for a 256-element
@@ -57,5 +65,4 @@ fn main() {
     let shared = ReferenceLadder::new(0.2, 1.0, 256, 8, 1e-9).expect("valid ladder");
     let p8 = shared.power(&tech, 1.0).expect("valid bias");
     assert!(p1 / p8 > 4.0, "8-way sharing must save most of the control power");
-    ulp_bench::metrics_footer("ablation_ladder");
 }

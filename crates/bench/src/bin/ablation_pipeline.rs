@@ -12,13 +12,21 @@
 
 use ulp_adc::encoder::Encoder;
 use ulp_adc::AdcConfig;
-use ulp_bench::{header, result, si};
+use ulp_bench::{result, si};
 use ulp_stscl::pipeline::pipeline_gain;
 use ulp_stscl::power::compound_saving;
 use ulp_stscl::SclParams;
 
 fn main() {
-    header("E9a", "pipelining + compound-cell ablations (encoder, 80 kS/s)");
+    ulp_bench::harness(
+        "ablation_pipeline",
+        "E9a",
+        "pipelining + compound-cell ablations (encoder, 80 kS/s)",
+        body,
+    );
+}
+
+fn body() {
     let encoder = Encoder::build(&AdcConfig::default());
     let params = SclParams::default();
     let fop = 80e3;
@@ -52,5 +60,4 @@ fn main() {
         gain.saving * compound,
         "x total digital power reduction",
     );
-    ulp_bench::metrics_footer("ablation_pipeline");
 }

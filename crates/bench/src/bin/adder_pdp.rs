@@ -6,12 +6,20 @@
 //! the encoder uses. Series: energy/op vs word width, pipelined vs
 //! ripple, and the PDP/stage anchor.
 
-use ulp_bench::{header, paper_check, result, si};
+use ulp_bench::{paper_check, result, si};
 use ulp_stscl::adder::{PipelinedAdder, RippleAdder};
 use ulp_stscl::SclParams;
 
 fn main() {
-    header("E11 (ref [13])", "32-bit pipelined adder, PDP per stage");
+    ulp_bench::harness(
+        "adder_pdp",
+        "E11 (ref [13])",
+        "32-bit pipelined adder, PDP per stage",
+        body,
+    );
+}
+
+fn body() {
     let params = SclParams::default();
     let fop = 100e3;
 
@@ -55,5 +63,4 @@ fn main() {
         assert_eq!(*s, (a + b) & 0xFFFF_FFFF);
     }
     result("pipeline latency", pipe.latency() as f64, "cycles");
-    ulp_bench::metrics_footer("adder_pdp");
 }

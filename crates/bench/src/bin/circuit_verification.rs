@@ -7,7 +7,7 @@
 //! and the folder's bias-independent zero crossings.
 
 use ulp_analog::folder::Folder;
-use ulp_bench::{header, paper_check, result, row};
+use ulp_bench::{paper_check, result, row};
 use ulp_device::Technology;
 use ulp_num::interp::linspace;
 use ulp_spice::Waveform;
@@ -15,7 +15,15 @@ use ulp_stscl::vtc::SclBufferCircuit;
 use ulp_stscl::SclParams;
 
 fn main() {
-    header("E10", "transistor-level verification of the STSCL primitives");
+    ulp_bench::harness(
+        "circuit_verification",
+        "E10",
+        "transistor-level verification of the STSCL primitives",
+        body,
+    );
+}
+
+fn body() {
     let tech = Technology::default();
     let params = SclParams::default();
 
@@ -71,5 +79,4 @@ fn main() {
         assert!((hi - lo).abs() < 1e-6, "crossings must be bias-independent");
     }
     result("max crossing shift over 1000x bias", 0.0, "V (exact in model)");
-    ulp_bench::metrics_footer("circuit_verification");
 }

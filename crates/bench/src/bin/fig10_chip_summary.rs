@@ -11,11 +11,19 @@
 use ulp_adc::area::estimate_area;
 use ulp_adc::yield_analysis::{parametric_yield, LinearitySpec};
 use ulp_adc::{AdcConfig, FaiAdc};
-use ulp_bench::{header, paper_check, result, row};
+use ulp_bench::{paper_check, result, row};
 use ulp_device::Technology;
 
 fn main() {
-    header("E16 (Fig. 10)", "chip summary: active area + parametric yield");
+    ulp_bench::harness(
+        "fig10_chip_summary",
+        "E16 (Fig. 10)",
+        "chip summary: active area + parametric yield",
+        body,
+    );
+}
+
+fn body() {
     let tech = Technology::default();
     let adc = FaiAdc::ideal(&AdcConfig::default());
 
@@ -58,5 +66,4 @@ fn main() {
         row(label, &[("yield", report.yield_fraction())]);
     }
     result("conclusion", 1.0, "bigger pairs buy yield at quadratic area cost");
-    ulp_bench::metrics_footer("fig10_chip_summary");
 }

@@ -10,7 +10,7 @@
 
 use ulp_adc::metrics::mismatch_linearity_ensemble;
 use ulp_adc::AdcConfig;
-use ulp_bench::{header, paper_check, result};
+use ulp_bench::{paper_check, result};
 use ulp_device::Technology;
 use ulp_num::stats::Ensemble;
 
@@ -18,7 +18,15 @@ const SEEDS: usize = 25;
 const RAMP_STEPS: usize = 256 * 64;
 
 fn main() {
-    header("E6 (Fig. 11)", "INL/DNL under Monte-Carlo mismatch");
+    ulp_bench::harness(
+        "fig11_inl_dnl",
+        "E6 (Fig. 11)",
+        "INL/DNL under Monte-Carlo mismatch",
+        body,
+    );
+}
+
+fn body() {
     let tech = Technology::default();
     let cfg = AdcConfig::default();
     let dies =
@@ -67,5 +75,4 @@ fn main() {
     }
     result("peak INL (median die)", lin.inl_max, "LSB (paper: 1.0)");
     result("peak DNL (median die)", lin.dnl_max, "LSB (paper: 0.4)");
-    ulp_bench::metrics_footer("fig11_inl_dnl");
 }

@@ -7,7 +7,6 @@
 //! temperature — near-ten-fold couplings in subthreshold CMOS, zeros
 //! (plus the single trivial P ∝ VDD line) in STSCL.
 
-use ulp_bench::header;
 use ulp_cmos::gate::CmosGate;
 use ulp_device::Technology;
 use ulp_pmu::sensitivity::{
@@ -17,7 +16,15 @@ use ulp_pmu::sensitivity::{
 use ulp_stscl::SclParams;
 
 fn main() {
-    header("E1 (Fig. 3)", "design-parameter sensitivity matrix, CMOS vs STSCL");
+    ulp_bench::harness(
+        "fig3_tradeoffs",
+        "E1 (Fig. 3)",
+        "design-parameter sensitivity matrix, CMOS vs STSCL",
+        body,
+    );
+}
+
+fn body() {
     let tech = Technology::default();
     let gate = CmosGate::default();
     let params = SclParams::default();
@@ -56,5 +63,4 @@ fn main() {
         "STSCL speed must decouple from every parameter"
     );
     assert!(cs > 3.0 && (ss - 1.0).abs() < 1e-9);
-    ulp_bench::metrics_footer("fig3_tradeoffs");
 }

@@ -8,17 +8,22 @@
 //! into a doublet and extends the usable bandwidth several-fold.
 
 use ulp_analog::preamp::PreampDesign;
-use ulp_bench::{header, result, row};
+use ulp_bench::{result, row};
 use ulp_num::interp::decade_sweep;
 use ulp_spice::ac::AcResult;
 use ulp_spice::dcop::DcOperatingPoint;
 use ulp_device::Technology;
 
 fn main() {
-    header(
+    ulp_bench::harness(
+        "fig6d_preamp_response",
         "E2 (Fig. 6d)",
         "pre-amplifier response with/without well decoupling",
+        body,
     );
+}
+
+fn body() {
     let tech = Technology::default();
     for ic in [1e-9, 10e-9, 100e-9] {
         println!("--- IC = {ic:.1e} A ---");
@@ -61,5 +66,4 @@ fn main() {
         result("spice improvement", bw_sp_f / bw_sp_p, "x");
         assert!(bw_sp_f > 2.0 * bw_sp_p, "spice must confirm the doublet trick");
     }
-    ulp_bench::metrics_footer("fig6d_preamp_response");
 }

@@ -8,12 +8,20 @@
 
 use ulp_adc::encoder::Encoder;
 use ulp_adc::AdcConfig;
-use ulp_bench::{header, paper_check, result, row};
+use ulp_bench::{paper_check, result, row};
 use ulp_num::interp::{decade_sweep, loglog_slope};
 use ulp_stscl::SclParams;
 
 fn main() {
-    header("E3 (Fig. 9a)", "encoder max frequency vs tail bias current");
+    ulp_bench::harness(
+        "fig9a_fmax_vs_iss",
+        "E3 (Fig. 9a)",
+        "encoder max frequency vs tail bias current",
+        body,
+    );
+}
+
+fn body() {
     let encoder = Encoder::build(&AdcConfig::default());
     let params = SclParams::default();
     // The critical-path depth is a property of the netlist, not the bias
@@ -46,5 +54,4 @@ fn main() {
     let f_1na = params.fmax(1e-9, depth);
     paper_check("fmax at 1 nA", f_1na, 3.6e5, "Hz");
     assert!((slope - 1.0).abs() < 1e-6, "Fig. 9a slope must be exactly 1");
-    ulp_bench::metrics_footer("fig9a_fmax_vs_iss");
 }

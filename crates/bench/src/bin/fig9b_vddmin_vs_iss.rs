@@ -6,13 +6,21 @@
 //! rises logarithmically with ISS (gate-drive headroom) and floors at
 //! `VSW + 4·UT`.
 
-use ulp_bench::{header, result, row};
+use ulp_bench::{result, row};
 use ulp_device::Technology;
 use ulp_num::interp::decade_sweep;
 use ulp_stscl::SclParams;
 
 fn main() {
-    header("E4 (Fig. 9b)", "minimum supply voltage vs tail bias current");
+    ulp_bench::harness(
+        "fig9b_vddmin_vs_iss",
+        "E4 (Fig. 9b)",
+        "minimum supply voltage vs tail bias current",
+        body,
+    );
+}
+
+fn body() {
     let tech = Technology::default();
     let params = SclParams::default();
     let currents = decade_sweep(100e-12, 1e-6, 5);
@@ -31,5 +39,4 @@ fn main() {
     // Slope: ≈160 mV per decade from the two gate-drive terms.
     let slope = v_10na - v_1na;
     result("slope per decade", slope, "V (model: ~0.16 V)");
-    ulp_bench::metrics_footer("fig9b_vddmin_vs_iss");
 }

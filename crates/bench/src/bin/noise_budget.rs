@@ -9,14 +9,22 @@
 //! integrated noise barely moves over two decades of power.
 
 use ulp_analog::preamp::PreampDesign;
-use ulp_bench::{header, paper_check, result, row};
+use ulp_bench::{paper_check, result, row};
 use ulp_device::Technology;
 use ulp_num::interp::decade_sweep;
 use ulp_spice::dcop::DcOperatingPoint;
 use ulp_spice::noise::noise_analysis;
 
 fn main() {
-    header("E15", "comparator noise budget from transistor-level noise analysis");
+    ulp_bench::harness(
+        "noise_budget",
+        "E15",
+        "comparator noise budget from transistor-level noise analysis",
+        body,
+    );
+}
+
+fn body() {
     let tech = Technology::default();
 
     println!("--- input-referred RMS noise vs bias current ---");
@@ -68,5 +76,4 @@ fn main() {
         worst.output_power / total,
         &format!("({})", worst.name),
     );
-    ulp_bench::metrics_footer("noise_budget");
 }

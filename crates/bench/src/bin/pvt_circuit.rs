@@ -9,7 +9,7 @@
 //! can be controlled very precisely using a current mirror and a
 //! replica bias generator" measured in circuit simulation.
 
-use ulp_bench::{header, result};
+use ulp_bench::result;
 use ulp_device::pvt::Corner;
 use ulp_device::Technology;
 use ulp_spice::Waveform;
@@ -17,7 +17,15 @@ use ulp_stscl::replica::ReplicaBiasedBuffer;
 use ulp_stscl::SclParams;
 
 fn main() {
-    header("E13 (Fig. 2)", "replica bias at transistor level across PVT");
+    ulp_bench::harness(
+        "pvt_circuit",
+        "E13 (Fig. 2)",
+        "replica bias at transistor level across PVT",
+        body,
+    );
+}
+
+fn body() {
     let nominal = Technology::default();
     let iref = 1e-9;
     let buf = ReplicaBiasedBuffer::build(
@@ -77,5 +85,4 @@ fn main() {
     result("steered output swing", swing, "V (design: 0.2 V)");
     println!("the bias rail absorbs PVT; the current — and hence delay and power —");
     println!("do not. This is the platform's Fig. 3(b) decoupling, in silicon terms.");
-    ulp_bench::metrics_footer("pvt_circuit");
 }

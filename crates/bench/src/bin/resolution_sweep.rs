@@ -8,11 +8,19 @@
 
 use ulp_adc::metrics::{ramp_linearity, sine_test};
 use ulp_adc::{AdcConfig, FaiAdc};
-use ulp_bench::{header, si};
+use ulp_bench::si;
 use ulp_device::Technology;
 
 fn main() {
-    header("E14", "resolution envelope 6-8 bits (paper: 'medium accuracy 6 to 8b')");
+    ulp_bench::harness(
+        "resolution_sweep",
+        "E14",
+        "resolution envelope 6-8 bits (paper: 'medium accuracy 6 to 8b')",
+        body,
+    );
+}
+
+fn body() {
     let tech = Technology::default();
     let configs = [
         (
@@ -80,5 +88,4 @@ fn main() {
         6.5,
     );
     println!("8-bit power at 80 kS/s: {} W (fom {} J/step)", si(p.total), si(p.fom));
-    ulp_bench::metrics_footer("resolution_sweep");
 }

@@ -7,7 +7,7 @@
 //! both blocks at iso-function (196 gates, pipelined depth 1 vs depth 4
 //! CMOS) and locate the crossover frequency at several activity rates.
 
-use ulp_bench::{header, result, si};
+use ulp_bench::{result, si};
 use ulp_cmos::block::CmosBlock;
 use ulp_cmos::gate::CmosGate;
 use ulp_cmos::dvfs::min_vdd_for_frequency;
@@ -18,7 +18,15 @@ use ulp_stscl::SclParams;
 const GATES: usize = 196;
 
 fn main() {
-    header("E8", "STSCL vs subthreshold CMOS power crossover");
+    ulp_bench::harness(
+        "stscl_vs_cmos_crossover",
+        "E8",
+        "STSCL vs subthreshold CMOS power crossover",
+        body,
+    );
+}
+
+fn body() {
     let tech = Technology::default();
     let params = SclParams::default();
     let freqs = decade_sweep(1.0, 1e7, 4);
@@ -84,5 +92,4 @@ fn main() {
     println!("and the STSCL advantage below it grows as 1/f — the paper's");
     println!("\"especially more pronounced in low activity rate systems\" regime,");
     println!("where required clock rates sit far under the floor crossing.");
-    ulp_bench::metrics_footer("stscl_vs_cmos_crossover");
 }

@@ -6,7 +6,6 @@
 use ulp_adc::encoder::Encoder;
 use ulp_adc::metrics::{ramp_linearity, sine_test};
 use ulp_adc::{AdcConfig, FaiAdc};
-use ulp_bench::header;
 use ulp_device::Technology;
 use ulp_pmu::PlatformController;
 use ulp_stscl::adder::RippleAdder;
@@ -22,7 +21,15 @@ fn line(name: &str, ours: f64, paper: f64, unit: &str) {
 }
 
 fn main() {
-    header("SUMMARY", "all headline anchors, paper vs ours");
+    ulp_bench::harness(
+        "summary",
+        "SUMMARY",
+        "all headline anchors, paper vs ours",
+        body,
+    );
+}
+
+fn body() {
     println!(
         "{:<44} {:>12} {:>12} {:>7}",
         "anchor", "ours", "paper", "ratio"
@@ -66,5 +73,4 @@ fn main() {
 
     println!("\nshape checks: Fig9a slope = 1 exactly; STSCL PVT sensitivities = 0;");
     println!("power scaling exactly linear in fs; see EXPERIMENTS.md for the full record.");
-    ulp_bench::metrics_footer("summary");
 }

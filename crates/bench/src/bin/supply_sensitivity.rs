@@ -6,14 +6,22 @@
 
 use ulp_adc::metrics::ramp_linearity;
 use ulp_adc::{AdcConfig, FaiAdc};
-use ulp_bench::{header, result, row};
+use ulp_bench::{result, row};
 use ulp_cmos::gate::CmosGate;
 use ulp_device::Technology;
 use ulp_num::interp::linspace;
 use ulp_stscl::SclParams;
 
 fn main() {
-    header("E7", "performance vs supply voltage, 1.0-1.25 V");
+    ulp_bench::harness(
+        "supply_sensitivity",
+        "E7",
+        "performance vs supply voltage, 1.0-1.25 V",
+        body,
+    );
+}
+
+fn body() {
     let tech = Technology::default();
     let gate = CmosGate::default();
     let iss = 1e-9;
@@ -64,5 +72,4 @@ fn main() {
     );
     println!("  (codes and linearity are VDD-independent by differential construction;");
     println!("   only total power scales as P = I_total x VDD)");
-    ulp_bench::metrics_footer("supply_sensitivity");
 }

@@ -6,15 +6,20 @@
 
 use ulp_adc::metrics::sine_test;
 use ulp_adc::{AdcConfig, FaiAdc};
-use ulp_bench::{header, paper_check, row, si};
+use ulp_bench::{paper_check, row, si};
 use ulp_device::Technology;
 use ulp_pmu::PlatformController;
 
 fn main() {
-    header(
+    ulp_bench::harness(
+        "table1_power_scaling",
         "E5 (Table 1)",
         "power vs sampling rate, 800 S/s - 80 kS/s, shared PMU",
+        body,
     );
+}
+
+fn body() {
     let pmu = PlatformController::paper_prototype();
     println!(
         "{:>12} {:>12} {:>12} {:>12} {:>12}",
@@ -50,5 +55,4 @@ fn main() {
     let dynamics = sine_test(&adc, 4096, 67, 80e3).expect("coherent capture");
     paper_check("ENOB at 80 kS/s", dynamics.enob, 6.5, "bits");
     assert!(dynamics.enob > 5.5, "ENOB must stay in the paper's class");
-    ulp_bench::metrics_footer("table1_power_scaling");
 }

@@ -6,12 +6,20 @@
 //! PMU enables; the others are what a non-scalable design is stuck
 //! with.
 
-use ulp_bench::{header, result, si};
+use ulp_bench::{result, si};
 use ulp_pmu::workload::{compare_policies, sensor_node_trace, Segment};
 use ulp_pmu::PlatformController;
 
 fn main() {
-    header("E12 (Fig. 1)", "workload-tracking energy vs fixed/duty-cycled bias");
+    ulp_bench::harness(
+        "workload_policies",
+        "E12 (Fig. 1)",
+        "workload-tracking energy vs fixed/duty-cycled bias",
+        body,
+    );
+}
+
+fn body() {
     let pmu = PlatformController::paper_prototype();
 
     println!("--- sensor-node trace (monitoring-dominated) ---");
@@ -54,5 +62,4 @@ fn main() {
     println!("tracking wins wherever *any* low-rate work is required — the");
     println!("paper's sensor/biomedical monitoring regime; pure-burst loads");
     println!("remain duty-cycling territory.");
-    ulp_bench::metrics_footer("workload_policies");
 }

@@ -57,32 +57,109 @@ pub fn paper_check(name: &str, ours: f64, paper: f64, unit: &str) {
     println!();
 }
 
-/// Prints the solver-metrics footer for one bench binary and, when the
-/// global collector retains events (`ULP_TRACE=events`), dumps them as
-/// JSONL under `results/telemetry/<id>.jsonl`. A no-op (no output at
-/// all) when tracing is off, so untraced golden output is unchanged.
+/// Runs one bench binary's body inside the standard harness frame:
+/// prints the experiment [`header`], runs `body`, then renders the
+/// [`metrics_footer`] (solver metrics, campaign summary tables, and —
+/// under `ULP_TRACE` — the telemetry/observability exports) keyed by
+/// `id`. This is the single entry point all the figure binaries share,
+/// so footer behaviour can never diverge between harnesses.
+pub fn harness(id: &str, experiment: &str, title: &str, body: impl FnOnce()) {
+    header(experiment, title);
+    body();
+    metrics_footer(id);
+}
+
+/// Writes `content` under `results/<subdir>/<name>`, creating the
+/// directory, and prints a `label : n -> path` line; warns on stderr
+/// instead of failing the harness when the filesystem refuses.
+fn export(subdir: &str, name: &str, label: &str, count: usize, content: &str) {
+    let dir = std::path::Path::new("results").join(subdir);
+    let path = dir.join(name);
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, content)) {
+        Ok(()) => println!("{label:<18}: {count} -> {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Prints the solver-metrics footer for one bench binary, plus a
+/// campaign summary table (throughput, ETA model, p50/p95 trial cost,
+/// worker utilization) for every `ulp-exec` campaign the binary ran.
+///
+/// Exports, by trace mode:
+/// * `ULP_TRACE=events` (and `spans`): the retained event log as JSONL
+///   under `results/telemetry/<id>.jsonl`;
+/// * `ULP_TRACE=spans`: the span hierarchy as Chrome trace-event JSON
+///   under `results/obs/<id>.trace.json` (Perfetto-loadable) and the
+///   campaign reports as `results/obs/<id>.report.json`;
+/// * any trace mode, when registry metrics were recorded: Prometheus
+///   text exposition under `results/obs/<id>.prom` and metric JSONL
+///   under `results/obs/<id>.metrics.jsonl`.
+///
+/// A no-op (no output at all) when tracing is off, so untraced golden
+/// output is unchanged.
 pub fn metrics_footer(id: &str) {
-    use ulp_spice::telemetry::{self, TraceMode};
+    use ulp_spice::telemetry;
     let Some(metrics) = telemetry::snapshot() else {
         return;
     };
     println!("{}", metrics.summary());
-    if telemetry::global_mode() == Some(TraceMode::Events) {
+    let reports = ulp_exec::obs::take_reports();
+    for report in &reports {
+        println!("{}", report.summary_table());
+    }
+    let mode = telemetry::global_mode().expect("snapshot implies a mode");
+    if mode.keeps_events() {
         let events = telemetry::take_events();
         let mut jsonl = String::with_capacity(events.len() * 160);
         for e in &events {
             jsonl.push_str(&e.to_json());
             jsonl.push('\n');
         }
-        let dir = std::path::Path::new("results/telemetry");
-        let path = dir.join(format!("{id}.jsonl"));
-        match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &jsonl)) {
-            Ok(()) => println!(
-                "telemetry events  : {} -> {}",
-                events.len(),
-                path.display()
-            ),
-            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        export("telemetry", &format!("{id}.jsonl"), "telemetry events", events.len(), &jsonl);
+    }
+    if mode.keeps_spans() {
+        let spans = telemetry::take_spans();
+        export(
+            "obs",
+            &format!("{id}.trace.json"),
+            "trace spans",
+            spans.len(),
+            &telemetry::render_chrome_trace(&spans),
+        );
+        let mut json = String::from("[");
+        for (k, r) in reports.iter().enumerate() {
+            if k > 0 {
+                json.push(',');
+            }
+            json.push('\n');
+            let full = r.to_json();
+            json.push_str(full.trim_end());
+        }
+        json.push_str("\n]\n");
+        export(
+            "obs",
+            &format!("{id}.report.json"),
+            "campaign reports",
+            reports.len(),
+            &json,
+        );
+    }
+    if let Some(registry) = telemetry::registry_snapshot() {
+        if !registry.is_empty() {
+            export(
+                "obs",
+                &format!("{id}.prom"),
+                "registry metrics",
+                registry.len(),
+                &registry.render_prometheus(),
+            );
+            export(
+                "obs",
+                &format!("{id}.metrics.jsonl"),
+                "registry jsonl",
+                registry.len(),
+                &registry.render_jsonl(),
+            );
         }
     }
 }

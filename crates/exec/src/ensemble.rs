@@ -2,12 +2,16 @@
 
 use crate::cancel::CancelToken;
 use crate::error::{panic_message, JobsError, TrialError};
+use crate::obs::{CampaignReport, TrialCost, TrialOutcome};
 use crate::pool;
 use crate::sync::{StdSync, SyncCounter, SyncProvider};
 use rand::rngs::SplitMix64;
 use rand::SeedableRng;
+use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use ulp_spice::telemetry;
 
@@ -145,10 +149,13 @@ impl<T: Send, F: Fn(&mut TrialCtx) -> T + Sync> Job for F {
     }
 }
 
-/// A progress report, delivered to the campaign's callback after every
+/// A progress report, delivered to the campaign's callback after a
 /// trial finishes (including trials that panicked or were skipped as
-/// cancelled).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// cancelled). With a rate limit installed
+/// ([`Ensemble::progress_interval`]) intermediate reports may be
+/// suppressed, but the final (`completed == total`) report always
+/// fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Progress {
     /// Trials finished so far (monotone across callbacks).
     pub completed: usize,
@@ -158,9 +165,83 @@ pub struct Progress {
     pub trial: usize,
     /// Worker that ran it (0 on the serial path).
     pub worker: usize,
+    /// Estimated throughput, trials per second, over a sliding window
+    /// of recent completions (0 until the clock has advanced).
+    pub rate_per_sec: f64,
+    /// Estimated seconds until the campaign completes at the current
+    /// rate (0 when done, `f64::INFINITY` while the rate is unknown).
+    pub eta_seconds: f64,
 }
 
 type ProgressFn = dyn Fn(&Progress) + Send + Sync;
+
+/// How many recent completions the throughput estimator remembers.
+const RATE_WINDOW: usize = 32;
+
+/// The progress pacer: a sliding-window trials/sec estimator plus the
+/// optional callback rate limiter, shared by all workers under one
+/// `Mutex` (taken only when a progress callback is installed).
+struct Pacer {
+    started: Instant,
+    /// `(when, completed)` samples, oldest first, at most
+    /// [`RATE_WINDOW`] long.
+    window: VecDeque<(Instant, usize)>,
+    last_emit: Option<Instant>,
+    min_interval: Option<Duration>,
+}
+
+impl Pacer {
+    fn new(min_interval: Option<Duration>) -> Self {
+        Pacer {
+            started: Instant::now(),
+            window: VecDeque::with_capacity(RATE_WINDOW),
+            last_emit: None,
+            min_interval,
+        }
+    }
+
+    /// Records one completion; returns `Some((rate, eta))` when the
+    /// callback should fire for it.
+    fn note(&mut self, completed: usize, total: usize) -> Option<(f64, f64)> {
+        let now = Instant::now();
+        if self.window.len() == RATE_WINDOW {
+            self.window.pop_front();
+        }
+        let rate = match self.window.front() {
+            Some(&(t0, c0)) if completed > c0 && now > t0 => {
+                (completed - c0) as f64 / now.duration_since(t0).as_secs_f64()
+            }
+            _ => {
+                let dt = now.duration_since(self.started).as_secs_f64();
+                if dt > 0.0 {
+                    completed as f64 / dt
+                } else {
+                    0.0
+                }
+            }
+        };
+        self.window.push_back((now, completed));
+        let remaining = total.saturating_sub(completed);
+        let eta = if remaining == 0 {
+            0.0
+        } else if rate > 0.0 {
+            remaining as f64 / rate
+        } else {
+            f64::INFINITY
+        };
+        let fire = completed >= total
+            || match (self.min_interval, self.last_emit) {
+                (None, _) | (Some(_), None) => true,
+                (Some(iv), Some(last)) => now.duration_since(last) >= iv,
+            };
+        if fire {
+            self.last_emit = Some(now);
+            Some((rate, eta))
+        } else {
+            None
+        }
+    }
+}
 
 /// A campaign of `N` indexed trials: the engine's entry point.
 ///
@@ -178,6 +259,7 @@ pub struct Ensemble {
     label: String,
     cancel: CancelToken,
     progress: Option<Box<ProgressFn>>,
+    progress_every: Option<Duration>,
 }
 
 impl fmt::Debug for Ensemble {
@@ -204,6 +286,7 @@ impl Ensemble {
             label: "campaign".to_string(),
             cancel: CancelToken::new(),
             progress: None,
+            progress_every: None,
         }
     }
 
@@ -234,6 +317,17 @@ impl Ensemble {
         self
     }
 
+    /// Rate-limits the progress callback: intermediate reports fire at
+    /// most once per `interval` (high-trial-count campaigns otherwise
+    /// pay a callback per trial). The first report and the final
+    /// (`completed == total`) report always fire. Without this, every
+    /// trial reports — the default, which cancellation-from-callback
+    /// tests and fine-grained consumers rely on.
+    pub fn progress_interval(mut self, interval: Duration) -> Self {
+        self.progress_every = Some(interval);
+        self
+    }
+
     /// A handle for cancelling the campaign from outside (or from a
     /// progress callback).
     pub fn cancel_token(&self) -> CancelToken {
@@ -244,12 +338,35 @@ impl Ensemble {
     /// is trial `i`'s outcome. A panicking trial yields
     /// [`TrialError::Panicked`] in its own slot and nothing else.
     pub fn run<J: Job>(&self, job: J) -> Vec<Result<J::Output, TrialError>> {
+        self.run_with_report(job).0
+    }
+
+    /// [`Ensemble::run`], additionally returning the campaign's
+    /// [`CampaignReport`] — the per-trial cost ledger in trial-index
+    /// order with summary statistics. The report's counter fields are
+    /// populated only when telemetry is active (a worker collector
+    /// records the solver's work); its wall-clock fields are
+    /// best-effort observability data and never influence results.
+    ///
+    /// When telemetry is active the report is also published to the
+    /// process-wide log ([`crate::obs::take_reports`]) for footer
+    /// rendering.
+    pub fn run_with_report<J: Job>(
+        &self,
+        job: J,
+    ) -> (Vec<Result<J::Output, TrialError>>, CampaignReport) {
         let jobs = self
             .jobs
             .unwrap_or_else(default_jobs)
             .clamp(1, self.trials.max(1));
         let name = format!("exec::{}", self.label);
-        telemetry::phase(&name, || self.run_on(jobs, &job))
+        let (results, report) = telemetry::span("campaign", &name, None, || {
+            telemetry::phase(&name, || self.run_on(jobs, &job))
+        });
+        if telemetry::global_enabled() {
+            crate::obs::publish(report.clone());
+        }
+        (results, report)
     }
 
     /// Runs the job and folds the per-trial outputs **in trial-index
@@ -271,13 +388,23 @@ impl Ensemble {
         Ok(acc)
     }
 
-    fn run_on<J: Job>(&self, jobs: usize, job: &J) -> Vec<Result<J::Output, TrialError>> {
+    fn run_on<J: Job>(
+        &self,
+        jobs: usize,
+        job: &J,
+    ) -> (Vec<Result<J::Output, TrialError>>, CampaignReport) {
         let total = self.trials;
+        let campaign_start = Instant::now();
+        let counters_recorded = telemetry::global_enabled();
         // Routed through the sync shim so the model checker sees the
         // same counter discipline production uses.
         let completed = <StdSync as SyncProvider>::AtomicUsize::new(0);
+        let pacer = Mutex::new(Pacer::new(self.progress_every));
         let root = SplitMix64::seed_from_u64(self.root_seed);
-        let run_one = |trial: usize, worker: usize| -> Result<J::Output, TrialError> {
+        let label: Arc<str> = Arc::from(self.label.as_str());
+        let run_one = |trial: usize, worker: usize| -> (Result<J::Output, TrialError>, TrialCost) {
+            let trial_start = Instant::now();
+            let counters_before = telemetry::local_counters();
             let result = if self.cancel.is_cancelled() {
                 Err(TrialError::Cancelled { trial })
             } else {
@@ -287,32 +414,77 @@ impl Ensemble {
                     rng: root.derive_stream(trial as u64),
                     cancel: self.cancel.clone(),
                 };
-                catch_unwind(AssertUnwindSafe(|| job.run(&mut ctx))).map_err(|payload| {
-                    TrialError::Panicked {
-                        trial,
-                        message: panic_message(payload.as_ref()),
-                    }
+                // Trial context tags this trial's telemetry events; the
+                // span puts the trial on its worker's trace timeline.
+                telemetry::with_trial_context(label.clone(), trial, || {
+                    telemetry::span("trial", &label, Some(trial), || {
+                        catch_unwind(AssertUnwindSafe(|| job.run(&mut ctx))).map_err(|payload| {
+                            TrialError::Panicked {
+                                trial,
+                                message: panic_message(payload.as_ref()),
+                            }
+                        })
+                    })
                 })
             };
-            if let Some(cb) = &self.progress {
-                cb(&Progress {
-                    completed: completed.fetch_add_acq_rel(1) + 1,
-                    total,
-                    trial,
-                    worker,
-                });
+            let seconds = trial_start.elapsed().as_secs_f64();
+            let counters = match (counters_before, telemetry::local_counters()) {
+                (Some(before), Some(after)) => after.delta_since(before),
+                _ => Default::default(),
+            };
+            let outcome = match &result {
+                Ok(_) => TrialOutcome::Ok,
+                Err(TrialError::Panicked { .. }) => TrialOutcome::Panicked,
+                Err(TrialError::Cancelled { .. }) => TrialOutcome::Cancelled,
+            };
+            // Registry shards (no-ops when tracing is off): counters are
+            // deterministic totals, the histogram is observability-only.
+            telemetry::counter_add("ulp_trials_total", 1);
+            if outcome == TrialOutcome::Panicked {
+                telemetry::counter_add("ulp_trial_panics_total", 1);
             }
-            result
+            if counters.newton_iterations > 0 {
+                telemetry::counter_add(
+                    "ulp_newton_iterations_total",
+                    counters.newton_iterations as u64,
+                );
+            }
+            telemetry::observe_seconds("ulp_trial_seconds", seconds);
+            if let Some(cb) = &self.progress {
+                let done = completed.fetch_add_acq_rel(1) + 1;
+                let update = pacer
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .note(done, total);
+                if let Some((rate_per_sec, eta_seconds)) = update {
+                    cb(&Progress {
+                        completed: done,
+                        total,
+                        trial,
+                        worker,
+                        rate_per_sec,
+                        eta_seconds,
+                    });
+                }
+            }
+            let cost = TrialCost {
+                trial,
+                worker,
+                seconds,
+                outcome,
+                counters,
+            };
+            (result, cost)
         };
 
         // Per-worker (batch, collector) pairs, in worker-index order.
         type WorkerBatch<T> = (
-            Vec<(usize, Result<T, TrialError>)>,
+            Vec<(usize, (Result<T, TrialError>, TrialCost))>,
             Option<telemetry::MetricsCollector>,
         );
         let worker_batches: Vec<WorkerBatch<J::Output>> = if jobs == 1 {
             // Strictly serial fallback: the calling thread, no pool.
-            vec![telemetry::worker_capture(|| {
+            vec![telemetry::worker_capture_on(0, || {
                 (0..total).map(|t| (t, run_one(t, 0))).collect()
             })]
         } else {
@@ -322,7 +494,9 @@ impl Ensemble {
                     .map(|w| {
                         let (deques, run_one) = (&deques, &run_one);
                         s.spawn(move || {
-                            telemetry::worker_capture(|| pool::worker_loop(w, deques, run_one))
+                            telemetry::worker_capture_on(w, || {
+                                pool::worker_loop(w, deques, run_one)
+                            })
                         })
                     })
                     .collect();
@@ -333,24 +507,39 @@ impl Ensemble {
             })
         };
 
-        // Deterministic gather: results land in their trial slot, and
-        // worker telemetry folds into the global collector in
-        // worker-index order — never completion order.
+        // Deterministic gather: results and ledger entries land in
+        // their trial slot, and worker telemetry folds into the global
+        // collector in worker-index order — never completion order.
         let mut slots: Vec<Option<Result<J::Output, TrialError>>> =
             (0..total).map(|_| None).collect();
+        let mut costs: Vec<Option<TrialCost>> = (0..total).map(|_| None).collect();
         for (batch, collector) in worker_batches {
-            for (trial, result) in batch {
+            for (trial, (result, cost)) in batch {
                 debug_assert!(slots[trial].is_none(), "trial scheduled twice");
                 slots[trial] = Some(result);
+                costs[trial] = Some(cost);
             }
             if let Some(mc) = collector {
                 telemetry::fold_worker(&mc);
             }
         }
-        slots
+        let report = CampaignReport {
+            label: self.label.clone(),
+            trials: total,
+            jobs,
+            root_seed: self.root_seed,
+            wall_seconds: campaign_start.elapsed().as_secs_f64(),
+            counters_recorded,
+            costs: costs
+                .into_iter()
+                .map(|c| c.expect("every trial costed exactly once"))
+                .collect(),
+        };
+        let results = slots
             .into_iter()
             .map(|s| s.expect("every trial scheduled exactly once"))
-            .collect()
+            .collect();
+        (results, report)
     }
 }
 
@@ -564,5 +753,111 @@ mod tests {
         let e = Ensemble::new(3).jobs(2).label("dbg").on_progress(|_| {});
         let s = format!("{e:?}");
         assert!(s.contains("dbg") && s.contains("<callback>"), "{s}");
+    }
+
+    #[test]
+    fn run_with_report_ledger_is_index_ordered_and_complete() {
+        for jobs in [1, 4] {
+            let (results, report) = Ensemble::new(9)
+                .seed(3)
+                .jobs(jobs)
+                .label("ledger")
+                .run_with_report(noisy_trial);
+            assert_eq!(results.len(), 9);
+            assert_eq!(report.label, "ledger");
+            assert_eq!((report.trials, report.jobs, report.root_seed), (9, jobs, 3));
+            assert_eq!(report.costs.len(), 9);
+            for (i, c) in report.costs.iter().enumerate() {
+                assert_eq!(c.trial, i, "ledger must be in trial-index order");
+                assert!(c.worker < jobs);
+                assert!(c.seconds >= 0.0);
+                assert_eq!(c.outcome, crate::obs::TrialOutcome::Ok);
+            }
+            assert!(report.wall_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn ledger_counter_subset_is_byte_identical_across_job_counts() {
+        // noisy_trial never touches the solver, so the counters are all
+        // zero — but the *rendering* (trial order, outcomes, structure)
+        // must still match byte-for-byte between schedules.
+        let (_, serial) = Ensemble::new(12).seed(5).jobs(1).run_with_report(noisy_trial);
+        let (_, parallel) = Ensemble::new(12).seed(5).jobs(4).run_with_report(noisy_trial);
+        assert_eq!(serial.counters_json(), parallel.counters_json());
+    }
+
+    #[test]
+    fn ledger_records_panicked_and_cancelled_outcomes() {
+        let (_, report) = Ensemble::new(6).jobs(1).run_with_report(|ctx: &mut TrialCtx| {
+            assert!(ctx.index() != 2, "die 2 is cursed");
+        });
+        assert_eq!(report.costs[2].outcome, crate::obs::TrialOutcome::Panicked);
+        assert_eq!(report.panicked_trials(), 1);
+        assert_eq!(report.ok_trials(), 5);
+
+        let ensemble = Ensemble::new(4).jobs(1);
+        ensemble.cancel_token().cancel();
+        let (_, report) = ensemble.run_with_report(|_ctx: &mut TrialCtx| ());
+        assert_eq!(report.cancelled_trials(), 4);
+        assert!(report
+            .costs
+            .iter()
+            .all(|c| c.outcome == crate::obs::TrialOutcome::Cancelled));
+    }
+
+    #[test]
+    fn progress_carries_rate_and_eta() {
+        let final_report = std::sync::Arc::new(Mutex::new(None));
+        let sink = final_report.clone();
+        Ensemble::new(10)
+            .jobs(2)
+            .on_progress(move |p: &Progress| {
+                assert!(p.rate_per_sec >= 0.0);
+                assert!(p.eta_seconds >= 0.0);
+                if p.completed == p.total {
+                    *sink.lock().unwrap() = Some(*p);
+                }
+            })
+            .run(|ctx: &mut TrialCtx| ctx.index());
+        let last = final_report.lock().unwrap().expect("final report fires");
+        assert_eq!(last.completed, 10);
+        assert_eq!(last.eta_seconds, 0.0, "done means zero ETA");
+    }
+
+    #[test]
+    fn progress_interval_rate_limits_but_always_fires_the_final_report() {
+        let calls = std::sync::Arc::new(AtomicUsize::new(0));
+        let saw_final = std::sync::Arc::new(AtomicBool::new(false));
+        let (calls_cb, final_cb) = (calls.clone(), saw_final.clone());
+        Ensemble::new(200)
+            .jobs(1)
+            .progress_interval(std::time::Duration::from_secs(3600))
+            .on_progress(move |p: &Progress| {
+                calls_cb.fetch_add(1, Ordering::Relaxed);
+                if p.completed == p.total {
+                    final_cb.store(true, Ordering::Relaxed);
+                }
+            })
+            .run(|ctx: &mut TrialCtx| ctx.index());
+        let n = calls.load(Ordering::Relaxed);
+        assert!(n < 200, "an hour-long interval must suppress per-trial reports, got {n}");
+        assert!(saw_final.load(Ordering::Relaxed), "final report always fires");
+    }
+
+    #[test]
+    fn pacer_window_rate_and_eta_units() {
+        let mut p = Pacer::new(None);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let (rate, eta) = p.note(1, 3).expect("unlimited pacer always fires");
+        assert!(rate > 0.0, "clock advanced, rate known: {rate}");
+        assert!(eta.is_finite() && eta > 0.0);
+        let (_, eta) = p.note(3, 3).expect("final always fires");
+        assert_eq!(eta, 0.0);
+        // The window never outgrows its bound.
+        for k in 0..100 {
+            let _ = p.note(k, 1000);
+        }
+        assert!(p.window.len() <= RATE_WINDOW);
     }
 }

@@ -32,11 +32,27 @@
 //! unaffected and the campaign completes. Cancellation is cooperative
 //! via [`CancelToken`]; a cancelled campaign reports unstarted trials
 //! as [`TrialError::Cancelled`]. Progress callbacks fire after every
-//! finished trial. Solver telemetry (`ulp_spice::telemetry`) is wired
-//! through: each worker thread captures its events in a thread-local
-//! collector (no global-lock contention mid-campaign) that folds into
-//! the process-global collector at campaign end in worker-index order,
-//! and the campaign itself records an `exec::<label>` phase event.
+//! finished trial (rate-limitable via [`Ensemble::progress_interval`])
+//! and carry a sliding-window throughput estimate and ETA. Solver
+//! telemetry (`ulp_spice::telemetry`) is wired through: each worker
+//! thread captures its events in a thread-local collector (no
+//! global-lock contention mid-campaign) that folds into the
+//! process-global collector at campaign end in worker-index order, and
+//! the campaign itself records an `exec::<label>` phase event.
+//!
+//! # Campaign observability
+//!
+//! Every run also assembles a per-trial cost ledger
+//! ([`obs::CampaignReport`], via [`Ensemble::run_with_report`]): wall
+//! time, worker, outcome and — when telemetry is active — the
+//! deterministic solver counters (Newton iterations, solves, gmin
+//! fallbacks, refactorizations) each trial accrued, folded in
+//! trial-index order with nearest-rank cost percentiles and per-worker
+//! utilization. The counter-only subset
+//! ([`obs::CampaignReport::counters_json`]) is byte-identical at any
+//! `ULP_JOBS`; wall-clock fields are observability-only. Under
+//! `ULP_TRACE=spans` each trial additionally records a span on its
+//! worker's Chrome-trace timeline (see `ulp_spice::telemetry`).
 //!
 //! # Example
 //!
@@ -76,9 +92,11 @@ pub mod cancel;
 pub mod deque;
 pub mod ensemble;
 pub mod error;
+pub mod obs;
 pub mod pool;
 pub mod sync;
 
 pub use cancel::CancelToken;
 pub use ensemble::{default_jobs, jobs_from_env, jobs_from_str, Ensemble, Job, Progress, TrialCtx};
 pub use error::{JobsError, TrialError};
+pub use obs::{CampaignReport, TrialCost, TrialOutcome, WorkerUtilization};

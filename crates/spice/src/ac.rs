@@ -508,7 +508,7 @@ mod tests {
         let seen: Vec<f64> = mc
             .events()
             .iter()
-            .filter_map(|e| match e {
+            .filter_map(|e| match &e.event {
                 Event::AcPoint { freq, .. } => Some(*freq),
                 _ => None,
             })

@@ -743,7 +743,7 @@ mod tests {
         let rungs: Vec<(Option<usize>, bool)> = mc
             .events()
             .iter()
-            .filter_map(|e| match e {
+            .filter_map(|e| match &e.event {
                 Event::NewtonAttempt { rung, converged, .. } => Some((*rung, *converged)),
                 _ => None,
             })

@@ -203,12 +203,24 @@
 //!
 //! The *default* entry points route through a process-global collector
 //! activated by the `ULP_TRACE` environment variable (`summary` |
-//! `events`), so existing callers gain telemetry without code changes;
-//! with the variable unset the drivers consult a [`telemetry::NullTracer`]
-//! and skip event construction and clock reads entirely. See
-//! [`telemetry`] for the JSONL schema and the global-collector API
-//! ([`telemetry::snapshot`], [`telemetry::take_events`],
-//! [`telemetry::phase`]).
+//! `events` | `spans`), so existing callers gain telemetry without code
+//! changes; with the variable unset the drivers consult a
+//! [`telemetry::NullTracer`] and skip event construction and clock
+//! reads entirely. See [`telemetry`] for the JSONL schema and the
+//! global-collector API ([`telemetry::snapshot`],
+//! [`telemetry::take_events`], [`telemetry::phase`]).
+//!
+//! # Campaign observability
+//!
+//! `ULP_TRACE=spans` additionally records hierarchical wall-clock spans
+//! (campaign → trial → analysis phase → newton attempt, one timeline
+//! per ensemble worker) exportable as Chrome trace-event JSON
+//! ([`telemetry::render_chrome_trace`], loadable in Perfetto), and the
+//! [`registry`] module provides named counters/gauges/histograms with
+//! Prometheus text exposition — both fed per-worker and merged in
+//! deterministic worker order through the same
+//! [`telemetry::worker_capture_on`]/[`telemetry::fold_worker`] seam the
+//! aggregates use.
 
 pub mod ac;
 pub mod dcop;
@@ -219,6 +231,7 @@ pub mod lint;
 pub mod mna;
 pub mod netlist;
 pub mod noise;
+pub mod registry;
 pub mod report;
 pub mod sarif;
 pub mod sweep;

@@ -466,7 +466,7 @@ mod tests {
         assert_eq!(rep.freqs.len(), 3);
         assert_eq!(mc.metrics().noise_points, 3);
         for e in mc.events() {
-            if let Event::NoisePoint { sources, .. } = e {
+            if let Event::NoisePoint { sources, .. } = &e.event {
                 assert_eq!(*sources, 1); // only R1 makes noise
             }
         }

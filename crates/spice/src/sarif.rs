@@ -228,6 +228,14 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The numeric payload, `None` for non-numbers.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
 }
 
 /// Parses one JSON document (rejecting trailing garbage).

@@ -292,7 +292,7 @@ mod tests {
         let points: Vec<(usize, f64)> = mc
             .events()
             .iter()
-            .filter_map(|e| match e {
+            .filter_map(|e| match &e.event {
                 Event::SweepPoint { index, value, .. } => Some((*index, *value)),
                 _ => None,
             })

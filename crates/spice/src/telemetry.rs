@@ -68,8 +68,10 @@
 //! ```
 
 use std::fmt::Write as _;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+use crate::registry::Registry;
 
 /// How much the global collector keeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,19 +80,36 @@ pub enum TraceMode {
     Summary,
     /// Aggregates plus the full structured event log.
     Events,
+    /// Everything [`TraceMode::Events`] keeps, plus hierarchical wall-
+    /// clock spans (campaign → trial → analysis phase → newton attempt)
+    /// for Chrome trace-event export ([`render_chrome_trace`]).
+    Spans,
 }
 
 impl TraceMode {
     /// Parses the `ULP_TRACE` environment variable: unset or empty →
-    /// `None` (tracing off), `events` → [`TraceMode::Events`], any other
-    /// non-empty value (canonically `summary`) → [`TraceMode::Summary`].
+    /// `None` (tracing off), `events` → [`TraceMode::Events`], `spans` →
+    /// [`TraceMode::Spans`], any other non-empty value (canonically
+    /// `summary`) → [`TraceMode::Summary`].
     pub fn from_env() -> Option<TraceMode> {
         match std::env::var("ULP_TRACE") {
             Ok(v) if v.is_empty() => None,
             Ok(v) if v.eq_ignore_ascii_case("events") => Some(TraceMode::Events),
+            Ok(v) if v.eq_ignore_ascii_case("spans") => Some(TraceMode::Spans),
             Ok(_) => Some(TraceMode::Summary),
             Err(_) => None,
         }
+    }
+
+    /// Whether this mode retains the structured event log (Events and
+    /// the strictly-richer Spans mode both do).
+    pub fn keeps_events(self) -> bool {
+        matches!(self, TraceMode::Events | TraceMode::Spans)
+    }
+
+    /// Whether this mode additionally records wall-clock spans.
+    pub fn keeps_spans(self) -> bool {
+        matches!(self, TraceMode::Spans)
     }
 }
 
@@ -332,6 +351,272 @@ impl Event {
     }
 }
 
+/// An [`Event`] tagged with the campaign label and trial index that
+/// produced it (when it was recorded inside
+/// [`with_trial_context`] — i.e. inside an `ulp-exec` trial).
+///
+/// The JSONL rendering keeps the underlying event's stable key order
+/// and appends `"campaign"`/`"trial"` keys before the closing brace, so
+/// untagged consumers (and the `^{"event":"…"}` CI grep) keep working.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaggedEvent {
+    /// The solver event itself.
+    pub event: Event,
+    /// Campaign label (`Ensemble::label`) active at record time.
+    pub campaign: Option<Arc<str>>,
+    /// Trial index within the campaign active at record time.
+    pub trial: Option<usize>,
+}
+
+impl TaggedEvent {
+    /// An untagged wrapper (no campaign context).
+    pub fn untagged(event: Event) -> Self {
+        TaggedEvent {
+            event,
+            campaign: None,
+            trial: None,
+        }
+    }
+
+    /// Renders the tagged event as one JSON object: the underlying
+    /// event's rendering with `campaign`/`trial` keys spliced in when
+    /// present.
+    pub fn to_json(&self) -> String {
+        let mut s = self.event.to_json();
+        if self.campaign.is_none() && self.trial.is_none() {
+            return s;
+        }
+        s.pop(); // strip the closing brace, re-append after the tags
+        if let Some(c) = &self.campaign {
+            let _ = write!(s, ",\"campaign\":\"{}\"", json_escape(c));
+        }
+        if let Some(t) = self.trial {
+            let _ = write!(s, ",\"trial\":{t}");
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(raw: &str) -> String {
+    raw.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// One completed wall-clock span on the process-monotonic timeline:
+/// the unit of the Chrome trace-event export.
+///
+/// Spans form the campaign → trial → analysis phase → newton attempt
+/// hierarchy implicitly, by time-nesting on each worker's timeline —
+/// Perfetto reconstructs the stack from containment, so no explicit
+/// parent pointers are needed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Span category (`campaign`, `trial`, `phase`, `newton`).
+    pub cat: &'static str,
+    /// Human-readable span name (campaign label, analysis name, …).
+    pub name: String,
+    /// Trial index, when the span ran inside a trial.
+    pub trial: Option<usize>,
+    /// Worker index whose timeline the span belongs to (rendered as the
+    /// Chrome trace `tid`).
+    pub worker: usize,
+    /// Start offset from the process trace epoch, µs.
+    pub start_us: f64,
+    /// Duration, µs.
+    pub dur_us: f64,
+}
+
+impl SpanEvent {
+    /// Renders the span as one Chrome trace-event object (`"ph":"X"`
+    /// complete event; `ts`/`dur` in microseconds).
+    pub fn to_chrome_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let _ = write!(
+            s,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}",
+            json_escape(&self.name),
+            self.cat,
+            json_num(self.start_us),
+            json_num(self.dur_us),
+            self.worker
+        );
+        if let Some(t) = self.trial {
+            let _ = write!(s, ",\"args\":{{\"trial\":{t}}}");
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// The process-wide monotonic epoch all span timestamps are measured
+/// from (fixed on first touch — installing the global collector touches
+/// it so campaign timelines start near zero).
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds from the trace epoch to `t` (0 for instants predating
+/// the epoch, which cannot happen for spans recorded after any
+/// telemetry call).
+fn epoch_us(t: Instant) -> f64 {
+    t.saturating_duration_since(epoch()).as_secs_f64() * 1e6
+}
+
+/// Renders spans as a Chrome trace-event JSON document (the
+/// `{"traceEvents":[…]}` object form), loadable in Perfetto or
+/// `chrome://tracing`.
+pub fn render_chrome_trace(spans: &[SpanEvent]) -> String {
+    let mut s = String::with_capacity(64 + spans.len() * 128);
+    s.push_str("{\"traceEvents\":[");
+    for (k, span) in spans.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        s.push('\n');
+        s.push_str(&span.to_chrome_json());
+    }
+    s.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    s
+}
+
+/// Validates a Chrome trace-event JSON document with the crate's own
+/// JSON reader: the top level must hold a `traceEvents` array whose
+/// every element is a complete (`"ph":"X"`) event with a name, a
+/// category, numeric non-negative `ts`/`dur` and integer `pid`/`tid`.
+/// Returns the number of trace events.
+///
+/// # Errors
+///
+/// A description of the first structural violation.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    use crate::sarif::JsonValue;
+    let doc = crate::sarif::parse_json(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .ok_or("no traceEvents array at top level")?;
+    for (k, ev) in events.iter().enumerate() {
+        let ctx = format!("traceEvents[{k}]");
+        for key in ["name", "cat", "ph"] {
+            if ev.get(key).and_then(JsonValue::as_str).is_none() {
+                return Err(format!("{ctx}: missing string {key:?}"));
+            }
+        }
+        if ev.get("ph").and_then(JsonValue::as_str) != Some("X") {
+            return Err(format!("{ctx}: only \"X\" complete events are emitted"));
+        }
+        for key in ["ts", "dur", "pid", "tid"] {
+            let Some(v) = ev.get(key).and_then(JsonValue::as_num) else {
+                return Err(format!("{ctx}: missing numeric {key:?}"));
+            };
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{ctx}: {key} = {v} out of range"));
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+thread_local! {
+    /// The campaign label and trial index of the `ulp-exec` trial
+    /// currently executing on this thread, if any — consulted when
+    /// retaining events/spans so telemetry is attributable to the trial
+    /// that produced it.
+    static TRIAL_CTX: std::cell::RefCell<Option<(Arc<str>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's trial context set to `(campaign, trial)`;
+/// events and spans recorded inside are tagged with it. The previous
+/// context is restored on exit (also on unwind).
+pub fn with_trial_context<R>(campaign: Arc<str>, trial: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<(Arc<str>, usize)>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            TRIAL_CTX.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+    let prev = TRIAL_CTX.with(|c| c.borrow_mut().replace((campaign, trial)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The active trial context, if any.
+fn current_trial_context() -> (Option<Arc<str>>, Option<usize>) {
+    TRIAL_CTX.with(|c| match &*c.borrow() {
+        Some((label, trial)) => (Some(label.clone()), Some(*trial)),
+        None => (None, None),
+    })
+}
+
+/// A point-in-time snapshot of the deterministic solver counters — the
+/// per-trial cost ledger diffs two of these around each trial.
+///
+/// Every field counts discrete solver work (no wall-clock), so a
+/// ledger built from these is byte-identical at any `ULP_JOBS`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverCounters {
+    /// Newton attempts (direct solves and ladder rungs).
+    pub attempts: usize,
+    /// Attempts that converged.
+    pub solves: usize,
+    /// Attempts that did not converge.
+    pub failures: usize,
+    /// Total Newton iterations.
+    pub newton_iterations: usize,
+    /// Solves that engaged the gmin ladder.
+    pub gmin_fallbacks: usize,
+    /// Full symbolic (pivot-choosing) factorizations.
+    pub symbolic_factorizations: usize,
+    /// Pattern-reusing numeric refactorizations.
+    pub numeric_refactorizations: usize,
+    /// Transient steps accepted.
+    pub tran_steps: usize,
+    /// AC frequency points solved.
+    pub ac_points: usize,
+    /// DC sweep points solved.
+    pub sweep_points: usize,
+    /// Noise frequency points solved.
+    pub noise_points: usize,
+}
+
+impl SolverCounters {
+    /// The counters accrued since `earlier` (a snapshot taken on the
+    /// same collector before the work being measured).
+    pub fn delta_since(self, earlier: SolverCounters) -> SolverCounters {
+        SolverCounters {
+            attempts: self.attempts.saturating_sub(earlier.attempts),
+            solves: self.solves.saturating_sub(earlier.solves),
+            failures: self.failures.saturating_sub(earlier.failures),
+            newton_iterations: self
+                .newton_iterations
+                .saturating_sub(earlier.newton_iterations),
+            gmin_fallbacks: self.gmin_fallbacks.saturating_sub(earlier.gmin_fallbacks),
+            symbolic_factorizations: self
+                .symbolic_factorizations
+                .saturating_sub(earlier.symbolic_factorizations),
+            numeric_refactorizations: self
+                .numeric_refactorizations
+                .saturating_sub(earlier.numeric_refactorizations),
+            tran_steps: self.tran_steps.saturating_sub(earlier.tran_steps),
+            ac_points: self.ac_points.saturating_sub(earlier.ac_points),
+            sweep_points: self.sweep_points.saturating_sub(earlier.sweep_points),
+            noise_points: self.noise_points.saturating_sub(earlier.noise_points),
+        }
+    }
+}
+
 /// A sink for solver events.
 ///
 /// Implementations must be cheap to call; the drivers consult
@@ -507,6 +792,25 @@ impl SimMetrics {
         &self.phases
     }
 
+    /// The deterministic counter subset as a cheap [`SolverCounters`]
+    /// snapshot — what the per-trial cost ledger diffs around each
+    /// trial.
+    pub fn counters(&self) -> SolverCounters {
+        SolverCounters {
+            attempts: self.attempts,
+            solves: self.solves,
+            failures: self.failures,
+            newton_iterations: self.newton_iterations,
+            gmin_fallbacks: self.gmin_fallbacks,
+            symbolic_factorizations: self.symbolic_factorizations,
+            numeric_refactorizations: self.numeric_refactorizations,
+            tran_steps: self.tran_steps,
+            ac_points: self.ac_points,
+            sweep_points: self.sweep_points,
+            noise_points: self.noise_points,
+        }
+    }
+
     /// Folds another aggregate into this one: counters add, the maximum
     /// dimension takes the max, and the exact iteration sample set is
     /// concatenated — so percentiles of the merged aggregate equal the
@@ -578,22 +882,37 @@ impl SimMetrics {
     }
 }
 
-/// A [`Tracer`] that aggregates [`SimMetrics`] and (in
-/// [`TraceMode::Events`]) retains the full event log.
+/// A [`Tracer`] that aggregates [`SimMetrics`], retains the full event
+/// log in [`TraceMode::Events`] and additionally records wall-clock
+/// spans and registry metrics in [`TraceMode::Spans`].
 #[derive(Debug, Clone)]
 pub struct MetricsCollector {
     mode: TraceMode,
     metrics: SimMetrics,
-    events: Vec<Event>,
+    events: Vec<TaggedEvent>,
+    spans: Vec<SpanEvent>,
+    registry: Registry,
+    /// Worker index this collector shards for (0 for the global
+    /// collector and for serial campaigns); stamps recorded spans.
+    worker: usize,
 }
 
 impl MetricsCollector {
-    /// Creates a collector in the given mode.
+    /// Creates a collector in the given mode (worker index 0).
     pub fn new(mode: TraceMode) -> Self {
+        MetricsCollector::for_worker(mode, 0)
+    }
+
+    /// Creates a collector sharding for the given worker index; spans it
+    /// records carry that index as their Chrome-trace `tid`.
+    pub fn for_worker(mode: TraceMode, worker: usize) -> Self {
         MetricsCollector {
             mode,
             metrics: SimMetrics::default(),
             events: Vec::new(),
+            spans: Vec::new(),
+            registry: Registry::new(),
+            worker,
         }
     }
 
@@ -602,14 +921,53 @@ impl MetricsCollector {
         &self.metrics
     }
 
+    /// The collector's worker index.
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
     /// The retained events (empty in [`TraceMode::Summary`]).
-    pub fn events(&self) -> &[Event] {
+    pub fn events(&self) -> &[TaggedEvent] {
         &self.events
     }
 
+    /// The recorded spans (empty outside [`TraceMode::Spans`]).
+    pub fn spans(&self) -> &[SpanEvent] {
+        &self.spans
+    }
+
+    /// This collector's metrics-registry shard.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Mutable access to the registry shard.
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
     /// Takes the retained events, leaving the log empty.
-    pub fn take_events(&mut self) -> Vec<Event> {
+    pub fn take_events(&mut self) -> Vec<TaggedEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Takes the recorded spans, leaving the span log empty.
+    pub fn take_spans(&mut self) -> Vec<SpanEvent> {
+        std::mem::take(&mut self.spans)
+    }
+
+    /// Records one completed span (no-op outside [`TraceMode::Spans`]).
+    pub fn record_span(&mut self, cat: &'static str, name: &str, trial: Option<usize>, start_us: f64, dur_us: f64) {
+        if self.mode.keeps_spans() {
+            self.spans.push(SpanEvent {
+                cat,
+                name: name.to_string(),
+                trial,
+                worker: self.worker,
+                start_us,
+                dur_us,
+            });
+        }
     }
 
     /// Renders the retained events as JSONL (one object per line,
@@ -623,21 +981,51 @@ impl MetricsCollector {
         s
     }
 
-    /// Clears aggregates and events.
+    /// Clears aggregates, events, spans and the registry shard.
     pub fn reset(&mut self) {
         self.metrics = SimMetrics::default();
         self.events.clear();
+        self.spans.clear();
+        self.registry = Registry::new();
     }
 
     /// Folds another collector into this one: aggregates merge via
-    /// [`SimMetrics::merge`]; retained events are appended when *this*
-    /// collector keeps events (the other's log is empty anyway unless it
-    /// also ran in [`TraceMode::Events`]).
+    /// [`SimMetrics::merge`], registry shards via [`Registry::merge`];
+    /// retained events/spans are appended when *this* collector keeps
+    /// them. Folding workers in worker-index order keeps the merged
+    /// logs deterministic.
     pub fn merge(&mut self, other: &MetricsCollector) {
         self.metrics.merge(&other.metrics);
-        if self.mode == TraceMode::Events {
+        self.registry.merge(&other.registry);
+        if self.mode.keeps_events() {
             self.events.extend(other.events.iter().cloned());
         }
+        if self.mode.keeps_spans() {
+            self.spans.extend(other.spans.iter().cloned());
+        }
+    }
+
+    /// Synthesises a span from an already-timed solver event (Newton
+    /// attempts and phases carry their own duration, so the span's start
+    /// is reconstructed as `now − duration` on this worker's timeline).
+    fn synth_span(&mut self, event: &Event, trial: Option<usize>) {
+        let (cat, name, seconds): (&'static str, String, f64) = match event {
+            Event::NewtonAttempt {
+                analysis, seconds, ..
+            } => ("newton", (*analysis).to_string(), *seconds),
+            Event::Phase { name, seconds } => ("phase", name.clone(), *seconds),
+            _ => return,
+        };
+        let end_us = epoch_us(Instant::now());
+        let dur_us = (seconds * 1e6).max(0.0);
+        self.spans.push(SpanEvent {
+            cat,
+            name,
+            trial,
+            worker: self.worker,
+            start_us: (end_us - dur_us).max(0.0),
+            dur_us,
+        });
     }
 }
 
@@ -650,8 +1038,34 @@ impl Default for MetricsCollector {
 impl Tracer for MetricsCollector {
     fn record(&mut self, event: &Event) {
         self.metrics.absorb(event);
-        if self.mode == TraceMode::Events {
-            self.events.push(event.clone());
+        if self.mode.keeps_events() {
+            let (campaign, trial) = current_trial_context();
+            if self.mode.keeps_spans() {
+                self.synth_span(event, trial);
+            }
+            self.events.push(TaggedEvent {
+                event: event.clone(),
+                campaign,
+                trial,
+            });
+        }
+    }
+}
+
+/// The decided global tracing state: the mode outside the `Mutex` so
+/// hot-path mode checks never contend with a collector holding the
+/// lock.
+struct Global {
+    mode: TraceMode,
+    collector: Mutex<MetricsCollector>,
+}
+
+impl Global {
+    fn new(mode: TraceMode) -> Global {
+        let _ = epoch(); // pin the span timeline origin at install time
+        Global {
+            mode,
+            collector: Mutex::new(MetricsCollector::new(mode)),
         }
     }
 }
@@ -659,10 +1073,10 @@ impl Tracer for MetricsCollector {
 /// The process-global collector, decided once: either installed
 /// programmatically via [`install_global`] or from `ULP_TRACE` on first
 /// touch.
-static GLOBAL: OnceLock<Option<Mutex<MetricsCollector>>> = OnceLock::new();
+static GLOBAL: OnceLock<Option<Global>> = OnceLock::new();
 
-fn global_cell() -> &'static Option<Mutex<MetricsCollector>> {
-    GLOBAL.get_or_init(|| TraceMode::from_env().map(|m| Mutex::new(MetricsCollector::new(m))))
+fn global_cell() -> &'static Option<Global> {
+    GLOBAL.get_or_init(|| TraceMode::from_env().map(Global::new))
 }
 
 fn lock(m: &Mutex<MetricsCollector>) -> std::sync::MutexGuard<'_, MetricsCollector> {
@@ -674,7 +1088,7 @@ fn lock(m: &Mutex<MetricsCollector>) -> std::sync::MutexGuard<'_, MetricsCollect
 /// by a prior call or by any earlier default-API analysis (which reads
 /// `ULP_TRACE` on first touch).
 pub fn install_global(mode: TraceMode) -> bool {
-    GLOBAL.set(Some(Mutex::new(MetricsCollector::new(mode)))).is_ok()
+    GLOBAL.set(Some(Global::new(mode))).is_ok()
 }
 
 /// Whether a global collector is active.
@@ -682,9 +1096,10 @@ pub fn global_enabled() -> bool {
     global_cell().is_some()
 }
 
-/// The global collector's mode, if one is active.
+/// The global collector's mode, if one is active (lock-free after the
+/// first touch).
 pub fn global_mode() -> Option<TraceMode> {
-    global_cell().as_ref().map(|m| lock(m).mode)
+    global_cell().as_ref().map(|g| g.mode)
 }
 
 thread_local! {
@@ -717,10 +1132,20 @@ impl Drop for WorkerSlotGuard {
 /// all workers, in a deterministic worker order, keeps the global event
 /// log's ordering independent of thread scheduling.
 pub fn worker_capture<R>(f: impl FnOnce() -> R) -> (R, Option<MetricsCollector>) {
+    worker_capture_on(0, f)
+}
+
+/// [`worker_capture`] with an explicit worker index: the captured
+/// collector shards for worker `worker`, stamping its index on recorded
+/// spans so each pool worker renders as its own Chrome-trace timeline.
+pub fn worker_capture_on<R>(
+    worker: usize,
+    f: impl FnOnce() -> R,
+) -> (R, Option<MetricsCollector>) {
     let Some(mode) = global_mode() else {
         return (f(), None);
     };
-    WORKER.with(|w| *w.borrow_mut() = Some(MetricsCollector::new(mode)));
+    WORKER.with(|w| *w.borrow_mut() = Some(MetricsCollector::for_worker(mode, worker)));
     let guard = WorkerSlotGuard;
     let r = f();
     let mc = WORKER.with(|w| w.borrow_mut().take());
@@ -731,9 +1156,69 @@ pub fn worker_capture<R>(f: impl FnOnce() -> R) -> (R, Option<MetricsCollector>)
 /// Folds a worker collector (from [`worker_capture`]) into the global
 /// collector. A no-op when tracing is off.
 pub fn fold_worker(mc: &MetricsCollector) {
-    if let Some(m) = global_cell() {
-        lock(m).merge(mc);
+    if let Some(g) = global_cell() {
+        lock(&g.collector).merge(mc);
     }
+}
+
+/// Runs `f` against the active *collector*: this thread's worker
+/// collector when installed, else the global one. Returns `None` (and
+/// does not run `f`) when tracing is off.
+fn with_collector<R>(f: impl FnOnce(&mut MetricsCollector) -> R) -> Option<R> {
+    let worker_active = WORKER.with(|w| w.borrow().is_some());
+    if worker_active {
+        return Some(WORKER.with(|w| {
+            f(w.borrow_mut().as_mut().expect("worker collector installed"))
+        }));
+    }
+    global_cell().as_ref().map(|g| f(&mut lock(&g.collector)))
+}
+
+/// A snapshot of the deterministic solver counters accumulated *on this
+/// thread's worker collector* (`None` when no worker collector is
+/// installed — i.e. outside a traced campaign). The cost ledger diffs
+/// two of these around each trial; reading only the thread-local shard
+/// keeps it lock-free.
+pub fn local_counters() -> Option<SolverCounters> {
+    WORKER.with(|w| w.borrow().as_ref().map(|mc| mc.metrics.counters()))
+}
+
+/// Adds `delta` to the named registry counter on the active collector.
+/// A no-op when tracing is off.
+pub fn counter_add(name: &str, delta: u64) {
+    with_collector(|mc| mc.registry.counter_add(name, delta));
+}
+
+/// Sets the named registry gauge on the active collector. A no-op when
+/// tracing is off.
+pub fn gauge_set(name: &str, value: f64) {
+    with_collector(|mc| mc.registry.gauge_set(name, value));
+}
+
+/// Records one wall-clock observation into the named registry histogram
+/// on the active collector. A no-op when tracing is off.
+pub fn observe_seconds(name: &str, seconds: f64) {
+    with_collector(|mc| mc.registry.observe_seconds(name, seconds));
+}
+
+/// Whether span recording is active (global mode is
+/// [`TraceMode::Spans`]).
+pub fn spans_enabled() -> bool {
+    global_mode().is_some_and(TraceMode::keeps_spans)
+}
+
+/// Times `f` and records a completed span with the given category/name
+/// on the active collector. A plain call when span recording is off.
+pub fn span<R>(cat: &'static str, name: &str, trial: Option<usize>, f: impl FnOnce() -> R) -> R {
+    if !spans_enabled() {
+        return f();
+    }
+    let t0 = Instant::now();
+    let r = f();
+    let start_us = epoch_us(t0);
+    let dur_us = t0.elapsed().as_secs_f64() * 1e6;
+    with_collector(|mc| mc.record_span(cat, name, trial, start_us, dur_us));
+    r
 }
 
 /// Runs `f` with the active tracer: this thread's worker collector when
@@ -752,22 +1237,53 @@ pub fn with_tracer<R>(f: impl FnOnce(&mut dyn Tracer) -> R) -> R {
         });
     }
     match global_cell() {
-        Some(m) => f(&mut *lock(m)),
+        Some(g) => f(&mut *lock(&g.collector)),
         None => f(&mut NullTracer),
     }
 }
 
 /// A snapshot of the global aggregates (`None` when tracing is off).
 pub fn snapshot() -> Option<SimMetrics> {
-    global_cell().as_ref().map(|m| lock(m).metrics().clone())
+    global_cell()
+        .as_ref()
+        .map(|g| lock(&g.collector).metrics().clone())
+}
+
+/// A snapshot of the global metrics registry (`None` when tracing is
+/// off; empty until worker shards fold in or global-path metrics are
+/// recorded).
+pub fn registry_snapshot() -> Option<Registry> {
+    global_cell()
+        .as_ref()
+        .map(|g| lock(&g.collector).registry().clone())
 }
 
 /// Takes the globally retained events (empty unless the global
-/// collector is active in [`TraceMode::Events`]).
-pub fn take_events() -> Vec<Event> {
+/// collector keeps events — [`TraceMode::Events`] or
+/// [`TraceMode::Spans`]).
+pub fn take_events() -> Vec<TaggedEvent> {
     global_cell()
         .as_ref()
-        .map(|m| lock(m).take_events())
+        .map(|g| lock(&g.collector).take_events())
+        .unwrap_or_default()
+}
+
+/// Clones the globally recorded spans without draining them (empty
+/// outside [`TraceMode::Spans`]). Use this for mid-run validation;
+/// the end-of-run exporter uses the draining [`take_spans`].
+pub fn spans_snapshot() -> Vec<SpanEvent> {
+    global_cell()
+        .as_ref()
+        .map(|g| lock(&g.collector).spans().to_vec())
+        .unwrap_or_default()
+}
+
+/// Takes the globally recorded spans (empty outside
+/// [`TraceMode::Spans`]).
+pub fn take_spans() -> Vec<SpanEvent> {
+    global_cell()
+        .as_ref()
+        .map(|g| lock(&g.collector).take_spans())
         .unwrap_or_default()
 }
 
@@ -1065,5 +1581,155 @@ mod tests {
         assert_eq!(mc.metrics().attempts, 1); // metrics survive the take
         mc.reset();
         assert_eq!(mc.metrics().attempts, 0);
+    }
+
+    #[test]
+    fn trace_mode_lattice_and_env_spelling() {
+        assert!(!TraceMode::Summary.keeps_events());
+        assert!(TraceMode::Events.keeps_events());
+        assert!(TraceMode::Spans.keeps_events());
+        assert!(!TraceMode::Events.keeps_spans());
+        assert!(TraceMode::Spans.keeps_spans());
+    }
+
+    #[test]
+    fn events_are_tagged_with_the_active_trial_context() {
+        let mut mc = MetricsCollector::new(TraceMode::Events);
+        mc.record(&attempt(2, true, None));
+        with_trial_context(Arc::from("yield"), 17, || {
+            mc.record(&attempt(3, true, None));
+        });
+        mc.record(&attempt(4, true, None));
+        let ev = mc.events();
+        assert_eq!(ev.len(), 3);
+        assert_eq!((ev[0].campaign.as_deref(), ev[0].trial), (None, None));
+        assert_eq!((ev[1].campaign.as_deref(), ev[1].trial), (Some("yield"), Some(17)));
+        assert_eq!((ev[2].campaign.as_deref(), ev[2].trial), (None, None));
+        // Tagged JSONL keeps the leading "event" key (the CI grep
+        // contract) and appends the tags before the closing brace.
+        let line = ev[1].to_json();
+        assert!(line.starts_with("{\"event\":\"newton_attempt\""), "{line}");
+        assert!(line.ends_with(",\"campaign\":\"yield\",\"trial\":17}"), "{line}");
+        // Untagged events render byte-identically to the bare event.
+        assert_eq!(ev[0].to_json(), ev[0].event.to_json());
+    }
+
+    #[test]
+    fn trial_context_restores_on_unwind() {
+        let r = std::panic::catch_unwind(|| {
+            with_trial_context(Arc::from("c"), 0, || panic!("boom"))
+        });
+        assert!(r.is_err());
+        assert_eq!(current_trial_context(), (None, None));
+    }
+
+    #[test]
+    fn spans_mode_synthesises_newton_and_phase_spans() {
+        let mut mc = MetricsCollector::for_worker(TraceMode::Spans, 3);
+        mc.record(&attempt(5, true, None));
+        mc.record(&Event::Phase {
+            name: "exec::yield".into(),
+            seconds: 1e-3,
+        });
+        mc.record(&Event::TranStep {
+            step: 1,
+            time: 1e-9,
+            newton_iterations: 2,
+            method: "backward-euler",
+            seconds: 0.0,
+        });
+        let spans = mc.spans();
+        assert_eq!(spans.len(), 2, "tran steps synthesise no span");
+        assert_eq!((spans[0].cat, spans[0].worker), ("newton", 3));
+        assert_eq!((spans[1].cat, spans[1].name.as_str()), ("phase", "exec::yield"));
+        assert!(spans[1].dur_us >= 999.0, "duration carried over: {}", spans[1].dur_us);
+        assert!(spans.iter().all(|s| s.start_us >= 0.0 && s.dur_us >= 0.0));
+        // Events are retained too: Spans is a superset of Events.
+        assert_eq!(mc.events().len(), 3);
+        // Summary/Events collectors record no spans.
+        let mut plain = MetricsCollector::new(TraceMode::Events);
+        plain.record(&attempt(2, true, None));
+        plain.record_span("trial", "t", Some(0), 0.0, 1.0);
+        assert!(plain.spans().is_empty());
+    }
+
+    #[test]
+    fn chrome_trace_renders_and_validates() {
+        let spans = vec![
+            SpanEvent {
+                cat: "campaign",
+                name: "exec::yield".into(),
+                trial: None,
+                worker: 0,
+                start_us: 0.0,
+                dur_us: 1000.0,
+            },
+            SpanEvent {
+                cat: "trial",
+                name: "yield \"quoted\"".into(),
+                trial: Some(4),
+                worker: 1,
+                start_us: 10.5,
+                dur_us: 250.25,
+            },
+        ];
+        let doc = render_chrome_trace(&spans);
+        assert_eq!(validate_chrome_trace(&doc).unwrap(), 2);
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"args\":{\"trial\":4}"));
+        assert_eq!(validate_chrome_trace("{\"traceEvents\":[]}").unwrap(), 0);
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err());
+        assert!(
+            validate_chrome_trace(
+                "{\"traceEvents\":[{\"name\":\"a\",\"cat\":\"c\",\"ph\":\"B\",\"ts\":0,\"dur\":0,\"pid\":1,\"tid\":0}]}"
+            )
+            .is_err(),
+            "only complete events"
+        );
+    }
+
+    #[test]
+    fn solver_counters_snapshot_and_delta() {
+        let mut mc = MetricsCollector::new(TraceMode::Summary);
+        mc.record(&attempt(4, true, None));
+        let before = mc.metrics().counters();
+        mc.record(&attempt(6, true, Some(0)));
+        let after = mc.metrics().counters();
+        let d = after.delta_since(before);
+        assert_eq!(d.attempts, 1);
+        assert_eq!(d.newton_iterations, 6);
+        assert_eq!(d.gmin_fallbacks, 1);
+        assert_eq!(d.solves, 1);
+        assert_eq!(SolverCounters::default().delta_since(after), SolverCounters::default());
+    }
+
+    #[test]
+    fn collector_merge_carries_spans_and_registry() {
+        let mut w0 = MetricsCollector::for_worker(TraceMode::Spans, 0);
+        w0.record_span("trial", "a", Some(0), 0.0, 5.0);
+        w0.registry_mut().counter_add("ulp_trials_total", 2);
+        let mut w1 = MetricsCollector::for_worker(TraceMode::Spans, 1);
+        w1.record_span("trial", "b", Some(1), 1.0, 5.0);
+        w1.registry_mut().counter_add("ulp_trials_total", 3);
+        let mut global = MetricsCollector::new(TraceMode::Spans);
+        global.merge(&w0);
+        global.merge(&w1);
+        assert_eq!(global.spans().len(), 2);
+        assert_eq!(global.spans()[0].worker, 0);
+        assert_eq!(global.spans()[1].worker, 1);
+        assert_eq!(
+            global.registry().get("ulp_trials_total"),
+            Some(&crate::registry::Metric::Counter(5))
+        );
+        // A summary-mode sink still folds the registry (counters are
+        // deterministic) but drops spans.
+        let mut summary = MetricsCollector::new(TraceMode::Summary);
+        summary.merge(&w0);
+        assert!(summary.spans().is_empty());
+        assert_eq!(
+            summary.registry().get("ulp_trials_total"),
+            Some(&crate::registry::Metric::Counter(2))
+        );
     }
 }

@@ -528,7 +528,7 @@ mod tests {
         let steps: Vec<usize> = mc
             .events()
             .iter()
-            .filter_map(|e| match e {
+            .filter_map(|e| match &e.event {
                 Event::TranStep { step, method, .. } => {
                     assert_eq!(*method, "backward-euler");
                     Some(*step)

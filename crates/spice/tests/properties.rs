@@ -280,3 +280,118 @@ proptest! {
         }
     }
 }
+
+/// One synthetic solver event, parameterized so shrunken cases stay
+/// meaningful. Iteration counts are drawn from a narrow range to force
+/// percentile ties, and wall times are dyadic rationals so f64 sums
+/// are exact in any association order.
+fn synth_event(kind: u8, iters: usize, converged: bool, rung: u8) -> ulp_spice::telemetry::Event {
+    use ulp_spice::telemetry::Event;
+    let seconds = iters as f64 * 0.25;
+    match kind % 5 {
+        0 => Event::NewtonAttempt {
+            analysis: "dcop",
+            gmin: 1e-12,
+            rung: if rung == 0 { None } else { Some(rung as usize - 1) },
+            iterations: iters,
+            converged,
+            residual: 1e-9,
+            max_delta: 1e-6,
+            clamps: iters / 2,
+            lu_dim: 8,
+            lu_swaps: iters,
+            lu_symbolic: 1,
+            lu_refactor: iters.saturating_sub(1),
+            seconds,
+        },
+        1 => Event::TranStep {
+            step: iters,
+            time: seconds,
+            newton_iterations: iters,
+            method: "trapezoidal",
+            seconds,
+        },
+        2 => Event::AcPoint {
+            index: iters,
+            freq: 1e3,
+            lu_symbolic: usize::from(converged),
+            lu_refactor: iters,
+            seconds,
+        },
+        3 => Event::SweepPoint {
+            index: iters,
+            value: 0.5,
+            newton_iterations: iters,
+            seconds,
+        },
+        _ => Event::NoisePoint {
+            index: iters,
+            freq: 1e3,
+            sources: iters,
+            seconds,
+        },
+    }
+}
+
+/// The derived statistics the observability pipeline reports; the
+/// fold-order contract is stated over these, not over the raw structs
+/// (whose internal sample order legitimately differs).
+fn derived_stats(m: &ulp_spice::telemetry::SimMetrics) -> (ulp_spice::telemetry::SolverCounters, usize, usize, usize, u64, String) {
+    (
+        m.counters(),
+        m.p50_iterations(),
+        m.p95_iterations(),
+        m.max_iterations(),
+        m.solve_seconds.to_bits(),
+        m.summary(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `SimMetrics::merge` is fold-order invariant for every derived
+    /// statistic: splitting an event stream into per-worker shards and
+    /// folding the shards in *any* order — or not sharding at all —
+    /// yields identical counters, percentiles, wall-time total and
+    /// summary footer. This is the contract `fold_worker` relies on.
+    /// Shards may be empty, streams may be a single event, and the
+    /// narrow iteration range forces percentile ties.
+    #[test]
+    fn sim_metrics_merge_is_fold_order_invariant(
+        events in prop::collection::vec((0u8..5, 1usize..5, any::<bool>(), 0u8..3), 0..48),
+        shards in 1usize..5,
+    ) {
+        use ulp_spice::telemetry::SimMetrics;
+        // One-pass reference: absorb everything into a single collector.
+        let mut reference = SimMetrics::default();
+        let evs: Vec<_> = events.iter().map(|&(k, i, c, r)| synth_event(k, i, c, r)).collect();
+        for e in &evs {
+            reference.absorb(e);
+        }
+        // Shard round-robin (some shards may stay empty), then fold
+        // forward and reverse.
+        let mut parts = vec![SimMetrics::default(); shards];
+        for (k, e) in evs.iter().enumerate() {
+            parts[k % shards].absorb(e);
+        }
+        let mut forward = SimMetrics::default();
+        for p in &parts {
+            forward.merge(p);
+        }
+        let mut reverse = SimMetrics::default();
+        for p in parts.iter().rev() {
+            reverse.merge(p);
+        }
+        // Associativity: ((a+b)+c)+... vs a+(b+(c+...)).
+        let mut right = parts.last().cloned().unwrap_or_default();
+        for p in parts.iter().rev().skip(1) {
+            let mut acc = p.clone();
+            acc.merge(&right);
+            right = acc;
+        }
+        prop_assert_eq!(derived_stats(&forward), derived_stats(&reference));
+        prop_assert_eq!(derived_stats(&reverse), derived_stats(&reference));
+        prop_assert_eq!(derived_stats(&right), derived_stats(&reference));
+    }
+}

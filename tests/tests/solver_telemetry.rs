@@ -76,7 +76,7 @@ fn one_collector_aggregates_across_analyses() {
     let newton_events = mc
         .events()
         .iter()
-        .filter(|e| matches!(e, Event::NewtonAttempt { .. }))
+        .filter(|e| matches!(e.event, Event::NewtonAttempt { .. }))
         .count();
     assert_eq!(newton_events, m.attempts);
     let jsonl = mc.render_jsonl();
