@@ -34,6 +34,25 @@ for f in results/lint/scl-buffer-100p.sarif results/lint/scl-buffer-1n.sarif \
 done
 echo "design lints + SARIF exports OK"
 
+# Sound certification: every builder netlist must certify
+# proved-nonsingular with unproven denied, the merged SARIF must parse
+# (--check) and carry the right version, the Prometheus counters must
+# validate, and the whole export must be byte-deterministic: two runs,
+# identical files.
+cargo run --release -q -p ulp-bench --bin ulp_certify -- --deny-unproven --check
+test -s results/lint/certify.sarif
+grep -q '"version": "2.1.0"' results/lint/certify.sarif
+test -s results/lint/certify.prom
+grep -q '^ulp_certified_total ' results/lint/certify.prom
+grep -q '^ulp_certify_unproven_total 0$' results/lint/certify.prom
+cp results/lint/certify.sarif results/lint/certify.sarif.run1
+cp results/lint/certify.prom results/lint/certify.prom.run1
+cargo run --release -q -p ulp-bench --bin ulp_certify -- --deny-unproven --check > /dev/null
+cmp results/lint/certify.sarif results/lint/certify.sarif.run1
+cmp results/lint/certify.prom results/lint/certify.prom.run1
+rm -f results/lint/certify.sarif.run1 results/lint/certify.prom.run1
+echo "sound certification (proofs + SARIF/Prometheus byte stability) OK"
+
 # Campaign observability: the obs harness runs a 64-die yield campaign
 # and a solver-backed dcop sweep under the span profiler, validates the
 # Chrome trace JSON and the Prometheus exposition with the crate's own

@@ -96,7 +96,12 @@ fn main() {
 
     ulp_bench::header("LINT", "design lints over all builder netlists");
     let tech = Technology::default();
-    let config = LintConfig::from_env();
+    // A set-but-broken ULP_LINT is a configuration error, not something
+    // to lint through silently: name the bad key and stop.
+    let config = LintConfig::try_from_env().unwrap_or_else(|err| {
+        eprintln!("ulp-lint: {err}");
+        std::process::exit(2);
+    });
     let dir = Path::new("results/lint");
     std::fs::create_dir_all(dir).expect("create results/lint");
 

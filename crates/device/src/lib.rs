@@ -38,6 +38,7 @@
 //! ```
 
 pub mod ekv;
+pub mod envelope;
 pub mod hvres;
 pub mod load;
 pub mod mismatch;

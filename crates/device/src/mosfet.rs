@@ -178,7 +178,7 @@ impl Mosfet {
         m
     }
 
-    fn model<'a>(&self, tech: &'a Technology) -> &'a MosModel {
+    pub(crate) fn model<'a>(&self, tech: &'a Technology) -> &'a MosModel {
         match self.polarity {
             Polarity::Nmos => &tech.nmos,
             Polarity::Pmos => &tech.pmos,

@@ -32,6 +32,7 @@
 pub mod complex;
 pub mod fft;
 pub mod interp;
+pub mod interval;
 pub mod lu;
 pub mod matrix;
 pub mod poly;
@@ -39,6 +40,7 @@ pub mod sparse;
 pub mod stats;
 
 pub use complex::Complex;
+pub use interval::{Interval, IntervalLu, IntervalMatrix};
 pub use lu::{ComplexLuFactor, LuFactor, SolveError};
 pub use matrix::{ComplexMatrix, Matrix};
 pub use sparse::{ComplexSparseLu, ComplexSparseMatrix, SparseLu, SparseMatrix};

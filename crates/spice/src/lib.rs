@@ -160,6 +160,58 @@
 //! assert!(sarif::parse_json(&json).is_ok());
 //! ```
 //!
+//! # Sound certification
+//!
+//! Point analyses — and even Monte-Carlo sweeps — can only sample the
+//! PVT/mismatch space. The interval abstract interpreter ([`absint`])
+//! *certifies* it: every device becomes a directed-rounding envelope
+//! over a [`ulp_device::envelope::PvtBox`] (all five process corners,
+//! 233.15–358.15 K, ±6σ Pelgrom mismatch), and [`absint::certify`]
+//! returns a solution enclosure plus proofs — `proved-nonsingular`
+//! (no die in the box can hit [`SimError::Singular`], shown either
+//! structurally or by an interval-Jacobian argument),
+//! `proved-infeasible` (a spec fails on *every* die), or `unproven`
+//! (box too wide; never an error). The certificates and the sound
+//! box variants of the electrical lints join the lint registry under
+//! the `certify` group and render through the same SARIF pipeline:
+//!
+//! ```
+//! use ulp_spice::absint::{certify, CertifyOptions};
+//! use ulp_spice::dcop::DcOperatingPoint;
+//! use ulp_spice::netlist::Netlist;
+//! use ulp_device::load::PmosLoad;
+//! use ulp_device::{Mosfet, Polarity, Technology};
+//!
+//! # fn main() -> Result<(), ulp_spice::SimError> {
+//! // The paper's STSCL buffer at its 1 nA / 200 mV design point.
+//! let mut nl = Netlist::new();
+//! let vdd = nl.node("vdd");
+//! let inp = nl.node("inp");
+//! let inn = nl.node("inn");
+//! let outp = nl.node("outp");
+//! let outn = nl.node("outn");
+//! let cs = nl.node("cs");
+//! nl.vsource("VDD", vdd, Netlist::GROUND, 1.0);
+//! nl.vsource("VINP", inp, Netlist::GROUND, 0.6);
+//! nl.vsource("VINN", inn, Netlist::GROUND, 0.6);
+//! let pair = Mosfet::new(Polarity::Nmos, 1e-6, 0.5e-6);
+//! nl.mosfet("M1", outn, inp, cs, Netlist::GROUND, pair);
+//! nl.mosfet("M2", outp, inn, cs, Netlist::GROUND, pair);
+//! nl.scl_load("RLP", vdd, outp, PmosLoad::new(0.2), 1e-9);
+//! nl.scl_load("RLN", vdd, outn, PmosLoad::new(0.2), 1e-9);
+//! nl.isource("ITAIL", cs, Netlist::GROUND, 1e-9);
+//!
+//! let tech = Technology::default();
+//! let cert = certify(&nl, &tech, &CertifyOptions::default())?;
+//! assert!(cert.proved_nonsingular()); // for every die in the box
+//! assert!(!cert.proved_infeasible());
+//! // Soundness: the concrete solution lies inside the certified box.
+//! let op = DcOperatingPoint::solve(&nl, &tech)?;
+//! assert!(cert.voltage_box(outp).contains(op.voltage(outp)));
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Telemetry
 //!
 //! Every analysis also has a `*_traced` twin taking a
@@ -222,6 +274,7 @@
 //! [`telemetry::worker_capture_on`]/[`telemetry::fold_worker`] seam the
 //! aggregates use.
 
+pub mod absint;
 pub mod ac;
 pub mod dcop;
 pub mod diag;

@@ -72,11 +72,37 @@ pub mod rule {
     /// An explored schedule on which the engine can no longer make
     /// progress (cyclic lock wait or lost wakeup).
     pub const SCHEDULE_DEADLOCK: &str = "schedule-deadlock";
+    /// Certificate: the interval MNA Jacobian is nonsingular over the
+    /// whole PVT/mismatch box — no die in the box can hit
+    /// `SimError::Singular` (emitted by [`crate::absint`]).
+    pub const PROVED_NONSINGULAR: &str = "proved-nonsingular";
+    /// Certificate: an electrical spec is violated over the *entire*
+    /// PVT/mismatch box — design-space exploration may prune the point.
+    pub const PROVED_INFEASIBLE: &str = "proved-infeasible";
+    /// The certifier could not establish a proof either way (the box is
+    /// too wide). Never an error: absence of proof is not a defect.
+    pub const UNPROVEN: &str = "unproven";
+    /// Sound interval variant of [`WEAK_INVERSION`]: the inversion
+    /// coefficient may exceed the weak-inversion bound somewhere in the
+    /// PVT/mismatch box.
+    pub const WEAK_INVERSION_BOX: &str = "weak-inversion-box";
+    /// Sound interval variant of [`SWING_COMPATIBILITY`]: the load swing
+    /// may fall below the steering requirement somewhere in the box.
+    pub const SWING_COMPATIBILITY_BOX: &str = "swing-compatibility-box";
+    /// Sound interval variant of [`VDD_HEADROOM`]: the supply may be
+    /// insufficient for the STSCL stack somewhere in the box.
+    pub const VDD_HEADROOM_BOX: &str = "vdd-headroom-box";
+    /// Sound interval variant of [`MISMATCH_BUDGET`]: the Pelgrom pair
+    /// offset may eat the swing margin somewhere in the box.
+    pub const MISMATCH_BUDGET_BOX: &str = "mismatch-budget-box";
+    /// Sound interval variant of [`RC_TIME_STEP`]: the planned step may
+    /// under-resolve the fastest RC somewhere in the box.
+    pub const RC_TIME_STEP_BOX: &str = "rc-time-step-box";
 }
 
 /// Inversion coefficient above which a device no longer counts as
 /// weakly inverted for the static [`rule::WEAK_INVERSION`] bound.
-const IC_WEAK_MAX: f64 = 0.1;
+pub(crate) const IC_WEAK_MAX: f64 = 0.1;
 
 /// Inversion coefficient above which the post-solve audit flags
 /// [`rule::STRONG_INVERSION`].
@@ -84,19 +110,20 @@ const IC_STRONG: f64 = 1.0;
 
 /// Required swing in multiples of `n·UT` for (near-)complete steering of
 /// a source-coupled pair (`tanh(vid/(2nUT))`: 4 n·UT ≈ 96 % steered).
-const STEERING_NUT: f64 = 4.0;
+pub(crate) const STEERING_NUT: f64 = 4.0;
 
 /// Minimum ratio of signal swing to the Pelgrom pair offset sigma.
-const SIGMA_MARGIN: f64 = 10.0;
+pub(crate) const SIGMA_MARGIN: f64 = 10.0;
 
 /// Minimum timepoints resolving the fastest RC time constant.
-const MIN_POINTS_PER_TAU: f64 = 4.0;
+pub(crate) const MIN_POINTS_PER_TAU: f64 = 4.0;
 
-/// LU pivot ratio above which the audit flags [`rule::NEAR_SINGULAR`].
+/// Default LU pivot ratio above which the audit flags
+/// [`rule::NEAR_SINGULAR`] (see [`LintConfig::near_singular_ratio`]).
 /// Healthy subthreshold MNA systems span ~1 S (source rows) down to
 /// nS-class device conductances — ratios around 1e9; a near-floating
 /// node held up only by gmin pushes past 1e11.
-const NEAR_SINGULAR_RATIO: f64 = 1e11;
+pub const NEAR_SINGULAR_RATIO: f64 = 1e11;
 
 /// How a configured rule's findings are treated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,6 +183,11 @@ pub enum LintGroup {
     /// model checker (reported through the same SARIF pipeline so
     /// concurrency audits land next to electrical lints).
     Concurrency,
+    /// Sound certificates from the interval abstract interpreter
+    /// ([`crate::absint`]): nonsingularity/feasibility proofs and the
+    /// box variants of the electrical lints, quantified over the whole
+    /// PVT/mismatch box rather than a point.
+    Certify,
 }
 
 impl LintGroup {
@@ -167,6 +199,7 @@ impl LintGroup {
             LintGroup::Electrical => "electrical",
             LintGroup::Numerics => "numerics",
             LintGroup::Concurrency => "concurrency",
+            LintGroup::Certify => "certify",
         }
     }
 
@@ -177,6 +210,7 @@ impl LintGroup {
             "electrical" => Some(LintGroup::Electrical),
             "numerics" => Some(LintGroup::Numerics),
             "concurrency" => Some(LintGroup::Concurrency),
+            "certify" => Some(LintGroup::Certify),
             _ => None,
         }
     }
@@ -329,12 +363,115 @@ pub const REGISTRY: &[LintRule] = &[
         default_level: LintLevel::Deny,
         summary: "an explored schedule reaches a state with no runnable worker",
     },
+    // -- certify (certificates produced by `crate::absint`) ------------
+    LintRule {
+        code: rule::PROVED_NONSINGULAR,
+        group: LintGroup::Certify,
+        default_level: LintLevel::Warn,
+        summary: "interval MNA Jacobian proved nonsingular over the PVT box",
+    },
+    LintRule {
+        code: rule::PROVED_INFEASIBLE,
+        group: LintGroup::Certify,
+        default_level: LintLevel::Warn,
+        summary: "electrical spec violated over the entire PVT/mismatch box",
+    },
+    LintRule {
+        code: rule::UNPROVEN,
+        group: LintGroup::Certify,
+        default_level: LintLevel::Warn,
+        summary: "certifier could not prove the property (box too wide)",
+    },
+    LintRule {
+        code: rule::WEAK_INVERSION_BOX,
+        group: LintGroup::Certify,
+        default_level: LintLevel::Warn,
+        summary: "inversion coefficient may leave weak inversion in the box",
+    },
+    LintRule {
+        code: rule::SWING_COMPATIBILITY_BOX,
+        group: LintGroup::Certify,
+        default_level: LintLevel::Warn,
+        summary: "load swing may fall below the steering need in the box",
+    },
+    LintRule {
+        code: rule::VDD_HEADROOM_BOX,
+        group: LintGroup::Certify,
+        default_level: LintLevel::Warn,
+        summary: "supply may be below the stack requirement in the box",
+    },
+    LintRule {
+        code: rule::MISMATCH_BUDGET_BOX,
+        group: LintGroup::Certify,
+        default_level: LintLevel::Warn,
+        summary: "Pelgrom pair offset may eat the swing margin in the box",
+    },
+    LintRule {
+        code: rule::RC_TIME_STEP_BOX,
+        group: LintGroup::Certify,
+        default_level: LintLevel::Warn,
+        summary: "transient step may under-resolve the fastest RC in the box",
+    },
 ];
 
 /// Looks up a rule's registry entry by code.
 pub fn rule_info(code: &str) -> Option<&'static LintRule> {
     REGISTRY.iter().find(|r| r.code == code)
 }
+
+/// Why a `ULP_LINT` override spec was rejected.
+///
+/// Mirrors the `ULP_JOBS` policy in `ulp-exec`: a set-but-broken
+/// configuration variable is an operator bug that must surface with a
+/// diagnostic naming the offending entry, never a silent fallback — a
+/// typo like `tpology=deny` would otherwise leave a gate the user asked
+/// for unarmed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintEnvError {
+    /// A key that is neither `all`, a group name, nor a registered rule
+    /// code.
+    UnknownKey {
+        /// The rejected key, verbatim.
+        key: String,
+    },
+    /// A level that is not `allow`, `warn` or `deny`.
+    BadLevel {
+        /// The key whose level was rejected.
+        key: String,
+        /// The rejected level, verbatim.
+        level: String,
+    },
+    /// An entry with no `=` separator at all.
+    Malformed {
+        /// The rejected entry, verbatim.
+        entry: String,
+    },
+}
+
+impl std::fmt::Display for LintEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintEnvError::UnknownKey { key } => write!(
+                f,
+                "ULP_LINT names unknown rule or group `{key}`: valid keys \
+                 are `all`, a group (topology/electrical/numerics/\
+                 concurrency/certify), or a registered rule code"
+            ),
+            LintEnvError::BadLevel { key, level } => write!(
+                f,
+                "ULP_LINT sets `{key}` to unknown level `{level}`: valid \
+                 levels are allow, warn, deny"
+            ),
+            LintEnvError::Malformed { entry } => write!(
+                f,
+                "ULP_LINT entry `{entry}` is malformed: expected \
+                 `key=level` pairs separated by commas"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LintEnvError {}
 
 /// Per-run lint policy: rule-level overrides on top of the registry
 /// defaults, with precedence `rule > group > all > default`.
@@ -352,11 +489,23 @@ pub fn rule_info(code: &str) -> Option<&'static LintRule> {
 /// assert_eq!(cfg.level(weak), LintLevel::Allow);
 /// assert_eq!(cfg.level(swing), LintLevel::Deny);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct LintConfig {
     all: Option<LintLevel>,
     groups: Vec<(LintGroup, LintLevel)>,
     rules: Vec<(String, LintLevel)>,
+    near_singular_ratio: f64,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            all: None,
+            groups: Vec::new(),
+            rules: Vec::new(),
+            near_singular_ratio: NEAR_SINGULAR_RATIO,
+        }
+    }
 }
 
 impl LintConfig {
@@ -385,24 +534,88 @@ impl LintConfig {
     /// Builds a config from the `ULP_LINT` environment variable:
     /// comma-separated `key=level` pairs, e.g.
     /// `ULP_LINT="swing-compatibility=deny,electrical=warn,all=allow"`.
-    /// Malformed entries and unknown levels are ignored (the linter runs
-    /// inside solver entry points and must never panic on bad config).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`LintEnvError`] diagnostic when the variable is
+    /// set but invalid. A set-but-broken `ULP_LINT` is a configuration
+    /// bug the operator must see — a silently ignored `tpology=deny`
+    /// would leave a gate the user asked for unarmed (the same policy
+    /// `ULP_JOBS` applies through its typed `JobsError`). Use
+    /// [`LintConfig::try_from_env`] to surface the error without
+    /// panicking.
     pub fn from_env() -> Self {
-        let mut cfg = LintConfig::new();
-        if let Ok(spec) = std::env::var("ULP_LINT") {
-            for pair in spec.split(',') {
-                let pair = pair.trim();
-                if pair.is_empty() {
-                    continue;
-                }
-                if let Some((key, level)) = pair.split_once('=') {
-                    if let Some(level) = LintLevel::parse(level.trim()) {
-                        cfg = cfg.set(key.trim(), level);
-                    }
-                }
-            }
+        match LintConfig::try_from_env() {
+            Ok(cfg) => cfg,
+            Err(err) => panic!("{err}"),
         }
-        cfg
+    }
+
+    /// Fallible form of [`LintConfig::from_env`]: `Err` names exactly
+    /// which `ULP_LINT` entry was rejected and why. An unset variable
+    /// yields the registry defaults.
+    pub fn try_from_env() -> Result<Self, LintEnvError> {
+        match std::env::var("ULP_LINT") {
+            Ok(spec) => LintConfig::parse_spec(&spec),
+            Err(_) => Ok(LintConfig::new()),
+        }
+    }
+
+    /// Parses a `ULP_LINT`-syntax override spec: comma-separated
+    /// `key=level` pairs where `key` is a registered rule code, a group
+    /// name, or `all`, and `level` is `allow`/`warn`/`deny`. Empty
+    /// entries (stray commas) are tolerated; everything else unknown or
+    /// malformed is a typed error naming the offending text.
+    pub fn parse_spec(spec: &str) -> Result<Self, LintEnvError> {
+        let mut cfg = LintConfig::new();
+        for pair in spec.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let Some((key, level)) = pair.split_once('=') else {
+                return Err(LintEnvError::Malformed {
+                    entry: pair.to_string(),
+                });
+            };
+            let (key, level) = (key.trim(), level.trim());
+            let known_rule = REGISTRY.iter().any(|r| r.code == key);
+            if key != "all" && LintGroup::parse(key).is_none() && !known_rule {
+                return Err(LintEnvError::UnknownKey {
+                    key: key.to_string(),
+                });
+            }
+            let Some(level) = LintLevel::parse(level) else {
+                return Err(LintEnvError::BadLevel {
+                    key: key.to_string(),
+                    level: level.to_string(),
+                });
+            };
+            cfg = cfg.set(key, level);
+        }
+        Ok(cfg)
+    }
+
+    /// Sets the LU pivot-ratio threshold above which the post-solve
+    /// [`audit`] flags [`rule::NEAR_SINGULAR`]. Defaults to
+    /// [`NEAR_SINGULAR_RATIO`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ratio` is finite and positive.
+    pub fn with_near_singular_ratio(mut self, ratio: f64) -> Self {
+        assert!(
+            ratio.is_finite() && ratio > 0.0,
+            "near-singular pivot-ratio threshold must be finite and \
+             positive, got {ratio}"
+        );
+        self.near_singular_ratio = ratio;
+        self
+    }
+
+    /// The configured [`rule::NEAR_SINGULAR`] pivot-ratio threshold.
+    pub fn near_singular_ratio(&self) -> f64 {
+        self.near_singular_ratio
     }
 
     /// Effective level for a registry rule under this config.
@@ -512,7 +725,7 @@ pub fn run(nl: &Netlist, tech: &Technology, config: &LintConfig) -> ErcReport {
 }
 
 /// Applies the configured levels and the deterministic ordering.
-fn finish(raw: ErcReport, config: &LintConfig) -> ErcReport {
+pub(crate) fn finish(raw: ErcReport, config: &LintConfig) -> ErcReport {
     let mut out = ErcReport::new();
     for d in raw.into_diagnostics() {
         if let Some(d) = config.configure(d) {
@@ -604,7 +817,7 @@ impl Lint for TopologyLint {
 /// that, an independent current source on the drain or source net (the
 /// tail / reference idiom) defines it. `None` when nothing pins the
 /// bias — such devices are audited post-solve instead.
-fn inferred_bias(nl: &Netlist, d: Node, s: Node) -> Option<f64> {
+pub(crate) fn inferred_bias(nl: &Netlist, d: Node, s: Node) -> Option<f64> {
     for e in nl.elements() {
         if let Element::SclLoad { b, iss, .. } = e {
             if *b == d {
@@ -1013,14 +1226,15 @@ pub fn audit(
     match LuFactor::new(&sys.matrix) {
         Ok(lu) => {
             let ratio = lu.pivot_ratio();
-            if ratio > NEAR_SINGULAR_RATIO {
+            let bound = config.near_singular_ratio();
+            if ratio > bound {
                 raw.push(
                     Diagnostic::new(
                         Severity::Warning,
                         rule::NEAR_SINGULAR,
                         format!(
                             "MNA system is nearly singular at the solution: LU \
-                             pivot ratio {ratio:.1e} exceeds {NEAR_SINGULAR_RATIO:.0e}"
+                             pivot ratio {ratio:.1e} exceeds {bound:.0e}"
                         ),
                     )
                     .with_hint(
@@ -1299,21 +1513,55 @@ mod tests {
     }
 
     #[test]
-    fn env_spec_parses_and_ignores_junk() {
+    fn env_spec_parses_valid_overrides() {
         // Pure parser test (no env mutation — tests run in parallel).
-        let mut cfg = LintConfig::new();
-        for pair in "weak-inversion=deny, electrical = allow,junk,=x,a=b".split(',') {
-            let pair = pair.trim();
-            if let Some((key, level)) = pair.split_once('=') {
-                if let Some(level) = LintLevel::parse(level.trim()) {
-                    cfg = cfg.set(key.trim(), level);
-                }
-            }
-        }
+        let cfg =
+            LintConfig::parse_spec("weak-inversion=deny, electrical = allow, ,certify=warn")
+                .expect("valid spec");
         let weak = rule_info(rule::WEAK_INVERSION).unwrap();
         let swing = rule_info(rule::SWING_COMPATIBILITY).unwrap();
         assert_eq!(cfg.level(weak), LintLevel::Deny);
         assert_eq!(cfg.level(swing), LintLevel::Allow);
+    }
+
+    #[test]
+    fn env_spec_rejects_unknown_key_by_name() {
+        // The `tpology=deny` typo must surface, not silently disarm a
+        // gate the operator asked for.
+        let err = LintConfig::parse_spec("all=warn,tpology=deny").unwrap_err();
+        assert_eq!(
+            err,
+            LintEnvError::UnknownKey {
+                key: "tpology".into()
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("ULP_LINT"), "{msg}");
+        assert!(msg.contains("`tpology`"), "{msg}");
+    }
+
+    #[test]
+    fn env_spec_rejects_unknown_level_by_name() {
+        let err = LintConfig::parse_spec("weak-inversion=fatal").unwrap_err();
+        assert_eq!(
+            err,
+            LintEnvError::BadLevel {
+                key: "weak-inversion".into(),
+                level: "fatal".into()
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("`fatal`") && msg.contains("weak-inversion"), "{msg}");
+    }
+
+    #[test]
+    fn env_spec_rejects_malformed_entry() {
+        let err = LintConfig::parse_spec("junk").unwrap_err();
+        assert_eq!(err, LintEnvError::Malformed { entry: "junk".into() });
+        assert!(err.to_string().contains("`junk`"), "{}", err);
+        // `=x` has an empty key — unknown, not malformed.
+        let err = LintConfig::parse_spec("=x").unwrap_err();
+        assert_eq!(err, LintEnvError::UnknownKey { key: String::new() });
     }
 
     #[test]
@@ -1326,6 +1574,7 @@ mod tests {
             LintGroup::Electrical,
             LintGroup::Numerics,
             LintGroup::Concurrency,
+            LintGroup::Certify,
         ] {
             assert_eq!(LintGroup::parse(g.name()), Some(g));
         }
@@ -1399,5 +1648,31 @@ mod tests {
         let d = report.find(rule::NEAR_SINGULAR).expect("near-singular");
         assert_eq!(d.severity, Severity::Warning);
         assert!(d.message.contains("pivot ratio"), "{d}");
+    }
+
+    #[test]
+    fn near_singular_threshold_is_configurable() {
+        // A healthy STSCL cell spans ~1 S source rows down to nS device
+        // conductances — pivot ratio around 1e9: clean at the default
+        // 1e11 bound, flagged once the operator tightens the bound
+        // below the measured ratio.
+        let t = tech();
+        let nl = stscl_cell(1e-9, 0.2, 1.0);
+        let op = DcOperatingPoint::solve(&nl, &t).unwrap();
+        let clean = audit(&nl, &t, &op, &LintConfig::new());
+        assert!(clean.find(rule::NEAR_SINGULAR).is_none(), "{clean}");
+
+        let strict = LintConfig::new().with_near_singular_ratio(1e6);
+        let report = audit(&nl, &t, &op, &strict);
+        let d = report.find(rule::NEAR_SINGULAR).expect("near-singular");
+        // The finding reports both the measured ratio and the bound.
+        assert!(d.message.contains("exceeds 1e6"), "{d}");
+        assert!(d.message.contains("pivot ratio"), "{d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn near_singular_threshold_rejects_nonsense() {
+        let _ = LintConfig::new().with_near_singular_ratio(f64::NAN);
     }
 }

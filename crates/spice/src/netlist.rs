@@ -397,6 +397,20 @@ impl Netlist {
         self.elements.iter_mut()
     }
 
+    /// Rewrites every MOS device through `f`, in element order.
+    ///
+    /// This is the mismatch-sampling primitive: drawing one die of a
+    /// design is `clone()` plus a `map_mosfets` that adds per-instance
+    /// `delta_vt`/`delta_beta` shifts, without rebuilding the topology.
+    pub fn map_mosfets(&mut self, mut f: impl FnMut(&Mosfet) -> Mosfet) -> &mut Self {
+        for e in self.elements_mut() {
+            if let Element::Mos { dev, .. } = e {
+                *dev = f(dev);
+            }
+        }
+        self
+    }
+
     /// Number of MNA branch unknowns (one per voltage-defined element).
     pub fn branch_count(&self) -> usize {
         self.elements.iter().filter(|e| e.has_branch()).count()

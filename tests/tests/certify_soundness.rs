@@ -1,0 +1,279 @@
+//! Soundness of the interval circuit certifier, checked against the
+//! concrete solvers it makes claims about:
+//!
+//! * the certified solution box must contain the concrete DC solution
+//!   (dense *and* sparse path) for every builder netlist and for
+//!   arbitrary random resistor ladders;
+//! * `proved-nonsingular` must mean what it says: no die drawn from
+//!   the certified PVT/mismatch box may ever produce
+//!   [`SimError::Singular`], and every such die's solution must land
+//!   inside the box;
+//! * seeded-infeasible designs must be caught, feasible ones must not;
+//! * the interval box variants of the electrical lints may only ever
+//!   be *more* conservative than their point counterparts.
+
+use proptest::prelude::*;
+use rand::rngs::SplitMix64;
+use ulp_device::load::PmosLoad;
+use ulp_device::mismatch::MismatchRng;
+use ulp_device::pvt::Corner;
+use ulp_device::{Mosfet, Polarity, Technology};
+use ulp_exec::Ensemble;
+use ulp_spice::absint::{certify, Certified, CertifyOptions};
+use ulp_spice::dcop::{DcOperatingPoint, NewtonOptions};
+use ulp_spice::lint::{self, rule, LintConfig, LintContext};
+use ulp_spice::mna::SolverKind;
+
+use ulp_spice::{Netlist, SimError};
+
+/// The damped Newton settings the lint driver uses for nA-class
+/// replica loops — slow but robust, which is what a soundness sweep
+/// wants.
+fn damped(solver: SolverKind) -> NewtonOptions {
+    NewtonOptions {
+        max_iter: 800,
+        max_step: 0.05,
+        solver,
+        ..NewtonOptions::default()
+    }
+}
+
+fn assert_contained(name: &str, cert: &Certified, x: &[f64]) {
+    let sol = cert.solution_box();
+    assert_eq!(sol.len(), x.len(), "{name}: dimension mismatch");
+    for (i, (&v, iv)) in x.iter().zip(sol).enumerate() {
+        assert!(
+            iv.contains(v),
+            "{name}: unknown {i}: concrete {v} outside certified [{}, {}]",
+            iv.lo(),
+            iv.hi()
+        );
+    }
+}
+
+/// The STSCL buffer at the paper's design point (same fixture as the
+/// crate-internal certifier tests).
+fn stscl_cell(iss: f64, vsw: f64, vdd: f64) -> Netlist {
+    let mut nl = Netlist::new();
+    let vddn = nl.node("vdd");
+    let inp = nl.node("inp");
+    let inn = nl.node("inn");
+    let outp = nl.node("outp");
+    let outn = nl.node("outn");
+    let cs = nl.node("cs");
+    nl.vsource("VDD", vddn, Netlist::GROUND, vdd);
+    nl.vsource("VINP", inp, Netlist::GROUND, 0.6);
+    nl.vsource("VINN", inn, Netlist::GROUND, 0.6);
+    let pair = Mosfet::new(Polarity::Nmos, 1e-6, 0.5e-6);
+    nl.mosfet("M1", outn, inp, cs, Netlist::GROUND, pair);
+    nl.mosfet("M2", outp, inn, cs, Netlist::GROUND, pair);
+    nl.scl_load("RLP", vddn, outp, PmosLoad::new(vsw), iss);
+    nl.scl_load("RLN", vddn, outn, PmosLoad::new(vsw), iss);
+    nl.isource("ITAIL", cs, Netlist::GROUND, iss);
+    nl
+}
+
+/// One die drawn from inside the certifier's qualification box: every
+/// MOS gets Pelgrom-σ threshold/β shifts clamped to ±`k_sigma`σ, so
+/// the drawn device provably lies inside the mismatch envelope the
+/// certificate covers.
+fn die_from_box(nl: &Netlist, tech: &Technology, k_sigma: f64, rng: &mut SplitMix64) -> Netlist {
+    let mut out = nl.clone();
+    let mut draws = MismatchRng::seed_from(rand::RngCore::next_u64(rng));
+    out.map_mosfets(|dev| {
+        let model = match dev.polarity {
+            Polarity::Nmos => &tech.nmos,
+            Polarity::Pmos => &tech.pmos,
+        };
+        let s_vt = MismatchRng::sigma_delta_vt(model, dev.w, dev.l);
+        let s_beta = MismatchRng::sigma_delta_beta(model, dev.w, dev.l);
+        let dvt = draws.standard_normal().clamp(-k_sigma, k_sigma) * s_vt;
+        let dbeta = draws.standard_normal().clamp(-k_sigma, k_sigma) * s_beta;
+        Mosfet {
+            delta_vt: dev.delta_vt + dvt,
+            delta_beta: dev.delta_beta + dbeta,
+            ..*dev
+        }
+    });
+    out
+}
+
+#[test]
+fn builder_netlists_box_contains_dense_and_sparse_solutions() {
+    let tech = Technology::default();
+    for (name, nl) in ulp_bench::netlists::builder_netlists(&tech) {
+        let cert = certify(&nl, &tech, &CertifyOptions::default()).unwrap();
+        assert!(
+            cert.proved_nonsingular(),
+            "{name}: expected a proof, got {:?}",
+            cert.verdict()
+        );
+        let dense = DcOperatingPoint::solve_with(&nl, &tech, &damped(SolverKind::Dense)).unwrap();
+        assert_contained(&name, &cert, dense.solution());
+        let sparse = DcOperatingPoint::solve_with(&nl, &tech, &damped(SolverKind::Sparse)).unwrap();
+        assert_contained(&name, &cert, sparse.solution());
+    }
+}
+
+#[test]
+fn proved_nonsingular_means_no_die_is_singular() {
+    // Randomized PVT/mismatch sweep on the exec engine: each trial
+    // draws a corner, a junction temperature and a full set of
+    // clamped mismatch shifts from inside the certified box, then
+    // runs the concrete Newton/LU path. `proved-nonsingular` promises
+    // that path never reports a singular matrix — and the certified
+    // solution box must contain whatever solution it finds.
+    let tech = Technology::default();
+    let opts = CertifyOptions::default();
+    for (name, nl) in ulp_bench::netlists::builder_netlists(&tech) {
+        let cert = certify(&nl, &tech, &opts).unwrap();
+        assert!(cert.proved_nonsingular(), "{name}: {:?}", cert.verdict());
+        let results = Ensemble::new(48).seed(0x5EED).run(|ctx: &mut ulp_exec::TrialCtx| {
+            let rng = ctx.rng();
+            let corner = Corner::all()[(rand::RngCore::next_u64(rng) % 5) as usize];
+            let span = opts.pvt.t_hi - opts.pvt.t_lo;
+            let t = opts.pvt.t_lo + rand::Rng::gen::<f64>(rng) * span;
+            let die_tech = tech.at_corner(corner).at_temperature(t);
+            let die = die_from_box(&nl, &die_tech, opts.pvt.k_sigma, rng);
+            match DcOperatingPoint::solve_with(&die, &die_tech, &damped(SolverKind::Dense)) {
+                Ok(op) => Some(op.solution().to_vec()),
+                Err(SimError::Singular { step, unknown, .. }) => {
+                    panic!("certified netlist went singular at step {step} ({unknown})")
+                }
+                // Convergence is not part of the nonsingularity claim.
+                Err(_) => None,
+            }
+        });
+        for sol in results.into_iter().filter_map(|r| r.unwrap()) {
+            assert_contained(&name, &cert, &sol);
+        }
+    }
+}
+
+#[test]
+fn seeded_infeasible_designs_are_caught() {
+    let tech = Technology::default();
+    // Supply far below the proven minimum over the whole box.
+    let starved = stscl_cell(1e-9, 0.2, 0.25);
+    let cert = certify(&starved, &tech, &CertifyOptions::default()).unwrap();
+    assert!(cert.proved_infeasible(), "starved supply must be caught");
+
+    // 50 mV of swing into a next-stage gate: below the steering
+    // requirement at every temperature in the box.
+    let mut cascade = stscl_cell(1e-9, 0.05, 1.0);
+    let outp = cascade.node("outp");
+    let out2 = cascade.node("out2");
+    let cs2 = cascade.node("cs2");
+    let vddn = cascade.node("vdd");
+    let pair = Mosfet::new(Polarity::Nmos, 1e-6, 0.5e-6);
+    cascade.mosfet("M3", out2, outp, cs2, Netlist::GROUND, pair);
+    cascade.scl_load("RL2", vddn, out2, PmosLoad::new(0.05), 1e-9);
+    cascade.isource("ITAIL2", cs2, Netlist::GROUND, 1e-9);
+    let cert = certify(&cascade, &tech, &CertifyOptions::default()).unwrap();
+    assert!(cert.proved_infeasible(), "starved swing must be caught");
+
+    // The paper's design point is feasible and must never be flagged.
+    let good = stscl_cell(1e-9, 0.2, 1.0);
+    let cert = certify(&good, &tech, &CertifyOptions::default()).unwrap();
+    assert!(!cert.proved_infeasible(), "feasible design falsely flagged");
+}
+
+#[test]
+fn box_lints_never_less_conservative_than_point_lints() {
+    // The five (point rule → box rule) pairs: whenever the point lint
+    // fires on the nominal die, the interval variant must fire too —
+    // the point always lies inside the box.
+    const PAIRS: [(&str, &str); 5] = [
+        (rule::WEAK_INVERSION, rule::WEAK_INVERSION_BOX),
+        (rule::SWING_COMPATIBILITY, rule::SWING_COMPATIBILITY_BOX),
+        (rule::VDD_HEADROOM, rule::VDD_HEADROOM_BOX),
+        (rule::MISMATCH_BUDGET, rule::MISMATCH_BUDGET_BOX),
+        (rule::RC_TIME_STEP, rule::RC_TIME_STEP_BOX),
+    ];
+    let tech = Technology::default();
+    let config = LintConfig::default();
+    // Stressed variants of the buffer, each tripping different rules:
+    // strong inversion (huge ISS), starved headroom, incompatible
+    // swing, and a transient step far above the fastest RC.
+    let mut cells = vec![
+        ("strong", stscl_cell(1e-4, 0.2, 1.0)),
+        ("starved", stscl_cell(1e-9, 0.2, 0.4)),
+        ("narrow-swing", stscl_cell(1e-9, 0.02, 1.0)),
+        ("nominal", stscl_cell(1e-9, 0.2, 1.0)),
+    ];
+    for (_, nl) in cells.iter_mut() {
+        let outp = nl.node("outp");
+        nl.capacitor("CL", outp, Netlist::GROUND, 1e-12);
+    }
+    let dt = 1e-3;
+    for (label, nl) in &cells {
+        let cx = LintContext::with_tech(nl, &tech).with_dt(dt);
+        let point = lint::run_ctx(&cx, &config);
+        let opts = CertifyOptions {
+            dt: Some(dt),
+            ..CertifyOptions::default()
+        };
+        let cert = certify(nl, &tech, &opts).unwrap();
+        for (point_rule, box_rule) in PAIRS {
+            let point_fired = point.diagnostics().iter().any(|d| d.rule == point_rule);
+            let box_fired = cert.diagnostics().iter().any(|d| d.rule == box_rule);
+            assert!(
+                !point_fired || box_fired,
+                "{label}: point rule `{point_rule}` fired but box rule \
+                 `{box_rule}` did not — box variant less conservative"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole soundness property on arbitrary linear circuits:
+    /// for any random resistor ladder (random stage count, random
+    /// values, random extra shunts), the certified box contains the
+    /// concrete solution from both linear-algebra paths.
+    #[test]
+    fn certified_box_contains_concrete_solution(
+        seed in 0u64..5_000,
+        stages in 2usize..12,
+        vdd_mv in 100u32..1_800,
+    ) {
+        let tech = Technology::default();
+        let mut rng = <SplitMix64 as rand::SeedableRng>::seed_from_u64(seed);
+        fn draw(rng: &mut SplitMix64, lo: f64, hi: f64) -> f64 {
+            lo + rand::Rng::gen::<f64>(rng) * (hi - lo)
+        }
+        let mut nl = Netlist::new();
+        let top = nl.node("top");
+        nl.vsource("V1", top, Netlist::GROUND, f64::from(vdd_mv) * 1e-3);
+        let mut prev = top;
+        for i in 0..stages {
+            let n = nl.node(&format!("n{i}"));
+            let r = draw(&mut rng, 10.0, 1e6);
+            nl.resistor(&format!("R{i}"), prev, n, r);
+            // Random shunts keep the topology from being a pure chain.
+            if rand::Rng::gen::<bool>(&mut rng) {
+                let rs = draw(&mut rng, 10.0, 1e6);
+                nl.resistor(&format!("RS{i}"), n, Netlist::GROUND, rs);
+            }
+            prev = n;
+        }
+        let rt = draw(&mut rng, 10.0, 1e6);
+        nl.resistor("RT", prev, Netlist::GROUND, rt);
+        let cert = certify(&nl, &tech, &CertifyOptions::default()).unwrap();
+        prop_assert!(cert.proved_nonsingular(), "{:?}", cert.verdict());
+        for solver in [SolverKind::Dense, SolverKind::Sparse] {
+            let op = DcOperatingPoint::solve_with(&nl, &tech, &damped(solver)).unwrap();
+            let sol = cert.solution_box();
+            prop_assert_eq!(sol.len(), op.solution().len());
+            for (i, (&v, iv)) in op.solution().iter().zip(sol).enumerate() {
+                prop_assert!(
+                    iv.contains(v),
+                    "seed {}: unknown {}: {} outside [{}, {}]",
+                    seed, i, v, iv.lo(), iv.hi()
+                );
+            }
+        }
+    }
+}
