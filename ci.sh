@@ -9,6 +9,7 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy -p ulp-exec --all-targets -- -D warnings
+cargo clippy -p ulp-ir --all-targets -- -D warnings
 
 # Telemetry path: one bench binary under ULP_TRACE=summary must render
 # the solver-metrics footer, and ULP_TRACE=events must produce valid
@@ -52,6 +53,29 @@ cmp results/lint/certify.sarif results/lint/certify.sarif.run1
 cmp results/lint/certify.prom results/lint/certify.prom.run1
 rm -f results/lint/certify.sarif.run1 results/lint/certify.prom.run1
 echo "sound certification (proofs + SARIF/Prometheus byte stability) OK"
+
+# Netlist IR: the declarative pipeline (parse → round-trip → flatten →
+# lint → certify → solve → sweep) over every shipped .ulp example. No
+# --deny-warnings here: the double-tail comparator's clocked switches
+# honestly warn strong-inversion in the reset phase, and its
+# cross-coupled latch is honestly unproven (info) — errors still fail.
+# Both exports must be byte-deterministic: the SARIF across two runs,
+# and the sweep cost ledgers across ULP_JOBS=1 vs 4.
+ULP_JOBS=1 cargo run --release -q -p ulp-bench --bin ulp_ir -- \
+    --check --ledger-out results/ir/ledger_j1.txt
+for f in results/ir/scl_buffer.sarif results/ir/comp_doubletail.sarif; do
+    test -s "$f"
+    grep -q '"version": "2.1.0"' "$f"
+done
+cp results/ir/scl_buffer.sarif results/ir/scl_buffer.sarif.run1
+cp results/ir/comp_doubletail.sarif results/ir/comp_doubletail.sarif.run1
+ULP_JOBS=4 cargo run --release -q -p ulp-bench --bin ulp_ir -- \
+    --check --ledger-out results/ir/ledger_j4.txt > /dev/null
+cmp results/ir/scl_buffer.sarif results/ir/scl_buffer.sarif.run1
+cmp results/ir/comp_doubletail.sarif results/ir/comp_doubletail.sarif.run1
+cmp results/ir/ledger_j1.txt results/ir/ledger_j4.txt
+rm -f results/ir/scl_buffer.sarif.run1 results/ir/comp_doubletail.sarif.run1
+echo "netlist IR (pipeline + SARIF byte stability + ledger determinism ULP_JOBS=1 vs 4) OK"
 
 # Campaign observability: the obs harness runs a 64-die yield campaign
 # and a solver-backed dcop sweep under the span profiler, validates the

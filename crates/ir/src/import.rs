@@ -1,0 +1,243 @@
+//! Lifting a programmatically built [`Netlist`] into the IR.
+//!
+//! [`design_from_netlist`] produces a flat [`Design`] whose top level
+//! carries one literal-valued device card per element, suitable for
+//! [`Design::to_text`] serialization. This is the bridge that lets the
+//! existing Rust builders (e.g. the STSCL buffer in `ulp-stscl`)
+//! participate in the text pipeline, and what the builder↔IR
+//! equivalence tests rest on.
+//!
+//! The text dialect dispatches device cards on the first letter of
+//! their name, so element names that do not start with their card's
+//! letter are normalized by prepending `<letter>_` — the STSCL
+//! builder's `RLP` load becomes the `L` card `L_RLP`.
+
+use crate::ast::*;
+use std::fmt;
+use ulp_spice::netlist::Element;
+use ulp_spice::{Netlist, Waveform};
+
+/// Why a netlist could not be lifted into the IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImportError {
+    /// A MOS device carries per-instance mismatch shifts
+    /// (`delta_vt`/`delta_beta`), which the text dialect cannot
+    /// express.
+    MismatchedMos {
+        /// The offending element name.
+        device: String,
+    },
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::MismatchedMos { device } => write!(
+                f,
+                "MOS device `{device}` carries mismatch shifts (delta_vt/delta_beta), which the IR cannot express"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+fn canonical_name(name: &str, letter: char) -> String {
+    let starts = name
+        .chars()
+        .next()
+        .is_some_and(|c| c.to_ascii_uppercase() == letter);
+    if starts {
+        name.to_string()
+    } else {
+        format!("{letter}_{name}")
+    }
+}
+
+fn wave_spec(wave: &Waveform) -> WaveSpec {
+    let lit = Value::Lit;
+    match wave {
+        Waveform::Dc(v) => WaveSpec::Dc(lit(*v)),
+        Waveform::Pulse {
+            v0,
+            v1,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        } => WaveSpec::Pulse {
+            v0: lit(*v0),
+            v1: lit(*v1),
+            delay: lit(*delay),
+            rise: lit(*rise),
+            fall: lit(*fall),
+            width: lit(*width),
+            period: lit(*period),
+        },
+        Waveform::Sine {
+            offset,
+            amp,
+            freq,
+            delay,
+        } => WaveSpec::Sine {
+            offset: lit(*offset),
+            amp: lit(*amp),
+            freq: lit(*freq),
+            delay: lit(*delay),
+        },
+        Waveform::Pwl(points) => {
+            WaveSpec::Pwl(points.iter().map(|(t, v)| (lit(*t), lit(*v))).collect())
+        }
+    }
+}
+
+/// Lifts `nl` into a flat [`Design`]: no subcircuits, no sweep, one
+/// literal-valued top-level card per element.
+///
+/// # Errors
+///
+/// [`ImportError::MismatchedMos`] when a MOS element carries nonzero
+/// `delta_vt`/`delta_beta` shifts — those have no text form.
+pub fn design_from_netlist(nl: &Netlist) -> Result<Design, ImportError> {
+    let mut design = Design::default();
+    let node = |n: &ulp_spice::Node| nl.node_name(*n).to_string();
+    for e in nl.elements() {
+        let lit = Value::Lit;
+        let (name, nodes, kind) = match e {
+            Element::Resistor { name, a, b, ohms } => (
+                canonical_name(name, 'R'),
+                vec![node(a), node(b)],
+                DeviceKind::Resistor { ohms: lit(*ohms) },
+            ),
+            Element::Capacitor { name, a, b, farads } => (
+                canonical_name(name, 'C'),
+                vec![node(a), node(b)],
+                DeviceKind::Capacitor { farads: lit(*farads) },
+            ),
+            Element::Vsource { name, p, n, wave, ac } => (
+                canonical_name(name, 'V'),
+                vec![node(p), node(n)],
+                DeviceKind::Vsource {
+                    wave: wave_spec(wave),
+                    ac: lit(*ac),
+                },
+            ),
+            Element::Isource { name, p, n, wave, ac } => (
+                canonical_name(name, 'I'),
+                vec![node(p), node(n)],
+                DeviceKind::Isource {
+                    wave: wave_spec(wave),
+                    ac: lit(*ac),
+                },
+            ),
+            Element::Vcvs { name, p, n, cp, cn, gain } => (
+                canonical_name(name, 'E'),
+                vec![node(p), node(n), node(cp), node(cn)],
+                DeviceKind::Vcvs { gain: lit(*gain) },
+            ),
+            Element::Vccs { name, p, n, cp, cn, gm } => (
+                canonical_name(name, 'G'),
+                vec![node(p), node(n), node(cp), node(cn)],
+                DeviceKind::Vccs { gm: lit(*gm) },
+            ),
+            Element::Diode { name, p, n, is_sat, n_id } => (
+                canonical_name(name, 'D'),
+                vec![node(p), node(n)],
+                DeviceKind::Diode {
+                    is_sat: lit(*is_sat),
+                    n_id: lit(*n_id),
+                },
+            ),
+            Element::Mos { name, d, g, s, b, dev } => {
+                if dev.delta_vt != 0.0 || dev.delta_beta != 0.0 {
+                    return Err(ImportError::MismatchedMos {
+                        device: name.clone(),
+                    });
+                }
+                (
+                    canonical_name(name, 'M'),
+                    vec![node(d), node(g), node(s), node(b)],
+                    DeviceKind::Mos {
+                        polarity: dev.polarity,
+                        w: Some(lit(dev.w)),
+                        l: Some(lit(dev.l)),
+                    },
+                )
+            }
+            Element::SclLoad { name, a, b, load, iss } => (
+                canonical_name(name, 'L'),
+                vec![node(a), node(b)],
+                DeviceKind::SclLoad {
+                    vsw: lit(load.vsw),
+                    iss: lit(*iss),
+                },
+            ),
+        };
+        design.top.push(Item::Device(Device { name, nodes, kind }));
+    }
+    Ok(design)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flatten::flatten;
+    use crate::parse::parse;
+    use ulp_device::{Mosfet, Polarity};
+
+    #[test]
+    fn import_serialize_parse_flatten_round_trips() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vsource("V1", a, Netlist::GROUND, 1.0);
+        nl.resistor("R1", a, b, 2.2e3);
+        nl.capacitor("C1", b, Netlist::GROUND, 1e-12);
+        nl.mosfet(
+            "M1",
+            b,
+            a,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            Mosfet::new(Polarity::Nmos, 1e-6, 0.5e-7),
+        );
+        let design = design_from_netlist(&nl).unwrap();
+        let text = design.to_text();
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(design, reparsed);
+        let flat = flatten(&reparsed).unwrap();
+        assert_eq!(flat.elements(), nl.elements());
+        assert_eq!(flat.node_count(), nl.node_count());
+    }
+
+    #[test]
+    fn names_are_normalized_to_their_card_letter() {
+        use ulp_device::load::PmosLoad;
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let out = nl.node("out");
+        nl.vsource("VDD", vdd, Netlist::GROUND, 1.0);
+        nl.scl_load("RLP", vdd, out, PmosLoad::new(0.2), 1e-9);
+        nl.resistor("shunt", out, Netlist::GROUND, 1e6);
+        let design = design_from_netlist(&nl).unwrap();
+        let names: Vec<&str> = design.top.iter().map(|i| i.name()).collect();
+        assert_eq!(names, vec!["VDD", "L_RLP", "R_shunt"]);
+        // Normalized cards still round-trip through the text form.
+        assert_eq!(parse(&design.to_text()).unwrap(), design);
+    }
+
+    #[test]
+    fn mismatch_shifts_are_rejected() {
+        let mut nl = Netlist::new();
+        let d = nl.node("d");
+        nl.vsource("V1", d, Netlist::GROUND, 1.0);
+        let mut dev = Mosfet::new(Polarity::Nmos, 1e-6, 0.5e-6);
+        dev.delta_vt = 5e-3;
+        nl.mosfet("M1", d, d, Netlist::GROUND, Netlist::GROUND, dev);
+        assert_eq!(
+            design_from_netlist(&nl).unwrap_err().to_string(),
+            "MOS device `M1` carries mismatch shifts (delta_vt/delta_beta), which the IR cannot express"
+        );
+    }
+}

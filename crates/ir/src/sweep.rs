@@ -1,0 +1,422 @@
+//! Expansion of a design's declarative `.tech`/`.sweep` cards into a
+//! deterministic, index-addressable grid of concrete netlists.
+//!
+//! A [`SweepPlan`] is a mixed-radix counter over the design's sweep
+//! dimensions. The technology dimension varies slowest; the `.sweep`
+//! axes follow in declaration order, and within one axis the first
+//! swept parameter is slower than the second. Point `i` therefore
+//! always denotes the same (tech, geometry) combination, regardless of
+//! how many workers realize the grid — which is what lets an
+//! `ulp-exec` ensemble gather byte-identical results at any
+//! `ULP_JOBS`.
+
+use crate::ast::{Design, SweepSpec};
+use crate::flatten::{flatten, FlattenError};
+use std::fmt;
+use ulp_device::pvt::Corner;
+use ulp_device::Technology;
+use ulp_spice::Netlist;
+
+/// Why a sweep plan could not be built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// The design has no `.tech`/`.sweep` cards.
+    NoSweep,
+    /// A `.tech` card names an unknown target.
+    UnknownTech {
+        /// The unrecognized name.
+        name: String,
+    },
+    /// A `.sweep` axis grids a parameter other than `w`/`l`.
+    BadParam {
+        /// The unsupported parameter.
+        param: String,
+    },
+    /// A `.sweep` axis grid contains a non-positive value.
+    BadGridValue {
+        /// The parameter whose grid is invalid.
+        param: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A swept device path is not a MOS element of the flattened
+    /// netlist.
+    NotMos {
+        /// The flattened device path from the `.sweep` card.
+        device: String,
+    },
+    /// The design itself failed to flatten.
+    Flatten(FlattenError),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::NoSweep => write!(f, "design declares no .tech or .sweep cards"),
+            SweepError::UnknownTech { name } => write!(
+                f,
+                "unknown technology target `{name}` (expected tt, nominal, ss, ff, sf, fs, hot or cold)"
+            ),
+            SweepError::BadParam { param } => {
+                write!(f, "sweeps may grid only `w` and `l`, got `{param}`")
+            }
+            SweepError::BadGridValue { param, value } => write!(
+                f,
+                "sweep grid for `{param}` must be positive, got {}",
+                crate::ast::fmt_f64(*value)
+            ),
+            SweepError::NotMos { device } => write!(
+                f,
+                "swept device `{device}` is not a MOS element of the flattened netlist"
+            ),
+            SweepError::Flatten(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<FlattenError> for SweepError {
+    fn from(e: FlattenError) -> Self {
+        SweepError::Flatten(e)
+    }
+}
+
+/// A named technology target of a `.tech` card.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TechTarget {
+    /// Typical corner at 300 K (`tt`, `nominal`).
+    Typical,
+    /// Slow-slow corner (`ss`).
+    SlowSlow,
+    /// Fast-fast corner (`ff`).
+    FastFast,
+    /// Slow NMOS, fast PMOS (`sf`).
+    SlowFast,
+    /// Fast NMOS, slow PMOS (`fs`).
+    FastSlow,
+    /// Typical corner at 358 K (`hot`).
+    Hot,
+    /// Typical corner at 253 K (`cold`).
+    Cold,
+}
+
+impl TechTarget {
+    /// Parses a `.tech` card token (case-insensitive).
+    pub fn parse(name: &str) -> Result<Self, SweepError> {
+        Ok(match name.to_ascii_lowercase().as_str() {
+            "tt" | "nominal" => TechTarget::Typical,
+            "ss" => TechTarget::SlowSlow,
+            "ff" => TechTarget::FastFast,
+            "sf" => TechTarget::SlowFast,
+            "fs" => TechTarget::FastSlow,
+            "hot" => TechTarget::Hot,
+            "cold" => TechTarget::Cold,
+            _ => {
+                return Err(SweepError::UnknownTech {
+                    name: name.to_string(),
+                })
+            }
+        })
+    }
+
+    /// The canonical lower-case token.
+    pub fn token(self) -> &'static str {
+        match self {
+            TechTarget::Typical => "tt",
+            TechTarget::SlowSlow => "ss",
+            TechTarget::FastFast => "ff",
+            TechTarget::SlowFast => "sf",
+            TechTarget::FastSlow => "fs",
+            TechTarget::Hot => "hot",
+            TechTarget::Cold => "cold",
+        }
+    }
+
+    /// Realizes the concrete device card.
+    pub fn technology(self) -> Technology {
+        let nom = Technology::nominal();
+        match self {
+            TechTarget::Typical => nom,
+            TechTarget::SlowSlow => nom.at_corner(Corner::SlowSlow),
+            TechTarget::FastFast => nom.at_corner(Corner::FastFast),
+            TechTarget::SlowFast => nom.at_corner(Corner::SlowFast),
+            TechTarget::FastSlow => nom.at_corner(Corner::FastSlow),
+            TechTarget::Hot => nom.at_temperature(358.0),
+            TechTarget::Cold => nom.at_temperature(253.0),
+        }
+    }
+}
+
+/// One dimension of the mixed-radix counter: a set of device paths and
+/// one gridded parameter.
+#[derive(Debug, Clone, PartialEq)]
+struct Dim {
+    devices: Vec<String>,
+    param: String,
+    values: Vec<f64>,
+}
+
+/// A fully validated, index-addressable expansion of a design's sweep
+/// cards.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    base: Netlist,
+    techs: Vec<TechTarget>,
+    dims: Vec<Dim>,
+}
+
+/// One concrete point of a [`SweepPlan`].
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The flat point index this realizes.
+    pub index: usize,
+    /// The technology target of this point.
+    pub tech: TechTarget,
+    /// `(device path, parameter, value)` for every swept knob, in
+    /// dimension order.
+    pub settings: Vec<(String, String, f64)>,
+    /// The realized netlist.
+    pub netlist: Netlist,
+}
+
+impl SweepPoint {
+    /// A deterministic human-readable label, e.g.
+    /// `tt/M1.w=1e-6/M1.l=5e-7`.
+    pub fn label(&self) -> String {
+        let mut s = self.tech.token().to_string();
+        for (dev, param, value) in &self.settings {
+            s.push('/');
+            s.push_str(&format!("{dev}.{param}={}", crate::ast::fmt_f64(*value)));
+        }
+        s
+    }
+}
+
+impl SweepPlan {
+    /// Builds a plan from `design`, validating every sweep card
+    /// against the flattened netlist.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::NoSweep`] when the design declares no sweep;
+    /// otherwise any tech/axis/device validation failure, or the
+    /// underlying [`FlattenError`].
+    pub fn build(design: &Design) -> Result<Self, SweepError> {
+        let Some(spec) = &design.sweep else {
+            return Err(SweepError::NoSweep);
+        };
+        let base = flatten(design)?;
+        let techs = resolve_techs(spec)?;
+        let mut dims = Vec::new();
+        for axis in &spec.axes {
+            for dev in &axis.devices {
+                let is_mos = matches!(
+                    base.element(dev),
+                    Some(ulp_spice::netlist::Element::Mos { .. })
+                );
+                if !is_mos {
+                    return Err(SweepError::NotMos {
+                        device: dev.clone(),
+                    });
+                }
+            }
+            for (param, values) in &axis.grid {
+                if param != "w" && param != "l" {
+                    return Err(SweepError::BadParam {
+                        param: param.clone(),
+                    });
+                }
+                if let Some(&bad) = values.iter().find(|v| **v <= 0.0) {
+                    return Err(SweepError::BadGridValue {
+                        param: param.clone(),
+                        value: bad,
+                    });
+                }
+                dims.push(Dim {
+                    devices: axis.devices.clone(),
+                    param: param.clone(),
+                    values: values.clone(),
+                });
+            }
+        }
+        Ok(SweepPlan { base, techs, dims })
+    }
+
+    /// Total number of points: `techs × Π dim-lengths`.
+    pub fn len(&self) -> usize {
+        self.dims
+            .iter()
+            .fold(self.techs.len(), |acc, d| acc * d.values.len())
+    }
+
+    /// True when the plan has no points (never for a built plan — a
+    /// design with sweep cards always has at least one tech).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The technology targets, slowest dimension first.
+    pub fn techs(&self) -> &[TechTarget] {
+        &self.techs
+    }
+
+    /// Realizes point `index` (row-major: tech slowest, then each
+    /// `.sweep` grid in declaration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= self.len()`.
+    pub fn point(&self, index: usize) -> SweepPoint {
+        assert!(index < self.len(), "sweep index {index} out of range");
+        // Decode the mixed-radix index, fastest dimension last.
+        let mut rem = index;
+        let mut digits = vec![0usize; self.dims.len()];
+        for (slot, dim) in digits.iter_mut().zip(&self.dims).rev() {
+            *slot = rem % dim.values.len();
+            rem /= dim.values.len();
+        }
+        let tech = self.techs[rem];
+        let mut netlist = self.base.clone();
+        let mut settings = Vec::new();
+        for (dim, &digit) in self.dims.iter().zip(&digits) {
+            let value = dim.values[digit];
+            for dev in &dim.devices {
+                let updated = netlist.update_mosfet(dev, |m| {
+                    let mut m = *m;
+                    match dim.param.as_str() {
+                        "w" => m.w = value,
+                        _ => m.l = value,
+                    }
+                    m
+                });
+                debug_assert!(updated, "validated at build time");
+                settings.push((dev.clone(), dim.param.clone(), value));
+            }
+        }
+        SweepPoint {
+            index,
+            tech,
+            settings,
+            netlist,
+        }
+    }
+
+    /// Iterates every point in index order.
+    pub fn points(&self) -> impl Iterator<Item = SweepPoint> + '_ {
+        (0..self.len()).map(|i| self.point(i))
+    }
+}
+
+fn resolve_techs(spec: &SweepSpec) -> Result<Vec<TechTarget>, SweepError> {
+    if spec.techs.is_empty() {
+        // `.sweep` without `.tech` runs the nominal card only.
+        return Ok(vec![TechTarget::Typical]);
+    }
+    spec.techs.iter().map(|t| TechTarget::parse(t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    const BASE: &str = "\
+.default nmos w=1u l=0.5u
+V1 d 0 dc 1.0
+M1 d g 0 0 nmos
+M2 d g 0 0 nmos
+R1 g 0 1k
+";
+
+    fn design(sweep: &str) -> Design {
+        parse(&format!("{BASE}{sweep}.end\n")).unwrap()
+    }
+
+    #[test]
+    fn index_order_is_tech_slowest_then_axes_in_declaration_order() {
+        let d = design(".tech tt ss\n.sweep M1 w=1u,2u\n.sweep M2 l=0.5u,0.6u,0.7u\n");
+        let plan = SweepPlan::build(&d).unwrap();
+        assert_eq!(plan.len(), 2 * 2 * 3);
+        // Fastest digit: M2.l; middle: M1.w; slowest: tech.
+        let p0 = plan.point(0);
+        assert_eq!(p0.label(), "tt/M1.w=1e-6/M2.l=5e-7");
+        let p1 = plan.point(1);
+        assert_eq!(p1.label(), "tt/M1.w=1e-6/M2.l=6e-7");
+        let p3 = plan.point(3);
+        assert_eq!(p3.label(), "tt/M1.w=2e-6/M2.l=5e-7");
+        let p6 = plan.point(6);
+        assert_eq!(p6.label(), "ss/M1.w=1e-6/M2.l=5e-7");
+        let last = plan.point(plan.len() - 1);
+        assert_eq!(last.label(), "ss/M1.w=2e-6/M2.l=7e-7");
+    }
+
+    #[test]
+    fn one_axis_two_params_first_param_is_slower() {
+        let d = design(".sweep M1 w=1u,2u l=0.5u,0.6u\n");
+        let plan = SweepPlan::build(&d).unwrap();
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.point(0).label(), "tt/M1.w=1e-6/M1.l=5e-7");
+        assert_eq!(plan.point(1).label(), "tt/M1.w=1e-6/M1.l=6e-7");
+        assert_eq!(plan.point(2).label(), "tt/M1.w=2e-6/M1.l=5e-7");
+    }
+
+    #[test]
+    fn points_realize_geometry_on_the_netlist() {
+        let d = design(".sweep M1 M2 w=3u\n");
+        let plan = SweepPlan::build(&d).unwrap();
+        let p = plan.point(0);
+        for name in ["M1", "M2"] {
+            match p.netlist.element(name) {
+                Some(ulp_spice::netlist::Element::Mos { dev, .. }) => {
+                    assert_eq!(dev.w, 3e-6);
+                    assert_eq!(dev.l, 0.5e-6); // untouched default
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            SweepPlan::build(&design("")).unwrap_err(),
+            SweepError::NoSweep
+        );
+        assert_eq!(
+            SweepPlan::build(&design(".tech lightning\n"))
+                .unwrap_err()
+                .to_string(),
+            "unknown technology target `lightning` (expected tt, nominal, ss, ff, sf, fs, hot or cold)"
+        );
+        assert_eq!(
+            SweepPlan::build(&design(".sweep R1 w=1u\n"))
+                .unwrap_err()
+                .to_string(),
+            "swept device `R1` is not a MOS element of the flattened netlist"
+        );
+        assert_eq!(
+            SweepPlan::build(&design(".sweep M1 vsw=0.2\n"))
+                .unwrap_err()
+                .to_string(),
+            "sweeps may grid only `w` and `l`, got `vsw`"
+        );
+        assert_eq!(
+            SweepPlan::build(&design(".sweep M1 w=1u,-2u\n"))
+                .unwrap_err()
+                .to_string(),
+            "sweep grid for `w` must be positive, got -2e-6"
+        );
+    }
+
+    #[test]
+    fn tech_targets_parse_and_round_trip_tokens() {
+        for tok in ["tt", "ss", "ff", "sf", "fs", "hot", "cold"] {
+            let t = TechTarget::parse(tok).unwrap();
+            assert_eq!(t.token(), tok);
+            // The realized card must be constructible.
+            let _ = t.technology();
+        }
+        assert_eq!(TechTarget::parse("NOMINAL").unwrap(), TechTarget::Typical);
+    }
+}

@@ -22,6 +22,7 @@
 //! factorization from [`ulp_num::sparse`].
 
 use crate::netlist::{Element, Netlist, Node};
+use std::fmt;
 use ulp_num::lu::{LuFactor, SolveError};
 use ulp_num::sparse::{SparseLu, SparseMatrix};
 use ulp_num::Matrix;
@@ -358,21 +359,86 @@ pub enum SolverKind {
 /// sparse bookkeeping cannot pay for itself.
 pub const AUTO_SPARSE_MIN_DIM: usize = 4;
 
+/// A malformed `ULP_SOLVER` environment variable.
+///
+/// Follows the strict-environment precedent of `ULP_JOBS`
+/// (`ulp_exec::JobsError`) and `ULP_LINT` (`LintEnvError`): a value
+/// that cannot mean what the user intended is a loud diagnostic, never
+/// a silent fallback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverEnvError {
+    /// The variable is set to something other than
+    /// `auto`/`dense`/`sparse`.
+    Unknown {
+        /// The rejected value, verbatim.
+        value: String,
+    },
+    /// The variable is set but empty.
+    Empty,
+}
+
+impl fmt::Display for SolverEnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverEnvError::Unknown { value } => write!(
+                f,
+                "ULP_SOLVER: unknown solver `{value}` (expected `auto`, `dense` or `sparse`)"
+            ),
+            SolverEnvError::Empty => write!(
+                f,
+                "ULP_SOLVER: empty value (expected `auto`, `dense` or `sparse`, or unset)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolverEnvError {}
+
+/// Parses a solver-backend name: `auto`, `dense` or `sparse`
+/// (lower-case only, matching how the kinds print in telemetry).
+pub fn solver_from_str(value: &str) -> Result<SolverKind, SolverEnvError> {
+    match value {
+        "auto" => Ok(SolverKind::Auto),
+        "dense" => Ok(SolverKind::Dense),
+        "sparse" => Ok(SolverKind::Sparse),
+        "" => Err(SolverEnvError::Empty),
+        other => Err(SolverEnvError::Unknown {
+            value: other.to_string(),
+        }),
+    }
+}
+
+/// Reads `ULP_SOLVER`. `Ok(None)` when unset; otherwise the strictly
+/// parsed kind or the typed error.
+pub fn solver_from_env() -> Result<Option<SolverKind>, SolverEnvError> {
+    match std::env::var("ULP_SOLVER") {
+        Ok(v) => solver_from_str(&v).map(Some),
+        Err(_) => Ok(None),
+    }
+}
+
 impl SolverKind {
+    /// # Panics
+    ///
+    /// Panics with the [`SolverEnvError`] diagnostic when `ULP_SOLVER`
+    /// is set to an unrecognized value — the same contract as
+    /// `LintConfig::from_env`: a typo must not silently change which
+    /// backend certifies a result.
     pub(crate) fn resolve(self, dim: usize) -> SolverKind {
+        let auto = |dim: usize| {
+            if dim >= AUTO_SPARSE_MIN_DIM {
+                SolverKind::Sparse
+            } else {
+                SolverKind::Dense
+            }
+        };
         match self {
             SolverKind::Dense => SolverKind::Dense,
             SolverKind::Sparse => SolverKind::Sparse,
-            SolverKind::Auto => match std::env::var("ULP_SOLVER").as_deref() {
-                Ok("dense") => SolverKind::Dense,
-                Ok("sparse") => SolverKind::Sparse,
-                _ => {
-                    if dim >= AUTO_SPARSE_MIN_DIM {
-                        SolverKind::Sparse
-                    } else {
-                        SolverKind::Dense
-                    }
-                }
+            SolverKind::Auto => match solver_from_env() {
+                Ok(Some(SolverKind::Auto)) | Ok(None) => auto(dim),
+                Ok(Some(kind)) => kind,
+                Err(e) => panic!("{e}"),
             },
         }
     }
@@ -1252,6 +1318,46 @@ mod tests {
         nl.resistor("RL", out, Netlist::GROUND, 1e3);
         let x = solve_linear(&nl, &Technology::default());
         assert!((voltage_of(&x, out) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solver_from_str_accepts_each_kind() {
+        assert_eq!(solver_from_str("auto"), Ok(SolverKind::Auto));
+        assert_eq!(solver_from_str("dense"), Ok(SolverKind::Dense));
+        assert_eq!(solver_from_str("sparse"), Ok(SolverKind::Sparse));
+    }
+
+    #[test]
+    fn solver_from_str_rejects_unknown_values() {
+        let err = solver_from_str("Dense").unwrap_err();
+        assert_eq!(
+            err,
+            SolverEnvError::Unknown {
+                value: "Dense".to_string()
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "ULP_SOLVER: unknown solver `Dense` (expected `auto`, `dense` or `sparse`)"
+        );
+        assert!(solver_from_str("cholesky").is_err());
+        assert!(solver_from_str(" dense").is_err());
+    }
+
+    #[test]
+    fn solver_from_str_rejects_empty() {
+        assert_eq!(solver_from_str("").unwrap_err(), SolverEnvError::Empty);
+        assert_eq!(
+            SolverEnvError::Empty.to_string(),
+            "ULP_SOLVER: empty value (expected `auto`, `dense` or `sparse`, or unset)"
+        );
+    }
+
+    #[test]
+    fn explicit_kinds_resolve_without_consulting_the_environment() {
+        // Dense/Sparse never read ULP_SOLVER, at any dimension.
+        assert_eq!(SolverKind::Dense.resolve(1000), SolverKind::Dense);
+        assert_eq!(SolverKind::Sparse.resolve(1), SolverKind::Sparse);
     }
 
     #[test]

@@ -390,6 +390,11 @@ impl Netlist {
         self.elements.iter().find(|e| e.name() == name)
     }
 
+    /// Looks up a node by name without creating it.
+    pub fn find_node(&self, name: &str) -> Option<Node> {
+        self.node_names.iter().position(|n| n == name).map(Node)
+    }
+
     pub(crate) fn elements_mut(&mut self) -> impl Iterator<Item = &mut Element> {
         // Callers can mutate any element (e.g. `set_source`), so any
         // cached static-analysis verdict is conservatively dropped.
@@ -409,6 +414,27 @@ impl Netlist {
             }
         }
         self
+    }
+
+    /// Rewrites the single MOS device named `name` through `f`.
+    ///
+    /// Returns `false` (and leaves the netlist untouched, caches
+    /// intact) when no MOS element has that name. This is the sweep
+    /// primitive: realizing one point of a geometry grid is `clone()`
+    /// plus one `update_mosfet` per swept device.
+    pub fn update_mosfet(&mut self, name: &str, f: impl FnOnce(&Mosfet) -> Mosfet) -> bool {
+        let Some(idx) = self
+            .elements
+            .iter()
+            .position(|e| matches!(e, Element::Mos { .. }) && e.name() == name)
+        else {
+            return false;
+        };
+        self.invalidate();
+        if let Element::Mos { dev, .. } = &mut self.elements[idx] {
+            *dev = f(dev);
+        }
+        true
     }
 
     /// Number of MNA branch unknowns (one per voltage-defined element).
@@ -467,6 +493,25 @@ impl Netlist {
         })
     }
 
+    /// Adds a voltage source with an arbitrary stimulus and an AC
+    /// magnitude.
+    pub fn vsource_wave_ac(
+        &mut self,
+        name: &str,
+        p: Node,
+        n: Node,
+        wave: Waveform,
+        ac: f64,
+    ) -> &mut Self {
+        self.push(Element::Vsource {
+            name: name.into(),
+            p,
+            n,
+            wave,
+            ac,
+        })
+    }
+
     /// Adds a voltage source with both a DC value and an AC magnitude.
     pub fn vsource_ac(&mut self, name: &str, p: Node, n: Node, dc: f64, ac: f64) -> &mut Self {
         self.push(Element::Vsource {
@@ -492,6 +537,25 @@ impl Netlist {
             n,
             wave,
             ac: 0.0,
+        })
+    }
+
+    /// Adds a current source with an arbitrary stimulus and an AC
+    /// magnitude.
+    pub fn isource_wave_ac(
+        &mut self,
+        name: &str,
+        p: Node,
+        n: Node,
+        wave: Waveform,
+        ac: f64,
+    ) -> &mut Self {
+        self.push(Element::Isource {
+            name: name.into(),
+            p,
+            n,
+            wave,
+            ac,
         })
     }
 

@@ -1,0 +1,110 @@
+//! Builder↔IR equivalence: the STSCL buffer built imperatively by
+//! `ulp_stscl::vtc::SclBufferCircuit` must survive a full trip through
+//! the text dialect — import to a [`ulp_ir::Design`], serialize,
+//! re-parse, flatten — and land on a netlist that agrees with the
+//! builder's to ≤ 1e-12 at the DC operating point and along a control
+//! sweep, under both linear-algebra backends.
+
+use ulp_device::Technology;
+use ulp_ir::{design_from_netlist, flatten, parse};
+use ulp_spice::dcop::{DcOperatingPoint, NewtonOptions};
+use ulp_spice::mna::SolverKind;
+use ulp_spice::{sweep, Netlist, Waveform};
+use ulp_stscl::gate::SclParams;
+use ulp_stscl::vtc::SclBufferCircuit;
+
+const TOL: f64 = 1e-12;
+
+fn builder_netlist() -> Netlist {
+    let tech = Technology::nominal();
+    SclBufferCircuit::build(
+        &tech,
+        &SclParams::default(),
+        1e-9,
+        0.6,
+        Waveform::Dc(0.05),
+    )
+    .netlist
+}
+
+fn ir_netlist(builder: &Netlist) -> Netlist {
+    let design = design_from_netlist(builder).expect("builder netlist lifts into the IR");
+    let text = design.to_text();
+    let reparsed = parse(&text).unwrap_or_else(|e| panic!("serialized design re-parses: {e}"));
+    assert_eq!(design, reparsed, "text round-trip must be lossless");
+    flatten(&reparsed).expect("flat design flattens")
+}
+
+fn opts_for(solver: SolverKind) -> NewtonOptions {
+    NewtonOptions {
+        max_iter: 800,
+        max_step: 0.05,
+        solver,
+        ..NewtonOptions::default()
+    }
+}
+
+/// The probe nodes equivalence is asserted on, present in both
+/// netlists under the same names (flat design — no hierarchy prefix).
+const PROBES: [&str; 6] = ["inp", "inn", "outp", "outn", "cs", "vdd"];
+
+#[test]
+fn dcop_agrees_under_both_backends() {
+    let builder = builder_netlist();
+    let ir = ir_netlist(&builder);
+    let tech = Technology::nominal();
+    for solver in [SolverKind::Dense, SolverKind::Sparse] {
+        let opts = opts_for(solver);
+        let op_b = DcOperatingPoint::solve_with(&builder, &tech, &opts).unwrap();
+        let op_i = DcOperatingPoint::solve_with(&ir, &tech, &opts).unwrap();
+        for probe in PROBES {
+            let vb = op_b.voltage(builder.find_node(probe).expect(probe));
+            let vi = op_i.voltage(ir.find_node(probe).expect(probe));
+            assert!(
+                (vb - vi).abs() <= TOL,
+                "{solver:?}: {probe}: builder {vb} vs IR {vi}"
+            );
+        }
+    }
+}
+
+#[test]
+fn control_sweep_agrees_under_both_backends() {
+    let builder = builder_netlist();
+    let ir = ir_netlist(&builder);
+    let tech = Technology::nominal();
+    let ctl: Vec<f64> = (-10..=10).map(|i| 0.01 * i as f64).collect();
+    for solver in [SolverKind::Dense, SolverKind::Sparse] {
+        let opts = opts_for(solver);
+        let sw_b = sweep::dc_sweep_with(&builder, &tech, "VCTL", &ctl, &opts).unwrap();
+        let sw_i = sweep::dc_sweep_with(&ir, &tech, "VCTL", &ctl, &opts).unwrap();
+        for probe in ["outp", "outn"] {
+            let tb = sw_b.voltage_trace(builder.find_node(probe).unwrap());
+            let ti = sw_i.voltage_trace(ir.find_node(probe).unwrap());
+            for (k, (vb, vi)) in tb.iter().zip(&ti).enumerate() {
+                assert!(
+                    (vb - vi).abs() <= TOL,
+                    "{solver:?}: {probe}[{k}] (ctl={}): builder {vb} vs IR {vi}",
+                    ctl[k]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn element_lists_match_exactly_after_the_round_trip() {
+    let builder = builder_netlist();
+    let ir = ir_netlist(&builder);
+    assert_eq!(builder.node_count(), ir.node_count());
+    assert_eq!(builder.elements().len(), ir.elements().len());
+    // Same devices in the same order with identical values; only names
+    // may differ (card-letter normalization, e.g. RLP -> L_RLP).
+    for (b, i) in builder.elements().iter().zip(ir.elements()) {
+        let (bn, inm) = (b.name(), i.name());
+        assert!(
+            inm == bn || inm.ends_with(&format!("_{bn}")),
+            "name drift: {bn} vs {inm}"
+        );
+    }
+}
