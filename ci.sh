@@ -99,13 +99,24 @@ ULP_JOBS=4 cargo test -q -p integration --test exec_determinism
 echo "exec determinism (ULP_JOBS=1 and 4) OK"
 
 # Sparse solver bench: times dcop/sweep/transient on every builder
-# netlist under both linear-algebra backends, writes BENCH_solver.json,
-# and with --assert fails if the sparse path ever loses to the legacy
-# dense path on the pre-amplifier transient workload.
+# netlist under both linear-algebra backends plus the adaptive-vs-fixed
+# transient comparison, writes BENCH_solver.json and
+# BENCH_tran_adaptive.json, and with --assert fails if the sparse path
+# ever loses to the dense path on the pre-amplifier transient workload
+# or the adaptive engine delivers less than 2x over the fixed march at
+# equal accuracy there.
 cargo run --release -q -p ulp-bench --bin solver_bench -- --assert
 test -s BENCH_solver.json
 grep -q '"preamp_tran_speedup"' BENCH_solver.json
-echo "solver bench (sparse vs dense) OK"
+grep -q '"preamp_adaptive_speedup"' BENCH_solver.json
+# The adaptive artifact holds only deterministic fields (point counts,
+# step/bypass counters, deviations — no wall clock), so a second,
+# timing-free run must reproduce it byte for byte.
+cargo run --release -q -p ulp-bench --bin solver_bench -- \
+    --stability results/tran_adaptive.stability.json
+cmp BENCH_tran_adaptive.json results/tran_adaptive.stability.json
+rm -f results/tran_adaptive.stability.json
+echo "solver bench (sparse vs dense + adaptive byte stability) OK"
 
 # Scaling bench: always run it (it asserts serial == parallel results);
 # only hold it to the >=2x speedup bar when the host actually has the

@@ -8,6 +8,7 @@
 
 use ulp_analog::preamp::PreampDesign;
 use ulp_device::Technology;
+use ulp_spice::netlist::Element;
 use ulp_spice::{Netlist, Waveform};
 use ulp_stscl::replica::ReplicaBiasedBuffer;
 use ulp_stscl::vtc::SclBufferCircuit;
@@ -33,4 +34,99 @@ pub fn builder_netlists(tech: &Technology) -> Vec<(String, Netlist)> {
         out.push((format!("preamp-{tag}-1n"), nl));
     }
     out
+}
+
+/// The transient workload: the builder netlist with a small sine
+/// current injected across its first capacitor, so every step actually
+/// moves the nonlinear operating point (an undriven netlist just sits
+/// at its DC solution and measures per-step overhead, not solver cost).
+/// Amplitude scales with the circuit's tail current so the drive stays
+/// small-signal across the pA–nA bias range; `period` sets the sine
+/// period.
+///
+/// Shared by `solver_bench` and the adaptive-transient equivalence
+/// suite, so the benchmarked workload and the accuracy-pinned workload
+/// are the same netlists.
+///
+/// # Panics
+///
+/// Panics if the netlist carries no capacitor.
+pub fn driven_tran_netlist(nl: &Netlist, period: f64) -> Netlist {
+    let (amp, n, p) = stimulus_site(nl);
+    let mut driven = nl.clone();
+    driven.isource_wave(
+        "ISTIM",
+        n,
+        p,
+        Waveform::Sine {
+            offset: 0.0,
+            amp,
+            freq: 1.0 / period,
+            delay: 0.0,
+        },
+    );
+    driven
+}
+
+/// The multi-scale transient workload for the adaptive engine: the
+/// builder netlist with a current *step* (fast rise after a latent
+/// lead-in, then a long settling tail) injected across its first
+/// capacitor. A fixed march must resolve the whole window at the edge
+/// rate; an LTE-controlled engine resolves the edge and coasts through
+/// the lead-in and tail — with the lead-in leaving every device latent
+/// for the bypass cache.
+///
+/// `tau` scales the stimulus: the edge rises over `tau/2` at `5*tau`
+/// and stays high well past any practical stop time.
+///
+/// # Panics
+///
+/// Panics if the netlist carries no capacitor.
+pub fn pulsed_tran_netlist(nl: &Netlist, tau: f64) -> Netlist {
+    let (amp, n, p) = stimulus_site(nl);
+    let mut driven = nl.clone();
+    driven.isource_wave(
+        "ISTIM",
+        n,
+        p,
+        Waveform::Pulse {
+            v0: 0.0,
+            v1: amp,
+            delay: 5.0 * tau,
+            rise: 0.5 * tau,
+            fall: 0.5 * tau,
+            width: 1e6 * tau,
+            period: 0.0,
+        },
+    );
+    driven
+}
+
+/// Stimulus amplitude and injection nodes shared by the driven
+/// workloads: half the smallest tail current (so the drive stays
+/// small-signal across the pA-nA bias range) across the terminals of
+/// the first capacitor.
+fn stimulus_site(nl: &Netlist) -> (f64, ulp_spice::netlist::Node, ulp_spice::netlist::Node) {
+    let iss_min = nl
+        .elements()
+        .iter()
+        .filter_map(|e| match e {
+            Element::SclLoad { iss, .. } => Some(*iss),
+            _ => None,
+        })
+        .fold(f64::INFINITY, f64::min);
+    let amp = if iss_min.is_finite() {
+        0.5 * iss_min
+    } else {
+        0.5e-9
+    };
+    let (p, n) = nl
+        .elements()
+        .iter()
+        .find_map(|e| match e {
+            Element::Capacitor { a, b, .. } => Some((*a, *b)),
+            _ => None,
+        })
+        .expect("builder netlists all carry at least one capacitor");
+    (amp, n, p)
 }

@@ -238,6 +238,9 @@ impl CampaignReport {
             total.symbolic_factorizations += c.counters.symbolic_factorizations;
             total.numeric_refactorizations += c.counters.numeric_refactorizations;
             total.tran_steps += c.counters.tran_steps;
+            total.tran_rejected += c.counters.tran_rejected;
+            total.lte_exceeded += c.counters.lte_exceeded;
+            total.devices_bypassed += c.counters.devices_bypassed;
             total.ac_points += c.counters.ac_points;
             total.sweep_points += c.counters.sweep_points;
             total.noise_points += c.counters.noise_points;
@@ -250,7 +253,7 @@ impl CampaignReport {
     fn counters_entry_json(cost: &TrialCost) -> String {
         let k = &cost.counters;
         format!(
-            "{{\"trial\":{},\"outcome\":\"{}\",\"attempts\":{},\"solves\":{},\"failures\":{},\"newton_iterations\":{},\"gmin_fallbacks\":{},\"symbolic_factorizations\":{},\"numeric_refactorizations\":{},\"tran_steps\":{},\"ac_points\":{},\"sweep_points\":{},\"noise_points\":{}}}",
+            "{{\"trial\":{},\"outcome\":\"{}\",\"attempts\":{},\"solves\":{},\"failures\":{},\"newton_iterations\":{},\"gmin_fallbacks\":{},\"symbolic_factorizations\":{},\"numeric_refactorizations\":{},\"tran_steps\":{},\"tran_rejected\":{},\"lte_exceeded\":{},\"devices_bypassed\":{},\"ac_points\":{},\"sweep_points\":{},\"noise_points\":{}}}",
             cost.trial,
             cost.outcome.as_str(),
             k.attempts,
@@ -261,6 +264,9 @@ impl CampaignReport {
             k.symbolic_factorizations,
             k.numeric_refactorizations,
             k.tran_steps,
+            k.tran_rejected,
+            k.lte_exceeded,
+            k.devices_bypassed,
             k.ac_points,
             k.sweep_points,
             k.noise_points

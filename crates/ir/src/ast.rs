@@ -316,6 +316,41 @@ pub struct SweepAxis {
     pub grid: Vec<(String, Vec<f64>)>,
 }
 
+/// Corrector family requested by a `.tran` card's optional third field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranMethod {
+    /// Backward Euler (`be`): L-stable, first order.
+    Be,
+    /// Trapezoidal (`trap`): A-stable, second order.
+    Trap,
+}
+
+impl TranMethod {
+    /// The keyword used in `.tran` cards.
+    pub fn token(self) -> &'static str {
+        match self {
+            TranMethod::Be => "be",
+            TranMethod::Trap => "trap",
+        }
+    }
+}
+
+/// Transient analysis card (`.tran t_stop [dt_max] [be|trap]`).
+///
+/// `t_stop` is the simulated interval; `dt_max` bounds the adaptive
+/// engine's step size (engines pick their own default when omitted);
+/// `method` pins the corrector family (adaptive TRAP↔BE selection when
+/// omitted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranSpec {
+    /// Simulated stop time, s. Strictly positive.
+    pub t_stop: f64,
+    /// Optional upper bound on the time step, s.
+    pub dt_max: Option<f64>,
+    /// Optional corrector family override.
+    pub method: Option<TranMethod>,
+}
+
 /// Declarative sweep specification: named technology targets times the
 /// per-device geometry grids.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -339,6 +374,8 @@ pub struct Design {
     pub subckts: Vec<Subckt>,
     /// Top-level testbench cards, in file order.
     pub top: Vec<Item>,
+    /// Optional transient analysis card.
+    pub tran: Option<TranSpec>,
     /// Optional sweep specification.
     pub sweep: Option<SweepSpec>,
 }
@@ -359,7 +396,8 @@ impl Design {
     /// The output is byte-stable (same design, same bytes) and
     /// round-trips: `parse(&d.to_text()) == d` for any well-formed
     /// design. Canonical order is `.param`, `.default`, subcircuit
-    /// definitions, testbench cards, `.tech`, `.sweep`, `.end`.
+    /// definitions, testbench cards, `.tran`, `.tech`, `.sweep`,
+    /// `.end`.
     ///
     /// # Panics
     ///
@@ -398,6 +436,16 @@ impl Design {
         }
         for item in &self.top {
             write_item(&mut out, item);
+        }
+        if let Some(tran) = &self.tran {
+            out.push_str(&format!(".tran {}", fmt_f64(tran.t_stop)));
+            if let Some(dt) = tran.dt_max {
+                out.push_str(&format!(" {}", fmt_f64(dt)));
+            }
+            if let Some(m) = tran.method {
+                out.push_str(&format!(" {}", m.token()));
+            }
+            out.push('\n');
         }
         if let Some(sweep) = &self.sweep {
             if !sweep.techs.is_empty() {

@@ -15,6 +15,7 @@
 //!   <device and X cards>
 //! .ends
 //! <top-level device and X cards>
+//! .tran T_STOP [DT_MAX] [be|trap]
 //! .tech NAME…
 //! .sweep DEV… PARAM=NUM,NUM,… …
 //! .end
@@ -68,6 +69,11 @@ pub enum ParseErrorKind {
     /// Unknown stimulus keyword (expected `dc`, `pulse`, `sine` or
     /// `pwl`).
     BadWave,
+    /// Unknown integration method on a `.tran` card (expected `be` or
+    /// `trap`).
+    BadMethod,
+    /// A second `.tran` card.
+    DuplicateTran,
     /// Duplicate device/instance name within one scope.
     DuplicateName,
     /// Duplicate `.subckt` definition name.
@@ -111,7 +117,7 @@ impl fmt::Display for ParseError {
             ),
             ParseErrorKind::UnknownDirective => write!(
                 f,
-                "unknown directive `{tok}`: expected .param, .default, .subckt, .ends, .tech, .sweep or .end"
+                "unknown directive `{tok}`: expected .param, .default, .subckt, .ends, .tran, .tech, .sweep or .end"
             ),
             ParseErrorKind::BadRole => {
                 write!(f, "unknown port role `{tok}`: expected in, out or io")
@@ -122,6 +128,10 @@ impl fmt::Display for ParseError {
             ParseErrorKind::BadWave => {
                 write!(f, "unknown stimulus `{tok}`: expected dc, pulse, sine or pwl")
             }
+            ParseErrorKind::BadMethod => {
+                write!(f, "unknown integration method `{tok}`: expected be or trap")
+            }
+            ParseErrorKind::DuplicateTran => write!(f, "duplicate .tran card"),
             ParseErrorKind::DuplicateName => {
                 write!(f, "duplicate device or instance name `{tok}` in this scope")
             }
@@ -366,6 +376,15 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
                 cur.expect_done()?;
                 design.subckts.push(done);
             }
+            ".tran" => {
+                if open.is_some() {
+                    return Err(cur.err_at(&head, ParseErrorKind::NotInSubckt));
+                }
+                if design.tran.is_some() {
+                    return Err(cur.err_at(&head, ParseErrorKind::DuplicateTran));
+                }
+                design.tran = Some(parse_tran(&mut cur)?);
+            }
             ".tech" => {
                 if open.is_some() {
                     return Err(cur.err_at(&head, ParseErrorKind::NotInSubckt));
@@ -456,6 +475,52 @@ fn parse_param(
         params.push((k.to_string(), num));
     }
     Ok(())
+}
+
+fn parse_tran(cur: &mut Cursor<'_>) -> Result<TranSpec, ParseError> {
+    let t = cur.expect("a stop time")?;
+    let Some(t_stop) = parse_number(t.text) else {
+        return Err(cur.err_at(&t, ParseErrorKind::BadNumber));
+    };
+    if t_stop <= 0.0 {
+        return Err(cur.err_at(
+            &t,
+            ParseErrorKind::Expected {
+                what: "a positive stop time",
+            },
+        ));
+    }
+    let mut spec = TranSpec {
+        t_stop,
+        dt_max: None,
+        method: None,
+    };
+    // Optional `dt_max`: a number in the second position. A keyword
+    // here is the method instead (`.tran 1u trap` is legal).
+    if let Some(t) = cur.peek() {
+        if let Some(dt) = parse_number(t.text) {
+            let t = t.clone();
+            cur.next();
+            if dt <= 0.0 {
+                return Err(cur.err_at(
+                    &t,
+                    ParseErrorKind::Expected {
+                        what: "a positive maximum step",
+                    },
+                ));
+            }
+            spec.dt_max = Some(dt);
+        }
+    }
+    if let Some(t) = cur.next() {
+        spec.method = Some(match t.text.to_ascii_lowercase().as_str() {
+            "be" => TranMethod::Be,
+            "trap" => TranMethod::Trap,
+            _ => return Err(cur.err_at(&t, ParseErrorKind::BadMethod)),
+        });
+    }
+    cur.expect_done()?;
+    Ok(spec)
 }
 
 fn parse_default(cur: &mut Cursor<'_>, design: &mut Design) -> Result<(), ParseError> {
@@ -981,7 +1046,7 @@ mod tests {
     fn golden_unknown_directive() {
         assert_eq!(
             err(".model foo\n").to_string(),
-            "line 1, col 1: unknown directive `.model`: expected .param, .default, .subckt, .ends, .tech, .sweep or .end"
+            "line 1, col 1: unknown directive `.model`: expected .param, .default, .subckt, .ends, .tran, .tech, .sweep or .end"
         );
     }
 
@@ -1029,5 +1094,61 @@ mod tests {
             }) => assert_eq!(pts.len(), 3),
             _ => panic!("expected pwl isource"),
         }
+    }
+
+    #[test]
+    fn tran_card_forms() {
+        let d = parse("R1 a 0 1k\n.tran 1u\n.end\n").unwrap();
+        assert_eq!(d.tran, Some(TranSpec {
+            t_stop: 1e-6,
+            dt_max: None,
+            method: None,
+        }));
+        let d = parse("R1 a 0 1k\n.tran 1u 10n\n.end\n").unwrap();
+        assert_eq!(d.tran.unwrap().dt_max, Some(1e-8));
+        let d = parse("R1 a 0 1k\n.tran 1u 10n trap\n.end\n").unwrap();
+        assert_eq!(d.tran.as_ref().unwrap().method, Some(TranMethod::Trap));
+        // Method without dt_max is legal: the second field dispatches
+        // on whether it parses as a number.
+        let d = parse("R1 a 0 1k\n.tran 1u be\n.end\n").unwrap();
+        let tran = d.tran.unwrap();
+        assert_eq!(tran.dt_max, None);
+        assert_eq!(tran.method, Some(TranMethod::Be));
+    }
+
+    #[test]
+    fn golden_tran_errors() {
+        assert_eq!(
+            err(".tran 1u 10n euler\n").to_string(),
+            "line 1, col 14: unknown integration method `euler`: expected be or trap"
+        );
+        assert_eq!(
+            err(".tran 1u\n.tran 2u\n.end\n").to_string(),
+            "line 2, col 1: duplicate .tran card"
+        );
+        assert_eq!(
+            err(".tran\n").to_string(),
+            "line 1, col 6: expected a stop time, found end of line"
+        );
+        assert_eq!(
+            err(".tran abc\n").to_string(),
+            "line 1, col 7: `abc` is not a number"
+        );
+        assert_eq!(
+            err(".tran -1u\n").to_string(),
+            "line 1, col 7: expected a positive stop time, found `-1u`"
+        );
+        assert_eq!(
+            err(".tran 1u 0\n").to_string(),
+            "line 1, col 10: expected a positive maximum step, found `0`"
+        );
+        assert_eq!(
+            err(".subckt s a\n.tran 1u\n.ends\n").to_string(),
+            "line 2, col 1: `.tran` is only valid at top level, not inside .subckt"
+        );
+        assert_eq!(
+            err(".tran 1u 10n trap extra\n").to_string(),
+            "line 1, col 19: unexpected trailing token `extra`"
+        );
     }
 }

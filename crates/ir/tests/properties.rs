@@ -262,6 +262,17 @@ impl Gen {
             .collect();
         let top_count = 1 + self.below(6);
         d.top = self.items(top_count, &nets, &param_names, &known);
+        if self.chance(40) {
+            d.tran = Some(TranSpec {
+                t_stop: self.pos(),
+                dt_max: self.chance(60).then(|| self.pos()),
+                method: match self.below(3) {
+                    0 => None,
+                    1 => Some(TranMethod::Be),
+                    _ => Some(TranMethod::Trap),
+                },
+            });
+        }
         if self.chance(50) {
             let mut spec = SweepSpec::default();
             let techs = ["tt", "ss", "ff", "sf", "fs", "hot", "cold"];

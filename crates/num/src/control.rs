@@ -1,0 +1,271 @@
+//! Adaptive step-size control for time-stepping integrators.
+//!
+//! The transient engine in `ulp-spice` estimates the local truncation
+//! error of every candidate step from a predictor/corrector pair and
+//! asks this module two questions: *how big is the error relative to
+//! tolerance?* ([`weighted_error_norm`]) and *what step size next?*
+//! ([`StepController`]). Both are pure functions of their inputs — no
+//! clocks, no randomness — so adaptive runs are bit-reproducible and
+//! stay byte-identical at any `ULP_JOBS`.
+
+/// Weighted ∞-norm of the predictor/corrector disagreement.
+///
+/// Returns `max_i |xc[i] − xp[i]| / (abstol + reltol·max(|xc[i]|, |x_ref[i]|))`
+/// — the classic mixed absolute/relative error measure. A result ≤ 1
+/// means every component of the estimated local truncation error is
+/// within tolerance; > 1 means at least one component exceeds it.
+///
+/// `x_ref` is the solution at the *start* of the step, so a component
+/// swinging through zero is still judged against its recent magnitude
+/// rather than against `abstol` alone.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length or if either tolerance is
+/// not strictly positive.
+pub fn weighted_error_norm(xc: &[f64], xp: &[f64], x_ref: &[f64], reltol: f64, abstol: f64) -> f64 {
+    assert_eq!(xc.len(), xp.len(), "corrector/predictor dims differ");
+    assert_eq!(xc.len(), x_ref.len(), "corrector/reference dims differ");
+    assert!(reltol > 0.0 && abstol > 0.0, "tolerances must be positive");
+    let mut worst = 0.0f64;
+    for i in 0..xc.len() {
+        let scale = abstol + reltol * xc[i].abs().max(x_ref[i].abs());
+        let e = (xc[i] - xp[i]).abs() / scale;
+        if e > worst {
+            worst = e;
+        }
+    }
+    worst
+}
+
+/// Deterministic PI step-size controller bounded by `[dt_min, dt_max]`.
+///
+/// After every step the integrator reports the weighted error norm and
+/// the corrector's order; the controller answers with the next step
+/// size. The proportional–integral form
+///
+/// ```text
+/// factor = safety · err^(−kI/(p+1)) · err_prev^(kP/(p+1))
+/// ```
+///
+/// (Gustafsson-style, with `err_prev` the error of the previous
+/// *accepted* step) damps the oscillation a pure `err^(−1/(p+1))`
+/// controller shows on problems whose stiffness changes quickly. The
+/// growth/shrink factor is clamped to `[shrink_min, grow_max]` per
+/// step and the result to `[dt_min, dt_max]`, so one noisy error
+/// estimate can never fling the step size across decades.
+#[derive(Debug, Clone)]
+pub struct StepController {
+    /// Hard lower bound on the step size.
+    pub dt_min: f64,
+    /// Hard upper bound on the step size.
+    pub dt_max: f64,
+    /// Target fraction of the tolerance to aim for (default 0.9).
+    pub safety: f64,
+    /// Integral gain numerator (default 0.7; divided by `order + 1`).
+    pub k_i: f64,
+    /// Proportional gain numerator (default 0.4; divided by `order + 1`).
+    pub k_p: f64,
+    /// Largest per-step growth factor (default 2.5).
+    pub grow_max: f64,
+    /// Smallest per-step shrink factor (default 0.2).
+    pub shrink_min: f64,
+    err_prev: f64,
+}
+
+impl StepController {
+    /// Controller with default gains over the step bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < dt_min ≤ dt_max` and both are finite.
+    pub fn new(dt_min: f64, dt_max: f64) -> Self {
+        assert!(
+            dt_min > 0.0 && dt_min <= dt_max && dt_max.is_finite(),
+            "invalid step bounds [{dt_min}, {dt_max}]"
+        );
+        StepController {
+            dt_min,
+            dt_max,
+            safety: 0.9,
+            k_i: 0.7,
+            k_p: 0.4,
+            grow_max: 2.5,
+            shrink_min: 0.2,
+            err_prev: 1.0,
+        }
+    }
+
+    /// Clamp a candidate step into the controller's bounds.
+    pub fn clamp(&self, dt: f64) -> f64 {
+        dt.max(self.dt_min).min(self.dt_max)
+    }
+
+    /// Next step size after an *accepted* step of size `dt` whose
+    /// weighted error norm was `err` under a corrector of order
+    /// `order` (1 = backward Euler, 2 = trapezoidal).
+    ///
+    /// Records `err` as the controller's history for the PI term.
+    pub fn accept(&mut self, err: f64, order: u32, dt: f64) -> f64 {
+        let k = 1.0 / (order as f64 + 1.0);
+        // A vanishing error estimate means the predictor already
+        // nailed the step — grow at the cap rather than divide by 0.
+        let factor = if err > 0.0 {
+            let raw = self.safety * err.powf(-self.k_i * k) * self.err_prev.powf(self.k_p * k);
+            raw.max(self.shrink_min).min(self.grow_max)
+        } else {
+            self.grow_max
+        };
+        self.err_prev = err.max(1e-10);
+        self.clamp(dt * factor)
+    }
+
+    /// Next (smaller) step size after a *rejected* step of size `dt`
+    /// whose weighted error norm was `err` (> 1 by definition of
+    /// rejection; values ≤ 1 are treated as a forced rejection, e.g. a
+    /// Newton failure, and halve the step).
+    ///
+    /// Rejections do not update the PI history — the error of a step
+    /// that never happened is not evidence about the trajectory.
+    pub fn reject(&mut self, err: f64, order: u32, dt: f64) -> f64 {
+        let k = 1.0 / (order as f64 + 1.0);
+        let factor = if err > 1.0 {
+            (self.safety * err.powf(-k)).max(self.shrink_min).min(0.5)
+        } else {
+            0.5
+        };
+        self.clamp(dt * factor)
+    }
+
+    /// Forget the error history (call when crossing a source
+    /// breakpoint: the trajectory restarts and the old error says
+    /// nothing about the new segment).
+    pub fn reset(&mut self) {
+        self.err_prev = 1.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_norm_is_zero_for_identical_vectors() {
+        let x = [1.0, -2.0, 0.5];
+        assert_eq!(weighted_error_norm(&x, &x, &x, 1e-3, 1e-6), 0.0);
+    }
+
+    #[test]
+    fn error_norm_scales_against_the_larger_magnitude() {
+        // Component swings from 1.0 to -1.0: the reference magnitude
+        // keeps the denominator ~reltol·1, not bare abstol.
+        let xc = [-1.0];
+        let xp = [-1.0 + 1e-3];
+        let x_ref = [1.0];
+        let e = weighted_error_norm(&xc, &xp, &x_ref, 1e-3, 1e-12);
+        assert!((e - 1.0).abs() < 1e-6, "{e}");
+    }
+
+    #[test]
+    fn error_norm_takes_the_worst_component() {
+        let xc = [0.0, 5.0];
+        let xp = [0.0, 5.0 + 1.0];
+        let x_ref = [0.0, 5.0];
+        let e = weighted_error_norm(&xc, &xp, &x_ref, 1e-3, 1e-6);
+        assert!(e > 100.0, "{e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerances must be positive")]
+    fn error_norm_rejects_zero_tolerances() {
+        weighted_error_norm(&[0.0], &[0.0], &[0.0], 0.0, 1e-6);
+    }
+
+    #[test]
+    fn small_error_grows_the_step() {
+        let mut c = StepController::new(1e-12, 1.0);
+        let next = c.accept(1e-4, 1, 1e-6);
+        assert!(next > 1e-6, "{next}");
+    }
+
+    #[test]
+    fn large_error_shrinks_the_step() {
+        let mut c = StepController::new(1e-12, 1.0);
+        let next = c.accept(50.0, 2, 1e-6);
+        assert!(next < 1e-6, "{next}");
+    }
+
+    #[test]
+    fn zero_error_grows_at_the_cap() {
+        let mut c = StepController::new(1e-12, 1.0);
+        let next = c.accept(0.0, 1, 1e-6);
+        assert!((next - 2.5e-6).abs() < 1e-18, "{next}");
+    }
+
+    #[test]
+    fn growth_is_clamped_per_step_and_by_dt_max() {
+        let mut c = StepController::new(1e-12, 1.5e-6);
+        // Tiny error asks for huge growth; per-step cap then dt_max win.
+        let next = c.accept(1e-12, 1, 1e-6);
+        assert!((next - 1.5e-6).abs() < 1e-18, "{next}");
+    }
+
+    #[test]
+    fn shrink_never_goes_below_dt_min() {
+        let mut c = StepController::new(1e-9, 1.0);
+        let next = c.reject(1e6, 1, 2e-9);
+        assert!((next - 1e-9).abs() < 1e-21, "{next}");
+    }
+
+    #[test]
+    fn rejection_at_least_halves_without_evidence() {
+        let mut c = StepController::new(1e-12, 1.0);
+        let next = c.reject(0.0, 1, 1e-6);
+        assert!((next - 5e-7).abs() < 1e-18, "{next}");
+    }
+
+    #[test]
+    fn rejection_does_not_pollute_pi_history() {
+        let mut a = StepController::new(1e-12, 1.0);
+        let mut b = StepController::new(1e-12, 1.0);
+        b.reject(100.0, 1, 1e-6);
+        // After the reject, both controllers must agree on the next
+        // accepted step: rejections leave no trace in the history.
+        assert_eq!(a.accept(0.5, 1, 1e-6), b.accept(0.5, 1, 1e-6));
+    }
+
+    #[test]
+    fn reset_restores_the_first_step_behaviour() {
+        let mut fresh = StepController::new(1e-12, 1.0);
+        let mut used = StepController::new(1e-12, 1.0);
+        used.accept(1e-3, 2, 1e-6);
+        used.reset();
+        assert_eq!(fresh.accept(0.7, 2, 1e-6), used.accept(0.7, 2, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid step bounds")]
+    fn controller_rejects_inverted_bounds() {
+        StepController::new(1.0, 1e-3);
+    }
+
+    #[test]
+    fn controller_is_deterministic() {
+        let run = || {
+            let mut c = StepController::new(1e-12, 1e-3);
+            let mut dt = 1e-6;
+            let mut trace = Vec::new();
+            for i in 0..50 {
+                let err = 0.1 + 0.9 * ((i * 7) % 11) as f64 / 10.0;
+                dt = if err > 1.0 {
+                    c.reject(err, 2, dt)
+                } else {
+                    c.accept(err, 2, dt)
+                };
+                trace.push(dt.to_bits());
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -30,6 +30,7 @@
 //! ```
 
 pub mod complex;
+pub mod control;
 pub mod fft;
 pub mod interp;
 pub mod interval;
@@ -40,6 +41,7 @@ pub mod sparse;
 pub mod stats;
 
 pub use complex::Complex;
+pub use control::{weighted_error_norm, StepController};
 pub use interval::{Interval, IntervalLu, IntervalMatrix};
 pub use lu::{ComplexLuFactor, LuFactor, SolveError};
 pub use matrix::{ComplexMatrix, Matrix};

@@ -595,11 +595,46 @@ impl ModeKey {
             },
         }
     }
+
+    /// Analysis *family*: DC vs transient. Within a family the matrix
+    /// magnitudes evolve continuously (a step-size change rescales the
+    /// capacitor companions by the controller's bounded factor), so the
+    /// recorded pivot order stays trustworthy; across families whole
+    /// stamp sets appear/disappear and a fresh symbolic factorization
+    /// is forced.
+    fn family(&self) -> u8 {
+        match self {
+            ModeKey::Dc => 0,
+            ModeKey::Tran { .. } => 1,
+        }
+    }
 }
 
 struct DenseWs {
     sys: Option<MnaSystem>,
     lu: Option<LuFactor>,
+}
+
+/// Device-latency bypass state for one nonlinear element (diode, MOS
+/// or STSCL load), indexed by nonlinear-element ordinal so it survives
+/// the dyn-op replans an adaptive transient triggers on every step-size
+/// change.
+///
+/// `v`/`g`/`i_eq` are the *committed* reference — the model inputs and
+/// companion stamps of the last accepted time step. `pend_*` hold the
+/// most recent evaluation inside the current step; [`MnaWorkspace::
+/// commit_bypass`] promotes them after acceptance, so a rejected step
+/// never becomes anyone's reference.
+#[derive(Debug, Clone, Copy, Default)]
+struct BypassSlot {
+    valid: bool,
+    fresh: bool,
+    v: [f64; 3],
+    g: [f64; 3],
+    i_eq: f64,
+    pend_v: [f64; 3],
+    pend_g: [f64; 3],
+    pend_i_eq: f64,
 }
 
 struct SparseWs {
@@ -609,11 +644,15 @@ struct SparseWs {
     /// starts from `copy_from_slice` of this instead of restamping them.
     static_vals: Vec<f64>,
     dyn_ops: Vec<DynOp>,
+    /// One slot per nonlinear element, in netlist order.
+    bypass: Vec<BypassSlot>,
     lu: Option<SparseLu>,
     prep: Option<PrepKey>,
-    /// Set when the assembly mode changed: the cached pivot order was
-    /// chosen for very different magnitudes, so force a full re-pivoting
-    /// factorization instead of a numeric refactor.
+    /// Set when the assembly *family* (DC ↔ transient) changed: the
+    /// cached pivot order was chosen for very different magnitudes, so
+    /// force a full re-pivoting factorization instead of a numeric
+    /// refactor. Same-family step-size changes keep the pivot order and
+    /// only refresh the static values.
     force_symbolic: bool,
 }
 
@@ -664,6 +703,11 @@ pub struct MnaWorkspace {
     symbolic: usize,
     refactors: usize,
     swaps: usize,
+    /// Device-bypass voltage tolerance; `0.0` (the default) disables
+    /// bypass entirely and keeps the evaluation path bit-identical to
+    /// the pre-bypass workspace.
+    bypass_tol: f64,
+    bypassed: u64,
 }
 
 impl MnaWorkspace {
@@ -682,11 +726,22 @@ impl MnaWorkspace {
                 let coords = matrix_coords(nl);
                 let mat = SparseMatrix::from_pattern(dim, &coords);
                 let nnz = mat.nnz();
+                let n_nonlinear = nl
+                    .elements()
+                    .iter()
+                    .filter(|e| {
+                        matches!(
+                            e,
+                            Element::Diode { .. } | Element::Mos { .. } | Element::SclLoad { .. }
+                        )
+                    })
+                    .count();
                 Backend::Sparse(Box::new(SparseWs {
                     mat,
                     rhs: vec![0.0; dim],
                     static_vals: vec![0.0; nnz],
                     dyn_ops: Vec::new(),
+                    bypass: vec![BypassSlot::default(); n_nonlinear],
                     lu: None,
                     prep: None,
                     force_symbolic: false,
@@ -705,6 +760,8 @@ impl MnaWorkspace {
             symbolic: 0,
             refactors: 0,
             swaps: 0,
+            bypass_tol: 0.0,
+            bypassed: 0,
         }
     }
 
@@ -732,6 +789,58 @@ impl MnaWorkspace {
     /// factorizations.
     pub fn pivot_swaps(&self) -> usize {
         self.swaps
+    }
+
+    /// Enables device-latency bypass on the sparse backend: a nonlinear
+    /// element (diode, MOS, STSCL load) whose model inputs have all
+    /// moved by less than `tol` volts since the last *committed*
+    /// reference point (see [`Self::commit_bypass`]) re-applies its
+    /// cached companion stamps instead of re-evaluating the device
+    /// model. `tol = 0.0` (the default) disables bypass and keeps the
+    /// evaluation path bit-identical to an untouched workspace. The
+    /// dense reference backend never bypasses — it stays the verbatim
+    /// oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tol` is finite and non-negative.
+    pub fn set_bypass_tol(&mut self, tol: f64) {
+        assert!(
+            tol.is_finite() && tol >= 0.0,
+            "bypass tolerance must be finite and non-negative"
+        );
+        self.bypass_tol = tol;
+    }
+
+    /// Promotes the most recent device evaluations to the committed
+    /// bypass reference. The transient driver calls this after every
+    /// *accepted* step, so rejected trial steps never contaminate the
+    /// reference point future bypass decisions compare against.
+    ///
+    /// The committed stamps are those of the last Newton iterate, which
+    /// sits within the Newton voltage tolerance of the accepted
+    /// solution — a documented approximation far below the bypass
+    /// tolerance itself.
+    pub fn commit_bypass(&mut self) {
+        if let Backend::Sparse(s) = &mut self.backend {
+            for slot in &mut s.bypass {
+                if slot.fresh {
+                    slot.v = slot.pend_v;
+                    slot.g = slot.pend_g;
+                    slot.i_eq = slot.pend_i_eq;
+                    slot.valid = true;
+                    slot.fresh = false;
+                }
+            }
+        }
+    }
+
+    /// Cumulative count of nonlinear device evaluations skipped via the
+    /// bypass cache (one per device per assembly that re-applied cached
+    /// stamps). Always `0` with bypass disabled or on the dense
+    /// backend.
+    pub fn devices_bypassed(&self) -> u64 {
+        self.bypassed
     }
 
     /// Restamps the system for candidate solution `x` (see [`assemble`]
@@ -768,8 +877,13 @@ impl MnaWorkspace {
                 };
                 if s.prep != Some(key) {
                     if let Some(prev) = s.prep {
-                        if prev.mode != key.mode {
+                        if prev.mode.family() != key.mode.family() {
                             s.force_symbolic = true;
+                        }
+                        // A netlist edit may have changed the device
+                        // parameters baked into the cached stamps.
+                        if prev.revision != key.revision {
+                            s.bypass.iter_mut().for_each(|b| *b = BypassSlot::default());
                         }
                     }
                     prepare_sparse(s, nl, &mode, gmin, self.nn);
@@ -785,6 +899,9 @@ impl MnaWorkspace {
                     &mode,
                     s.mat.values_mut(),
                     &mut s.rhs,
+                    self.bypass_tol,
+                    &mut s.bypass,
+                    &mut self.bypassed,
                 );
             }
         }
@@ -1071,6 +1188,13 @@ fn prepare_sparse(
 
 /// Replays the dynamic-op plan for candidate solution `x` — the only
 /// per-iteration work besides the static-value copy, and allocation-free.
+///
+/// With `tol > 0`, nonlinear ops whose model inputs all sit within
+/// `tol` of their committed [`BypassSlot`] reference re-apply the
+/// cached stamps (counting into `bypassed`) instead of re-evaluating
+/// the device model; with `tol = 0` the slot bookkeeping is skipped
+/// entirely and the arithmetic is bit-identical to the pre-bypass path.
+#[allow(clippy::too_many_arguments)]
 fn apply_dyn(
     ops: &[DynOp],
     nl: &Netlist,
@@ -1079,11 +1203,15 @@ fn apply_dyn(
     mode: &AssembleMode<'_>,
     vals: &mut [f64],
     rhs: &mut [f64],
+    tol: f64,
+    slots: &mut [BypassSlot],
+    bypassed: &mut u64,
 ) {
     let time = match mode {
         AssembleMode::Dc => 0.0,
         AssembleMode::Transient { time, .. } => *time,
     };
+    let mut nli = 0usize;
     for op in ops {
         match *op {
             DynOp::SourceV { elem, rb } => {
@@ -1123,13 +1251,28 @@ fn apply_dyn(
                 q,
             } => {
                 let v = volt(x, p) - volt(x, n);
-                let vt = n_id * tech.thermal_voltage();
-                let arg = (v / vt).min(40.0);
-                let ex = arg.exp();
-                let i = is_sat * (ex - 1.0);
-                let g = (is_sat / vt * ex).max(1e-18);
-                q.add(vals, g);
-                rhs_current(rhs, p, n, i - g * v);
+                let slot = &mut slots[nli];
+                nli += 1;
+                if tol > 0.0 && slot.valid && (v - slot.v[0]).abs() <= tol {
+                    q.add(vals, slot.g[0]);
+                    rhs_current(rhs, p, n, slot.i_eq);
+                    *bypassed += 1;
+                    slot.fresh = false;
+                } else {
+                    let vt = n_id * tech.thermal_voltage();
+                    let arg = (v / vt).min(40.0);
+                    let ex = arg.exp();
+                    let i = is_sat * (ex - 1.0);
+                    let g = (is_sat / vt * ex).max(1e-18);
+                    q.add(vals, g);
+                    rhs_current(rhs, p, n, i - g * v);
+                    if tol > 0.0 {
+                        slot.pend_v = [v, 0.0, 0.0];
+                        slot.pend_g = [g, 0.0, 0.0];
+                        slot.pend_i_eq = i - g * v;
+                        slot.fresh = true;
+                    }
+                }
             }
             DynOp::Mos {
                 dev,
@@ -1145,23 +1288,60 @@ fn apply_dyn(
                 let vg = volt(x, g) - vb;
                 let vs = volt(x, s) - vb;
                 let vd = volt(x, d) - vb;
-                let op = dev.operating_point(tech, vg, vs, vd);
-                let i_dt = match dev.polarity {
-                    ulp_device::Polarity::Nmos => op.id,
-                    ulp_device::Polarity::Pmos => -op.id,
-                };
-                qg.add(vals, op.gm);
-                qs.add(vals, op.gms);
-                qd.add(vals, op.gds);
-                let i_eq = i_dt - op.gm * vg - op.gms * vs - op.gds * vd;
-                rhs_current(rhs, d, s, i_eq);
+                let slot = &mut slots[nli];
+                nli += 1;
+                if tol > 0.0
+                    && slot.valid
+                    && (vg - slot.v[0]).abs() <= tol
+                    && (vs - slot.v[1]).abs() <= tol
+                    && (vd - slot.v[2]).abs() <= tol
+                {
+                    qg.add(vals, slot.g[0]);
+                    qs.add(vals, slot.g[1]);
+                    qd.add(vals, slot.g[2]);
+                    rhs_current(rhs, d, s, slot.i_eq);
+                    *bypassed += 1;
+                    slot.fresh = false;
+                } else {
+                    let op = dev.operating_point(tech, vg, vs, vd);
+                    let i_dt = match dev.polarity {
+                        ulp_device::Polarity::Nmos => op.id,
+                        ulp_device::Polarity::Pmos => -op.id,
+                    };
+                    qg.add(vals, op.gm);
+                    qs.add(vals, op.gms);
+                    qd.add(vals, op.gds);
+                    let i_eq = i_dt - op.gm * vg - op.gms * vs - op.gds * vd;
+                    rhs_current(rhs, d, s, i_eq);
+                    if tol > 0.0 {
+                        slot.pend_v = [vg, vs, vd];
+                        slot.pend_g = [op.gm, op.gms, op.gds];
+                        slot.pend_i_eq = i_eq;
+                        slot.fresh = true;
+                    }
+                }
             }
             DynOp::SclLoad { load, iss, a, b, q } => {
                 let v = volt(x, a) - volt(x, b);
-                let (i, g) = load.eval(v, iss);
-                let g = g.max(1e-18);
-                q.add(vals, g);
-                rhs_current(rhs, a, b, i - g * v);
+                let slot = &mut slots[nli];
+                nli += 1;
+                if tol > 0.0 && slot.valid && (v - slot.v[0]).abs() <= tol {
+                    q.add(vals, slot.g[0]);
+                    rhs_current(rhs, a, b, slot.i_eq);
+                    *bypassed += 1;
+                    slot.fresh = false;
+                } else {
+                    let (i, g) = load.eval(v, iss);
+                    let g = g.max(1e-18);
+                    q.add(vals, g);
+                    rhs_current(rhs, a, b, i - g * v);
+                    if tol > 0.0 {
+                        slot.pend_v = [v, 0.0, 0.0];
+                        slot.pend_g = [g, 0.0, 0.0];
+                        slot.pend_i_eq = i - g * v;
+                        slot.fresh = true;
+                    }
+                }
             }
         }
     }
@@ -1509,6 +1689,109 @@ mod tests {
         ws.factor().expect("tran factor");
         assert_eq!(ws.symbolic_factorizations(), 2);
         assert_eq!(ws.numeric_refactorizations(), 0);
+    }
+
+    #[test]
+    fn tran_step_size_change_reuses_the_symbolic_factorization() {
+        // The adaptive engine changes dt nearly every accepted step;
+        // that must cost a static-value refresh + numeric refactor, not
+        // a re-pivot — dt changes stay within the same mode family.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vsource("V1", a, Netlist::GROUND, 1.0);
+        nl.resistor("R1", a, b, 1e3);
+        nl.capacitor("C1", b, Netlist::GROUND, 1e-6);
+        let tech = Technology::default();
+        let x = vec![0.0; nl.unknown_count()];
+        let prev = x.clone();
+        let cap_i = [0.0];
+        let mut ws = MnaWorkspace::new(&nl, SolverKind::Sparse);
+        let tran = |dt: f64| AssembleMode::Transient {
+            time: dt,
+            dt,
+            prev: &prev,
+            cap_currents: &cap_i,
+            method: Integrator::BackwardEuler,
+        };
+        ws.assemble(&nl, &tech, &x, tran(1e-6), 1e-12);
+        ws.factor().expect("first factor");
+        assert_eq!(ws.symbolic_factorizations(), 1);
+        for dt in [5e-7, 1.2e-6, 3e-6] {
+            ws.assemble(&nl, &tech, &x, tran(dt), 1e-12);
+            ws.factor().expect("refactor at new dt");
+        }
+        assert_eq!(ws.symbolic_factorizations(), 1);
+        assert_eq!(ws.numeric_refactorizations(), 3);
+    }
+
+    #[test]
+    fn bypass_skips_unmoved_devices_after_commit() {
+        let nl = diode_netlist();
+        let tech = Technology::default();
+        let x = vec![0.3, 0.25, -2e-5];
+        let mut ws = MnaWorkspace::new(&nl, SolverKind::Sparse);
+        ws.set_bypass_tol(1e-4);
+        // First assembly evaluates the diode (no committed reference).
+        ws.assemble(&nl, &tech, &x, AssembleMode::Dc, 1e-12);
+        assert_eq!(ws.devices_bypassed(), 0);
+        ws.commit_bypass();
+        // Unmoved terminals: the cached stamps are re-applied, and the
+        // system is bitwise what a bypass-free workspace assembles
+        // (cached values were computed at this exact point).
+        ws.assemble(&nl, &tech, &x, AssembleMode::Dc, 1e-12);
+        assert_eq!(ws.devices_bypassed(), 1);
+        ws.factor().expect("factor");
+        let mut bypassed = Vec::new();
+        ws.solve_into(&mut bypassed).expect("solve");
+        let plain = ws_solve(&nl, SolverKind::Sparse, &x);
+        assert_eq!(bypassed, plain, "cached stamps must be bit-identical here");
+        // A move beyond tol re-evaluates.
+        let far = vec![0.3, 0.26, -2e-5];
+        ws.assemble(&nl, &tech, &far, AssembleMode::Dc, 1e-12);
+        assert_eq!(ws.devices_bypassed(), 1);
+    }
+
+    #[test]
+    fn bypass_reference_needs_a_commit() {
+        let nl = diode_netlist();
+        let tech = Technology::default();
+        let x = vec![0.3, 0.25, -2e-5];
+        let mut ws = MnaWorkspace::new(&nl, SolverKind::Sparse);
+        ws.set_bypass_tol(1e-4);
+        // Without commit_bypass, repeated assemblies at the same point
+        // keep evaluating — rejected steps must leave no reference.
+        ws.assemble(&nl, &tech, &x, AssembleMode::Dc, 1e-12);
+        ws.assemble(&nl, &tech, &x, AssembleMode::Dc, 1e-12);
+        assert_eq!(ws.devices_bypassed(), 0);
+    }
+
+    #[test]
+    fn netlist_edit_invalidates_the_bypass_reference() {
+        let mut nl = diode_netlist();
+        let tech = Technology::default();
+        let x = vec![0.3, 0.25, -2e-5];
+        let mut ws = MnaWorkspace::new(&nl, SolverKind::Sparse);
+        ws.set_bypass_tol(1e-4);
+        ws.assemble(&nl, &tech, &x, AssembleMode::Dc, 1e-12);
+        ws.commit_bypass();
+        // The revision bump must clear the committed reference even
+        // though the diode itself did not change.
+        nl.set_source("V1", 0.6).expect("source exists");
+        ws.assemble(&nl, &tech, &x, AssembleMode::Dc, 1e-12);
+        assert_eq!(ws.devices_bypassed(), 0);
+    }
+
+    #[test]
+    fn disabled_bypass_never_counts() {
+        let nl = diode_netlist();
+        let tech = Technology::default();
+        let x = vec![0.3, 0.25, -2e-5];
+        let mut ws = MnaWorkspace::new(&nl, SolverKind::Sparse);
+        ws.assemble(&nl, &tech, &x, AssembleMode::Dc, 1e-12);
+        ws.commit_bypass();
+        ws.assemble(&nl, &tech, &x, AssembleMode::Dc, 1e-12);
+        assert_eq!(ws.devices_bypassed(), 0);
     }
 
     #[test]

@@ -180,7 +180,7 @@ pub fn dc_sweep_traced_unchecked(
     let mut work = nl.clone();
     // Validate the source exists up front.
     work.set_source(source, values.first().copied().unwrap_or(0.0))?;
-    let mut solutions = Vec::with_capacity(values.len());
+    let mut solutions: Vec<Vec<f64>> = Vec::with_capacity(values.len());
     let mut guess = vec![0.0; work.unknown_count()];
     // One workspace across all points: `set_source` only bumps the
     // netlist revision, so the matrix pattern and its symbolic
@@ -212,7 +212,20 @@ pub fn dc_sweep_traced_unchecked(
                 seconds: t0.elapsed().as_secs_f64(),
             });
         }
+        // Secant warm-start for the next point: extrapolate each unknown
+        // along the previous two solutions. Falls back to the plain
+        // previous-solution guess for the first point and for repeated
+        // stimulus values (zero denominator).
         guess.copy_from_slice(&x);
+        if let (Some(prev), Some(&v_next)) = (solutions.last(), values.get(i + 1)) {
+            let v_prev = values[i - 1];
+            if v != v_prev {
+                let scale = (v_next - v) / (v - v_prev);
+                for (g, (&xi, &pi)) in guess.iter_mut().zip(x.iter().zip(prev.iter())) {
+                    *g = xi + (xi - pi) * scale;
+                }
+            }
+        }
         solutions.push(x.clone());
     }
     Ok(SweepResult {
@@ -299,6 +312,47 @@ mod tests {
             .collect();
         let expect: Vec<(usize, f64)> = vals.iter().copied().enumerate().collect();
         assert_eq!(points, expect);
+    }
+
+    #[test]
+    fn secant_warm_start_matches_independent_solves() {
+        // Nonlinear sweep: the secant-extrapolated guess must change the
+        // iteration path only, never the converged answers.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let m = nl.node("m");
+        nl.vsource("V1", a, Netlist::GROUND, 0.0);
+        nl.resistor("R1", a, m, 10e3);
+        nl.diode("D1", m, Netlist::GROUND, 1e-14, 1.0);
+        let vals = interp::linspace(0.0, 1.5, 16);
+        let s = dc_sweep(&nl, &Technology::default(), "V1", &vals).unwrap();
+        for (i, &v) in vals.iter().enumerate() {
+            set_source_value(&mut nl, "V1", v).unwrap();
+            let op = crate::dcop::DcOperatingPoint::solve(&nl, &Technology::default()).unwrap();
+            assert!(
+                (s.voltage_at(m, i) - op.voltage(m)).abs() < 1e-6,
+                "point {i} (V1={v}): sweep {} vs cold {}",
+                s.voltage_at(m, i),
+                op.voltage(m)
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_handles_repeated_stimulus_values() {
+        // A zero secant denominator (equal consecutive values) must fall
+        // back to the previous solution, not extrapolate to NaN.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let m = nl.node("m");
+        nl.vsource("V1", a, Netlist::GROUND, 0.0);
+        nl.resistor("R1", a, m, 10e3);
+        nl.diode("D1", m, Netlist::GROUND, 1e-14, 1.0);
+        let vals = [0.5, 0.5, 0.5, 1.0, 1.0];
+        let s = dc_sweep(&nl, &Technology::default(), "V1", &vals).unwrap();
+        assert!((s.voltage_at(m, 0) - s.voltage_at(m, 2)).abs() < 1e-9);
+        assert!((s.voltage_at(m, 3) - s.voltage_at(m, 4)).abs() < 1e-9);
+        assert!(s.voltage_trace(m).iter().all(|v| v.is_finite()));
     }
 
     #[test]

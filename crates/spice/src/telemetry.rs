@@ -165,7 +165,30 @@ pub enum Event {
         newton_iterations: usize,
         /// Companion-model integrator (`backward-euler`/`trapezoidal`).
         method: &'static str,
+        /// Nonlinear devices whose evaluation was bypassed (cached
+        /// stamps re-applied) during this step's Newton iterations.
+        /// Always 0 on the fixed-step path.
+        devices_bypassed: usize,
         /// Wall-clock time of the step, s.
+        seconds: f64,
+    },
+    /// One rejected adaptive transient step (the step was retried at a
+    /// smaller size; rejected steps do not advance time).
+    TranReject {
+        /// Index the step would have had if accepted (1-based).
+        step: usize,
+        /// Start time of the attempted step, s.
+        time: f64,
+        /// The step size that was rejected, s.
+        dt: f64,
+        /// Weighted local-truncation-error norm of the attempt (> 1 for
+        /// an LTE rejection; 0 when Newton failed before an estimate
+        /// existed).
+        error: f64,
+        /// Whether the rejection was a Newton convergence failure
+        /// rather than an LTE overrun.
+        newton_failed: bool,
+        /// Wall-clock time of the rejected attempt, s.
         seconds: f64,
     },
     /// One AC analysis frequency point.
@@ -230,6 +253,7 @@ impl Event {
         match self {
             Event::NewtonAttempt { .. } => "newton_attempt",
             Event::TranStep { .. } => "tran_step",
+            Event::TranReject { .. } => "tran_reject",
             Event::AcPoint { .. } => "ac_point",
             Event::SweepPoint { .. } => "sweep_point",
             Event::NoisePoint { .. } => "noise_point",
@@ -282,12 +306,30 @@ impl Event {
                 time,
                 newton_iterations,
                 method,
+                devices_bypassed,
                 seconds,
             } => {
                 let _ = write!(
                     s,
-                    ",\"step\":{step},\"time\":{},\"newton_iterations\":{newton_iterations},\"method\":\"{method}\",\"seconds\":{}",
+                    ",\"step\":{step},\"time\":{},\"newton_iterations\":{newton_iterations},\"method\":\"{method}\",\"devices_bypassed\":{devices_bypassed},\"seconds\":{}",
                     json_num(*time),
+                    json_num(*seconds)
+                );
+            }
+            Event::TranReject {
+                step,
+                time,
+                dt,
+                error,
+                newton_failed,
+                seconds,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"step\":{step},\"time\":{},\"dt\":{},\"error\":{},\"newton_failed\":{newton_failed},\"seconds\":{}",
+                    json_num(*time),
+                    json_num(*dt),
+                    json_num(*error),
                     json_num(*seconds)
                 );
             }
@@ -583,6 +625,14 @@ pub struct SolverCounters {
     pub numeric_refactorizations: usize,
     /// Transient steps accepted.
     pub tran_steps: usize,
+    /// Adaptive transient steps rejected (LTE overruns plus Newton
+    /// failures; always 0 on the fixed-step path).
+    pub tran_rejected: usize,
+    /// Rejections caused by the LTE estimate exceeding tolerance (a
+    /// subset of `tran_rejected`).
+    pub lte_exceeded: usize,
+    /// Nonlinear device evaluations bypassed via the latency cache.
+    pub devices_bypassed: usize,
     /// AC frequency points solved.
     pub ac_points: usize,
     /// DC sweep points solved.
@@ -610,6 +660,9 @@ impl SolverCounters {
                 .numeric_refactorizations
                 .saturating_sub(earlier.numeric_refactorizations),
             tran_steps: self.tran_steps.saturating_sub(earlier.tran_steps),
+            tran_rejected: self.tran_rejected.saturating_sub(earlier.tran_rejected),
+            lte_exceeded: self.lte_exceeded.saturating_sub(earlier.lte_exceeded),
+            devices_bypassed: self.devices_bypassed.saturating_sub(earlier.devices_bypassed),
             ac_points: self.ac_points.saturating_sub(earlier.ac_points),
             sweep_points: self.sweep_points.saturating_sub(earlier.sweep_points),
             noise_points: self.noise_points.saturating_sub(earlier.noise_points),
@@ -673,6 +726,14 @@ pub struct SimMetrics {
     pub max_dimension: usize,
     /// Transient steps accepted.
     pub tran_steps: usize,
+    /// Adaptive transient steps rejected (LTE overruns plus Newton
+    /// failures; always 0 on the fixed-step path).
+    pub tran_rejected: usize,
+    /// Rejections caused by the LTE estimate exceeding tolerance (a
+    /// subset of `tran_rejected`).
+    pub lte_exceeded: usize,
+    /// Nonlinear device evaluations bypassed via the latency cache.
+    pub devices_bypassed: usize,
     /// AC frequency points solved.
     pub ac_points: usize,
     /// DC sweep points solved.
@@ -734,7 +795,18 @@ impl SimMetrics {
                 self.max_dimension = self.max_dimension.max(*lu_dim);
                 self.solve_seconds += seconds;
             }
-            Event::TranStep { .. } => self.tran_steps += 1,
+            Event::TranStep {
+                devices_bypassed, ..
+            } => {
+                self.tran_steps += 1;
+                self.devices_bypassed += devices_bypassed;
+            }
+            Event::TranReject { newton_failed, .. } => {
+                self.tran_rejected += 1;
+                if !newton_failed {
+                    self.lte_exceeded += 1;
+                }
+            }
             Event::AcPoint {
                 lu_symbolic,
                 lu_refactor,
@@ -805,6 +877,9 @@ impl SimMetrics {
             symbolic_factorizations: self.symbolic_factorizations,
             numeric_refactorizations: self.numeric_refactorizations,
             tran_steps: self.tran_steps,
+            tran_rejected: self.tran_rejected,
+            lte_exceeded: self.lte_exceeded,
+            devices_bypassed: self.devices_bypassed,
             ac_points: self.ac_points,
             sweep_points: self.sweep_points,
             noise_points: self.noise_points,
@@ -830,6 +905,9 @@ impl SimMetrics {
         self.numeric_refactorizations += other.numeric_refactorizations;
         self.max_dimension = self.max_dimension.max(other.max_dimension);
         self.tran_steps += other.tran_steps;
+        self.tran_rejected += other.tran_rejected;
+        self.lte_exceeded += other.lte_exceeded;
+        self.devices_bypassed += other.devices_bypassed;
         self.ac_points += other.ac_points;
         self.sweep_points += other.sweep_points;
         self.noise_points += other.noise_points;
@@ -873,6 +951,11 @@ impl SimMetrics {
             s,
             "analysis points   : tran {}, ac {}, sweep {}, noise {}",
             self.tran_steps, self.ac_points, self.sweep_points, self.noise_points
+        );
+        let _ = writeln!(
+            s,
+            "adaptive stepping : {} rejected ({} lte), {} device bypasses",
+            self.tran_rejected, self.lte_exceeded, self.devices_bypassed
         );
         let _ = write!(s, "solve wall time   : {:.3e} s", self.solve_seconds);
         for (name, secs) in &self.phases {
@@ -1038,6 +1121,27 @@ impl Default for MetricsCollector {
 impl Tracer for MetricsCollector {
     fn record(&mut self, event: &Event) {
         self.metrics.absorb(event);
+        // Transient stepping counters mirror into the Prometheus
+        // registry shard so campaign exports carry them without a
+        // second aggregation pass. All four are deterministic counts.
+        match event {
+            Event::TranStep {
+                devices_bypassed, ..
+            } => {
+                self.registry.counter_add("ulp_tran_steps_accepted_total", 1);
+                if *devices_bypassed > 0 {
+                    self.registry
+                        .counter_add("ulp_tran_devices_bypassed_total", *devices_bypassed as u64);
+                }
+            }
+            Event::TranReject { newton_failed, .. } => {
+                self.registry.counter_add("ulp_tran_steps_rejected_total", 1);
+                if !newton_failed {
+                    self.registry.counter_add("ulp_tran_lte_exceeded_total", 1);
+                }
+            }
+            _ => {}
+        }
         if self.mode.keeps_events() {
             let (campaign, trial) = current_trial_context();
             if self.mode.keeps_spans() {
@@ -1371,6 +1475,23 @@ mod tests {
             time: 1e-9,
             newton_iterations: 3,
             method: "backward-euler",
+            devices_bypassed: 4,
+            seconds: 0.0,
+        });
+        mc.record(&Event::TranReject {
+            step: 2,
+            time: 1e-9,
+            dt: 5e-10,
+            error: 2.5,
+            newton_failed: false,
+            seconds: 0.0,
+        });
+        mc.record(&Event::TranReject {
+            step: 2,
+            time: 1e-9,
+            dt: 2.5e-10,
+            error: 0.0,
+            newton_failed: true,
             seconds: 0.0,
         });
         mc.record(&Event::AcPoint {
@@ -1400,6 +1521,30 @@ mod tests {
         assert_eq!(
             (m.tran_steps, m.ac_points, m.sweep_points, m.noise_points),
             (1, 1, 1, 1)
+        );
+        // Rejections split into LTE overruns vs Newton failures; bypass
+        // counts accumulate from accepted steps only.
+        assert_eq!(
+            (m.tran_rejected, m.lte_exceeded, m.devices_bypassed),
+            (2, 1, 4)
+        );
+        // The registry shard mirrors the same counters.
+        use crate::registry::Metric;
+        assert_eq!(
+            mc.registry().get("ulp_tran_steps_accepted_total"),
+            Some(&Metric::Counter(1))
+        );
+        assert_eq!(
+            mc.registry().get("ulp_tran_steps_rejected_total"),
+            Some(&Metric::Counter(2))
+        );
+        assert_eq!(
+            mc.registry().get("ulp_tran_lte_exceeded_total"),
+            Some(&Metric::Counter(1))
+        );
+        assert_eq!(
+            mc.registry().get("ulp_tran_devices_bypassed_total"),
+            Some(&Metric::Counter(4))
         );
         assert_eq!(m.phases(), &[("stscl::vtc".to_string(), 1e-3)]);
         // Summary mode retains no events.
@@ -1434,6 +1579,29 @@ mod tests {
         assert!(lines[1].contains("a\\\"b\\\\c"));
         // A direct attempt renders rung as JSON null.
         assert!(attempt(1, true, None).to_json().contains("\"rung\":null"));
+        // Adaptive-step events keep their stable key order.
+        let step = Event::TranStep {
+            step: 3,
+            time: 1e-8,
+            newton_iterations: 2,
+            method: "trapezoidal",
+            devices_bypassed: 5,
+            seconds: 0.0,
+        }
+        .to_json();
+        assert!(step.contains("\"devices_bypassed\":5,\"seconds\":"), "{step}");
+        let rej = Event::TranReject {
+            step: 4,
+            time: 2e-8,
+            dt: 1e-9,
+            error: 1.7,
+            newton_failed: false,
+            seconds: 0.0,
+        }
+        .to_json();
+        assert!(rej.starts_with("{\"event\":\"tran_reject\""), "{rej}");
+        assert!(rej.contains("\"dt\":1e-9"), "{rej}");
+        assert!(rej.contains("\"newton_failed\":false"), "{rej}");
     }
 
     #[test]
@@ -1495,6 +1663,7 @@ mod tests {
                 time: 1e-9,
                 newton_iterations: 3,
                 method: "backward-euler",
+                devices_bypassed: 2,
                 seconds: 0.0,
             }))
             .collect();
@@ -1636,16 +1805,25 @@ mod tests {
             time: 1e-9,
             newton_iterations: 2,
             method: "backward-euler",
+            devices_bypassed: 0,
+            seconds: 0.0,
+        });
+        mc.record(&Event::TranReject {
+            step: 2,
+            time: 2e-9,
+            dt: 1e-10,
+            error: 3.0,
+            newton_failed: false,
             seconds: 0.0,
         });
         let spans = mc.spans();
-        assert_eq!(spans.len(), 2, "tran steps synthesise no span");
+        assert_eq!(spans.len(), 2, "tran steps/rejects synthesise no span");
         assert_eq!((spans[0].cat, spans[0].worker), ("newton", 3));
         assert_eq!((spans[1].cat, spans[1].name.as_str()), ("phase", "exec::yield"));
         assert!(spans[1].dur_us >= 999.0, "duration carried over: {}", spans[1].dur_us);
         assert!(spans.iter().all(|s| s.start_us >= 0.0 && s.dur_us >= 0.0));
         // Events are retained too: Spans is a superset of Events.
-        assert_eq!(mc.events().len(), 3);
+        assert_eq!(mc.events().len(), 4);
         // Summary/Events collectors record no spans.
         let mut plain = MetricsCollector::new(TraceMode::Events);
         plain.record(&attempt(2, true, None));

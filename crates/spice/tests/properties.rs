@@ -309,6 +309,7 @@ fn synth_event(kind: u8, iters: usize, converged: bool, rung: u8) -> ulp_spice::
             time: seconds,
             newton_iterations: iters,
             method: "trapezoidal",
+            devices_bypassed: iters / 3,
             seconds,
         },
         2 => Event::AcPoint {
